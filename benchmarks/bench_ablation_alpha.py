@@ -1,0 +1,58 @@
+"""Ablations A3 + A4: the latency/memory/accuracy trade-off.
+
+* A3 — sweep alpha at Definition-1 settings: accuracy and memory climb
+  together, latency climbs with vicinity size;
+* A4 — the ``vicinity_floor`` extension at alpha = 4: answered fraction
+  approaches 1 at a measured memory premium.
+"""
+
+import pytest
+
+from repro.experiments.tradeoff import render_tradeoff, run_tradeoff
+
+from benchmarks.conftest import write_artifact
+
+
+def test_alpha_sweep(benchmark, graphs):
+    """A3: alpha in {1/4, 1, 4, 16} on the livejournal stand-in."""
+    graph = graphs["livejournal"]
+    rows = benchmark.pedantic(
+        lambda: run_tradeoff(
+            graph, alphas=(0.25, 1.0, 4.0, 16.0), floors=(0.0,), seed=7,
+            sample_nodes=24,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_alpha = {r.alpha: r for r in rows}
+    benchmark.extra_info.update(
+        {f"answered_a{a:g}": round(r.answered_fraction, 3) for a, r in by_alpha.items()}
+    )
+    # Accuracy and memory both rise with alpha.
+    assert by_alpha[16.0].answered_fraction >= by_alpha[0.25].answered_fraction
+    assert by_alpha[16.0].entries_per_node > by_alpha[0.25].entries_per_node
+    write_artifact("ablation_alpha.txt", render_tradeoff(rows, dataset="livejournal"))
+
+
+def test_floor_sweep(benchmark, graphs):
+    """A4: vicinity_floor in {0, 0.5, 1.0} at alpha = 4."""
+    graph = graphs["flickr"]
+    rows = benchmark.pedantic(
+        lambda: run_tradeoff(
+            graph, alphas=(4.0,), floors=(0.0, 0.5, 1.0), seed=7, sample_nodes=24
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_floor = {r.vicinity_floor: r for r in rows}
+    benchmark.extra_info.update(
+        {f"answered_f{f:g}": round(r.answered_fraction, 3) for f, r in by_floor.items()}
+    )
+    benchmark.extra_info.update(
+        {f"entries_f{f:g}": round(r.entries_per_node, 1) for f, r in by_floor.items()}
+    )
+    # The floor buys accuracy with memory.
+    assert by_floor[1.0].answered_fraction >= by_floor[0.0].answered_fraction
+    assert by_floor[1.0].entries_per_node >= by_floor[0.0].entries_per_node
+    assert by_floor[1.0].answered_fraction > 0.9
+    write_artifact("ablation_floor.txt", render_tradeoff(rows, dataset="flickr"))

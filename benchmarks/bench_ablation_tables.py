@@ -1,0 +1,84 @@
+"""Ablation A5: landmark full tables — memory vs coverage.
+
+§3.1's data structure stores a complete single-source table per
+landmark, which DESIGN.md flags as the structure's memory-heavy
+component at scale.  This ablation builds the same index with
+``landmark_tables="none"`` and measures what the tables actually buy:
+conditions (1)/(2) of Algorithm 1 versus the entries they cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.experiments.reporting import render_table
+
+from benchmarks.conftest import write_artifact
+
+
+def test_tables_none_tradeoff(benchmark, graphs):
+    """Coverage and memory with and without landmark tables."""
+    graph = graphs["livejournal"]
+
+    def build_both():
+        rows = []
+        for mode in ("full", "none"):
+            config = OracleConfig(
+                alpha=4.0, seed=7, fallback="none", landmark_tables=mode
+            )
+            oracle = VicinityOracle.build(graph, config=config)
+            rng = np.random.default_rng(43)
+            answered = 0
+            landmark_endpoint = 0
+            total = 600
+            flags = oracle.index.landmarks.is_landmark
+            for _ in range(total):
+                s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+                if flags[s] or flags[t]:
+                    landmark_endpoint += 1
+                if oracle.query(s, t).distance is not None:
+                    answered += 1
+            memory = oracle.memory()
+            rows.append(
+                {
+                    "mode": mode,
+                    "answered": answered / total,
+                    "landmark_endpoint_rate": landmark_endpoint / total,
+                    "table_entries": memory.table_entries,
+                    "total_entries": memory.total_entries,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    full, none = rows
+    benchmark.extra_info["answered_full"] = round(full["answered"], 4)
+    benchmark.extra_info["answered_none"] = round(none["answered"], 4)
+    benchmark.extra_info["entries_saved"] = full["table_entries"]
+    # Dropping tables saves their entries entirely...
+    assert none["table_entries"] == 0
+    assert none["total_entries"] < full["total_entries"]
+    # ...and costs at most the landmark-endpoint query share.
+    assert full["answered"] >= none["answered"]
+    assert (
+        full["answered"] - none["answered"]
+        <= full["landmark_endpoint_rate"] + 0.02
+    )
+    write_artifact(
+        "ablation_tables.txt",
+        render_table(
+            ["tables", "answered", "landmark-endpoint pairs", "table entries", "total entries"],
+            [
+                (
+                    r["mode"],
+                    f"{r['answered']:.2%}",
+                    f"{r['landmark_endpoint_rate']:.2%}",
+                    r["table_entries"],
+                    r["total_entries"],
+                )
+                for r in rows
+            ],
+            title="Ablation A5: landmark tables (livejournal)",
+        ),
+    )

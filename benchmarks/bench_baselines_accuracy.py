@@ -1,0 +1,110 @@
+"""Related-work comparison (§4): exactness vs approximation error.
+
+The paper positions vicinity intersection against landmark estimation
+[11] and sketches [12]: comparable latency class, but those return
+paths/distances with multi-hop absolute error.  This benchmark measures
+the error distributions on a shared workload and asserts the paper's
+qualitative claim: our answers are exact; the approximations are not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.landmark_estimate import LandmarkEstimateOracle
+from repro.baselines.sketch import SketchOracle
+from repro.experiments.reporting import render_table
+from repro.graph.traversal.bfs import bfs_distances
+
+from benchmarks.conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def workload(graphs):
+    graph = graphs["livejournal"]
+    rng = np.random.default_rng(31)
+    sources = rng.choice(graph.n, 12, replace=False)
+    truth = {int(s): bfs_distances(graph, int(s)) for s in sources}
+    targets = rng.choice(graph.n, 40, replace=False)
+    pairs = [
+        (int(s), int(t))
+        for s in sources
+        for t in targets
+        if s != t and truth[int(s)][int(t)] >= 0
+    ]
+    return graph, truth, pairs
+
+
+def _errors(estimator, truth, pairs):
+    errors = []
+    for s, t in pairs:
+        estimate = estimator.distance(s, t)
+        if estimate is None:
+            continue
+        errors.append(estimate - int(truth[s][t]))
+    return np.asarray(errors, dtype=np.float64)
+
+
+def test_landmark_estimate_error(benchmark, workload):
+    """Potamias-style triangulation error on the shared workload."""
+    graph, truth, pairs = workload
+    estimator = LandmarkEstimateOracle(graph, num_landmarks=16, strategy="degree")
+    errors = benchmark.pedantic(
+        lambda: _errors(estimator, truth, pairs), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mean_abs_error"] = round(float(np.abs(errors).mean()), 3)
+    benchmark.extra_info["exact_fraction"] = round(float((errors == 0).mean()), 3)
+    assert (errors >= 0).all()  # upper bounds only
+    _record("landmark-estimate [11]", errors)
+
+
+def test_sketch_error(benchmark, workload):
+    """Das-Sarma-style sketch error on the shared workload."""
+    graph, truth, pairs = workload
+    estimator = SketchOracle(graph, repetitions=2, rng=3)
+    errors = benchmark.pedantic(
+        lambda: _errors(estimator, truth, pairs), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mean_abs_error"] = round(float(np.abs(errors).mean()), 3)
+    assert (errors >= 0).all()
+    _record("sketch [12]", errors)
+
+
+def test_vicinity_oracle_error(benchmark, workload, oracles):
+    """Ours on the same workload: exact wherever answered."""
+    graph, truth, pairs = workload
+    oracle = oracles["livejournal"]
+
+    def run():
+        errors = []
+        for s, t in pairs:
+            result = oracle.query(s, t)
+            if result.distance is not None:
+                errors.append(result.distance - int(truth[s][t]))
+        return np.asarray(errors, dtype=np.float64)
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["answered_fraction"] = round(len(errors) / len(pairs), 4)
+    assert (errors == 0).all()  # the paper's headline: exact answers
+    _record("vicinity oracle (ours)", errors)
+
+
+_rows = {}
+
+
+def _record(name, errors):
+    _rows[name] = errors
+    if len(_rows) == 3:
+        table = render_table(
+            ["technique", "mean |error|", "max error", "exact fraction"],
+            [
+                (
+                    name,
+                    f"{np.abs(e).mean():.3f}" if e.size else "-",
+                    f"{e.max():.0f}" if e.size else "-",
+                    f"{(e == 0).mean():.2%}" if e.size else "-",
+                )
+                for name, e in _rows.items()
+            ],
+            title="Related-work accuracy comparison (livejournal stand-in)",
+        )
+        write_artifact("baselines_accuracy.txt", table)

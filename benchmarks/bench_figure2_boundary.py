@@ -1,0 +1,50 @@
+"""Figure 2 (center): CDF of boundary size as a fraction of n (alpha=4).
+
+Reproduction target: boundaries are a small fraction of the network —
+the paper reports a worst case below 0.4 % of n at full scale; at our
+scales (n a few thousand, vicinity ~ alpha*sqrt(n) of it) the fractions
+are proportionally larger, so the target is the *shape*: the CDF is
+concentrated far below the vicinity-size fraction itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import IndexStats
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.reporting import render_series
+
+_blocks = []
+
+
+@pytest.mark.parametrize("name", ["dblp", "flickr", "orkut", "livejournal"])
+def test_boundary_cdf(benchmark, name, paper_profile_oracles):
+    """Boundary-size distribution of the Definition-1 index."""
+    oracle = paper_profile_oracles[name]
+    stats = benchmark.pedantic(
+        lambda: IndexStats.from_index(oracle.index), rounds=1, iterations=1
+    )
+    x, y = stats.boundary_cdf(points=15)
+    benchmark.extra_info["median_boundary_fraction"] = round(
+        float(np.median(stats.boundary_sizes) / stats.n), 5
+    )
+    benchmark.extra_info["worst_boundary_fraction"] = round(
+        stats.max_boundary_fraction, 5
+    )
+    # Boundary never exceeds the vicinity it borders.
+    assert np.all(stats.boundary_sizes <= stats.vicinity_sizes)
+    # Shape: the median boundary is well below the mean vicinity-size
+    # fraction of the graph.
+    assert np.median(stats.boundary_sizes) <= stats.mean_vicinity_size
+    rows = [(f"{a:.5f}", f"{b:.3f}") for a, b in zip(x.tolist(), y.tolist())]
+    _blocks.append(
+        render_series(
+            "boundary/n",
+            ["CDF"],
+            rows,
+            title=f"Figure 2 (center) {name}: boundary CDF at alpha=4",
+        )
+    )
+    if len(_blocks) == 4:
+        write_artifact("figure2_boundary.txt", "\n\n".join(_blocks))

@@ -1,0 +1,45 @@
+"""Figure 2 (left): fraction of vicinity intersections vs alpha.
+
+Reproduction target: the fraction rises monotonically (within noise)
+with alpha and approaches 1 by alpha = 16, for every dataset.  The full
+four-dataset sweep is written to
+``benchmarks/_artifacts/figure2_intersection.txt``.
+"""
+
+import pytest
+
+from repro.experiments.figure2 import render_figure2, run_figure2
+
+from benchmarks.conftest import write_artifact
+
+ALPHAS = (1 / 64, 1 / 16, 1 / 4, 1, 4, 16)
+
+_results = []
+
+
+@pytest.mark.parametrize("name", ["dblp", "flickr", "orkut", "livejournal"])
+def test_intersection_curve(benchmark, name, graphs):
+    """One dataset's alpha sweep (sampled-node protocol, one run)."""
+    graph = graphs[name]
+    result = benchmark.pedantic(
+        lambda: run_figure2(
+            graph,
+            dataset=name,
+            alphas=ALPHAS,
+            sample_nodes=40,
+            runs=1,
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _results.append(result)
+    curve = result.curve()
+    rates = {alpha: rate for alpha, rate, _r, _s in curve}
+    benchmark.extra_info.update({f"alpha_{a:g}": round(r, 4) for a, r in rates.items()})
+    # Shape: near zero at alpha=1/64, high by alpha=16.
+    assert rates[1 / 64] < 0.35
+    assert rates[16] > 0.85
+    assert rates[16] >= rates[1 / 4] - 0.05
+    if len(_results) == 4:
+        write_artifact("figure2_intersection.txt", render_figure2(_results))

@@ -1,0 +1,62 @@
+"""§3.2 memory claims: entries/node vs 4*sqrt(n), ratio vs APSP.
+
+Reproduction targets:
+
+* vicinity entries/node tracks ``4 sqrt(n)`` within a small factor
+  (paper profile, no floor);
+* the paper-accounting APSP ratio tracks ``sqrt(n)/4`` (the "550x" for
+  full-scale LiveJournal becomes ``sqrt(n)/4`` at our scale);
+* a real dense APSP table (built!) confirms the model on the smallest
+  dataset.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.apsp import ApspOracle
+from repro.experiments.memory_table import (
+    MemoryRow,
+    render_memory_table,
+    run_memory_for_graph,
+)
+
+from benchmarks.conftest import write_artifact
+
+_rows: list[MemoryRow] = []
+
+
+@pytest.mark.parametrize("name", ["dblp", "flickr", "orkut", "livejournal"])
+def test_memory_accounting(benchmark, name, paper_profile_oracles, graphs):
+    """Model the built Definition-1 index against the APSP strawman."""
+    row = benchmark.pedantic(
+        lambda: run_memory_for_graph(
+            graphs[name], dataset=name, seed=7, oracle=paper_profile_oracles[name]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _rows.append(row)
+    benchmark.extra_info["entries_per_node"] = round(row.entries_per_node, 1)
+    benchmark.extra_info["apsp_ratio_paper"] = round(row.apsp_ratio_paper, 1)
+    # The paper accounting must land within a small factor of sqrt(n)/4.
+    assert 0.2 * row.apsp_ratio_expected < row.apsp_ratio_paper < 8 * row.apsp_ratio_expected
+    # Entries per node within a small factor of the 4*sqrt(n) target.
+    assert 0.15 * row.target_entries_per_node < row.entries_per_node
+    assert row.entries_per_node < 4 * row.target_entries_per_node
+    if len(_rows) == 4:
+        write_artifact("memory.txt", render_memory_table(_rows))
+
+
+def test_real_apsp_comparison(benchmark, graphs, paper_profile_oracles):
+    """Build the actual dense APSP matrix on the smallest dataset and
+    compare its real bytes against the index's modelled bytes."""
+    graph = graphs["dblp"]
+    apsp = benchmark.pedantic(lambda: ApspOracle(graph), rounds=1, iterations=1)
+    report = paper_profile_oracles["dblp"].memory()
+    ratio = apsp.nbytes / report.model_bytes
+    benchmark.extra_info["apsp_bytes"] = apsp.nbytes
+    benchmark.extra_info["index_model_bytes"] = report.model_bytes
+    benchmark.extra_info["real_ratio"] = round(ratio, 1)
+    # The index must be materially smaller than real all-pairs storage.
+    assert ratio > 2.0

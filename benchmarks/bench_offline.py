@@ -1,0 +1,83 @@
+"""Offline-phase cost: calibration, vicinity construction, tables, dynamics.
+
+Not a paper table, but the deployment-relevant flip side of Table 3's
+online numbers: what one query-latency profile costs to precompute, and
+what an edge insertion costs to absorb incrementally versus rebuilding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.dynamic import DynamicVicinityOracle
+from repro.core.index import VicinityIndex
+from repro.core.landmarks import calibrate_scale, sample_landmarks
+from repro.graph.traversal.bounded import truncated_bfs_ball
+from repro.graph.traversal.vectorized import bfs_tree_vectorized
+
+
+def test_calibration_cost(benchmark, graphs):
+    """Sampling-scale calibration on the livejournal stand-in."""
+    graph = graphs["livejournal"]
+    scale = benchmark(lambda: calibrate_scale(graph, 4.0, rng=7))
+    assert scale > 0
+    benchmark.extra_info["scale"] = round(scale, 4)
+
+
+def test_single_vicinity_construction(benchmark, graphs):
+    """One truncated-BFS ball (the per-node unit of offline work)."""
+    graph = graphs["livejournal"]
+    landmarks = sample_landmarks(
+        graph, 4.0, rng=7, scale=calibrate_scale(graph, 4.0, rng=7)
+    )
+    flags = landmarks.is_landmark
+    sources = [u for u in range(graph.n) if not flags[u]][:64]
+    state = {"i": 0}
+
+    def one_ball():
+        u = sources[state["i"] % len(sources)]
+        state["i"] += 1
+        return truncated_bfs_ball(graph, u, flags)
+
+    result = benchmark(one_ball)
+    assert result.gamma
+
+
+def test_landmark_table_construction(benchmark, graphs):
+    """One vectorised full BFS (the per-landmark unit of offline work)."""
+    graph = graphs["livejournal"]
+    hub = int(np.argmax(graph.degrees()))
+    dist, parent = benchmark(lambda: bfs_tree_vectorized(graph, hub))
+    assert (dist >= 0).sum() > graph.n // 2
+
+
+def test_full_build(benchmark, graphs):
+    """The complete offline phase on the smallest dataset."""
+    graph = graphs["dblp"]
+    config = OracleConfig(alpha=4.0, seed=7, fallback="none")
+    index = benchmark.pedantic(
+        lambda: VicinityIndex.build(graph, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["landmarks"] = index.landmarks.size
+    benchmark.extra_info["n"] = graph.n
+
+
+def test_dynamic_insertion(benchmark, graphs):
+    """Incremental edge absorption on a built dynamic oracle."""
+    graph = graphs["dblp"]
+    dynamic = DynamicVicinityOracle.build(graph, alpha=4.0, seed=7)
+    rng = np.random.default_rng(37)
+    fresh = []
+    while len(fresh) < 64:
+        u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+        if u != v and not graph.has_edge(u, v) and (u, v) not in fresh:
+            fresh.append((u, v))
+    state = {"i": 0}
+
+    def insert_one():
+        u, v = fresh[state["i"] % len(fresh)]
+        state["i"] += 1
+        dynamic.add_edge(u, v)
+
+    benchmark.pedantic(insert_one, rounds=10, iterations=1)
+    benchmark.extra_info["edges_added"] = dynamic.edges_added

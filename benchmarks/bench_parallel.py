@@ -1,0 +1,86 @@
+"""Extension E2 (§5 challenge 3): partitioned serving without replication.
+
+Reproduction target: per-shard memory falls roughly linearly with the
+shard count while per-query traffic stays bounded by a couple of small
+messages — the property that makes the structure shardable where
+graph-replication approaches are not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import PartitionedOracle
+from repro.experiments.reporting import render_table
+
+from benchmarks.conftest import write_artifact
+
+SHARD_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_shard_memory_scaling(benchmark, oracles):
+    """Max per-shard bytes across shard counts."""
+    index = oracles["livejournal"].index
+
+    def sweep():
+        rows = []
+        for k in SHARD_COUNTS:
+            sharded = PartitionedOracle(index, k)
+            summary = sharded.balance_summary()
+            rows.append((k, summary["max_bytes"], summary["imbalance"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_k = {k: mx for k, mx, _imb in rows}
+    benchmark.extra_info.update({f"max_bytes_k{k}": int(v) for k, v in by_k.items()})
+    # Memory per machine must drop substantially with sharding.
+    assert by_k[16] < by_k[1] / 4
+    write_artifact(
+        "parallel_memory.txt",
+        render_table(
+            ["shards", "max bytes/machine", "imbalance"],
+            [(k, int(mx), f"{imb:.2f}") for k, mx, imb in rows],
+            title="Extension E2: per-machine memory vs shard count (livejournal)",
+        ),
+    )
+
+
+def test_sharded_query_traffic(benchmark, oracles, graphs):
+    """Messages and bytes per query at 8 shards."""
+    index = oracles["livejournal"].index
+    graph = graphs["livejournal"]
+    sharded = PartitionedOracle(index, 8)
+    rng = np.random.default_rng(23)
+    pairs = [tuple(int(x) for x in rng.integers(0, graph.n, 2)) for _ in range(256)]
+    state = {"i": 0}
+
+    def one_query():
+        s, t = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return sharded.query(s, t)
+
+    benchmark(one_query)
+    log = sharded.log
+    total = log.local_queries + log.remote_queries
+    benchmark.extra_info["mean_messages"] = round(log.messages / total, 2)
+    benchmark.extra_info["mean_bytes"] = int(log.bytes / total)
+    # Bounded rounds: at most two round trips per query in this design.
+    assert log.messages / total <= 4.0
+
+
+def test_sharded_results_match_single_machine(benchmark, oracles, graphs):
+    """Distance agreement between sharded and single-machine serving."""
+    oracle = oracles["livejournal"]
+    graph = graphs["livejournal"]
+    sharded = PartitionedOracle(oracle.index, 4)
+    rng = np.random.default_rng(29)
+    pairs = [tuple(int(x) for x in rng.integers(0, graph.n, 2)) for _ in range(200)]
+
+    def check_all():
+        mismatches = 0
+        for s, t in pairs:
+            if oracle.query(s, t).distance != sharded.query(s, t).distance:
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark.pedantic(check_all, rounds=1, iterations=1)
+    assert mismatches == 0

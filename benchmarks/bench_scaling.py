@@ -1,0 +1,103 @@
+"""§3.2 scaling claim: per-query work grows like sqrt(n), not n.
+
+The paper: "the relative performance of our technique improves with the
+size (and density) of the network".  The machine-independent content of
+that claim is the work law: Algorithm 1 performs ``~ alpha * sqrt(n)``
+hash probes per query regardless of m, while any online search must
+touch a frontier that grows with the network.  This bench builds the
+livejournal stand-in at four sizes (8x range) and asserts:
+
+* mean probes grow sub-linearly, tracking ``sqrt(n)`` within a factor;
+* the oracle consistently does several times less work per query than
+  bidirectional BFS (the paper profile's steady ~4x at these sizes;
+  the 431x wall-clock headline additionally needs the per-operation
+  cost gap and millions of nodes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import BidirectionalBaseline
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.datasets.social import generate
+from repro.experiments.reporting import render_table
+
+from benchmarks.conftest import write_artifact
+
+SCALES = (0.0005, 0.001, 0.002, 0.004)
+
+
+@pytest.fixture(scope="module")
+def scaling_runs():
+    rows = []
+    for scale in SCALES:
+        graph = generate("livejournal", scale=scale, seed=7)
+        config = OracleConfig(alpha=4.0, seed=7, fallback="none")
+        oracle = VicinityOracle.build(graph, config=config)
+        bibfs = BidirectionalBaseline(graph)
+        rng = np.random.default_rng(41)
+        pairs = [tuple(int(x) for x in rng.integers(0, graph.n, 2)) for _ in range(150)]
+        oracle.counters.reset()
+        answered = 0
+        for s, t in pairs:
+            if oracle.query(s, t).distance is not None:
+                answered += 1
+            bibfs.distance(s, t)
+        rows.append(
+            {
+                "n": graph.n,
+                "m": graph.num_edges,
+                "our_probes": oracle.counters.mean_probes,
+                "bibfs_edges": bibfs.counters.mean_edges,
+                "answered": answered / len(pairs),
+                "work_ratio": bibfs.counters.mean_edges
+                / max(oracle.counters.mean_probes, 1.0),
+            }
+        )
+    return rows
+
+
+def test_probe_count_tracks_sqrt_n(benchmark, scaling_runs):
+    """Probes per query scale like sqrt(n) across an 8x size range."""
+    rows = benchmark.pedantic(lambda: scaling_runs, rounds=1, iterations=1)
+    for i, row in enumerate(rows):
+        benchmark.extra_info[f"n_{i}"] = row["n"]
+        benchmark.extra_info[f"probes_{i}"] = round(row["our_probes"], 1)
+        benchmark.extra_info[f"work_ratio_{i}"] = round(row["work_ratio"], 2)
+    # Normalised probes/sqrt(n) must stay within a constant band while
+    # n grows 8x (the first, smallest point is noisiest — skip it).
+    normalised = [r["our_probes"] / np.sqrt(r["n"]) for r in rows[1:]]
+    assert max(normalised) < 4.0 * min(normalised)
+    # Sub-linear: a 4x n increase (from the second point) must stay far
+    # below a 4x probe increase — sqrt scaling predicts 2x.
+    assert rows[-1]["our_probes"] < 3.0 * rows[1]["our_probes"]
+    write_artifact(
+        "scaling.txt",
+        render_table(
+            ["n", "m", "our probes", "probes/sqrt(n)", "BiBFS edges", "work ratio", "answered"],
+            [
+                (
+                    r["n"],
+                    r["m"],
+                    f"{r['our_probes']:,.0f}",
+                    f"{r['our_probes'] / np.sqrt(r['n']):.2f}",
+                    f"{r['bibfs_edges']:,.0f}",
+                    f"{r['work_ratio']:.2f}",
+                    f"{r['answered']:.2%}",
+                )
+                for r in rows
+            ],
+            title="Scaling (Section 3.2): per-query work vs n (livejournal, paper profile)",
+        ),
+    )
+
+
+def test_work_advantage_over_bidirectional(benchmark, scaling_runs):
+    """The oracle does several times less work than BiBFS at every size."""
+    rows = benchmark.pedantic(lambda: scaling_runs, rounds=1, iterations=1)
+    for row in rows[1:]:
+        assert row["work_ratio"] > 1.5, row
+    benchmark.extra_info["min_work_ratio"] = round(
+        min(r["work_ratio"] for r in rows[1:]), 2
+    )

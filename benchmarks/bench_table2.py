@@ -1,0 +1,36 @@
+"""Table 2 regeneration: dataset statistics.
+
+Benchmarks the generator throughput and writes the reproduced table to
+``benchmarks/_artifacts/table2.txt``.
+"""
+
+from repro.datasets.social import generate_directed
+from repro.experiments.table2 import render_table2, run_table2
+
+from benchmarks.conftest import bench_scale, write_artifact
+
+
+def test_generate_livejournal_standin(benchmark):
+    """Generator throughput on the densest workload we default to."""
+    graph = benchmark(
+        lambda: generate_directed("livejournal", scale=bench_scale("livejournal"), seed=7)
+    )
+    assert graph.n > 1000
+    benchmark.extra_info["nodes"] = graph.n
+    benchmark.extra_info["arcs"] = graph.num_arcs
+
+
+def test_table2_rows(benchmark):
+    """Regenerate the full Table 2 and persist it."""
+    rows = benchmark.pedantic(
+        lambda: run_table2(scale=bench_scale("dblp"), seed=7), rounds=1, iterations=1
+    )
+    text = render_table2(rows)
+    write_artifact("table2.txt", text)
+    for row in rows:
+        # Densities must track the paper within 25% for the stand-in to
+        # be meaningful.
+        assert 0.75 < row.density_ratio < 1.25
+        benchmark.extra_info[f"{row.dataset}_density_ratio"] = round(
+            row.density_ratio, 3
+        )

@@ -1,0 +1,135 @@
+"""Table 3 regeneration: query latency and probe counts vs BFS / BiBFS.
+
+The paper's headline table, reproduced under two operating profiles:
+
+* **paper** — Definition 1 verbatim (``vicinity_floor=0``).  Probe
+  counts track ``alpha * sqrt(n)``; some pairs miss (the answered
+  column; the paper reports 99.9 % at 4.85M nodes, our synthetic
+  stand-ins give ~80-90 % at a few thousand nodes — see EXPERIMENTS.md);
+* **guarded** — the exactness-preserving ``vicinity_floor=0.75``
+  extension: ~100 % answered at a measured probe/memory premium.
+
+Reproduction targets: ours beats plain BFS by 1-2 orders of magnitude
+even at laptop scale; the bidirectional-BFS advantage is present in the
+paper profile and grows with density (orkut > dblp); absolute 431x-class
+factors require the paper's millions of nodes (bench_scaling.py measures
+the machine-independent trend).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import BFSBaseline, BidirectionalBaseline
+from repro.experiments.table3 import Table3Row, render_table3, run_table3_for_graph
+from repro.experiments.workloads import sample_pair_workload
+
+from benchmarks.conftest import write_artifact
+
+_rows: dict[str, list[Table3Row]] = {"paper": [], "guarded": []}
+
+DATASETS = ("dblp", "flickr", "orkut", "livejournal")
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_oracle_query_latency(benchmark, name, paper_profile_oracles, graphs):
+    """Per-query latency of Algorithm 1 (paper profile) on the workload."""
+    oracle = paper_profile_oracles[name]
+    graph = graphs[name]
+    workload = sample_pair_workload(graph, 32, rng=3)
+    pairs = list(workload.pairs())
+
+    state = {"i": 0}
+
+    def one_query():
+        s, t = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return oracle.query(s, t)
+
+    benchmark(one_query)
+    benchmark.extra_info["mean_probes"] = round(oracle.counters.mean_probes, 1)
+    benchmark.extra_info["n"] = graph.n
+    benchmark.extra_info["m"] = graph.num_edges
+
+
+@pytest.mark.parametrize("name", ["dblp", "orkut"])
+def test_bfs_baseline_latency(benchmark, name, graphs):
+    """Plain BFS latency — the 'standard algorithm' the paper dismisses."""
+    graph = graphs[name]
+    engine = BFSBaseline(graph)
+    rng = np.random.default_rng(5)
+    pairs = [tuple(int(x) for x in rng.integers(0, graph.n, 2)) for _ in range(8)]
+    state = {"i": 0}
+
+    def one_query():
+        s, t = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return engine.distance(s, t)
+
+    benchmark.pedantic(one_query, rounds=6, iterations=1)
+    benchmark.extra_info["mean_edges_scanned"] = int(engine.counters.mean_edges)
+
+
+@pytest.mark.parametrize("name", ["dblp", "orkut"])
+def test_bidirectional_baseline_latency(benchmark, name, graphs):
+    """Bidirectional BFS latency — the state-of-the-art comparator [4]."""
+    graph = graphs[name]
+    engine = BidirectionalBaseline(graph)
+    rng = np.random.default_rng(6)
+    pairs = [tuple(int(x) for x in rng.integers(0, graph.n, 2)) for _ in range(32)]
+    state = {"i": 0}
+
+    def one_query():
+        s, t = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return engine.distance(s, t)
+
+    benchmark(one_query)
+    benchmark.extra_info["mean_edges_scanned"] = int(engine.counters.mean_edges)
+
+
+@pytest.mark.parametrize("profile", ["paper", "guarded"])
+@pytest.mark.parametrize("name", DATASETS)
+def test_table3_row(benchmark, name, profile, oracles, paper_profile_oracles, graphs):
+    """The full Table 3 protocol per dataset and profile."""
+    oracle = paper_profile_oracles[name] if profile == "paper" else oracles[name]
+    row = benchmark.pedantic(
+        lambda: run_table3_for_graph(
+            graphs[name],
+            dataset=name,
+            seed=7,
+            sample_nodes=32,
+            bfs_pairs=6,
+            bidirectional_pairs=40,
+            oracle=oracle,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _rows[profile].append(row)
+    benchmark.extra_info["speedup_vs_bfs"] = round(row.speedup_vs_bfs, 1)
+    benchmark.extra_info["speedup_vs_bibfs"] = round(row.speedup_vs_bidirectional, 2)
+    benchmark.extra_info["answered"] = round(row.answered_fraction, 4)
+    assert row.speedup_vs_bfs > 3
+    if profile == "paper":
+        # Definition 1 probe counts stay near alpha*sqrt(n); most pairs
+        # answered even without the floor.
+        assert row.answered_fraction > 0.6
+        assert row.avg_probes < 8 * 4 * np.sqrt(row.n)
+    else:
+        # The guarded profile buys near-total coverage.
+        assert row.answered_fraction > 0.9
+    if len(_rows[profile]) == len(DATASETS):
+        order = {r.dataset: r for r in _rows[profile]}
+        write_artifact(
+            f"table3_{profile}.txt",
+            render_table3([order[k] for k in DATASETS]),
+        )
+        if profile == "paper":
+            # Density shape on the paper's comparison column: the dense
+            # orkut stand-in gains more against bidirectional BFS than
+            # the sparse dblp stand-in (BiBFS pays for density; the
+            # oracle does not).
+            assert (
+                order["orkut"].speedup_vs_bidirectional
+                > order["dblp"].speedup_vs_bidirectional
+            )

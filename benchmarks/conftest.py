@@ -1,0 +1,80 @@
+"""Shared benchmark fixtures: datasets and built oracles.
+
+Scales are chosen so the whole suite runs in a few minutes of CPython;
+set ``REPRO_BENCH_SCALE`` (a multiplier, default 1.0) to grow every
+dataset proportionally for a longer, higher-fidelity run.  Reproduced
+tables are written to ``benchmarks/_artifacts/`` and summarised in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.datasets.social import generate
+
+#: Per-dataset base scales giving ~4-10k nodes each at multiplier 1.
+#: Large enough that online search costs dominate interpreter noise,
+#: small enough that the whole suite builds in ~a minute.
+BASE_SCALES = {
+    "dblp": 0.01,
+    "flickr": 0.004,
+    "orkut": 0.0012,
+    "livejournal": 0.002,
+}
+
+#: The operating profile used for headline runs (see DESIGN.md):
+#: alpha = 4 with the exactness-preserving vicinity floor.
+GUARDED_FLOOR = 0.75
+
+ARTIFACTS = Path(__file__).parent / "_artifacts"
+
+
+def bench_scale(name: str) -> float:
+    """Effective generation scale for a dataset under the env multiplier."""
+    multiplier = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return BASE_SCALES[name] * multiplier
+
+
+def write_artifact(filename: str, text: str) -> Path:
+    """Persist a reproduced table/figure next to the benchmarks."""
+    ARTIFACTS.mkdir(exist_ok=True)
+    path = ARTIFACTS / filename
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def graphs():
+    """All four calibrated stand-ins at bench scale."""
+    return {
+        name: generate(name, scale=bench_scale(name), seed=7)
+        for name in BASE_SCALES
+    }
+
+
+@pytest.fixture(scope="session")
+def oracles(graphs):
+    """Built oracles (guarded profile) for every dataset."""
+    built = {}
+    for name, graph in graphs.items():
+        config = OracleConfig(
+            alpha=4.0, seed=7, fallback="none", vicinity_floor=GUARDED_FLOOR
+        )
+        built[name] = VicinityOracle.build(graph, config=config)
+    return built
+
+
+@pytest.fixture(scope="session")
+def paper_profile_oracles(graphs):
+    """Built oracles with Definition 1 verbatim (floor disabled)."""
+    built = {}
+    for name, graph in graphs.items():
+        config = OracleConfig(alpha=4.0, seed=7, fallback="none")
+        built[name] = VicinityOracle.build(graph, config=config)
+    return built

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable installs (e.g. offline boxes without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — vicinity-intersection shortest-path oracle.
+
+A production-quality reproduction of Agarwal, Caesar, Godfrey and Zhao,
+*"Shortest Paths in Less Than a Millisecond"* (WOSN'12): exact
+point-to-point shortest-path queries on social networks via precomputed
+vicinities and online vicinity intersection.
+
+Quickstart::
+
+    from repro import VicinityOracle, datasets
+
+    graph = datasets.generate("dblp", scale=0.02, seed=7)
+    oracle = VicinityOracle.build(graph, alpha=4.0, seed=7)
+    result = oracle.query(0, 42)
+    print(result.distance, result.path)
+
+Public surface (re-exported here):
+
+* graphs — :class:`CSRGraph`, :class:`DiGraph`, builders;
+* the oracle — :class:`VicinityOracle`, :class:`OracleConfig`,
+  :class:`QueryResult`, :class:`VicinityIndex`;
+* extensions — :class:`DirectedVicinityOracle`,
+  :class:`PartitionedOracle`, :class:`DynamicVicinityOracle`;
+* baselines and dataset generators via the :mod:`repro.baselines` and
+  :mod:`repro.datasets` submodules.
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    DatasetError,
+    EdgeError,
+    GraphError,
+    IndexBuildError,
+    NodeNotFoundError,
+    QueryError,
+    ReproError,
+    SerializationError,
+    UnreachableError,
+)
+from repro.graph import (
+    CSRGraph,
+    DiGraph,
+    graph_from_arrays,
+    graph_from_edges,
+    graph_from_weighted_edges,
+    labeled_graph_from_edges,
+)
+from repro.core import (
+    DirectedVicinityOracle,
+    DynamicVicinityOracle,
+    OracleConfig,
+    PartitionedOracle,
+    QueryResult,
+    VicinityIndex,
+    VicinityOracle,
+)
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "EdgeError",
+    "NodeNotFoundError",
+    "IndexBuildError",
+    "QueryError",
+    "UnreachableError",
+    "SerializationError",
+    "DatasetError",
+    # graphs
+    "CSRGraph",
+    "DiGraph",
+    "graph_from_edges",
+    "graph_from_weighted_edges",
+    "graph_from_arrays",
+    "labeled_graph_from_edges",
+    # oracle
+    "VicinityOracle",
+    "VicinityIndex",
+    "OracleConfig",
+    "QueryResult",
+    "DirectedVicinityOracle",
+    "PartitionedOracle",
+    "DynamicVicinityOracle",
+]

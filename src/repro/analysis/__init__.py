@@ -1,0 +1,25 @@
+"""Distance-based graph analysis on top of the oracle.
+
+§1 motivates the oracle with research workloads: "to generate unbiased
+samples for distance-based graph analysis experiments ... it is often
+desirable to obtain the shortest distance between each pair of nodes in
+a randomly sampled set".  This package turns that into a library
+feature: distance distributions, separation statistics, and
+closeness-centrality estimation, all driven by any object exposing
+``distance(s, t)`` (the vicinity oracle, a baseline, or APSP).
+"""
+
+from repro.analysis.distances import (
+    DistanceDistribution,
+    estimate_distance_distribution,
+    mean_separation,
+)
+from repro.analysis.centrality import estimate_closeness, rank_by_closeness
+
+__all__ = [
+    "DistanceDistribution",
+    "estimate_distance_distribution",
+    "mean_separation",
+    "estimate_closeness",
+    "rank_by_closeness",
+]

@@ -1,0 +1,148 @@
+"""Distance-distribution estimation from sampled pairs (§1, §2.3).
+
+The estimator consumes any distance provider — the oracle for speed,
+BFS for ground truth — over the §2.3 pair workload, and reports the
+histogram, moments, and the classic "degrees of separation" summary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.experiments.workloads import PairWorkload, sample_pair_workload
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import RngLike
+
+
+class DistanceProvider(Protocol):
+    """Anything that answers ``distance(s, t) -> Distance | None``."""
+
+    def distance(self, source: int, target: int): ...
+
+
+@dataclass
+class DistanceDistribution:
+    """An estimated shortest-path-length distribution.
+
+    Attributes:
+        histogram: count per hop distance over the answered pairs.
+        answered: pairs the provider answered.
+        unanswered: pairs it could not answer (misses/disconnections).
+    """
+
+    histogram: Counter = field(default_factory=Counter)
+    answered: int = 0
+    unanswered: int = 0
+
+    def record(self, distance: Optional[float]) -> None:
+        """Fold one pair's outcome into the distribution."""
+        if distance is None:
+            self.unanswered += 1
+        else:
+            self.histogram[int(distance)] += 1
+            self.answered += 1
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of pairs answered."""
+        total = self.answered + self.unanswered
+        return self.answered / total if total else 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean distance over answered pairs."""
+        if not self.answered:
+            return 0.0
+        return sum(h * c for h, c in self.histogram.items()) / self.answered
+
+    @property
+    def median(self) -> float:
+        """Median distance over answered pairs."""
+        if not self.answered:
+            return 0.0
+        midpoint = (self.answered + 1) / 2
+        running = 0
+        for hop in sorted(self.histogram):
+            running += self.histogram[hop]
+            if running >= midpoint:
+                return float(hop)
+        raise AssertionError("unreachable")
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile distance (the tail the paper's latency SLAs care about)."""
+        if not self.answered:
+            return 0.0
+        threshold = 0.99 * self.answered
+        running = 0
+        for hop in sorted(self.histogram):
+            running += self.histogram[hop]
+            if running >= threshold:
+                return float(hop)
+        return float(max(self.histogram))
+
+    def pmf(self) -> dict[int, float]:
+        """Normalised probability mass per hop."""
+        if not self.answered:
+            return {}
+        return {h: c / self.answered for h, c in sorted(self.histogram.items())}
+
+    def total_variation(self, other: "DistanceDistribution") -> float:
+        """TV distance between two estimates (accuracy metric in tests)."""
+        hops = set(self.pmf()) | set(other.pmf())
+        mine, theirs = self.pmf(), other.pmf()
+        return 0.5 * sum(abs(mine.get(h, 0.0) - theirs.get(h, 0.0)) for h in hops)
+
+
+def estimate_distance_distribution(
+    provider: DistanceProvider,
+    graph: CSRGraph,
+    *,
+    num_nodes: int = 64,
+    rng: RngLike = None,
+    workload: Optional[PairWorkload] = None,
+) -> DistanceDistribution:
+    """Estimate the pairwise distance distribution via the §2.3 protocol.
+
+    Args:
+        provider: distance source (oracle, baseline, APSP...).
+        graph: the network (used only to sample the workload).
+        num_nodes: workload sample size (all pairs are queried).
+        rng: sampling seed.
+        workload: pass an explicit workload to reuse across providers
+            (e.g. when comparing an estimate against ground truth).
+
+    Returns:
+        The populated :class:`DistanceDistribution`.
+    """
+    if workload is None:
+        workload = sample_pair_workload(graph, num_nodes, rng=rng)
+    distribution = DistanceDistribution()
+    for s, t in workload.pairs():
+        distribution.record(provider.distance(s, t))
+    return distribution
+
+
+def mean_separation(
+    provider: DistanceProvider,
+    graph: CSRGraph,
+    *,
+    num_nodes: int = 64,
+    rng: RngLike = None,
+) -> float:
+    """The "degrees of separation" number for a network.
+
+    Raises:
+        QueryError: if no sampled pair could be answered.
+    """
+    distribution = estimate_distance_distribution(
+        provider, graph, num_nodes=num_nodes, rng=rng
+    )
+    if not distribution.answered:
+        raise QueryError("no sampled pair could be answered")
+    return distribution.mean

@@ -1,0 +1,44 @@
+"""Query-time baselines and related-work comparators.
+
+Exact engines (Table 3 columns):
+
+* :class:`BFSBaseline` — the "standard shortest path algorithm";
+* :class:`BidirectionalBaseline` — the "state-of-the-art" [4];
+* :class:`DijkstraBaseline` / :class:`BidirectionalDijkstraBaseline` —
+  weighted counterparts;
+* :class:`AltBaseline` — A* with landmark lower bounds [3, 4].
+
+Approximate comparators (§4 related work):
+
+* :class:`LandmarkEstimateOracle` — Potamias-et-al.-style triangulation
+  upper bounds [11];
+* :class:`SketchOracle` — Das-Sarma-et-al.-style multi-scale seed
+  sketches [12];
+* :class:`ApspOracle` — exact all-pairs tables, the memory strawman of
+  §3.2 (tiny graphs only).
+
+Every engine implements ``distance(s, t)`` and exposes ``ops`` counters
+so benchmarks can report machine-independent work alongside wall-clock.
+"""
+
+from repro.baselines.exact import (
+    AltBaseline,
+    BFSBaseline,
+    BidirectionalBaseline,
+    BidirectionalDijkstraBaseline,
+    DijkstraBaseline,
+)
+from repro.baselines.apsp import ApspOracle
+from repro.baselines.landmark_estimate import LandmarkEstimateOracle
+from repro.baselines.sketch import SketchOracle
+
+__all__ = [
+    "BFSBaseline",
+    "BidirectionalBaseline",
+    "DijkstraBaseline",
+    "BidirectionalDijkstraBaseline",
+    "AltBaseline",
+    "ApspOracle",
+    "LandmarkEstimateOracle",
+    "SketchOracle",
+]

@@ -1,0 +1,60 @@
+"""All-pairs shortest-path tables — §3.2's memory strawman.
+
+Storing every pairwise distance gives O(1) queries at O(n^2) memory,
+which the paper uses as the upper anchor of its latency/memory
+trade-off ("at least 550x less memory").  This implementation is
+intentionally dense (one ``n x n`` matrix) and guarded to small graphs;
+the memory benchmark compares its footprint against the vicinity
+index's model bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import IndexBuildError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal.vectorized import bfs_distances_vectorized
+
+#: Safety limit: a dense int16 matrix above this would not be a strawman
+#: but a mistake (50k nodes ~ 5 GiB).
+MAX_NODES = 20_000
+
+
+class ApspOracle:
+    """Exact O(1) distance lookups from a precomputed dense matrix."""
+
+    name = "apsp"
+
+    def __init__(self, graph: CSRGraph) -> None:
+        if graph.n > MAX_NODES:
+            raise IndexBuildError(
+                f"APSP tables on {graph.n} nodes would need "
+                f"~{graph.n * graph.n * 2 / 2**30:.1f} GiB; refusing "
+                f"(limit {MAX_NODES})"
+            )
+        if graph.is_weighted:
+            raise IndexBuildError("ApspOracle supports unweighted graphs only")
+        self.graph = graph
+        self.matrix = np.empty((graph.n, graph.n), dtype=np.int16)
+        for u in range(graph.n):
+            self.matrix[u] = bfs_distances_vectorized(graph, u).astype(np.int16)
+
+    def distance(self, source: int, target: int) -> Optional[int]:
+        """Return the stored distance (``None`` when disconnected)."""
+        self.graph.check_node(source)
+        self.graph.check_node(target)
+        d = int(self.matrix[source, target])
+        return None if d < 0 else d
+
+    @property
+    def entries(self) -> int:
+        """Stored entries — ``n^2`` (both triangles, as served)."""
+        return self.graph.n * self.graph.n
+
+    @property
+    def nbytes(self) -> int:
+        """Actual matrix bytes."""
+        return int(self.matrix.nbytes)

@@ -1,0 +1,80 @@
+"""Landmark-based approximate distances (Potamias et al. [11]).
+
+The related-work accuracy comparator: store the distance vector of
+``k`` landmarks and estimate ``d(s, t) ~ min_l d(s, l) + d(l, t)`` — an
+upper bound by the triangle inequality, answered in O(k).  The paper's
+criticism (§4) is that such estimates carry multi-hop absolute error on
+social networks; the accuracy benchmark quantifies exactly that against
+the vicinity oracle's exact answers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import IndexBuildError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal.vectorized import bfs_distances_vectorized
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class LandmarkEstimateOracle:
+    """Triangulation upper bounds from ``k`` landmark distance vectors."""
+
+    name = "landmark-estimate"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        num_landmarks: int = 16,
+        strategy: str = "degree",
+        rng: RngLike = None,
+    ) -> None:
+        """Precompute landmark vectors.
+
+        Args:
+            graph: unweighted graph.
+            num_landmarks: ``k`` — memory is ``k * n`` entries.
+            strategy: ``"degree"`` picks the highest-degree nodes (the
+                best-performing selection in [11]); ``"random"`` samples
+                uniformly.
+            rng: seed or generator for the random strategy.
+        """
+        if graph.is_weighted:
+            raise IndexBuildError("LandmarkEstimateOracle supports unweighted graphs")
+        if num_landmarks < 1:
+            raise IndexBuildError("num_landmarks must be positive")
+        if strategy not in ("degree", "random"):
+            raise IndexBuildError("strategy must be 'degree' or 'random'")
+        self.graph = graph
+        k = min(num_landmarks, graph.n)
+        if strategy == "degree":
+            ids = np.argsort(graph.degrees())[::-1][:k]
+        else:
+            ids = ensure_rng(rng).choice(graph.n, size=k, replace=False)
+        self.landmarks = np.sort(ids.astype(np.int64))
+        self.vectors = np.stack(
+            [bfs_distances_vectorized(graph, int(l)) for l in self.landmarks]
+        )
+
+    def distance(self, source: int, target: int) -> Optional[int]:
+        """Return the triangulation upper bound (``None`` if no landmark
+        reaches both endpoints)."""
+        self.graph.check_node(source)
+        self.graph.check_node(target)
+        if source == target:
+            return 0
+        ds = self.vectors[:, source]
+        dt = self.vectors[:, target]
+        mask = (ds >= 0) & (dt >= 0)
+        if not mask.any():
+            return None
+        return int((ds[mask] + dt[mask]).min())
+
+    @property
+    def entries(self) -> int:
+        """Stored entries (``k * n``)."""
+        return int(self.vectors.size)

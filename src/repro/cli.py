@@ -1,0 +1,195 @@
+"""Command-line interface: ``repro-paths``.
+
+Subcommands mirror the library's workflow:
+
+* ``generate``   — synthesise a calibrated dataset to a file;
+* ``stats``      — basic statistics of a stored graph;
+* ``build``      — run the offline phase and persist the oracle;
+* ``query``      — answer one query from a persisted oracle;
+* ``experiment`` — regenerate a paper table/figure (table2, figure2,
+  table3, memory, tradeoff).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro import datasets
+from repro.core.config import OracleConfig
+from repro.core.index import VicinityIndex
+from repro.core.oracle import VicinityOracle
+from repro.exceptions import ReproError
+from repro.graph.degree import average_degree, max_degree
+from repro.io.binary import load_graph, save_graph
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.oracle_store import load_index, save_index
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paths",
+        description="Vicinity-intersection shortest-path oracle (WOSN'12 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a calibrated dataset")
+    gen.add_argument("dataset", choices=datasets.available())
+    gen.add_argument("--scale", type=float, default=0.002, help="linear node scale")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", required=True, help=".npz or .txt output path")
+
+    stats = sub.add_parser("stats", help="print statistics of a stored graph")
+    stats.add_argument("graph", help=".npz or edge-list path")
+
+    build = sub.add_parser("build", help="run the offline phase")
+    build.add_argument("graph", help=".npz or edge-list path")
+    build.add_argument("--alpha", type=float, default=4.0)
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--floor", type=float, default=0.0, help="vicinity_floor")
+    build.add_argument("--out", required=True, help="oracle .npz output path")
+
+    query = sub.add_parser("query", help="answer one query from a stored oracle")
+    query.add_argument("oracle", help="oracle .npz path")
+    query.add_argument("source", type=int)
+    query.add_argument("target", type=int)
+    query.add_argument("--path", action="store_true", help="also print the path")
+    query.add_argument(
+        "--explain", action="store_true", help="print the Algorithm 1 resolution trace"
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
+    experiment.add_argument(
+        "name", choices=["table2", "figure2", "table3", "memory", "tradeoff"]
+    )
+    experiment.add_argument("--scale", type=float, default=0.002)
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument("--alpha", type=float, default=4.0)
+    experiment.add_argument("--floor", type=float, default=0.75)
+    experiment.add_argument(
+        "--datasets", nargs="*", default=None, help="subset of dataset names"
+    )
+    return parser
+
+
+def _load_any_graph(path: str):
+    if path.endswith(".npz"):
+        return load_graph(path)
+    return read_edgelist(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = datasets.generate(args.dataset, scale=args.scale, seed=args.seed)
+    if args.out.endswith(".npz"):
+        save_graph(graph, args.out)
+    else:
+        write_edgelist(graph, args.out, header=f"{args.dataset} scale={args.scale}")
+    print(f"wrote {graph!r} to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_any_graph(args.graph)
+    print(graph)
+    print(f"average degree : {average_degree(graph):.2f}")
+    print(f"max degree     : {max_degree(graph)}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = _load_any_graph(args.graph)
+    config = OracleConfig(alpha=args.alpha, seed=args.seed, vicinity_floor=args.floor)
+    started = time.perf_counter()
+    index = VicinityIndex.build(graph, config)
+    elapsed = time.perf_counter() - started
+    save_index(index, args.out)
+    oracle = VicinityOracle(index)
+    print(f"built {index!r} in {elapsed:.1f}s")
+    print(oracle.stats().summary())
+    print(oracle.memory().summary())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    oracle = VicinityOracle(load_index(args.oracle))
+    if args.explain:
+        print(oracle.explain(args.source, args.target))
+        return 0
+    result = oracle.query(args.source, args.target, with_path=args.path)
+    print(f"distance({args.source}, {args.target}) = {result.distance}")
+    print(f"method = {result.method}; probes = {result.probes}")
+    if args.path and result.path is not None:
+        print(" -> ".join(str(v) for v in result.path))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = args.datasets or None
+    if args.name == "table2":
+        from repro.experiments.table2 import render_table2, run_table2
+
+        print(render_table2(run_table2(names, scale=args.scale, seed=args.seed)))
+    elif args.name == "figure2":
+        from repro.experiments.figure2 import render_figure2, run_figure2
+
+        results = []
+        for name in names or datasets.available():
+            graph = datasets.generate(name, scale=args.scale, seed=args.seed)
+            results.append(
+                run_figure2(graph, dataset=name, seed=args.seed)
+            )
+        print(render_figure2(results))
+    elif args.name == "table3":
+        from repro.experiments.table3 import render_table3, run_table3
+
+        print(
+            render_table3(
+                run_table3(
+                    names,
+                    scale=args.scale,
+                    alpha=args.alpha,
+                    seed=args.seed,
+                    vicinity_floor=args.floor,
+                )
+            )
+        )
+    elif args.name == "memory":
+        from repro.experiments.memory_table import render_memory_table, run_memory_table
+
+        print(
+            render_memory_table(
+                run_memory_table(names, scale=args.scale, alpha=args.alpha, seed=args.seed)
+            )
+        )
+    else:  # tradeoff
+        from repro.experiments.tradeoff import render_tradeoff, run_tradeoff
+
+        name = (names or ["livejournal"])[0]
+        graph = datasets.generate(name, scale=args.scale, seed=args.seed)
+        rows = run_tradeoff(graph, seed=args.seed, floors=(0.0, args.floor))
+        print(render_tradeoff(rows, dataset=name))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Configuration for the offline and online phases.
+
+One dataclass carries every knob so that an oracle build is fully
+described by ``(graph, config)`` — which is also what the persistence
+layer serialises and what the experiment harness sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.exceptions import IndexBuildError
+
+#: Intersection kernel choices (see :mod:`repro.core.intersect`).
+KERNELS = ("boundary-smaller", "boundary-source", "boundary-target", "full-smaller", "full-source")
+
+#: Fallback strategies when vicinities do not intersect (footnote 1).
+FALLBACKS = ("none", "bidirectional")
+
+#: Landmark full-table policies (see DESIGN.md §3 on table feasibility).
+LANDMARK_TABLE_MODES = ("full", "none")
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Settings for building and querying a vicinity oracle.
+
+    Attributes:
+        alpha: the paper's vicinity-size parameter; expected vicinity
+            size is ``alpha * sqrt(n)`` (§2.2).  Figure 2 sweeps
+            ``1/64 .. 64``; the recommended operating point is 4.
+        seed: seed for landmark sampling; ``None`` draws a fresh seed.
+        probability_scale: multiplier on the sampling probability
+            ``deg(u) / (alpha * sqrt(n))``, or ``"auto"`` (default) to
+            calibrate the multiplier so the mean vicinity *size* hits
+            the paper's ``alpha * sqrt(n)`` target (see
+            :func:`repro.core.landmarks.calibrate_scale`).  1.0 is the
+            unit edge-mass derivation; 2.0 is the paper's formula read
+            literally.  Exposed for the ablation benchmarks.
+        kernel: which intersection kernel Algorithm 1 uses.  The paper's
+            optimised variant iterates boundary nodes; ``*-smaller``
+            picks the side with the smaller iteration set first.
+        fallback: what to do when vicinities miss (paper footnote 1
+            suggests combining with an exact method; ``bidirectional``
+            runs bidirectional BFS/Dijkstra so the oracle never returns
+            unknown).
+        landmark_tables: ``"full"`` stores a complete single-source
+            table per landmark (the paper's data structure);
+            ``"none"`` skips them to save memory, at the cost of
+            landmark-endpoint queries taking the fallback path.
+        landmark_per_component: force at least one landmark into every
+            connected component so no vicinity degenerates to a whole
+            component.
+        store_paths: store predecessor pointers (needed for path
+            retrieval; distances-only halves the per-entry memory).
+        vicinity_floor: minimum vicinity size as a multiple of
+            ``alpha * sqrt(n)`` (0 disables).  A positive floor keeps
+            absorbing BFS levels past the nearest landmark until the
+            vicinity holds ``floor * alpha * sqrt(n)`` nodes.  Exact for
+            unweighted graphs (Theorem 1 holds for any per-node
+            radius); it removes the degenerate tiny vicinities behind
+            most intersection misses at the cost of proportionally more
+            memory (ablation A4).  Unsupported on weighted graphs.
+        max_landmarks: optional hard cap on ``|L|`` (highest-degree
+            nodes win); ``None`` means the sampled set is used as-is.
+    """
+
+    alpha: float = 4.0
+    seed: Optional[int] = None
+    probability_scale: Union[float, str] = "auto"
+    kernel: str = "boundary-smaller"
+    fallback: str = "bidirectional"
+    landmark_tables: str = "full"
+    landmark_per_component: bool = True
+    store_paths: bool = True
+    max_landmarks: Optional[int] = None
+    vicinity_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise IndexBuildError("alpha must be positive")
+        if isinstance(self.probability_scale, str):
+            if self.probability_scale != "auto":
+                raise IndexBuildError(
+                    "probability_scale must be a positive number or 'auto'"
+                )
+        elif self.probability_scale <= 0:
+            raise IndexBuildError("probability_scale must be positive")
+        if self.kernel not in KERNELS:
+            raise IndexBuildError(f"unknown kernel {self.kernel!r}; choose from {KERNELS}")
+        if self.fallback not in FALLBACKS:
+            raise IndexBuildError(
+                f"unknown fallback {self.fallback!r}; choose from {FALLBACKS}"
+            )
+        if self.landmark_tables not in LANDMARK_TABLE_MODES:
+            raise IndexBuildError(
+                f"unknown landmark_tables {self.landmark_tables!r}; "
+                f"choose from {LANDMARK_TABLE_MODES}"
+            )
+        if self.max_landmarks is not None and self.max_landmarks < 1:
+            raise IndexBuildError("max_landmarks must be at least 1 when set")
+        if self.vicinity_floor < 0:
+            raise IndexBuildError("vicinity_floor must be non-negative")
+
+    def with_updates(self, **changes: object) -> "OracleConfig":
+        """Return a copy with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **changes)

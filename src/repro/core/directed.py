@@ -1,0 +1,489 @@
+"""Directed extension of vicinity intersection (§5, research challenge 2).
+
+The paper asks whether the approach extends to directed social networks
+(Twitter-style follow graphs).  It does, for unweighted digraphs, with
+the following construction:
+
+* sample landmarks with probability proportional to total degree
+  (in + out);
+* give every node an **out-vicinity** — the forward ball grown until
+  the nearest landmark *by forward distance*, plus its out-frontier —
+  and an **in-vicinity**, the same construction on the reversed graph;
+* answer ``d(s -> t)`` by intersecting ``Gamma_out(s)`` with
+  ``Gamma_in(t)``.
+
+Correctness mirrors Theorem 1.  In an unweighted digraph
+``Gamma_out(s) = {v : d(s->v) <= r_out(s)}`` and
+``Gamma_in(t) = {v : d(v->t) <= r_in(t)}`` exactly.  If some ``w`` lies
+in both, then ``d(s->t) <= r_out(s) + r_in(t)``; walking the shortest
+path from ``s``, the first node ``y`` with ``d(s->y) = r_out(s)``
+satisfies ``d(y->t) = d(s->t) - r_out(s) <= r_in(t)``, so ``y`` is an
+on-path member of the intersection and the minimum of
+``d(s->w) + d(w->t)`` over the intersection is exact (every such sum is
+an upper bound by the triangle inequality).  The boundary restriction
+carries over: ``y``'s successor on the path falls outside
+``Gamma_out(s)``, hence ``y`` is on the out-boundary.  Both facts are
+property-tested in ``tests/core/test_directed.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.intersect import scan_and_probe
+from repro.core.oracle import OracleCounters, QueryResult
+from repro.core.paths import walk_parent_array, walk_predecessors
+from repro.exceptions import IndexBuildError, QueryError, UnreachableError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal.vectorized import digraph_bfs_tree_vectorized
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class DirectedVicinity:
+    """One orientation's vicinity record (forward or reverse).
+
+    ``dist[v]`` is ``d(node -> v)`` for the forward record and
+    ``d(v -> node)`` for the reverse record; ``pred`` points one hop
+    back toward ``node`` in the traversal orientation.
+    """
+
+    node: int
+    radius: Optional[int]
+    dist: dict[int, int]
+    pred: dict[int, int]
+    members: frozenset[int]
+    boundary: list[int]
+
+    @property
+    def size(self) -> int:
+        """Number of vicinity members."""
+        return len(self.members)
+
+
+@dataclass
+class DirectedQueryResult(QueryResult):
+    """Query outcome; identical shape to the undirected result."""
+
+
+def _truncated_directed_ball(
+    adj: list[list[int]],
+    source: int,
+    is_landmark: Sequence[int],
+    max_size: Optional[int] = None,
+    min_size: Optional[int] = None,
+) -> tuple[Optional[int], dict[int, int], dict[int, int], list[int]]:
+    """Level-synchronous forward ball on the given adjacency.
+
+    Returns ``(radius, dist, pred, gamma)`` following Definition 1
+    transposed to one traversal orientation.  ``max_size`` aborts
+    oversized traversals during calibration; ``min_size`` keeps
+    absorbing levels past the nearest landmark until the vicinity holds
+    that many nodes (exact for unweighted digraphs — the correctness
+    proof in the module docstring works for any per-node radius).
+    """
+    if is_landmark[source]:
+        return 0, {source: 0}, {source: source}, []
+    dist: dict[int, int] = {source: 0}
+    pred: dict[int, int] = {source: source}
+    levels: list[list[int]] = [[source]]
+    frontier = [source]
+    level = 0
+    radius: Optional[int] = None
+    landmark_seen = False
+    while frontier:
+        if max_size is not None and len(dist) > max_size:
+            gamma = [v for lvl in levels for v in lvl]
+            return None, dist, pred, gamma
+        level += 1
+        next_frontier = []
+        for u in frontier:
+            for v in adj[u]:
+                if v not in dist:
+                    dist[v] = level
+                    pred[v] = u
+                    next_frontier.append(v)
+                    if is_landmark[v]:
+                        landmark_seen = True
+        if not next_frontier:
+            break
+        levels.append(next_frontier)
+        frontier = next_frontier
+        if landmark_seen and (min_size is None or len(dist) >= min_size):
+            radius = level
+            break
+    gamma = [v for lvl in levels for v in lvl]
+    return radius, dist, pred, gamma
+
+
+def _directed_boundary(
+    gamma: Sequence[int], member_set: frozenset[int], adj: list[list[int]]
+) -> list[int]:
+    """Members with at least one same-orientation neighbour outside."""
+    boundary = []
+    for v in gamma:
+        for w in adj[v]:
+            if w not in member_set:
+                boundary.append(v)
+                break
+    return boundary
+
+
+class DirectedVicinityOracle:
+    """Exact ``d(s -> t)`` queries on unweighted digraphs.
+
+    Build with :meth:`build`.  The per-node cost doubles relative to the
+    undirected oracle (two vicinities per node, two tables per
+    landmark) — the price §5 anticipates for directed support.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        alpha: float,
+        landmark_ids: np.ndarray,
+        is_landmark: bytearray,
+        out_vicinities: list[DirectedVicinity],
+        in_vicinities: list[DirectedVicinity],
+        forward_tables: dict[int, tuple[np.ndarray, np.ndarray]],
+        backward_tables: dict[int, tuple[np.ndarray, np.ndarray]],
+        fallback: str = "bidirectional",
+    ) -> None:
+        self.graph = graph
+        self.alpha = alpha
+        self.landmark_ids = landmark_ids
+        self.is_landmark = is_landmark
+        self.out_vicinities = out_vicinities
+        self.in_vicinities = in_vicinities
+        self.forward_tables = forward_tables
+        self.backward_tables = backward_tables
+        self.fallback = fallback
+        self.counters = OracleCounters()
+
+    # ------------------------------------------------------------------
+    # offline phase
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        *,
+        alpha: float = 4.0,
+        seed: RngLike = None,
+        probability_scale="auto",
+        fallback: str = "bidirectional",
+        vicinity_floor: float = 0.0,
+    ) -> "DirectedVicinityOracle":
+        """Run the directed offline phase.
+
+        ``probability_scale="auto"`` calibrates the landmark-sampling
+        scale so that mean out-vicinity size meets ``alpha * sqrt(n)``,
+        mirroring the undirected oracle.
+
+        Raises:
+            IndexBuildError: for empty or weighted digraphs (the
+                directed extension is defined for the paper's unweighted
+                setting).
+        """
+        if graph.n == 0:
+            raise IndexBuildError("cannot build an index over an empty digraph")
+        if graph.is_weighted:
+            raise IndexBuildError("the directed extension supports unweighted digraphs")
+        rng = ensure_rng(seed)
+        total = graph.total_degrees().astype(np.float64)
+        if probability_scale == "auto":
+            probability_scale = cls._calibrate(graph, alpha, total, rng)
+        probabilities = np.minimum(
+            1.0, probability_scale * total / (alpha * np.sqrt(graph.n))
+        )
+        sampled = rng.random(graph.n) < probabilities
+        if not sampled.any():
+            sampled[int(np.argmax(total))] = True
+        ids = np.flatnonzero(sampled).astype(np.int64)
+        flags = bytearray(graph.n)
+        for u in ids.tolist():
+            flags[u] = 1
+
+        min_size = None
+        if vicinity_floor > 0:
+            min_size = int(vicinity_floor * alpha * np.sqrt(graph.n))
+        out_adj = graph.out_adjacency()
+        in_adj = graph.in_adjacency()
+        out_vicinities = cls._build_side(out_adj, flags, graph.n, min_size)
+        in_vicinities = cls._build_side(in_adj, flags, graph.n, min_size)
+
+        forward_tables: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        backward_tables: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for landmark in ids.tolist():
+            forward_tables[landmark] = digraph_bfs_tree_vectorized(
+                graph.out_indptr, graph.out_indices, graph.n, landmark
+            )
+            backward_tables[landmark] = digraph_bfs_tree_vectorized(
+                graph.in_indptr, graph.in_indices, graph.n, landmark
+            )
+        return cls(
+            graph, alpha, ids, flags, out_vicinities, in_vicinities,
+            forward_tables, backward_tables, fallback,
+        )
+
+    @staticmethod
+    def _calibrate(
+        graph: DiGraph, alpha: float, total: np.ndarray, rng
+    ) -> float:
+        """Tune the sampling scale so mean out-vicinity size hits
+        ``alpha * sqrt(n)`` (directed analogue of
+        :func:`repro.core.landmarks.calibrate_scale`)."""
+        n = graph.n
+        if n < 3 or graph.num_arcs == 0:
+            return 1.0
+        target = float(min(alpha * np.sqrt(n), max(4.0, n / 2.0)))
+        out_adj = graph.out_adjacency()
+        candidates = np.flatnonzero(total > 0)
+        if candidates.size == 0:
+            return 1.0
+        scale = 1.0
+        limit = int(max(8 * target, 64))
+        for _ in range(8):
+            probabilities = np.minimum(1.0, scale * total / (alpha * np.sqrt(n)))
+            flags_array = rng.random(n) < probabilities
+            if not flags_array.any():
+                flags_array[int(np.argmax(total))] = True
+            flags = bytearray(n)
+            for u in np.flatnonzero(flags_array).tolist():
+                flags[u] = 1
+            probes = rng.choice(candidates, size=min(24, candidates.size), replace=False)
+            sizes = []
+            for u in probes.tolist():
+                if flags[u]:
+                    sizes.append(target)
+                    continue
+                _r, dist, _p, gamma = _truncated_directed_ball(
+                    out_adj, int(u), flags, max_size=limit
+                )
+                sizes.append(float(min(len(gamma), limit)))
+            mean_size = float(np.mean(sizes)) if sizes else target
+            ratio = mean_size / target
+            if abs(ratio - 1.0) <= 0.15:
+                break
+            scale = float(np.clip(scale * ratio**0.85, 1e-4, 256.0))
+        return scale
+
+    @staticmethod
+    def _build_side(
+        adj: list[list[int]], flags: bytearray, n: int, min_size=None
+    ) -> list[DirectedVicinity]:
+        vicinities = []
+        for u in range(n):
+            if flags[u]:
+                vicinities.append(
+                    DirectedVicinity(u, 0, {}, {}, frozenset(), [])
+                )
+                continue
+            radius, dist, pred, gamma = _truncated_directed_ball(
+                adj, u, flags, min_size=min_size
+            )
+            member_set = frozenset(gamma)
+            boundary = _directed_boundary(gamma, member_set, adj)
+            vicinities.append(
+                DirectedVicinity(u, radius, dist, pred, member_set, boundary)
+            )
+        return vicinities
+
+    # ------------------------------------------------------------------
+    # online phase
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> Optional[int]:
+        """Return ``d(source -> target)`` or ``None`` when unanswerable."""
+        return self.query(source, target).distance
+
+    def path(self, source: int, target: int) -> list[int]:
+        """Return one shortest directed path ``source .. target``."""
+        result = self.query(source, target, with_path=True)
+        if result.method == "disconnected":
+            raise UnreachableError(source, target)
+        if result.path is None:
+            raise QueryError(f"no path available for ({source}, {target})")
+        return result.path
+
+    def query(
+        self, source: int, target: int, *, with_path: bool = False
+    ) -> DirectedQueryResult:
+        """Run the directed analogue of Algorithm 1."""
+        self.graph.check_node(source)
+        self.graph.check_node(target)
+        result = self._resolve(source, target, with_path)
+        self.counters.record(result)
+        return result
+
+    def _resolve(self, source: int, target: int, with_path: bool) -> DirectedQueryResult:
+        probes = 0
+        if source == target:
+            return DirectedQueryResult(
+                source, target, 0, [source] if with_path else None, "identical", None, 0
+            )
+        probes += 1
+        if self.is_landmark[source]:
+            dist, parent = self.forward_tables[source]
+            probes += 1
+            d = int(dist[target])
+            if d < 0:
+                return DirectedQueryResult(
+                    source, target, None, None, "disconnected", None, probes
+                )
+            path = walk_parent_array(parent, target, source) if with_path else None
+            return DirectedQueryResult(
+                source, target, d, path, "landmark-source", None, probes
+            )
+        probes += 1
+        if self.is_landmark[target]:
+            dist, parent = self.backward_tables[target]
+            probes += 1
+            d = int(dist[source])
+            if d < 0:
+                return DirectedQueryResult(
+                    source, target, None, None, "disconnected", None, probes
+                )
+            path = None
+            if with_path:
+                # Backward-table parents live on the reversed graph; the
+                # walk yields [target .. source] in reverse orientation,
+                # i.e. the forward path read backwards.
+                path = walk_parent_array(parent, source, target)
+                path.reverse()
+            return DirectedQueryResult(
+                source, target, d, path, "landmark-target", None, probes
+            )
+
+        vic_out = self.out_vicinities[source]
+        vic_in = self.in_vicinities[target]
+        probes += 1
+        if target in vic_out.members:
+            path = (
+                walk_predecessors(vic_out.pred, target, source) if with_path else None
+            )
+            return DirectedQueryResult(
+                source, target, vic_out.dist[target], path,
+                "target-in-source-vicinity", None, probes,
+            )
+        probes += 1
+        if source in vic_in.members:
+            path = None
+            if with_path:
+                path = walk_predecessors(vic_in.pred, source, target)
+                path.reverse()
+            return DirectedQueryResult(
+                source, target, vic_in.dist[source], path,
+                "source-in-target-vicinity", None, probes,
+            )
+
+        # Boundary intersection, smaller side first.
+        if len(vic_out.boundary) <= len(vic_in.boundary):
+            best, witness, kernel_probes = scan_and_probe(
+                vic_out.boundary, vic_out.dist, vic_in.members, vic_in.dist
+            )
+        else:
+            best, witness, kernel_probes = scan_and_probe(
+                vic_in.boundary, vic_in.dist, vic_out.members, vic_out.dist
+            )
+        probes += kernel_probes
+        if best is not None and witness is not None:
+            path = None
+            if with_path:
+                first = walk_predecessors(vic_out.pred, witness, source)
+                second = walk_predecessors(vic_in.pred, witness, target)
+                # second is [target .. witness] in reverse orientation ==
+                # forward path witness -> target read backwards.
+                second.reverse()
+                path = first + second[1:]
+            return DirectedQueryResult(
+                source, target, best, path, "intersection", witness, probes
+            )
+        return self._fallback(source, target, probes, with_path)
+
+    def _fallback(
+        self, source: int, target: int, probes: int, with_path: bool
+    ) -> DirectedQueryResult:
+        if self.fallback == "none":
+            return DirectedQueryResult(source, target, None, None, "miss", None, probes)
+        outcome = directed_bidirectional_bfs(self.graph, source, target, with_path)
+        if outcome is None:
+            return DirectedQueryResult(
+                source, target, None, None, "disconnected", None, probes
+            )
+        distance, path = outcome
+        return DirectedQueryResult(
+            source, target, distance, path, "fallback", None, probes
+        )
+
+
+def directed_bidirectional_bfs(
+    graph: DiGraph, source: int, target: int, with_path: bool = False
+) -> Optional[tuple[int, Optional[list[int]]]]:
+    """Bidirectional BFS on a digraph: forward from ``source``, backward
+    from ``target``.
+
+    Returns ``(distance, path-or-None)`` or ``None`` when no directed
+    path exists.
+    """
+    if source == target:
+        return 0, ([source] if with_path else None)
+    out_adj = graph.out_adjacency()
+    in_adj = graph.in_adjacency()
+    dist_f: dict[int, int] = {source: 0}
+    dist_b: dict[int, int] = {target: 0}
+    parent_f: dict[int, int] = {source: source}
+    parent_b: dict[int, int] = {target: target}
+    frontier_f = [source]
+    frontier_b = [target]
+    level_f = level_b = 0
+    mu = float("inf")
+    meet: Optional[int] = None
+    while frontier_f and frontier_b:
+        if mu <= level_f + level_b:
+            break
+        if len(frontier_f) <= len(frontier_b):
+            frontier, adj, dist_mine, dist_other, parent = (
+                frontier_f, out_adj, dist_f, dist_b, parent_f,
+            )
+            level_f += 1
+            level = level_f
+        else:
+            frontier, adj, dist_mine, dist_other, parent = (
+                frontier_b, in_adj, dist_b, dist_f, parent_b,
+            )
+            level_b += 1
+            level = level_b
+        next_frontier = []
+        for u in frontier:
+            for v in adj[u]:
+                if v not in dist_mine:
+                    dist_mine[v] = level
+                    parent[v] = u
+                    next_frontier.append(v)
+                    other = dist_other.get(v)
+                    if other is not None and level + other < mu:
+                        mu = level + other
+                        meet = v
+        if dist_mine is dist_f:
+            frontier_f = next_frontier
+        else:
+            frontier_b = next_frontier
+    if meet is None:
+        return None
+    path = None
+    if with_path:
+        forward = [meet]
+        node = meet
+        while node != source:
+            node = parent_f[node]
+            forward.append(node)
+        forward.reverse()
+        node = meet
+        while node != target:
+            node = parent_b[node]
+            forward.append(node)
+        path = forward
+    return int(mu), path

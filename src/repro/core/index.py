@@ -1,0 +1,251 @@
+"""The offline phase: build every vicinity and landmark table (§2.2, §3.1).
+
+`VicinityIndex` is the complete precomputed data structure:
+
+* for each non-landmark node ``u``: a :class:`~repro.core.vicinity.Vicinity`
+  with exact distances, predecessor pointers and boundary list;
+* for each landmark ``u ∈ L`` (in ``landmark_tables="full"`` mode): a
+  dense single-source table over all of ``V``;
+* the landmark set itself.
+
+Landmarks own *empty* vicinities, exactly as Definition 1 dictates
+(``d(u, l(u)) = 0`` makes the ball empty): with full tables they never
+need one, and in ``landmark_tables="none"`` mode queries touching a
+landmark endpoint either hit condition (4) of Algorithm 1 (the landmark
+sits in the *other* endpoint's vicinity) or take the fallback path —
+the memory/accuracy trade-off is measured in ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import OracleConfig
+from repro.core.landmarks import LandmarkSet, calibrate_scale, sample_landmarks
+from repro.utils.rng import ensure_rng
+from repro.core.vicinity import Vicinity, build_vicinity
+from repro.exceptions import IndexBuildError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal.bounded import truncated_bfs_ball, truncated_dijkstra_ball
+from repro.graph.traversal.dijkstra import dijkstra_tree
+from repro.graph.traversal.vectorized import bfs_tree_vectorized
+
+#: Optional progress callback: (stage, done, total).
+ProgressCallback = Callable[[str, int, int], None]
+
+
+@dataclass
+class LandmarkTable:
+    """Dense single-source table stored for one landmark.
+
+    Attributes:
+        landmark: the table's root node.
+        dist: distance to every node — ``int32`` hop counts with ``-1``
+            for unreachable (unweighted) or ``float64`` with ``inf``
+            (weighted).
+        parent: BFS/shortest-path-tree parent per node (``-1`` where
+            unreachable, ``landmark`` at the root); ``None`` when the
+            index was built distances-only.
+    """
+
+    landmark: int
+    dist: np.ndarray
+    parent: Optional[np.ndarray]
+
+    def distance_to(self, v: int) -> Optional[float]:
+        """Return the stored distance to ``v``, or ``None`` if unreachable."""
+        d = self.dist[v]
+        if d < 0 or d == np.inf:
+            return None
+        return int(d) if self.dist.dtype.kind == "i" else float(d)
+
+
+class VicinityIndex:
+    """The full offline data structure of the paper.
+
+    Build with :meth:`build`; query through
+    :class:`~repro.core.oracle.VicinityOracle`, which layers Algorithm 1
+    on top of this index.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: OracleConfig,
+        landmarks: LandmarkSet,
+        vicinities: list[Vicinity],
+        tables: dict[int, LandmarkTable],
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.landmarks = landmarks
+        self.vicinities = vicinities
+        self.tables = tables
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: CSRGraph,
+        config: Optional[OracleConfig] = None,
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> "VicinityIndex":
+        """Run the complete offline phase.
+
+        Args:
+            graph: the network (undirected CSR; weighted or not).
+            config: build settings; defaults to ``OracleConfig()``
+                (alpha = 4, the paper's operating point).
+            progress: optional callback invoked as
+                ``progress(stage, done, total)`` during the two long
+                stages (``"vicinities"`` and ``"landmark-tables"``).
+
+        Raises:
+            IndexBuildError: for an empty graph or invalid settings.
+        """
+        if config is None:
+            config = OracleConfig()
+        if graph.n == 0:
+            raise IndexBuildError("cannot build an index over an empty graph")
+        rng = ensure_rng(config.seed)
+        scale = config.probability_scale
+        if scale == "auto":
+            # Calibrate so the mean vicinity size meets the paper's
+            # alpha * sqrt(n) target (see repro.core.landmarks).
+            scale = calibrate_scale(graph, config.alpha, rng=rng)
+        landmarks = sample_landmarks(
+            graph,
+            config.alpha,
+            rng=rng,
+            scale=float(scale),
+            per_component=config.landmark_per_component,
+            max_landmarks=config.max_landmarks,
+        )
+        return cls.from_landmarks(graph, config, landmarks, progress=progress)
+
+    @classmethod
+    def from_landmarks(
+        cls,
+        graph: CSRGraph,
+        config: OracleConfig,
+        landmarks: LandmarkSet,
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> "VicinityIndex":
+        """Build the index for an explicit landmark set.
+
+        Split out from :meth:`build` so persistence and the dynamic
+        oracle can rebuild against a frozen ``L``.
+        """
+        vicinities = cls._build_vicinities(graph, config, landmarks, progress)
+        tables = cls._build_tables(graph, config, landmarks, progress)
+        return cls(graph, config, landmarks, vicinities, tables)
+
+    @staticmethod
+    def _build_vicinities(
+        graph: CSRGraph,
+        config: OracleConfig,
+        landmarks: LandmarkSet,
+        progress: Optional[ProgressCallback],
+    ) -> list[Vicinity]:
+        adj = graph.adjacency()
+        flags = landmarks.is_landmark
+        min_size: Optional[int] = None
+        if config.vicinity_floor > 0:
+            if graph.is_weighted:
+                raise IndexBuildError(
+                    "vicinity_floor requires an unweighted graph "
+                    "(per-node radii are only provably exact there)"
+                )
+            min_size = int(config.vicinity_floor * config.alpha * np.sqrt(graph.n))
+        vicinities: list[Vicinity] = []
+        step = max(1, graph.n // 50)
+        for u in range(graph.n):
+            if flags[u]:
+                # Definition 1: a landmark's ball is empty.
+                vicinities.append(
+                    Vicinity(node=u, radius=0, dist={}, pred={}, members=frozenset())
+                )
+            else:
+                if graph.is_weighted:
+                    result = truncated_dijkstra_ball(graph, u, flags)
+                else:
+                    result = truncated_bfs_ball(graph, u, flags, min_size=min_size)
+                vicinities.append(
+                    build_vicinity(
+                        u,
+                        result.radius,
+                        result.dist,
+                        result.pred,
+                        result.gamma,
+                        adj,
+                        store_paths=config.store_paths,
+                    )
+                )
+            if progress is not None and (u + 1) % step == 0:
+                progress("vicinities", u + 1, graph.n)
+        return vicinities
+
+    @staticmethod
+    def _build_tables(
+        graph: CSRGraph,
+        config: OracleConfig,
+        landmarks: LandmarkSet,
+        progress: Optional[ProgressCallback],
+    ) -> dict[int, LandmarkTable]:
+        if config.landmark_tables == "none":
+            return {}
+        tables: dict[int, LandmarkTable] = {}
+        ids = landmarks.ids.tolist()
+        for done, landmark in enumerate(ids, start=1):
+            if graph.is_weighted:
+                dist, parent = dijkstra_tree(graph, landmark)
+                parent = parent.astype(np.int32)
+            else:
+                dist, parent = bfs_tree_vectorized(graph, landmark)
+            tables[landmark] = LandmarkTable(
+                landmark=landmark,
+                dist=dist,
+                parent=parent if config.store_paths else None,
+            )
+            if progress is not None:
+                progress("landmark-tables", done, len(ids))
+        return tables
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes in the indexed graph."""
+        return self.graph.n
+
+    def is_landmark(self, u: int) -> bool:
+        """Whether ``u`` is in the landmark set ``L``."""
+        self.graph.check_node(u)
+        return bool(self.landmarks.is_landmark[u])
+
+    def vicinity(self, u: int) -> Vicinity:
+        """Return the stored vicinity record of ``u``."""
+        self.graph.check_node(u)
+        return self.vicinities[u]
+
+    def table(self, u: int) -> Optional[LandmarkTable]:
+        """Return the full table of landmark ``u`` (``None`` if absent)."""
+        return self.tables.get(u)
+
+    def radius(self, u: int) -> Optional[float]:
+        """Return the vicinity radius ``d(u, l(u))`` of ``u``."""
+        return self.vicinity(u).radius
+
+    def __repr__(self) -> str:
+        return (
+            f"VicinityIndex(n={self.n}, landmarks={self.landmarks.size}, "
+            f"alpha={self.config.alpha}, tables={len(self.tables)})"
+        )

@@ -1,0 +1,263 @@
+"""Degree-proportional landmark sampling (§2.2).
+
+Each node ``u`` enters the landmark set ``L`` independently with
+probability proportional to its degree.  Intuition (§2.1): a node with a
+dense neighbourhood almost surely has a high-degree neighbour, that
+neighbour is almost surely a landmark, and the ball of the dense node
+therefore stops expanding after one hop — bounding vicinity sizes
+exactly where fixed-radius vicinities would explode.
+
+Probability formula.  We use ``p(u) = min(1, scale * deg(u) / (alpha * sqrt(n)))``.
+With ``scale = 1`` a ball's expansion stops, in expectation, once the
+*edge mass* it has absorbed reaches ``alpha * sqrt(n)`` — since
+``Gamma(u) = B(u) ∪ N(B(u))`` is bounded by that edge mass, the expected
+vicinity size is at most ``alpha * sqrt(n)``, matching §2.2's claim.
+The paper's displayed formula, read literally, is
+``p(u) = (m / (alpha * n * sqrt(n))) * (2n / m) * deg(u) = 2 deg(u) / (alpha sqrt(n))``,
+i.e. ``scale = 2``; the ``probability_scale`` config knob selects either
+reading (ablation A3 sweeps it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import IndexBuildError
+from repro.graph.components import connected_components
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class LandmarkSet:
+    """The sampled landmark set ``L`` plus fast membership flags.
+
+    Attributes:
+        ids: sorted landmark node ids.
+        is_landmark: per-node truthy flags (``bytearray`` of length n),
+            the representation the truncated traversals index directly.
+        probabilities: the per-node sampling probability used, retained
+            for diagnostics and the ablation benchmarks.
+        alpha: the alpha the probabilities were derived from.
+        scale: the (possibly calibrated) probability scale in effect.
+        forced: ids that were force-included (per-component guarantee or
+            empty-sample rescue) rather than sampled.
+    """
+
+    ids: np.ndarray
+    is_landmark: bytearray
+    probabilities: np.ndarray
+    alpha: float
+    forced: np.ndarray
+    scale: float = 1.0
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def __contains__(self, node: int) -> bool:
+        return bool(self.is_landmark[node])
+
+    @property
+    def size(self) -> int:
+        """Number of landmarks ``|L|``."""
+        return int(self.ids.size)
+
+    def expected_size(self) -> float:
+        """Expected ``|L|`` under the sampling probabilities."""
+        return float(self.probabilities.sum())
+
+
+def sampling_probabilities(
+    graph: CSRGraph, alpha: float, *, scale: float = 1.0
+) -> np.ndarray:
+    """Return the per-node landmark sampling probability vector.
+
+    ``p(u) = min(1, scale * deg(u) / (alpha * sqrt(n)))`` — degree
+    proportional, capped at 1.
+    """
+    if alpha <= 0:
+        raise IndexBuildError("alpha must be positive")
+    if scale <= 0:
+        raise IndexBuildError("scale must be positive")
+    if graph.n == 0:
+        return np.zeros(0, dtype=np.float64)
+    degrees = graph.degrees().astype(np.float64)
+    return np.minimum(1.0, scale * degrees / (alpha * np.sqrt(graph.n)))
+
+
+def sample_landmarks(
+    graph: CSRGraph,
+    alpha: float,
+    *,
+    rng: RngLike = None,
+    scale: float = 1.0,
+    per_component: bool = True,
+    max_landmarks: Optional[int] = None,
+) -> LandmarkSet:
+    """Sample the landmark set ``L`` (§2.2, first step).
+
+    Args:
+        graph: the network.
+        alpha: vicinity-size parameter.
+        rng: seed or generator for reproducible sampling.
+        scale: multiplier on the probability (see module docstring).
+        per_component: force the highest-degree node of any component
+            that sampled no landmark, so no ball can degenerate to a
+            whole component.
+        max_landmarks: optional hard cap; when the sample exceeds it the
+            highest-degree landmarks are kept (forced ids always
+            survive the cap).
+
+    Returns:
+        The :class:`LandmarkSet`.
+
+    Raises:
+        IndexBuildError: for a graph with zero nodes.
+    """
+    if graph.n == 0:
+        raise IndexBuildError("cannot sample landmarks on an empty graph")
+    generator = ensure_rng(rng)
+    probabilities = sampling_probabilities(graph, alpha, scale=scale)
+    sampled = generator.random(graph.n) < probabilities
+    forced: list[int] = []
+
+    if per_component:
+        labels, count = connected_components(graph)
+        has_landmark = np.zeros(count, dtype=bool)
+        hit = np.unique(labels[sampled]) if sampled.any() else np.zeros(0, np.int64)
+        has_landmark[hit] = True
+        if not has_landmark.all():
+            degrees = graph.degrees()
+            for comp in np.flatnonzero(~has_landmark):
+                members = np.flatnonzero(labels == comp)
+                best = int(members[np.argmax(degrees[members])])
+                sampled[best] = True
+                forced.append(best)
+    elif not sampled.any():
+        # Degenerate rescue: an empty L makes every vicinity the whole
+        # graph, so always keep at least the global max-degree node.
+        best = int(np.argmax(graph.degrees()))
+        sampled[best] = True
+        forced.append(best)
+
+    ids = np.flatnonzero(sampled).astype(np.int64)
+    if max_landmarks is not None and ids.size > max_landmarks:
+        degrees = graph.degrees()
+        forced_set = set(forced)
+        order = sorted(
+            ids.tolist(), key=lambda u: (u not in forced_set, -int(degrees[u]))
+        )
+        keep = max(max_landmarks, len(forced))
+        ids = np.asarray(sorted(order[:keep]), dtype=np.int64)
+
+    flags = bytearray(graph.n)
+    for u in ids.tolist():
+        flags[u] = 1
+    return LandmarkSet(
+        ids=ids,
+        is_landmark=flags,
+        probabilities=probabilities,
+        alpha=float(alpha),
+        forced=np.asarray(sorted(forced), dtype=np.int64),
+        scale=float(scale),
+    )
+
+
+def calibrate_scale(
+    graph: CSRGraph,
+    alpha: float,
+    *,
+    rng: RngLike = None,
+    sample_nodes: int = 24,
+    max_iterations: int = 8,
+    tolerance: float = 0.15,
+) -> float:
+    """Tune ``probability_scale`` so mean ``|Gamma(u)|`` hits ``alpha*sqrt(n)``.
+
+    The paper states its claims in terms of vicinity *size* —
+    "vicinities of size roughly c * sqrt(n)" (§1), "roughly 4 sqrt(n)
+    memory per node" (§3.2) — while the displayed sampling constant is
+    derived for the authors' full-scale crawls.  On other graphs (and
+    at other scales) the same constant produces balls whose node count
+    departs from ``alpha * sqrt(n)`` because level granularity and the
+    degree tail enter the stopping condition.  This routine closes the
+    loop empirically: it probes truncated balls from a node sample and
+    multiplicatively adjusts the scale until the measured mean size
+    matches the paper's target (see DESIGN.md, substitutions).
+
+    Args:
+        graph: the network.
+        alpha: vicinity-size parameter.
+        rng: seed or generator (calibration draws are independent of
+            the final sampling draw).
+        sample_nodes: how many ball probes per iteration.
+        max_iterations: search budget.
+        tolerance: acceptable relative error on the mean size.
+
+    Returns:
+        The calibrated scale (clamped to ``[1e-4, 256]``).
+    """
+    if graph.n < 3 or graph.num_edges == 0:
+        return 1.0
+    generator = ensure_rng(rng)
+    target = float(min(alpha * np.sqrt(graph.n), max(4.0, graph.n / 2.0)))
+    limit = int(max(8 * target, 64))
+    scale = 1.0
+    degrees = graph.degrees()
+    candidates = np.flatnonzero(degrees > 0)
+    if candidates.size == 0:
+        return 1.0
+    # Local import: bounded depends only on the graph package, but
+    # importing at module top would be unused on the non-auto path.
+    from repro.graph.traversal.bounded import truncated_bfs_ball
+
+    for _ in range(max_iterations):
+        probabilities = sampling_probabilities(graph, alpha, scale=scale)
+        flags_array = generator.random(graph.n) < probabilities
+        if not flags_array.any():
+            flags_array[int(np.argmax(degrees))] = True
+        flags = bytearray(graph.n)
+        for u in np.flatnonzero(flags_array).tolist():
+            flags[u] = 1
+        probes = generator.choice(candidates, size=min(sample_nodes, candidates.size), replace=False)
+        sizes = []
+        for u in probes.tolist():
+            if flags[u]:
+                # A landmark probe carries no size signal; use the target
+                # itself so it neither inflates nor deflates the mean.
+                sizes.append(target)
+                continue
+            result = truncated_bfs_ball(graph, int(u), flags, max_size=limit)
+            sizes.append(float(len(result.gamma)))
+        mean_size = float(np.mean(sizes)) if sizes else target
+        ratio = mean_size / target
+        if abs(ratio - 1.0) <= tolerance:
+            break
+        # Ball mass scales roughly inversely with the sampling scale;
+        # a damped multiplicative step converges in a few iterations.
+        scale = float(np.clip(scale * ratio**0.85, 1e-4, 256.0))
+    return scale
+
+
+def landmark_set_from_ids(graph: CSRGraph, ids: Sequence[int], alpha: float) -> LandmarkSet:
+    """Build a :class:`LandmarkSet` from explicit node ids.
+
+    Used by persistence (rebuilding an oracle with the exact landmark
+    set it was saved with) and by tests that need hand-placed landmarks.
+    """
+    arr = np.asarray(sorted(set(int(u) for u in ids)), dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= graph.n):
+        raise IndexBuildError("landmark ids reference unknown nodes")
+    flags = bytearray(graph.n)
+    for u in arr.tolist():
+        flags[u] = 1
+    return LandmarkSet(
+        ids=arr,
+        is_landmark=flags,
+        probabilities=sampling_probabilities(graph, alpha),
+        alpha=float(alpha),
+        forced=np.zeros(0, dtype=np.int64),
+    )

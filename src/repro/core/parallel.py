@@ -1,0 +1,223 @@
+"""Partitioned serving simulation (§5, research challenge 3).
+
+The paper asks whether vicinity intersection can be parallelised without
+replicating the data structure on every machine.  The structure
+partitions naturally:
+
+* each shard owns the vicinities of its resident nodes;
+* each landmark's full table lives on the landmark's shard (optionally
+  replicated everywhere for latency);
+* the input graph itself is needed *nowhere* at query time — unlike the
+  MapReduce/Pregel approaches the paper cites, which ship the whole
+  network.
+
+A query ``(s, t)`` is routed to ``shard(s)`` (the coordinator).  The
+coordinator resolves conditions (1) and (3) of Algorithm 1 locally,
+resolves (2)/(4) with one round trip to ``shard(t)``, and performs
+intersection by shipping the *boundary* of ``Gamma(s)`` — the same
+small set Lemma 1 licenses probing — to ``shard(t)``.  The simulation
+counts messages and bytes per query and reports per-shard memory, which
+is what a deployment needs to size machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.index import VicinityIndex
+from repro.core.intersect import scan_and_probe
+from repro.core.memory import BYTES_PER_ENTRY_WITH_PATHS
+from repro.core.oracle import QueryResult
+from repro.exceptions import QueryError
+
+#: Modelled wire size of one (node id, distance) pair.
+BYTES_PER_WIRE_ENTRY = 8
+#: Modelled wire size of a control message (request/response header).
+BYTES_PER_CONTROL = 64
+
+
+@dataclass
+class MessageLog:
+    """Network traffic incurred by queries in the simulation."""
+
+    messages: int = 0
+    bytes: int = 0
+    remote_queries: int = 0
+    local_queries: int = 0
+
+    def record_round_trip(self, payload_bytes: int) -> None:
+        """One request/response exchange with the given payload size."""
+        self.messages += 2
+        self.bytes += 2 * BYTES_PER_CONTROL + payload_bytes
+
+    @property
+    def mean_messages(self) -> float:
+        """Average messages per query."""
+        total = self.remote_queries + self.local_queries
+        return self.messages / total if total else 0.0
+
+
+@dataclass
+class ShardReport:
+    """Memory accounting for one shard."""
+
+    shard_id: int
+    nodes: int = 0
+    vicinity_entries: int = 0
+    boundary_entries: int = 0
+    table_entries: int = 0
+
+    @property
+    def model_bytes(self) -> int:
+        """Bytes under the same cost model as :mod:`repro.core.memory`."""
+        return (
+            (self.vicinity_entries + self.table_entries) * BYTES_PER_ENTRY_WITH_PATHS
+            + self.boundary_entries * 4
+        )
+
+
+class PartitionedOracle:
+    """Vicinity intersection served from ``num_shards`` machines.
+
+    Wraps a built :class:`VicinityIndex`; placement is by node id hash
+    (``"hash"``) or contiguous ranges (``"range"``).  Query results are
+    identical to the single-machine oracle for every method except
+    fallback, which is disabled (a distributed graph search would
+    require the input network the design deliberately does not ship) —
+    misses are reported as such.
+    """
+
+    def __init__(
+        self,
+        index: VicinityIndex,
+        num_shards: int,
+        *,
+        placement: str = "hash",
+        replicate_tables: bool = False,
+    ) -> None:
+        if num_shards < 1:
+            raise QueryError("num_shards must be at least 1")
+        if placement not in ("hash", "range"):
+            raise QueryError("placement must be 'hash' or 'range'")
+        self.index = index
+        self.num_shards = num_shards
+        self.placement = placement
+        self.replicate_tables = replicate_tables
+        self.log = MessageLog()
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def shard_of(self, u: int) -> int:
+        """Return the shard owning node ``u``."""
+        self.index.graph.check_node(u)
+        if self.placement == "hash":
+            # Multiplicative hashing: avoids pathological locality of
+            # consecutive ids while staying deterministic.
+            return (u * 2654435761 % (1 << 32)) % self.num_shards
+        span = (self.index.n + self.num_shards - 1) // self.num_shards
+        return min(u // span, self.num_shards - 1)
+
+    def shard_reports(self) -> list[ShardReport]:
+        """Per-shard memory accounting (the deployment-sizing output)."""
+        reports = [ShardReport(shard_id=k) for k in range(self.num_shards)]
+        for u in range(self.index.n):
+            report = reports[self.shard_of(u)]
+            report.nodes += 1
+            vic = self.index.vicinities[u]
+            report.vicinity_entries += vic.size
+            report.boundary_entries += vic.boundary_size
+        for landmark in self.index.tables:
+            if self.replicate_tables:
+                for report in reports:
+                    report.table_entries += self.index.n
+            else:
+                reports[self.shard_of(landmark)].table_entries += self.index.n
+        return reports
+
+    # ------------------------------------------------------------------
+    # query simulation
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int) -> QueryResult:
+        """Answer a query, logging the simulated traffic.
+
+        Distances (and methods) match the single-machine oracle except
+        that missing intersections report ``"miss"`` instead of running
+        a fallback search.
+        """
+        index = self.index
+        index.graph.check_node(source)
+        index.graph.check_node(target)
+        same_shard = self.shard_of(source) == self.shard_of(target)
+        if same_shard:
+            self.log.local_queries += 1
+        else:
+            self.log.remote_queries += 1
+        probes = 0
+
+        if source == target:
+            return QueryResult(source, target, 0, None, "identical", None, 0)
+
+        flags = index.landmarks.is_landmark
+        probes += 1
+        if flags[source] and source in index.tables:
+            # Table lives with s on the coordinator (or everywhere).
+            probes += 1
+            d = index.tables[source].distance_to(target)
+            method = "landmark-source" if d is not None else "disconnected"
+            return QueryResult(source, target, d, None, method, None, probes)
+        probes += 1
+        if flags[target] and target in index.tables:
+            probes += 1
+            if not same_shard and not self.replicate_tables:
+                self.log.record_round_trip(BYTES_PER_WIRE_ENTRY)
+            d = index.tables[target].distance_to(source)
+            method = "landmark-target" if d is not None else "disconnected"
+            return QueryResult(source, target, d, None, method, None, probes)
+
+        vic_s = index.vicinities[source]
+        vic_t = index.vicinities[target]
+        probes += 1
+        if target in vic_s.members:
+            return QueryResult(
+                source, target, vic_s.dist[target], None,
+                "target-in-source-vicinity", None, probes,
+            )
+        probes += 1
+        if source in vic_t.members:
+            if not same_shard:
+                self.log.record_round_trip(BYTES_PER_WIRE_ENTRY)
+            return QueryResult(
+                source, target, vic_t.dist[source], None,
+                "source-in-target-vicinity", None, probes,
+            )
+
+        # Intersection: ship s's boundary (with distances) to shard(t).
+        if not same_shard:
+            self.log.record_round_trip(len(vic_s.boundary) * BYTES_PER_WIRE_ENTRY)
+        best, witness, kernel_probes = scan_and_probe(
+            vic_s.boundary, vic_s.dist, vic_t.members, vic_t.dist
+        )
+        probes += kernel_probes
+        if best is not None:
+            return QueryResult(
+                source, target, best, None, "intersection", witness, probes
+            )
+        return QueryResult(source, target, None, None, "miss", None, probes)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def balance_summary(self) -> dict[str, float]:
+        """Load-balance metrics over shard memory sizes."""
+        reports = self.shard_reports()
+        sizes = [r.model_bytes for r in reports]
+        mean = sum(sizes) / len(sizes) if sizes else 0.0
+        worst = max(sizes) if sizes else 0
+        return {
+            "shards": float(self.num_shards),
+            "mean_bytes": mean,
+            "max_bytes": float(worst),
+            "imbalance": (worst / mean) if mean else 0.0,
+        }

@@ -1,0 +1,98 @@
+"""Path reconstruction from stored predecessor pointers (§3.1).
+
+The data structure stores, for each vicinity member ``v`` of ``u``, the
+predecessor of ``v`` on a shortest ``u -> v`` path; landmark tables
+store the analogous BFS/Dijkstra tree parent.  §3.1's "series of
+next-hops" is realised by walking these pointers: the path ``s -> w``
+comes out of ``s``'s own table, the path ``w -> t`` out of ``t``'s, and
+the two halves are spliced at the witness ``w``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import QueryError
+
+
+def walk_predecessors(pred: Mapping[int, int], start: int, root: int) -> list[int]:
+    """Walk ``pred`` pointers from ``start`` back to ``root``.
+
+    Returns the node sequence ``[root, ..., start]`` (root first).
+
+    Raises:
+        QueryError: if the chain is broken or cyclic — which would
+            indicate index corruption, so fail loudly.
+    """
+    path = [start]
+    node = start
+    for _hop in range(len(pred) + 1):
+        if node == root:
+            path.reverse()
+            return path
+        parent = pred.get(node)
+        if parent is None:
+            raise QueryError(f"broken predecessor chain at node {node}")
+        node = parent
+        path.append(node)
+    raise QueryError(f"cyclic predecessor chain walking {start} -> {root}")
+
+
+def walk_parent_array(parent: Sequence[int], start: int, root: int) -> list[int]:
+    """Array-table variant of :func:`walk_predecessors` (landmark tables).
+
+    Returns ``[root, ..., start]``.
+    """
+    path = [start]
+    node = start
+    for _hop in range(len(parent) + 1):
+        if node == root:
+            path.reverse()
+            return path
+        nxt = int(parent[node])
+        if nxt < 0:
+            raise QueryError(f"broken parent chain at node {node}")
+        node = nxt
+        path.append(node)
+    raise QueryError(f"cyclic parent chain walking {start} -> {root}")
+
+
+def splice_at_witness(
+    pred_s: Mapping[int, int], pred_t: Mapping[int, int], source: int, target: int, witness: int
+) -> list[int]:
+    """Combine the two half-paths meeting at ``witness``.
+
+    ``pred_s`` reconstructs ``source -> witness``; ``pred_t``
+    reconstructs ``target -> witness``, which reversed becomes
+    ``witness -> target``.  Returns the full ``source .. target`` path.
+    """
+    first = walk_predecessors(pred_s, witness, source)  # [source .. witness]
+    second = walk_predecessors(pred_t, witness, target)  # [target .. witness]
+    second.reverse()  # [witness .. target]
+    return first + second[1:]
+
+
+def validate_path(path: Sequence[int], has_edge, source: int, target: int) -> None:
+    """Assert that ``path`` is a real ``source -> target`` walk.
+
+    Used by tests and the oracle's optional self-check mode.
+
+    Args:
+        path: candidate node sequence.
+        has_edge: callable ``(u, v) -> bool`` for edge existence.
+        source: expected first node.
+        target: expected last node.
+
+    Raises:
+        QueryError: if any check fails.
+    """
+    if not path:
+        raise QueryError("empty path")
+    if path[0] != source or path[-1] != target:
+        raise QueryError(
+            f"path endpoints ({path[0]}, {path[-1]}) do not match query "
+            f"({source}, {target})"
+        )
+    for u, v in zip(path, path[1:]):
+        if not has_edge(u, v):
+            raise QueryError(f"path uses missing edge ({u}, {v})")

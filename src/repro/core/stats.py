@@ -1,0 +1,117 @@
+"""Structural statistics of a built index (the Figure 2 quantities).
+
+Figure 2 characterises vicinities along three axes — intersection rate,
+boundary size, and radius.  :class:`IndexStats` extracts the per-node
+raw material (sizes, boundary sizes, radii) from a built
+:class:`~repro.core.index.VicinityIndex`; the experiment drivers in
+:mod:`repro.experiments.figure2` aggregate it into the paper's curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.index import VicinityIndex
+
+
+@dataclass
+class IndexStats:
+    """Per-node structural arrays plus the headline aggregates.
+
+    All arrays cover *non-landmark* nodes only (landmarks have empty
+    vicinities by Definition 1 and would skew the distributions the
+    paper plots over "sampled nodes").
+    """
+
+    n: int
+    num_edges: int
+    num_landmarks: int
+    alpha: float
+    vicinity_sizes: np.ndarray
+    boundary_sizes: np.ndarray
+    radii: np.ndarray
+
+    @classmethod
+    def from_index(cls, index: VicinityIndex) -> "IndexStats":
+        """Extract statistics from a built index."""
+        sizes: list[int] = []
+        boundaries: list[int] = []
+        radii: list[float] = []
+        flags = index.landmarks.is_landmark
+        for u in range(index.n):
+            if flags[u]:
+                continue
+            vic = index.vicinities[u]
+            sizes.append(vic.size)
+            boundaries.append(vic.boundary_size)
+            radii.append(float(vic.radius) if vic.radius is not None else np.nan)
+        return cls(
+            n=index.n,
+            num_edges=index.graph.num_edges,
+            num_landmarks=index.landmarks.size,
+            alpha=index.config.alpha,
+            vicinity_sizes=np.asarray(sizes, dtype=np.int64),
+            boundary_sizes=np.asarray(boundaries, dtype=np.int64),
+            radii=np.asarray(radii, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # headline aggregates
+    # ------------------------------------------------------------------
+    @property
+    def expected_vicinity_size(self) -> float:
+        """The paper's target ``alpha * sqrt(n)``."""
+        return float(self.alpha * np.sqrt(self.n))
+
+    @property
+    def mean_vicinity_size(self) -> float:
+        """Mean ``|Gamma(u)|`` over non-landmark nodes."""
+        return float(self.vicinity_sizes.mean()) if self.vicinity_sizes.size else 0.0
+
+    @property
+    def mean_boundary_size(self) -> float:
+        """Mean ``|boundary(u)|`` over non-landmark nodes."""
+        return float(self.boundary_sizes.mean()) if self.boundary_sizes.size else 0.0
+
+    @property
+    def max_boundary_fraction(self) -> float:
+        """Worst-case boundary size as a fraction of ``n`` (Fig. 2b claim)."""
+        if not self.boundary_sizes.size or self.n == 0:
+            return 0.0
+        return float(self.boundary_sizes.max()) / self.n
+
+    @property
+    def mean_radius(self) -> float:
+        """Mean vicinity radius ``d(u, l(u))`` (Fig. 2c), ignoring NaNs."""
+        finite = self.radii[~np.isnan(self.radii)]
+        return float(finite.mean()) if finite.size else 0.0
+
+    def boundary_cdf(self, points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, F(x))`` for the boundary-size/n CDF (Fig. 2b).
+
+        ``x`` are boundary sizes as fractions of ``n``; ``F`` their
+        cumulative frequencies.
+        """
+        if not self.boundary_sizes.size or self.n == 0:
+            return np.zeros(0), np.zeros(0)
+        fractions = np.sort(self.boundary_sizes) / self.n
+        cumulative = np.arange(1, fractions.size + 1) / fractions.size
+        if fractions.size <= points:
+            return fractions, cumulative
+        picks = np.linspace(0, fractions.size - 1, points).astype(np.int64)
+        return fractions[picks], cumulative[picks]
+
+    def summary(self) -> str:
+        """Render a short human-readable report."""
+        return (
+            f"n={self.n:,} m={self.num_edges:,} |L|={self.num_landmarks:,} "
+            f"alpha={self.alpha:g}\n"
+            f"vicinity size: mean={self.mean_vicinity_size:.1f} "
+            f"(target alpha*sqrt(n)={self.expected_vicinity_size:.1f}) "
+            f"max={int(self.vicinity_sizes.max()) if self.vicinity_sizes.size else 0}\n"
+            f"boundary size: mean={self.mean_boundary_size:.1f} "
+            f"worst-case fraction of n={self.max_boundary_fraction:.4%}\n"
+            f"radius: mean={self.mean_radius:.2f} hops"
+        )

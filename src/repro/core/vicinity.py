@@ -1,0 +1,111 @@
+"""Per-node vicinity records (Definition 1) and boundary extraction.
+
+A vicinity stores exactly what §3.1's data structure prescribes: for
+every member ``v`` of ``Gamma(u)``, the exact distance ``d(u, v)`` and a
+predecessor pointer for path reconstruction, plus the precomputed
+boundary list that Algorithm 1 iterates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+Distance = Union[int, float]
+
+
+@dataclass
+class Vicinity:
+    """The stored neighbourhood record of one node.
+
+    Attributes:
+        node: the owner ``u``.
+        radius: ``d(u, l(u))`` — distance to the nearest landmark
+            (``None`` when the component has no landmark and the
+            vicinity degenerated to the whole component).
+        dist: exact distance to every member of ``Gamma(u)``.  For
+            weighted graphs this may include a few extra settled nodes
+            beyond ``Gamma(u)`` (see :mod:`repro.graph.traversal.bounded`);
+            ``members`` is then the authoritative membership set.
+        pred: predecessor toward ``u`` for every key of ``dist``
+            (``pred[u] == u``); empty when built distances-only.
+        members: the member ids of ``Gamma(u)``; for unweighted graphs
+            this is exactly ``dist.keys()``.
+        boundary: members with at least one neighbour outside
+            ``Gamma(u)`` — the iteration set of Algorithm 1.
+    """
+
+    node: int
+    radius: Optional[Distance]
+    dist: dict[int, Distance]
+    pred: dict[int, int] = field(default_factory=dict)
+    members: frozenset[int] = frozenset()
+    boundary: list[int] = field(default_factory=list)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self.members
+
+    @property
+    def size(self) -> int:
+        """``|Gamma(u)|`` — the paper's vicinity-size quantity."""
+        return len(self.members)
+
+    @property
+    def boundary_size(self) -> int:
+        """``|∂Gamma(u)|`` — the paper's boundary-size quantity (Fig. 2b)."""
+        return len(self.boundary)
+
+    def distance_to(self, v: int) -> Optional[Distance]:
+        """Return ``d(node, v)`` if ``v`` is a member, else ``None``."""
+        if v not in self.members:
+            return None
+        return self.dist[v]
+
+
+def compute_boundary(
+    members: Sequence[int], member_set: frozenset[int], adjacency: list[list[int]]
+) -> list[int]:
+    """Return the boundary nodes of a vicinity, in member order.
+
+    A member ``v`` is on the boundary iff it has at least one neighbour
+    outside the vicinity (``N(v) ⊄ Gamma(u)``).  Lemma 1 proves probing
+    only these nodes preserves exactness, and Figure 2(b) shows they are
+    a small fraction of ``n`` — this is where the online speed comes
+    from.
+    """
+    boundary: list[int] = []
+    for v in members:
+        for w in adjacency[v]:
+            if w not in member_set:
+                boundary.append(v)
+                break
+    return boundary
+
+
+def build_vicinity(
+    node: int,
+    radius: Optional[Distance],
+    dist: dict[int, Distance],
+    pred: dict[int, int],
+    gamma: Sequence[int],
+    adjacency: list[list[int]],
+    *,
+    store_paths: bool = True,
+) -> Vicinity:
+    """Assemble a :class:`Vicinity` from a truncated-traversal result.
+
+    Restricts the stored distance table to exactly the vicinity members
+    for unweighted traversals (where ``dist`` already equals the member
+    set) while keeping any extra settled entries produced by weighted
+    traversals — those are required for path reconstruction.
+    """
+    member_set = frozenset(gamma)
+    boundary = compute_boundary(list(gamma), member_set, adjacency)
+    return Vicinity(
+        node=node,
+        radius=radius,
+        dist=dist,
+        pred=pred if store_paths else {},
+        members=member_set,
+        boundary=boundary,
+    )

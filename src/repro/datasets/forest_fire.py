@@ -1,0 +1,73 @@
+"""Forest-fire graph growth (Leskovec et al.).
+
+Models crawl-like densification: each arriving node picks an ambassador
+and "burns" outward, linking to every burned node.  Produces heavy
+tails, shrinking diameter and strong local clustering.  The burn is
+inherently sequential, so this generator targets the small/medium sizes
+used by tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graph.builder import graph_from_arrays
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def forest_fire_graph(
+    n: int, forward_prob: float = 0.35, *, rng: RngLike = None
+) -> CSRGraph:
+    """Grow a forest-fire graph on ``n`` nodes.
+
+    Args:
+        n: node count.
+        forward_prob: burn probability ``p``; each burning node ignites
+            ``Geometric(1 - p) - 1`` of its untouched neighbours.
+        rng: seed or generator.
+    """
+    if n < 2:
+        raise DatasetError("n must be at least 2")
+    if not 0.0 <= forward_prob < 1.0:
+        raise DatasetError("forward_prob must lie in [0, 1)")
+    generator = ensure_rng(rng)
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    src_list: list[int] = [0]
+    dst_list: list[int] = [1]
+    adjacency[0].append(1)
+    adjacency[1].append(0)
+
+    for v in range(2, n):
+        ambassador = int(generator.integers(0, v))
+        burned = {ambassador}
+        frontier = [ambassador]
+        while frontier:
+            next_frontier = []
+            for x in frontier:
+                fresh = [y for y in adjacency[x] if y not in burned]
+                if not fresh:
+                    continue
+                # Geometric(1 - p) - 1 has mean p / (1 - p).
+                count = int(generator.geometric(1.0 - forward_prob)) - 1
+                if count <= 0:
+                    continue
+                picks = fresh if count >= len(fresh) else [
+                    fresh[i] for i in generator.choice(len(fresh), size=count, replace=False)
+                ]
+                for y in picks:
+                    burned.add(y)
+                    next_frontier.append(y)
+            frontier = next_frontier
+        for x in burned:
+            src_list.append(v)
+            dst_list.append(x)
+            adjacency[v].append(x)
+            adjacency[x].append(v)
+
+    return graph_from_arrays(
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        n=n,
+    )

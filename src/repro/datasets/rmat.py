@@ -1,0 +1,62 @@
+"""R-MAT / Kronecker-style recursive edge sampling.
+
+Generates the skewed, community-structured topology used by graph
+benchmarks (Graph500).  Each edge picks its endpoints by descending a
+2x2 probability matrix ``[[a, b], [c, d]]`` over the adjacency matrix,
+one bit per level — fully vectorised across edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graph.builder import graph_from_arrays
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    rng: RngLike = None,
+) -> CSRGraph:
+    """Sample an R-MAT graph with ``2**scale`` nodes.
+
+    Args:
+        scale: log2 of the node count.
+        edge_factor: edges per node (Graph500 default 16).
+        a, b, c: quadrant probabilities (``d = 1 - a - b - c``);
+            defaults are the Graph500 parameters.
+        rng: seed or generator.
+    """
+    if scale < 1 or scale > 30:
+        raise DatasetError("scale must be in [1, 30]")
+    if edge_factor < 1:
+        raise DatasetError("edge_factor must be positive")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise DatasetError("quadrant probabilities must be non-negative")
+    generator = ensure_rng(rng)
+    n = 1 << scale
+    num_edges = n * edge_factor
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    # Per level: choose a quadrant for every edge simultaneously.
+    p_right = b + d  # probability the column bit is 1
+    for level in range(scale):
+        bit = 1 << (scale - 1 - level)
+        u = generator.random(num_edges)
+        col = u < p_right  # noisy split between left/right quadrants
+        v = generator.random(num_edges)
+        # Row bit conditioned on the column choice.
+        row_given_right = d / (b + d) if (b + d) > 0 else 0.0
+        row_given_left = c / (a + c) if (a + c) > 0 else 0.0
+        row = np.where(col, v < row_given_right, v < row_given_left)
+        src += row * bit
+        dst += col * bit
+    return graph_from_arrays(src, dst, n=n)

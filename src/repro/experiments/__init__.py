@@ -1,0 +1,41 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module owns one artefact and returns structured results that both
+the benchmark suite and the CLI render:
+
+* :mod:`~repro.experiments.table2`   — dataset statistics;
+* :mod:`~repro.experiments.figure2`  — intersection fraction vs alpha
+  (left), boundary-size CDF (center), vicinity radius vs alpha (right);
+* :mod:`~repro.experiments.table3`   — query time and probe counts vs
+  BFS / bidirectional BFS, with speed-ups;
+* :mod:`~repro.experiments.memory_table` — §3.2 memory accounting;
+* :mod:`~repro.experiments.tradeoff` — the latency/memory/accuracy
+  alpha sweep (ablation A3);
+* :mod:`~repro.experiments.workloads` — the §2.3 random-pair protocol;
+* :mod:`~repro.experiments.reporting` — fixed-width text rendering.
+"""
+
+from repro.experiments.workloads import PairWorkload, sample_pair_workload
+from repro.experiments.reporting import render_series, render_table
+from repro.experiments.table2 import Table2Row, run_table2
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.table3 import Table3Row, run_table3
+from repro.experiments.memory_table import MemoryRow, run_memory_table
+from repro.experiments.tradeoff import TradeoffRow, run_tradeoff
+
+__all__ = [
+    "PairWorkload",
+    "sample_pair_workload",
+    "render_table",
+    "render_series",
+    "Table2Row",
+    "run_table2",
+    "Figure2Result",
+    "run_figure2",
+    "Table3Row",
+    "run_table3",
+    "MemoryRow",
+    "run_memory_table",
+    "TradeoffRow",
+    "run_tradeoff",
+]

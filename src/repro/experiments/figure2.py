@@ -1,0 +1,203 @@
+"""Figure 2: the three vicinity-property curves.
+
+* **(left)** fraction of vicinity intersections vs alpha — the §2.3
+  protocol: sample nodes, build *their* vicinities only, and check
+  ``Gamma(s) ∩ Gamma(t) != {}`` for every pair.  Landmark endpoints
+  have empty vicinities and count as non-intersecting, matching
+  Definition 1 (the full oracle answers those via tables instead).
+* **(center)** CDF of boundary size as a fraction of ``n`` at
+  alpha = 4, over the sampled nodes (the paper plots sampled nodes
+  too).
+* **(right)** mean vicinity radius ``d(u, l(u))`` vs alpha, computed
+  exactly for *all* nodes with one multi-source BFS from ``L``.
+
+Building vicinities only for the sampled nodes keeps the alpha sweep
+tractable at any graph size — the full offline phase is only needed
+for Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.landmarks import calibrate_scale, sample_landmarks
+from repro.core.vicinity import compute_boundary
+from repro.experiments.reporting import render_series
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal.bounded import truncated_bfs_ball
+from repro.graph.traversal.vectorized import multi_source_bfs_vectorized
+from repro.utils.rng import RngLike, ensure_rng
+
+#: The alpha grid of Figure 2 (1/64 .. 64, powers of 4).
+DEFAULT_ALPHAS = (1 / 64, 1 / 16, 1 / 4, 1, 4, 16, 64)
+
+
+@dataclass
+class Figure2Point:
+    """Aggregates for one (alpha, run) cell."""
+
+    alpha: float
+    intersection_fraction: float
+    mean_radius: float
+    mean_vicinity_size: float
+    num_landmarks: int
+
+
+@dataclass
+class Figure2Result:
+    """All three panels for one dataset."""
+
+    dataset: str
+    n: int
+    num_edges: int
+    points: list[Figure2Point] = field(default_factory=list)
+    boundary_fractions: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def curve(self) -> list[tuple[float, float, float, float]]:
+        """Per-alpha means: (alpha, intersection, radius, vicinity size)."""
+        by_alpha: dict[float, list[Figure2Point]] = {}
+        for p in self.points:
+            by_alpha.setdefault(p.alpha, []).append(p)
+        out = []
+        for alpha in sorted(by_alpha):
+            cell = by_alpha[alpha]
+            out.append(
+                (
+                    alpha,
+                    float(np.mean([p.intersection_fraction for p in cell])),
+                    float(np.mean([p.mean_radius for p in cell])),
+                    float(np.mean([p.mean_vicinity_size for p in cell])),
+                )
+            )
+        return out
+
+    def boundary_cdf(self, points: int = 20) -> list[tuple[float, float]]:
+        """(boundary size / n, cumulative fraction) pairs at alpha = 4."""
+        if self.boundary_fractions.size == 0:
+            return []
+        ordered = np.sort(self.boundary_fractions)
+        cumulative = np.arange(1, ordered.size + 1) / ordered.size
+        picks = np.linspace(0, ordered.size - 1, min(points, ordered.size))
+        picks = picks.astype(np.int64)
+        return [(float(ordered[i]), float(cumulative[i])) for i in picks]
+
+
+def run_figure2(
+    graph: CSRGraph,
+    *,
+    dataset: str = "graph",
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    sample_nodes: int = 64,
+    runs: int = 2,
+    seed: RngLike = 7,
+    vicinity_floor: float = 0.0,
+    boundary_alpha: float = 4.0,
+) -> Figure2Result:
+    """Run the Figure 2 protocol on one graph.
+
+    Args:
+        graph: the (unweighted, ideally connected) network.
+        dataset: label for reporting.
+        alphas: the sweep grid.
+        sample_nodes: nodes sampled per run (the paper uses 1000).
+        runs: independent repetitions (the paper uses 10).
+        seed: master seed; each run uses a spawned child stream.
+        vicinity_floor: optional minimum vicinity size as a multiple of
+            ``alpha * sqrt(n)`` (0 = paper-exact Definition 1).
+        boundary_alpha: which alpha's boundary sizes feed the CDF panel.
+
+    Returns:
+        The collected :class:`Figure2Result`.
+    """
+    master = ensure_rng(seed)
+    result = Figure2Result(dataset=dataset, n=graph.n, num_edges=graph.num_edges)
+    boundary_fractions: list[float] = []
+    adj = graph.adjacency()
+    for run_rng in master.spawn(runs):
+        sample = run_rng.choice(graph.n, size=min(sample_nodes, graph.n), replace=False)
+        for alpha in alphas:
+            scale = calibrate_scale(graph, alpha, rng=run_rng)
+            landmarks = sample_landmarks(graph, alpha, rng=run_rng, scale=scale)
+            flags = landmarks.is_landmark
+            min_size = (
+                int(vicinity_floor * alpha * np.sqrt(graph.n))
+                if vicinity_floor > 0
+                else None
+            )
+            vicinities: dict[int, frozenset[int]] = {}
+            sizes: list[int] = []
+            for u in sample.tolist():
+                u = int(u)
+                if flags[u]:
+                    vicinities[u] = frozenset()
+                    continue
+                ball = truncated_bfs_ball(graph, u, flags, min_size=min_size)
+                members = frozenset(ball.gamma)
+                vicinities[u] = members
+                sizes.append(len(members))
+                if alpha == boundary_alpha:
+                    boundary = compute_boundary(ball.gamma, members, adj)
+                    boundary_fractions.append(len(boundary) / graph.n)
+            hits = 0
+            total = 0
+            ids = sample.tolist()
+            for i, s in enumerate(ids):
+                vs = vicinities[s]
+                for t in ids[i + 1:]:
+                    total += 1
+                    if vs & vicinities[t]:
+                        hits += 1
+            # Radius panel: exact d(u, L) for every node in one sweep.
+            radii = multi_source_bfs_vectorized(graph, landmarks.ids)
+            non_landmark = np.ones(graph.n, dtype=bool)
+            non_landmark[landmarks.ids] = False
+            reachable = (radii >= 0) & non_landmark
+            mean_radius = float(radii[reachable].mean()) if reachable.any() else 0.0
+            result.points.append(
+                Figure2Point(
+                    alpha=float(alpha),
+                    intersection_fraction=hits / total if total else 0.0,
+                    mean_radius=mean_radius,
+                    mean_vicinity_size=float(np.mean(sizes)) if sizes else 0.0,
+                    num_landmarks=landmarks.size,
+                )
+            )
+    result.boundary_fractions = np.asarray(boundary_fractions, dtype=np.float64)
+    return result
+
+
+def render_figure2(results: Sequence[Figure2Result]) -> str:
+    """Render all three panels for a set of datasets."""
+    blocks = []
+    for result in results:
+        rows = [
+            (f"{alpha:g}", f"{inter:.4f}", f"{radius:.2f}", f"{size:,.0f}")
+            for alpha, inter, radius, size in result.curve()
+        ]
+        blocks.append(
+            render_series(
+                "alpha",
+                ["intersection fraction", "mean radius (hops)", "mean |Gamma|"],
+                rows,
+                title=(
+                    f"Figure 2 (left+right): {result.dataset} "
+                    f"(n={result.n:,}, m={result.num_edges:,})"
+                ),
+            )
+        )
+        cdf_rows = [
+            (f"{x:.5f}", f"{y:.3f}") for x, y in result.boundary_cdf()
+        ]
+        if cdf_rows:
+            blocks.append(
+                render_series(
+                    "boundary size / n",
+                    ["CDF"],
+                    cdf_rows,
+                    title=f"Figure 2 (center): {result.dataset} boundary CDF at alpha=4",
+                )
+            )
+    return "\n\n".join(blocks)

@@ -1,0 +1,118 @@
+"""§3.2 memory accounting: the paper's ``sqrt(n)/4`` claim.
+
+Builds the oracle per dataset and reports entries/node against the
+``4 sqrt(n)`` target, the APSP ratio under the paper's own accounting
+(vicinity entries only — the "at least 550x" for full-scale
+LiveJournal), and the honest all-components ratio including landmark
+tables and boundary lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.datasets.social import available, generate
+from repro.experiments.reporting import render_table
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class MemoryRow:
+    """One dataset's memory accounting."""
+
+    dataset: str
+    n: int
+    entries_per_node: float
+    target_entries_per_node: float
+    apsp_ratio_paper: float
+    apsp_ratio_expected: float
+    apsp_ratio_total: float
+    model_bytes: int
+    table_entries: int
+
+
+def run_memory_for_graph(
+    graph: CSRGraph,
+    *,
+    dataset: str = "graph",
+    alpha: float = 4.0,
+    seed: int = 7,
+    vicinity_floor: float = 0.0,
+    oracle: Optional[VicinityOracle] = None,
+) -> MemoryRow:
+    """Account for one graph's built index."""
+    if oracle is None:
+        config = OracleConfig(
+            alpha=alpha, seed=seed, fallback="none", vicinity_floor=vicinity_floor
+        )
+        oracle = VicinityOracle.build(graph, config=config)
+    report = oracle.memory()
+    return MemoryRow(
+        dataset=dataset,
+        n=graph.n,
+        entries_per_node=report.entries_per_node,
+        target_entries_per_node=alpha * math.sqrt(graph.n),
+        apsp_ratio_paper=report.apsp_ratio_vicinities_only,
+        apsp_ratio_expected=math.sqrt(graph.n) / alpha,
+        apsp_ratio_total=report.apsp_ratio_total,
+        model_bytes=report.model_bytes,
+        table_entries=report.table_entries,
+    )
+
+
+def run_memory_table(
+    names: Optional[Sequence[str]] = None,
+    *,
+    scale: float = 0.002,
+    alpha: float = 4.0,
+    seed: int = 7,
+    vicinity_floor: float = 0.0,
+) -> list[MemoryRow]:
+    """Run the memory accounting across datasets."""
+    rows = []
+    for name in names or available():
+        graph = generate(name, scale=scale, seed=seed)
+        rows.append(
+            run_memory_for_graph(
+                graph,
+                dataset=name,
+                alpha=alpha,
+                seed=seed,
+                vicinity_floor=vicinity_floor,
+            )
+        )
+    return rows
+
+
+def render_memory_table(rows: Sequence[MemoryRow]) -> str:
+    """Render the §3.2 memory comparison."""
+    return render_table(
+        [
+            "Dataset",
+            "n",
+            "entries/node",
+            "target 4*sqrt(n)",
+            "APSP ratio (paper)",
+            "expected sqrt(n)/4",
+            "APSP ratio (total)",
+            "model bytes",
+        ],
+        [
+            (
+                r.dataset,
+                r.n,
+                f"{r.entries_per_node:,.1f}",
+                f"{r.target_entries_per_node:,.1f}",
+                f"{r.apsp_ratio_paper:,.0f}x",
+                f"{r.apsp_ratio_expected:,.0f}x",
+                f"{r.apsp_ratio_total:,.0f}x",
+                r.model_bytes,
+            )
+            for r in rows
+        ],
+        title="Memory accounting (Section 3.2)",
+    )

@@ -1,0 +1,77 @@
+"""Fixed-width text rendering for reproduced tables and figures.
+
+The paper's artefacts are tables and line plots; in a terminal-first
+library we render tables directly and plots as aligned data series
+(the numbers are what reproduction is judged on — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width table.
+
+    Numbers are right-aligned, text left-aligned; column widths adapt
+    to content.
+    """
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if _is_numeric(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in materialised)
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a figure as aligned ``x, y1, y2, ...`` data columns."""
+    return render_table([x_label, *y_labels], points, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.4g}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "")
+    stripped = stripped.replace("x", "").replace("%", "").replace("e", "")
+    return stripped.isdigit() and any(ch.isdigit() for ch in cell)

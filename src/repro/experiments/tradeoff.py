@@ -1,0 +1,109 @@
+"""Ablation A3: the latency / memory / accuracy trade-off across alpha.
+
+The paper's abstract claims a "unique trade-off between latency, memory
+and accuracy"; this sweep quantifies all three on one dataset as alpha
+moves through the Figure 2 grid, with optional sweeps of the
+``vicinity_floor`` extension (ablation A4) and the sampling-probability
+scale (the two readings of the §2.2 formula).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import sample_pair_workload
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TradeoffRow:
+    """One configuration's three-way measurement."""
+
+    alpha: float
+    vicinity_floor: float
+    answered_fraction: float
+    mean_query_us: float
+    mean_probes: float
+    entries_per_node: float
+    num_landmarks: int
+    build_seconds: float
+
+
+def run_tradeoff(
+    graph: CSRGraph,
+    *,
+    alphas: Sequence[float] = (0.25, 1.0, 4.0, 16.0),
+    floors: Sequence[float] = (0.0,),
+    seed: int = 7,
+    sample_nodes: int = 40,
+) -> list[TradeoffRow]:
+    """Sweep alpha (and optionally the floor) on one graph."""
+    rows = []
+    rng = ensure_rng(seed)
+    workload = sample_pair_workload(graph, min(sample_nodes, graph.n), rng=rng)
+    for floor in floors:
+        for alpha in alphas:
+            config = OracleConfig(
+                alpha=alpha, seed=seed, fallback="none", vicinity_floor=floor
+            )
+            start = time.perf_counter()
+            oracle = VicinityOracle.build(graph, config=config)
+            build_seconds = time.perf_counter() - start
+            answered = 0
+            total = 0
+            start = time.perf_counter()
+            for s, t in workload.pairs():
+                if oracle.query(s, t).distance is not None:
+                    answered += 1
+                total += 1
+            elapsed = time.perf_counter() - start
+            memory = oracle.memory()
+            rows.append(
+                TradeoffRow(
+                    alpha=float(alpha),
+                    vicinity_floor=float(floor),
+                    answered_fraction=answered / total if total else 0.0,
+                    mean_query_us=elapsed / max(total, 1) * 1e6,
+                    mean_probes=oracle.counters.mean_probes,
+                    entries_per_node=memory.entries_per_node,
+                    num_landmarks=oracle.index.landmarks.size,
+                    build_seconds=build_seconds,
+                )
+            )
+    return rows
+
+
+def render_tradeoff(rows: Sequence[TradeoffRow], *, dataset: str = "graph") -> str:
+    """Render the trade-off sweep."""
+    return render_table(
+        [
+            "alpha",
+            "floor",
+            "answered",
+            "query (us)",
+            "avg probes",
+            "entries/node",
+            "|L|",
+            "build (s)",
+        ],
+        [
+            (
+                f"{r.alpha:g}",
+                f"{r.vicinity_floor:g}",
+                f"{r.answered_fraction:.2%}",
+                f"{r.mean_query_us:,.0f}",
+                f"{r.mean_probes:,.0f}",
+                f"{r.entries_per_node:,.1f}",
+                r.num_landmarks,
+                f"{r.build_seconds:.1f}",
+            )
+            for r in rows
+        ],
+        title=f"Latency/memory/accuracy trade-off on {dataset}",
+    )

@@ -1,0 +1,66 @@
+"""Graph substrate: compact in-memory graphs and traversal engines.
+
+The paper's technique operates on large, sparse, mostly-unweighted social
+networks held entirely in memory.  This package provides that substrate:
+
+* :class:`~repro.graph.csr.CSRGraph` — immutable undirected graph in
+  compressed sparse row (CSR) form, optionally weighted;
+* :class:`~repro.graph.digraph.DiGraph` — directed variant with both
+  out- and in-adjacency (needed by the directed extension, §5);
+* builders that clean arbitrary edge lists (dedupe, drop self-loops,
+  symmetrise) into canonical CSR form;
+* deterministic toy graphs for tests and documentation;
+* traversal engines under :mod:`repro.graph.traversal` (BFS, Dijkstra,
+  truncated/ball variants, bidirectional search, A*).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.builder import (
+    complete_graph,
+    cycle_graph,
+    digraph_from_arrays,
+    digraph_from_edges,
+    empty_graph,
+    graph_from_arrays,
+    graph_from_edges,
+    graph_from_weighted_edges,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.components import (
+    connected_components,
+    is_connected,
+    largest_component,
+)
+from repro.graph.labels import LabelEncoder, labeled_graph_from_edges
+from repro.graph.degree import (
+    average_degree,
+    degree_histogram,
+    estimate_powerlaw_exponent,
+)
+
+__all__ = [
+    "CSRGraph",
+    "DiGraph",
+    "graph_from_edges",
+    "graph_from_weighted_edges",
+    "graph_from_arrays",
+    "digraph_from_edges",
+    "digraph_from_arrays",
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "connected_components",
+    "largest_component",
+    "is_connected",
+    "LabelEncoder",
+    "labeled_graph_from_edges",
+    "degree_histogram",
+    "average_degree",
+    "estimate_powerlaw_exponent",
+]

@@ -1,0 +1,303 @@
+"""Immutable undirected graphs in compressed sparse row (CSR) form.
+
+CSR keeps the whole network in three flat arrays — exactly the kind of
+compact, cache-friendly representation the paper assumes when it talks
+about holding multi-million-node social networks in memory.  Rows
+(per-node neighbour lists) are kept sorted so membership tests are
+binary searches, and a Python ``list``-of-``list`` adjacency view is
+materialised lazily for the traversal hot loops, where iterating boxed
+NumPy scalars would dominate the running time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, NodeNotFoundError
+
+
+class CSRGraph:
+    """An immutable, undirected, optionally weighted graph.
+
+    Nodes are the dense integers ``0 .. n-1``.  Both directions of every
+    undirected edge are stored, so ``indices`` has ``2 m`` entries for a
+    graph with ``m`` undirected edges.  Instances should normally be
+    created through the builders in :mod:`repro.graph.builder`, which
+    canonicalise arbitrary edge lists; the constructor validates shape
+    invariants but (for speed) not symmetry — call :meth:`validate` for
+    the full check.
+
+    Attributes:
+        n: number of nodes.
+        indptr: ``int64`` array of length ``n + 1``; row ``u`` occupies
+            ``indices[indptr[u]:indptr[u + 1]]``.
+        indices: ``int32`` array of neighbour ids, sorted within each row.
+        weights: optional ``float64`` array aligned with ``indices``.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "weights", "_adj", "_wadj", "_degrees")
+
+    def __init__(
+        self,
+        n: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        self.n = int(n)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.weights = (
+            None if weights is None else np.ascontiguousarray(weights, dtype=np.float64)
+        )
+        self._adj: Optional[list[list[int]]] = None
+        self._wadj: Optional[list[list[Tuple[int, float]]]] = None
+        self._degrees: Optional[np.ndarray] = None
+        self._check_shape()
+
+    # ------------------------------------------------------------------
+    # construction-time checks
+    # ------------------------------------------------------------------
+    def _check_shape(self) -> None:
+        if self.n < 0:
+            raise GraphError("node count must be non-negative")
+        if self.indptr.shape != (self.n + 1,):
+            raise GraphError(
+                f"indptr must have length n + 1 = {self.n + 1}, got {self.indptr.shape}"
+            )
+        if self.n and self.indptr[0] != 0:
+            raise GraphError("indptr[0] must be 0")
+        if self.n == 0:
+            if self.indices.size or self.indptr[0] != 0:
+                raise GraphError("empty graph must have empty indices")
+            return
+        if self.indptr[-1] != self.indices.size:
+            raise GraphError("indptr[-1] must equal len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if self.indices.size:
+            lo, hi = int(self.indices.min()), int(self.indices.max())
+            if lo < 0 or hi >= self.n:
+                raise GraphError("indices reference nodes outside range(n)")
+        if self.weights is not None:
+            if self.weights.shape != self.indices.shape:
+                raise GraphError("weights must align with indices")
+            if self.weights.size and float(self.weights.min()) < 0:
+                raise GraphError("edge weights must be non-negative")
+
+    def validate(self) -> None:
+        """Run the full (O(m log m)) invariant check.
+
+        Verifies everything the constructor checks plus: rows sorted,
+        no self-loops, no duplicate edges, and symmetry (``(u, v)``
+        present iff ``(v, u)`` present, with equal weights).
+
+        Raises:
+            GraphError: if any invariant is violated.
+        """
+        self._check_shape()
+        for u in range(self.n):
+            row = self.indices[self.indptr[u]:self.indptr[u + 1]]
+            if row.size:
+                if np.any(np.diff(row) <= 0):
+                    raise GraphError(f"row {u} is not strictly sorted")
+                if np.any(row == u):
+                    raise GraphError(f"self-loop at node {u}")
+        # Symmetry: the multiset of (min, max) pairs must pair up exactly.
+        src = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        dst = self.indices.astype(np.int64)
+        forward = src * self.n + dst
+        backward = dst * self.n + src
+        if not np.array_equal(np.sort(forward), np.sort(backward)):
+            raise GraphError("adjacency is not symmetric")
+        if self.weights is not None:
+            order_f = np.argsort(forward, kind="stable")
+            order_b = np.argsort(backward, kind="stable")
+            if not np.allclose(self.weights[order_f], self.weights[order_b]):
+                raise GraphError("weights are not symmetric")
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self.indices.size // 2
+
+    @property
+    def num_directed_entries(self) -> int:
+        """Number of stored directed adjacency entries (``2 m``)."""
+        return int(self.indices.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether the graph carries explicit edge weights."""
+        return self.weights is not None
+
+    def check_node(self, u: int) -> None:
+        """Raise :class:`NodeNotFoundError` unless ``u`` is a valid node id."""
+        if not 0 <= u < self.n:
+            raise NodeNotFoundError(u, self.n)
+
+    def degree(self, u: int) -> int:
+        """Return the degree of node ``u``."""
+        self.check_node(u)
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def degrees(self) -> np.ndarray:
+        """Return the degree of every node as an ``int64`` array (cached)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Return a read-only view of ``u``'s sorted neighbour ids."""
+        self.check_node(u)
+        return self.indices[self.indptr[u]:self.indptr[u + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return whether the undirected edge ``{u, v}`` exists."""
+        self.check_node(u)
+        self.check_node(v)
+        row = self.indices[self.indptr[u]:self.indptr[u + 1]]
+        pos = int(np.searchsorted(row, v))
+        return pos < row.size and int(row[pos]) == v
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Return the weight of edge ``{u, v}`` (1.0 for unweighted graphs).
+
+        Raises:
+            GraphError: if the edge does not exist.
+        """
+        self.check_node(u)
+        self.check_node(v)
+        start, stop = int(self.indptr[u]), int(self.indptr[u + 1])
+        row = self.indices[start:stop]
+        pos = int(np.searchsorted(row, v))
+        if pos >= row.size or int(row[pos]) != v:
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        if self.weights is None:
+            return 1.0
+        return float(self.weights[start + pos])
+
+    # ------------------------------------------------------------------
+    # adjacency views for traversal hot loops
+    # ------------------------------------------------------------------
+    def adjacency(self) -> list[list[int]]:
+        """Return (and cache) a ``list``-of-``list`` adjacency view.
+
+        Traversals iterate neighbours billions of times; plain Python
+        ``int`` lists iterate several times faster than NumPy rows, so
+        every traversal engine in this library starts by grabbing this
+        view.  The view is cached; callers must not mutate it.
+        """
+        if self._adj is None:
+            flat = self.indices.tolist()
+            bounds = self.indptr.tolist()
+            self._adj = [flat[bounds[u]:bounds[u + 1]] for u in range(self.n)]
+        return self._adj
+
+    def weighted_adjacency(self) -> list[list[Tuple[int, float]]]:
+        """Return (and cache) adjacency as ``(neighbor, weight)`` pairs.
+
+        For unweighted graphs every weight is ``1.0``, which lets the
+        Dijkstra-family engines treat both cases uniformly.
+        """
+        if self._wadj is None:
+            flat = self.indices.tolist()
+            bounds = self.indptr.tolist()
+            if self.weights is None:
+                wflat = [1.0] * len(flat)
+            else:
+                wflat = self.weights.tolist()
+            self._wadj = [
+                list(zip(flat[bounds[u]:bounds[u + 1]], wflat[bounds[u]:bounds[u + 1]]))
+                for u in range(self.n)
+            ]
+        return self._wadj
+
+    # ------------------------------------------------------------------
+    # iteration and export
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield each undirected edge once as ``(u, v)`` with ``u < v``."""
+        indptr, indices = self.indptr, self.indices
+        for u in range(self.n):
+            for idx in range(int(indptr[u]), int(indptr[u + 1])):
+                v = int(indices[idx])
+                if u < v:
+                    yield u, v
+
+    def weighted_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, weight)``."""
+        indptr, indices = self.indptr, self.indices
+        for u in range(self.n):
+            for idx in range(int(indptr[u]), int(indptr[u + 1])):
+                v = int(indices[idx])
+                if u < v:
+                    w = 1.0 if self.weights is None else float(self.weights[idx])
+                    yield u, v, w
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Return ``(src, dst, weights)`` arrays with each edge once (src < dst)."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        dst = self.indices.astype(np.int64)
+        mask = src < dst
+        weights = None if self.weights is None else self.weights[mask]
+        return src[mask], dst[mask], weights
+
+    def subgraph(self, nodes: Sequence[int]) -> Tuple["CSRGraph", np.ndarray]:
+        """Return the induced subgraph on ``nodes`` plus the id mapping.
+
+        Args:
+            nodes: node ids to keep (need not be sorted; duplicates are
+                an error because the mapping would be ambiguous).
+
+        Returns:
+            ``(sub, originals)`` where ``sub`` is the induced subgraph
+            with nodes relabelled ``0 .. len(nodes) - 1`` following the
+            order of ``nodes``, and ``originals[i]`` is the original id
+            of new node ``i``.
+        """
+        keep = np.asarray(nodes, dtype=np.int64)
+        if keep.size != np.unique(keep).size:
+            raise GraphError("subgraph node list contains duplicates")
+        if keep.size and (keep.min() < 0 or keep.max() >= self.n):
+            raise GraphError("subgraph node list references unknown nodes")
+        new_id = np.full(self.n, -1, dtype=np.int64)
+        new_id[keep] = np.arange(keep.size, dtype=np.int64)
+        src, dst, weights = self.edge_arrays()
+        mask = (new_id[src] >= 0) & (new_id[dst] >= 0)
+        # Local import: builder depends on this module, so import lazily
+        # to keep the module graph acyclic at import time.
+        from repro.graph.builder import graph_from_arrays
+
+        sub = graph_from_arrays(
+            new_id[src[mask]],
+            new_id[dst[mask]],
+            n=keep.size,
+            weights=None if weights is None else weights[mask],
+        )
+        return sub, keep
+
+    def __repr__(self) -> str:
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return f"CSRGraph(n={self.n}, m={self.num_edges}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        if self.n != other.n or not np.array_equal(self.indptr, other.indptr):
+            return False
+        if not np.array_equal(self.indices, other.indices):
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        if self.weights is not None and not np.array_equal(self.weights, other.weights):
+            return False
+        return True
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)

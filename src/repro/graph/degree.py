@@ -1,0 +1,79 @@
+"""Degree statistics for validating synthetic social networks.
+
+The vicinity technique leans on heavy-tailed degree distributions: high
+degree hubs are sampled into the landmark set with high probability and
+stop balls from growing (§2.1).  These helpers quantify how heavy-tailed
+a generated graph actually is, so the dataset registry can assert its
+stand-ins behave like the crawls they replace.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.csr import CSRGraph
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """Return ``hist`` where ``hist[k]`` counts nodes of degree ``k``."""
+    degrees = graph.degrees()
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)
+
+
+def average_degree(graph: CSRGraph) -> float:
+    """Return the mean degree ``2 m / n`` (0.0 for the empty graph)."""
+    if graph.n == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.n
+
+
+def max_degree(graph: CSRGraph) -> int:
+    """Return the maximum degree (0 for the empty graph)."""
+    degrees = graph.degrees()
+    return int(degrees.max()) if degrees.size else 0
+
+
+def estimate_powerlaw_exponent(
+    graph: CSRGraph, *, k_min: int = 2
+) -> Tuple[float, int]:
+    """Estimate the power-law exponent of the degree distribution.
+
+    Uses the discrete maximum-likelihood estimator (Clauset et al.):
+    ``alpha = 1 + N / sum(ln(k / (k_min - 0.5)))`` over degrees
+    ``k >= k_min``.
+
+    Args:
+        graph: the graph to analyse.
+        k_min: smallest degree included in the tail fit.
+
+    Returns:
+        ``(alpha, tail_size)`` — the exponent estimate and how many
+        nodes participated in the fit.
+
+    Raises:
+        GraphError: if no node has degree at least ``k_min``.
+    """
+    if k_min < 1:
+        raise GraphError("k_min must be at least 1")
+    degrees = graph.degrees()
+    tail = degrees[degrees >= k_min].astype(np.float64)
+    if tail.size == 0:
+        raise GraphError(f"no node has degree >= {k_min}")
+    alpha = 1.0 + tail.size / float(np.sum(np.log(tail / (k_min - 0.5))))
+    return float(alpha), int(tail.size)
+
+
+def degree_percentiles(
+    graph: CSRGraph, percentiles: Tuple[float, ...] = (50.0, 90.0, 99.0, 100.0)
+) -> dict[float, float]:
+    """Return the requested percentiles of the degree distribution."""
+    degrees = graph.degrees()
+    if degrees.size == 0:
+        return {p: 0.0 for p in percentiles}
+    values = np.percentile(degrees, percentiles)
+    return {p: float(v) for p, v in zip(percentiles, values)}

@@ -1,0 +1,190 @@
+"""Directed graphs with both out- and in-adjacency in CSR form.
+
+The paper's §5 poses extending vicinity intersection to directed social
+networks (Twitter-style follow graphs) as a research challenge.  The
+directed oracle in :mod:`repro.core.directed` needs forward balls around
+sources and *reverse* balls around targets, so this structure keeps both
+orientations of the arc set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, NodeNotFoundError
+
+
+class DiGraph:
+    """An immutable directed graph with dual (out/in) CSR adjacency.
+
+    Attributes:
+        n: number of nodes.
+        out_indptr / out_indices: CSR of outgoing arcs, rows sorted.
+        in_indptr / in_indices: CSR of incoming arcs, rows sorted.
+        out_weights / in_weights: optional aligned ``float64`` weights.
+    """
+
+    __slots__ = (
+        "n",
+        "out_indptr",
+        "out_indices",
+        "in_indptr",
+        "in_indices",
+        "out_weights",
+        "in_weights",
+        "_out_adj",
+        "_in_adj",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        out_weights: Optional[np.ndarray] = None,
+        in_weights: Optional[np.ndarray] = None,
+    ) -> None:
+        self.n = int(n)
+        self.out_indptr = np.ascontiguousarray(out_indptr, dtype=np.int64)
+        self.out_indices = np.ascontiguousarray(out_indices, dtype=np.int32)
+        self.in_indptr = np.ascontiguousarray(in_indptr, dtype=np.int64)
+        self.in_indices = np.ascontiguousarray(in_indices, dtype=np.int32)
+        self.out_weights = (
+            None if out_weights is None else np.ascontiguousarray(out_weights, np.float64)
+        )
+        self.in_weights = (
+            None if in_weights is None else np.ascontiguousarray(in_weights, np.float64)
+        )
+        self._out_adj: Optional[list[list[int]]] = None
+        self._in_adj: Optional[list[list[int]]] = None
+        self._check_shape()
+
+    def _check_shape(self) -> None:
+        if self.n < 0:
+            raise GraphError("node count must be non-negative")
+        for name, indptr, indices in (
+            ("out", self.out_indptr, self.out_indices),
+            ("in", self.in_indptr, self.in_indices),
+        ):
+            if indptr.shape != (self.n + 1,):
+                raise GraphError(f"{name}_indptr must have length n + 1")
+            if self.n and (indptr[0] != 0 or indptr[-1] != indices.size):
+                raise GraphError(f"{name}_indptr endpoints are inconsistent")
+            if np.any(np.diff(indptr) < 0):
+                raise GraphError(f"{name}_indptr must be non-decreasing")
+            if indices.size and (indices.min() < 0 or indices.max() >= self.n):
+                raise GraphError(f"{name}_indices reference unknown nodes")
+        if self.out_indices.size != self.in_indices.size:
+            raise GraphError("out and in arc counts differ")
+        if (self.out_weights is None) != (self.in_weights is None):
+            raise GraphError("weights must be present on both orientations or neither")
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs."""
+        return int(self.out_indices.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether the graph carries explicit arc weights."""
+        return self.out_weights is not None
+
+    def check_node(self, u: int) -> None:
+        """Raise :class:`NodeNotFoundError` unless ``u`` is a valid node id."""
+        if not 0 <= u < self.n:
+            raise NodeNotFoundError(u, self.n)
+
+    def out_degree(self, u: int) -> int:
+        """Return the out-degree of ``u``."""
+        self.check_node(u)
+        return int(self.out_indptr[u + 1] - self.out_indptr[u])
+
+    def in_degree(self, u: int) -> int:
+        """Return the in-degree of ``u``."""
+        self.check_node(u)
+        return int(self.in_indptr[u + 1] - self.in_indptr[u])
+
+    def out_degrees(self) -> np.ndarray:
+        """Return all out-degrees."""
+        return np.diff(self.out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Return all in-degrees."""
+        return np.diff(self.in_indptr)
+
+    def total_degrees(self) -> np.ndarray:
+        """Return ``out_degree + in_degree`` per node (the sampling weight)."""
+        return self.out_degrees() + self.in_degrees()
+
+    def successors(self, u: int) -> np.ndarray:
+        """Return a sorted view of nodes reachable from ``u`` in one hop."""
+        self.check_node(u)
+        return self.out_indices[self.out_indptr[u]:self.out_indptr[u + 1]]
+
+    def predecessors(self, u: int) -> np.ndarray:
+        """Return a sorted view of nodes with an arc into ``u``."""
+        self.check_node(u)
+        return self.in_indices[self.in_indptr[u]:self.in_indptr[u + 1]]
+
+    def has_arc(self, u: int, v: int) -> bool:
+        """Return whether the arc ``u -> v`` exists."""
+        row = self.successors(u)
+        self.check_node(v)
+        pos = int(np.searchsorted(row, v))
+        return pos < row.size and int(row[pos]) == v
+
+    # ------------------------------------------------------------------
+    # adjacency views
+    # ------------------------------------------------------------------
+    def out_adjacency(self) -> list[list[int]]:
+        """Return (and cache) a list-of-list view of outgoing arcs."""
+        if self._out_adj is None:
+            flat = self.out_indices.tolist()
+            bounds = self.out_indptr.tolist()
+            self._out_adj = [flat[bounds[u]:bounds[u + 1]] for u in range(self.n)]
+        return self._out_adj
+
+    def in_adjacency(self) -> list[list[int]]:
+        """Return (and cache) a list-of-list view of incoming arcs."""
+        if self._in_adj is None:
+            flat = self.in_indices.tolist()
+            bounds = self.in_indptr.tolist()
+            self._in_adj = [flat[bounds[u]:bounds[u + 1]] for u in range(self.n)]
+        return self._in_adj
+
+    def reverse(self) -> "DiGraph":
+        """Return the graph with every arc reversed (shares arrays)."""
+        return DiGraph(
+            self.n,
+            self.in_indptr,
+            self.in_indices,
+            self.out_indptr,
+            self.out_indices,
+            self.in_weights,
+            self.out_weights,
+        )
+
+    def as_undirected(self) -> "object":
+        """Return the undirected projection (arc orientation discarded)."""
+        from repro.graph.builder import graph_from_arrays
+
+        src = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.out_indptr))
+        return graph_from_arrays(src, self.out_indices.astype(np.int64), n=self.n)
+
+    def arcs(self) -> Iterator[Tuple[int, int]]:
+        """Yield every arc as ``(u, v)``."""
+        indptr, indices = self.out_indptr, self.out_indices
+        for u in range(self.n):
+            for idx in range(int(indptr[u]), int(indptr[u + 1])):
+                yield u, int(indices[idx])
+
+    def __repr__(self) -> str:
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return f"DiGraph(n={self.n}, arcs={self.num_arcs}, {kind})"

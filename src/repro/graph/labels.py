@@ -1,0 +1,90 @@
+"""Mapping between arbitrary node labels and dense integer ids.
+
+The library's graphs use dense integer ids for compactness, but real
+social-network data identifies users by screen names, URLs or opaque
+keys.  :class:`LabelEncoder` provides the bridge, and
+:func:`labeled_graph_from_edges` builds a graph directly from labelled
+edge pairs (used by the example applications).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.builder import graph_from_edges
+from repro.graph.csr import CSRGraph
+
+
+class LabelEncoder:
+    """A bijection between hashable labels and ids ``0 .. n-1``.
+
+    Ids are assigned in first-seen order, so encoding the same label
+    stream twice yields identical ids — important for reproducibility.
+    """
+
+    def __init__(self) -> None:
+        self._to_id: dict[Hashable, int] = {}
+        self._to_label: list[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._to_label)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._to_id
+
+    def encode(self, label: Hashable) -> int:
+        """Return the id for ``label``, assigning a fresh one if unseen."""
+        existing = self._to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_label)
+        self._to_id[label] = new_id
+        self._to_label.append(label)
+        return new_id
+
+    def encode_many(self, labels: Iterable[Hashable]) -> list[int]:
+        """Encode an iterable of labels, assigning fresh ids as needed."""
+        return [self.encode(label) for label in labels]
+
+    def lookup(self, label: Hashable) -> int:
+        """Return the id for a known ``label``.
+
+        Raises:
+            GraphError: if the label has never been encoded.
+        """
+        existing = self._to_id.get(label)
+        if existing is None:
+            raise GraphError(f"unknown label: {label!r}")
+        return existing
+
+    def decode(self, node_id: int) -> Hashable:
+        """Return the label for ``node_id``."""
+        if not 0 <= node_id < len(self._to_label):
+            raise GraphError(f"unknown node id: {node_id}")
+        return self._to_label[node_id]
+
+    def decode_many(self, node_ids: Iterable[int]) -> list[Hashable]:
+        """Decode an iterable of node ids back to their labels."""
+        return [self.decode(node_id) for node_id in node_ids]
+
+    @property
+    def labels(self) -> Sequence[Hashable]:
+        """All labels, indexed by id."""
+        return tuple(self._to_label)
+
+
+def labeled_graph_from_edges(
+    edges: Iterable[Tuple[Hashable, Hashable]],
+) -> Tuple[CSRGraph, LabelEncoder]:
+    """Build an undirected graph from labelled edge pairs.
+
+    Returns:
+        ``(graph, encoder)`` — query the graph with
+        ``encoder.lookup(label)`` and translate paths back with
+        ``encoder.decode_many(path)``.
+    """
+    encoder = LabelEncoder()
+    pairs = [(encoder.encode(a), encoder.encode(b)) for a, b in edges]
+    graph = graph_from_edges(pairs, n=len(encoder))
+    return graph, encoder

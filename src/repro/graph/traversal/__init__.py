@@ -1,0 +1,60 @@
+"""Traversal engines over the CSR substrate.
+
+Four families, mirroring what the paper needs:
+
+* plain single-source / point-to-point BFS (:mod:`.bfs`) — the
+  "standard shortest path algorithm" baseline of Table 3;
+* Dijkstra variants (:mod:`.dijkstra`) for weighted graphs;
+* bidirectional search (:mod:`.bidirectional`) — the "state-of-the-art"
+  comparator [4] of Table 3;
+* truncated traversals (:mod:`.bounded`) — the "modified shortest path
+  algorithm [16]" of §2.2 that grows a ball until the nearest landmark
+  and one extra frontier ring.
+"""
+
+from repro.graph.traversal.bfs import (
+    bfs_distance,
+    bfs_distances,
+    bfs_path,
+    bfs_tree,
+    eccentricity,
+    multi_source_bfs,
+)
+from repro.graph.traversal.dijkstra import (
+    dijkstra_distance,
+    dijkstra_distances,
+    dijkstra_path,
+    dijkstra_tree,
+)
+from repro.graph.traversal.bidirectional import (
+    bidirectional_bfs,
+    bidirectional_bfs_path,
+    bidirectional_dijkstra,
+)
+from repro.graph.traversal.bounded import (
+    BallResult,
+    truncated_bfs_ball,
+    truncated_dijkstra_ball,
+)
+from repro.graph.traversal.astar import astar_distance, astar_path
+
+__all__ = [
+    "bfs_distances",
+    "bfs_tree",
+    "bfs_distance",
+    "bfs_path",
+    "multi_source_bfs",
+    "eccentricity",
+    "dijkstra_distances",
+    "dijkstra_tree",
+    "dijkstra_distance",
+    "dijkstra_path",
+    "bidirectional_bfs",
+    "bidirectional_bfs_path",
+    "bidirectional_dijkstra",
+    "BallResult",
+    "truncated_bfs_ball",
+    "truncated_dijkstra_ball",
+    "astar_distance",
+    "astar_path",
+]

@@ -1,0 +1,103 @@
+"""A* search with pluggable admissible heuristics.
+
+The paper cites A* ("A* meets graph theory" [3] and "Reach for A*" [4])
+as the query-time state of the art it outperforms.  This module provides
+the generic engine; the ALT (A*, Landmarks, Triangle inequality)
+heuristic that makes it competitive lives in
+:mod:`repro.baselines.alt`, which owns landmark selection and the
+preprocessing tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional, Tuple
+
+from repro.exceptions import UnreachableError
+from repro.graph.csr import CSRGraph
+
+INF = float("inf")
+
+#: An admissible heuristic: lower bound on the distance to the target.
+Heuristic = Callable[[int], float]
+
+
+def astar_distance(
+    graph: CSRGraph, source: int, target: int, heuristic: Heuristic
+) -> Optional[float]:
+    """Return the distance from ``source`` to ``target`` under A*.
+
+    Args:
+        graph: weighted or unweighted graph (unit weights if unweighted).
+        source: start node.
+        target: goal node.
+        heuristic: admissible lower bound ``h(v) <= d(v, target)``;
+            correctness requires admissibility (consistency additionally
+            guarantees each node is settled once, which the lazy
+            formulation here does not rely on).
+
+    Returns:
+        The exact distance, or ``None`` when disconnected.
+    """
+    graph.check_node(source)
+    graph.check_node(target)
+    if source == target:
+        return 0.0
+    adj = graph.weighted_adjacency()
+    g_score: dict[int, float] = {source: 0.0}
+    heap: list[Tuple[float, int]] = [(heuristic(source), source)]
+    settled: set[int] = set()
+    while heap:
+        f, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return g_score[u]
+        settled.add(u)
+        gu = g_score[u]
+        for v, w in adj[u]:
+            ng = gu + w
+            if ng < g_score.get(v, INF):
+                g_score[v] = ng
+                heapq.heappush(heap, (ng + heuristic(v), v))
+    return None
+
+
+def astar_path(
+    graph: CSRGraph, source: int, target: int, heuristic: Heuristic
+) -> list[int]:
+    """Return one shortest path from ``source`` to ``target`` under A*.
+
+    Raises:
+        UnreachableError: if no path exists.
+    """
+    graph.check_node(source)
+    graph.check_node(target)
+    if source == target:
+        return [source]
+    adj = graph.weighted_adjacency()
+    g_score: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {source: source}
+    heap: list[Tuple[float, int]] = [(heuristic(source), source)]
+    settled: set[int] = set()
+    while heap:
+        _f, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            path = [target]
+            node = target
+            while node != source:
+                node = parent[node]
+                path.append(node)
+            path.reverse()
+            return path
+        settled.add(u)
+        gu = g_score[u]
+        for v, w in adj[u]:
+            ng = gu + w
+            if ng < g_score.get(v, INF):
+                g_score[v] = ng
+                parent[v] = u
+                heapq.heappush(heap, (ng + heuristic(v), v))
+    raise UnreachableError(source, target)

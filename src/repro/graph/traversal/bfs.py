@@ -1,0 +1,172 @@
+"""Breadth-first search engines for unweighted graphs.
+
+These are deliberately plain, array-based implementations: frontier
+lists of Python ints over the cached adjacency view, which is the
+fastest portable formulation in CPython.  ``bfs_distance`` (point to
+point, early exit) is the paper's "standard shortest path algorithm"
+column in Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import UnreachableError
+from repro.graph.csr import CSRGraph
+
+#: Sentinel stored in distance arrays for unreachable nodes.
+UNREACHED = -1
+
+
+def bfs_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """Return hop distances from ``source`` to every node.
+
+    Unreachable nodes get :data:`UNREACHED` (-1).
+    """
+    graph.check_node(source)
+    adj = graph.adjacency()
+    dist = [UNREACHED] * graph.n
+    dist[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier = []
+        for u in frontier:
+            for v in adj[u]:
+                if dist[v] < 0:
+                    dist[v] = level
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return np.asarray(dist, dtype=np.int32)
+
+
+def bfs_tree(graph: CSRGraph, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(dist, parent)`` for a BFS tree rooted at ``source``.
+
+    ``parent[source] == source``; unreachable nodes have distance
+    :data:`UNREACHED` and parent -1.
+    """
+    graph.check_node(source)
+    adj = graph.adjacency()
+    dist = [UNREACHED] * graph.n
+    parent = [UNREACHED] * graph.n
+    dist[source] = 0
+    parent[source] = source
+    frontier = [source]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier = []
+        for u in frontier:
+            for v in adj[u]:
+                if dist[v] < 0:
+                    dist[v] = level
+                    parent[v] = u
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return np.asarray(dist, dtype=np.int32), np.asarray(parent, dtype=np.int64)
+
+
+def bfs_distance(graph: CSRGraph, source: int, target: int) -> Optional[int]:
+    """Return the hop distance from ``source`` to ``target``.
+
+    Runs BFS with early exit on reaching ``target``; returns ``None``
+    when the nodes are disconnected.
+    """
+    graph.check_node(source)
+    graph.check_node(target)
+    if source == target:
+        return 0
+    adj = graph.adjacency()
+    seen = bytearray(graph.n)
+    seen[source] = 1
+    frontier = [source]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier = []
+        for u in frontier:
+            for v in adj[u]:
+                if not seen[v]:
+                    if v == target:
+                        return level
+                    seen[v] = 1
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return None
+
+
+def bfs_path(graph: CSRGraph, source: int, target: int) -> list[int]:
+    """Return one shortest path from ``source`` to ``target`` inclusive.
+
+    Raises:
+        UnreachableError: if no path exists.
+    """
+    graph.check_node(source)
+    graph.check_node(target)
+    if source == target:
+        return [source]
+    adj = graph.adjacency()
+    parent = [UNREACHED] * graph.n
+    parent[source] = source
+    frontier = [source]
+    while frontier:
+        next_frontier = []
+        for u in frontier:
+            for v in adj[u]:
+                if parent[v] < 0:
+                    parent[v] = u
+                    if v == target:
+                        return _walk_parents(parent, source, target)
+                    next_frontier.append(v)
+        frontier = next_frontier
+    raise UnreachableError(source, target)
+
+
+def _walk_parents(parent: list[int], source: int, target: int) -> list[int]:
+    """Reconstruct the path by walking parent pointers back from target."""
+    path = [target]
+    node = target
+    while node != source:
+        node = parent[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def multi_source_bfs(graph: CSRGraph, sources: Iterable[int]) -> np.ndarray:
+    """Return, for every node, the hop distance to the nearest source.
+
+    This is the fast way to compute every vicinity radius
+    ``r(u) = d(u, L)`` in one O(m) sweep, used to cross-check the
+    per-node truncated traversals.
+    """
+    adj = graph.adjacency()
+    dist = [UNREACHED] * graph.n
+    frontier = []
+    for s in sources:
+        graph.check_node(s)
+        if dist[s] != 0:
+            dist[s] = 0
+            frontier.append(s)
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier = []
+        for u in frontier:
+            for v in adj[u]:
+                if dist[v] < 0:
+                    dist[v] = level
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return np.asarray(dist, dtype=np.int32)
+
+
+def eccentricity(graph: CSRGraph, source: int) -> int:
+    """Return the largest finite hop distance from ``source``."""
+    dist = bfs_distances(graph, source)
+    reachable = dist[dist >= 0]
+    return int(reachable.max()) if reachable.size else 0

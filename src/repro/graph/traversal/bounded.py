@@ -1,0 +1,209 @@
+"""Truncated traversals: grow a ball until the nearest landmark.
+
+This is the "modified shortest path algorithm [16]" of §2.2.  Starting
+from ``u`` it explores outward and stops once every node at distance
+``d(u, l(u))`` or less has been visited, where ``l(u)`` is the nearest
+member of the landmark set ``L``.  Following Definition 1:
+
+* ``ball(u)   = { v : d(u, v) <  d(u, l(u)) }``
+* ``gamma(u)  = ball(u) ∪ N(ball(u))`` — the vicinity.
+
+For unweighted graphs ``gamma(u)`` is exactly the set of nodes within
+``d(u, l(u))`` hops, which is what the level-synchronous engine below
+collects.  For weighted graphs the frontier ring ``N(ball) \\ ball`` can
+sit at arbitrary distances beyond the radius, so the Dijkstra engine
+keeps settling until every frontier member has an exact label — the
+stored distances are always true graph distances.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class BallResult:
+    """The outcome of one truncated traversal from ``source``.
+
+    Attributes:
+        source: the ball centre.
+        radius: ``d(source, nearest landmark)`` — ``None`` when the
+            component contains no landmark (the traversal then exhausts
+            the component and ``gamma`` is the whole component).
+        dist: exact distances from ``source``; covers at least every
+            vicinity member (for weighted graphs it may cover a few
+            extra settled nodes, which path reconstruction exploits).
+        pred: predecessor (parent) pointers toward ``source`` for every
+            node in ``dist``; ``pred[source] == source``.
+        ball: nodes strictly inside the radius, in discovery order.
+        gamma: vicinity members (``ball`` plus the frontier ring).
+    """
+
+    source: int
+    radius: Optional[Union[int, float]]
+    dist: dict[int, Union[int, float]] = field(default_factory=dict)
+    pred: dict[int, int] = field(default_factory=dict)
+    ball: list[int] = field(default_factory=list)
+    gamma: list[int] = field(default_factory=list)
+
+    @property
+    def found_landmark(self) -> bool:
+        """Whether a landmark bounded the traversal."""
+        return self.radius is not None
+
+
+def truncated_bfs_ball(
+    graph: CSRGraph,
+    source: int,
+    is_landmark: Sequence[int],
+    *,
+    max_size: Optional[int] = None,
+    min_size: Optional[int] = None,
+) -> BallResult:
+    """Grow an unweighted ball from ``source`` until the nearest landmark.
+
+    Args:
+        graph: the (unweighted) graph.
+        source: ball centre.
+        is_landmark: truthy-per-node flags, indexable by node id
+            (a ``bytearray`` is the fast choice).
+        max_size: optional safety cap on the number of visited nodes;
+            when exceeded the traversal aborts and returns a truncated
+            result with ``radius=None`` (used by the sampling-scale
+            calibration, which only needs "too big").
+        min_size: optional floor on the vicinity size: keep absorbing
+            whole levels past the nearest landmark until at least this
+            many nodes are inside.  For unweighted graphs Theorem 1
+            holds for *any* per-node radius (the proof only needs
+            ``Gamma(u) = {v : d(u, v) <= R_u}``), so the floor
+            preserves exactness while eliminating the degenerate tiny
+            vicinities that dominate intersection misses (ablation A4).
+            The returned ``radius`` is then the *effective* radius (the
+            last absorbed level), not ``d(u, l(u))``.
+
+    Returns:
+        The :class:`BallResult`; if ``source`` is itself a landmark the
+        radius is 0 and both ``ball`` and ``gamma`` are empty, matching
+        Definition 1 (landmarks rely on their full tables instead).
+    """
+    graph.check_node(source)
+    if is_landmark[source]:
+        return BallResult(source=source, radius=0, dist={source: 0}, pred={source: source})
+    adj = graph.adjacency()
+    dist: dict[int, int] = {source: 0}
+    pred: dict[int, int] = {source: source}
+    levels: list[list[int]] = [[source]]
+    frontier = [source]
+    level = 0
+    radius: Optional[int] = None
+    landmark_seen = False
+    while frontier:
+        if max_size is not None and len(dist) > max_size:
+            gamma = [v for lvl in levels for v in lvl]
+            return BallResult(source, None, dist, pred, ball=list(gamma), gamma=gamma)
+        level += 1
+        next_frontier = []
+        for u in frontier:
+            for v in adj[u]:
+                if v not in dist:
+                    dist[v] = level
+                    pred[v] = u
+                    next_frontier.append(v)
+                    if is_landmark[v]:
+                        landmark_seen = True
+        if not next_frontier:
+            break
+        levels.append(next_frontier)
+        frontier = next_frontier
+        if landmark_seen and (min_size is None or len(dist) >= min_size):
+            radius = level
+            break
+    if radius is None:
+        # No landmark in this component: the vicinity degenerates to the
+        # whole component (callers normally prevent this by forcing one
+        # landmark per component).
+        gamma = [v for lvl in levels for v in lvl]
+        return BallResult(source, None, dist, pred, ball=list(gamma), gamma=gamma)
+    ball = [v for lvl in levels[:radius] for v in lvl]
+    gamma = ball + levels[radius]
+    return BallResult(source, radius, dist, pred, ball=ball, gamma=gamma)
+
+
+def truncated_dijkstra_ball(
+    graph: CSRGraph, source: int, is_landmark: Sequence[int]
+) -> BallResult:
+    """Grow a weighted ball from ``source`` until the nearest landmark.
+
+    Phase 1 settles nodes in distance order until the first landmark
+    fixes the radius ``r`` and every node with ``d < r`` is settled
+    (the ball).  Phase 2 keeps the same Dijkstra running until every
+    frontier neighbour of the ball is settled, so all reported
+    distances are exact even when shortest paths to frontier nodes
+    leave the ball.
+    """
+    graph.check_node(source)
+    if is_landmark[source]:
+        return BallResult(source=source, radius=0, dist={source: 0.0}, pred={source: source})
+    adj = graph.weighted_adjacency()
+    dist: dict[int, float] = {source: 0.0}
+    pred: dict[int, int] = {source: source}
+    settled: dict[int, float] = {}
+    heap: list[Tuple[float, int]] = [(0.0, source)]
+    radius: Optional[float] = None
+
+    # Phase 1: settle until the first landmark, then flush labels < radius.
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if radius is not None and d >= radius:
+            heapq.heappush(heap, (d, u))  # put back for phase 2
+            break
+        settled[u] = d
+        if radius is None and is_landmark[u]:
+            radius = d
+        # Landmarks relax their edges like any settled node: shortest
+        # paths to frontier members may run through the landmark itself.
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+
+    if radius is None:
+        # Component without a landmark: everything reachable was settled.
+        ball = list(settled)
+        return BallResult(source, None, dict(settled), pred, ball=ball, gamma=list(ball))
+
+    ball = [u for u, d in settled.items() if d < radius]
+    ball_set = set(ball)
+    frontier = {
+        v for u in ball for v, _w in adj[u] if v not in ball_set
+    }
+
+    # Phase 2: keep settling until every frontier node has an exact label.
+    pending = {v for v in frontier if v not in settled}
+    while heap and pending:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled[u] = d
+        pending.discard(u)
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+    # Anything still pending is unreachable except through the ball,
+    # which cannot happen in a connected graph; guard anyway.
+    frontier = {v for v in frontier if v in settled}
+
+    gamma = ball + sorted(frontier - ball_set)
+    exact = {u: settled[u] for u in settled}
+    return BallResult(source, radius, exact, pred, ball=ball, gamma=gamma)

@@ -1,0 +1,134 @@
+"""Dijkstra's algorithm for weighted graphs.
+
+Lazy-deletion binary-heap formulation (``heapq`` with stale-entry
+skipping), which is the standard CPython idiom.  Used as the weighted
+ground truth in tests and as the weighted baseline in benchmarks; the
+core library's truncated variant lives in :mod:`.bounded`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import UnreachableError
+from repro.graph.csr import CSRGraph
+
+#: Distance assigned to unreachable nodes in dense outputs.
+INF = float("inf")
+
+
+def dijkstra_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """Return weighted distances from ``source`` to every node.
+
+    Unreachable nodes get ``inf``.  Unweighted graphs are handled with
+    implicit unit weights, so this agrees with BFS there.
+    """
+    graph.check_node(source)
+    adj = graph.weighted_adjacency()
+    dist = [INF] * graph.n
+    dist[source] = 0.0
+    heap: list[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return np.asarray(dist, dtype=np.float64)
+
+
+def dijkstra_tree(graph: CSRGraph, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(dist, parent)`` for a shortest-path tree from ``source``.
+
+    ``parent[source] == source``; unreachable nodes have ``inf`` / -1.
+    """
+    graph.check_node(source)
+    adj = graph.weighted_adjacency()
+    dist = [INF] * graph.n
+    parent = [-1] * graph.n
+    dist[source] = 0.0
+    parent[source] = source
+    heap: list[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return np.asarray(dist, dtype=np.float64), np.asarray(parent, dtype=np.int64)
+
+
+def dijkstra_distance(graph: CSRGraph, source: int, target: int) -> Optional[float]:
+    """Return the weighted distance from ``source`` to ``target``.
+
+    Early-exits when ``target`` is settled; returns ``None`` when
+    disconnected.
+    """
+    graph.check_node(source)
+    graph.check_node(target)
+    if source == target:
+        return 0.0
+    adj = graph.weighted_adjacency()
+    dist: dict[int, float] = {source: 0.0}
+    settled = set()
+    heap: list[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return d
+        settled.add(u)
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return None
+
+
+def dijkstra_path(graph: CSRGraph, source: int, target: int) -> list[int]:
+    """Return one weighted shortest path from ``source`` to ``target``.
+
+    Raises:
+        UnreachableError: if no path exists.
+    """
+    graph.check_node(source)
+    graph.check_node(target)
+    if source == target:
+        return [source]
+    adj = graph.weighted_adjacency()
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {source: source}
+    settled = set()
+    heap: list[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u == target:
+            path = [target]
+            node = target
+            while node != source:
+                node = parent[node]
+                path.append(node)
+            path.reverse()
+            return path
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    raise UnreachableError(source, target)

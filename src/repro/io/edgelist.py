@@ -1,0 +1,92 @@
+"""Plain-text edge lists — the format crawls are distributed in.
+
+Lines are ``u v`` or ``u v weight``; ``#``-prefixed lines and blank
+lines are ignored.  Node ids must be non-negative integers (use
+:class:`repro.graph.labels.LabelEncoder` upstream for labelled data).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.graph.builder import digraph_from_arrays, graph_from_arrays
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, Path]
+
+
+def read_edgelist(
+    path: PathLike, *, directed: bool = False, weighted: bool = False
+):
+    """Read a graph from a text edge list.
+
+    Args:
+        path: file to read.
+        directed: build a :class:`DiGraph` preserving arc orientation.
+        weighted: expect (and require) a third weight column.
+
+    Returns:
+        :class:`CSRGraph` or :class:`DiGraph`.
+
+    Raises:
+        SerializationError: on malformed lines.
+    """
+    src: list[int] = []
+    dst: list[int] = []
+    weights: list[float] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            expected = 3 if weighted else 2
+            if len(parts) < expected:
+                raise SerializationError(
+                    f"{path}:{lineno}: expected {expected} columns, got {len(parts)}"
+                )
+            try:
+                src.append(int(parts[0]))
+                dst.append(int(parts[1]))
+                if weighted:
+                    weights.append(float(parts[2]))
+            except ValueError as exc:
+                raise SerializationError(f"{path}:{lineno}: {exc}") from exc
+    src_arr = np.asarray(src, dtype=np.int64)
+    dst_arr = np.asarray(dst, dtype=np.int64)
+    weight_arr = np.asarray(weights, dtype=np.float64) if weighted else None
+    if directed:
+        return digraph_from_arrays(src_arr, dst_arr, weights=weight_arr)
+    return graph_from_arrays(src_arr, dst_arr, weights=weight_arr)
+
+
+def write_edgelist(graph, path: PathLike, *, header: str = "") -> None:
+    """Write a graph as a text edge list (one line per edge/arc).
+
+    Undirected graphs emit each edge once (``u < v``); digraphs emit
+    every arc.  Weighted graphs gain a third column.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        if isinstance(graph, DiGraph):
+            for u, v in graph.arcs():
+                handle.write(f"{u} {v}\n")
+            return
+        if not isinstance(graph, CSRGraph):
+            raise SerializationError(f"cannot serialise {type(graph).__name__}")
+        if graph.is_weighted:
+            for u, v, w in graph.weighted_edges():
+                handle.write(f"{u} {v} {w:g}\n")
+        else:
+            buffer = io.StringIO()
+            for u, v in graph.edges():
+                buffer.write(f"{u} {v}\n")
+            handle.write(buffer.getvalue())

@@ -1,0 +1,192 @@
+"""Round-trip persistence for a built :class:`VicinityIndex`.
+
+The offline phase is the expensive part of the paper's design; a
+deployment builds once and serves forever.  This module flattens the
+per-node hash tables into offset-indexed arrays (the standard CSR-of-
+dicts trick) so the whole index round-trips through one compressed
+``.npz`` with no pickling.
+
+Layout (version 1):
+
+* ``config``      — JSON of the :class:`OracleConfig`;
+* ``graph_*``     — the indexed graph's CSR arrays;
+* ``landmarks``   — landmark ids; ``landmark_scale`` — calibrated scale;
+* ``vic_offsets / vic_nodes / vic_dists / vic_preds`` — every node's
+  distance/predecessor table, concatenated;
+* ``member_offsets / member_nodes`` — vicinity membership (differs from
+  the distance table only on weighted graphs);
+* ``boundary_offsets / boundary_nodes`` — boundary lists;
+* ``radii``       — per-node vicinity radius (NaN = none);
+* ``table_dist / table_parent`` — stacked landmark tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.config import OracleConfig
+from repro.core.index import LandmarkTable, VicinityIndex
+from repro.core.landmarks import landmark_set_from_ids
+from repro.core.vicinity import Vicinity
+from repro.exceptions import SerializationError
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, Path]
+
+_MAGIC = "repro-oracle-v1"
+
+
+def save_index(index: VicinityIndex, path: PathLike) -> None:
+    """Serialise a built index (graph included) to ``.npz``."""
+    graph = index.graph
+    n = graph.n
+    weighted = graph.is_weighted
+
+    vic_offsets = np.zeros(n + 1, dtype=np.int64)
+    member_offsets = np.zeros(n + 1, dtype=np.int64)
+    boundary_offsets = np.zeros(n + 1, dtype=np.int64)
+    nodes_parts: list[np.ndarray] = []
+    dist_parts: list[np.ndarray] = []
+    pred_parts: list[np.ndarray] = []
+    member_parts: list[np.ndarray] = []
+    boundary_parts: list[np.ndarray] = []
+    radii = np.full(n, np.nan, dtype=np.float64)
+
+    dist_dtype = np.float64 if weighted else np.int32
+    for u in range(n):
+        vic = index.vicinities[u]
+        if vic.radius is not None:
+            radii[u] = float(vic.radius)
+        keys = np.fromiter(vic.dist.keys(), dtype=np.int64, count=len(vic.dist))
+        values = np.fromiter(
+            (vic.dist[k] for k in keys.tolist()), dtype=dist_dtype, count=keys.size
+        )
+        preds = np.fromiter(
+            (vic.pred.get(k, -1) for k in keys.tolist()), dtype=np.int64, count=keys.size
+        )
+        nodes_parts.append(keys)
+        dist_parts.append(values)
+        pred_parts.append(preds)
+        vic_offsets[u + 1] = vic_offsets[u] + keys.size
+        members = np.fromiter(vic.members, dtype=np.int64, count=len(vic.members))
+        member_parts.append(np.sort(members))
+        member_offsets[u + 1] = member_offsets[u] + members.size
+        boundary = np.asarray(vic.boundary, dtype=np.int64)
+        boundary_parts.append(boundary)
+        boundary_offsets[u + 1] = boundary_offsets[u] + boundary.size
+
+    landmark_ids = index.landmarks.ids
+    if index.tables:
+        table_dist = np.stack([index.tables[l].dist for l in landmark_ids.tolist()])
+        parents = [index.tables[l].parent for l in landmark_ids.tolist()]
+        if any(p is None for p in parents):
+            table_parent = np.zeros((0, 0), dtype=np.int32)
+        else:
+            table_parent = np.stack(parents)
+    else:
+        table_dist = np.zeros((0, 0), dtype=dist_dtype)
+        table_parent = np.zeros((0, 0), dtype=np.int32)
+
+    config = dict(asdict(index.config))
+    payload = {
+        "magic": np.asarray(_MAGIC),
+        "config": np.asarray(json.dumps(config)),
+        "graph_n": np.asarray(n, dtype=np.int64),
+        "graph_indptr": graph.indptr,
+        "graph_indices": graph.indices,
+        "landmarks": landmark_ids,
+        "landmark_scale": np.asarray(index.landmarks.scale, dtype=np.float64),
+        "vic_offsets": vic_offsets,
+        "vic_nodes": _concat(nodes_parts, np.int64),
+        "vic_dists": _concat(dist_parts, dist_dtype),
+        "vic_preds": _concat(pred_parts, np.int64),
+        "member_offsets": member_offsets,
+        "member_nodes": _concat(member_parts, np.int64),
+        "boundary_offsets": boundary_offsets,
+        "boundary_nodes": _concat(boundary_parts, np.int64),
+        "radii": radii,
+        "table_dist": table_dist,
+        "table_parent": table_parent,
+    }
+    if weighted:
+        payload["graph_weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_index(path: PathLike) -> VicinityIndex:
+    """Load an index saved by :func:`save_index`.
+
+    Raises:
+        SerializationError: on unknown or corrupt files.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _MAGIC:
+            raise SerializationError(f"{path} is not a {_MAGIC} snapshot")
+        config_dict = json.loads(str(data["config"]))
+        config = OracleConfig(**config_dict)
+        weights = data["graph_weights"] if "graph_weights" in data else None
+        graph = CSRGraph(
+            int(data["graph_n"]), data["graph_indptr"], data["graph_indices"], weights
+        )
+        landmarks = landmark_set_from_ids(graph, data["landmarks"].tolist(), config.alpha)
+        landmarks.scale = float(data["landmark_scale"])
+
+        vic_offsets = data["vic_offsets"]
+        vic_nodes = data["vic_nodes"]
+        vic_dists = data["vic_dists"]
+        vic_preds = data["vic_preds"]
+        member_offsets = data["member_offsets"]
+        member_nodes = data["member_nodes"]
+        boundary_offsets = data["boundary_offsets"]
+        boundary_nodes = data["boundary_nodes"]
+        radii = data["radii"]
+        weighted = weights is not None
+
+        vicinities: list[Vicinity] = []
+        for u in range(graph.n):
+            lo, hi = int(vic_offsets[u]), int(vic_offsets[u + 1])
+            keys = vic_nodes[lo:hi].tolist()
+            values = vic_dists[lo:hi].tolist()
+            preds = vic_preds[lo:hi].tolist()
+            dist = dict(zip(keys, values))
+            pred = {k: p for k, p in zip(keys, preds) if p >= 0}
+            mlo, mhi = int(member_offsets[u]), int(member_offsets[u + 1])
+            members = frozenset(member_nodes[mlo:mhi].tolist())
+            blo, bhi = int(boundary_offsets[u]), int(boundary_offsets[u + 1])
+            boundary = boundary_nodes[blo:bhi].tolist()
+            radius = None if np.isnan(radii[u]) else radii[u]
+            if radius is not None and not weighted:
+                radius = int(radius)
+            vicinities.append(
+                Vicinity(
+                    node=u,
+                    radius=radius,
+                    dist=dist,
+                    pred=pred,
+                    members=members,
+                    boundary=boundary,
+                )
+            )
+
+        tables: dict[int, LandmarkTable] = {}
+        table_dist = data["table_dist"]
+        table_parent = data["table_parent"]
+        if table_dist.size:
+            has_parents = table_parent.size > 0
+            for row, landmark in enumerate(landmarks.ids.tolist()):
+                parent = table_parent[row] if has_parents else None
+                tables[landmark] = LandmarkTable(
+                    landmark=landmark, dist=table_dist[row], parent=parent
+                )
+        return VicinityIndex(graph, config, landmarks, vicinities, tables)
+
+
+def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+    if not parts:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate(parts).astype(dtype, copy=False)

@@ -1,0 +1,32 @@
+"""Shared type aliases used across the :mod:`repro` library.
+
+Centralising these keeps signatures short and consistent: nodes are dense
+integer identifiers in ``range(n)``, distances are ``int`` hop counts for
+unweighted graphs and ``float`` for weighted ones, and paths are node
+sequences from source to target inclusive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+#: A node identifier.  Graphs in this library use dense integer ids.
+Node = int
+
+#: A distance: hop count (``int``) on unweighted graphs, ``float`` otherwise.
+Distance = Union[int, float]
+
+#: An undirected or directed edge as a pair of endpoints.
+Edge = Tuple[Node, Node]
+
+#: An edge with an explicit non-negative weight.
+WeightedEdge = Tuple[Node, Node, float]
+
+#: A path, listed from source to target inclusive.
+Path = Sequence[Node]
+
+#: Anything accepted as an edge list by the graph builders.
+EdgeIterable = Iterable[Edge]
+
+#: Anything accepted as a weighted edge list by the graph builders.
+WeightedEdgeIterable = Iterable[WeightedEdge]

@@ -1,0 +1,15 @@
+"""Small shared utilities: seeded RNG plumbing, timers, formatting."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Timer, time_callable
+from repro.utils.format import format_bytes, format_duration, format_ratio
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "time_callable",
+    "format_bytes",
+    "format_duration",
+    "format_ratio",
+]

@@ -1,0 +1,53 @@
+"""Human-readable formatting for experiment output.
+
+These helpers render the units the paper uses — milliseconds and
+microseconds for latency, multiplicative factors for speed-ups and
+memory ratios — so reproduced tables read like the originals.
+"""
+
+from __future__ import annotations
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with the most natural unit (s / ms / us / ns)."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with binary units (B / KiB / MiB / GiB)."""
+    if num_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_ratio(ratio: float) -> str:
+    """Render a multiplicative factor the way the paper does (e.g. ``431x``)."""
+    if ratio < 0:
+        raise ValueError("ratio must be non-negative")
+    if ratio >= 100:
+        return f"{ratio:.0f}x"
+    if ratio >= 10:
+        return f"{ratio:.1f}x"
+    return f"{ratio:.2f}x"
+
+
+def format_count(count: float) -> str:
+    """Render a large count with thousands separators (e.g. ``68,990,000``)."""
+    if float(count).is_integer():
+        return f"{int(count):,}"
+    return f"{count:,.2f}"

@@ -1,0 +1,44 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library (dataset generators, landmark
+sampling, workload sampling) accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  These helpers normalise
+that argument so experiments are reproducible end to end from a single
+integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` yields a fresh OS-seeded generator, an ``int`` seeds a new
+    generator deterministically, and an existing generator is returned
+    unchanged (so callers can thread one generator through a pipeline).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected None, int or numpy Generator, got {type(rng).__name__}")
+
+
+def spawn_rng(rng: RngLike, *, streams: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``streams`` independent child generators.
+
+    Child streams are derived with :meth:`numpy.random.Generator.spawn`
+    so that parallel components (for example, repeated experiment runs)
+    draw from non-overlapping sequences while remaining reproducible.
+    """
+    if streams < 0:
+        raise ValueError("streams must be non-negative")
+    return list(ensure_rng(rng).spawn(streams))

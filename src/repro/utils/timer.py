@@ -1,0 +1,63 @@
+"""Wall-clock timing helpers used by the experiment harness.
+
+The paper reports per-query latency in milliseconds and microseconds; the
+helpers here standardise on seconds internally and leave formatting to
+:mod:`repro.utils.format`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass
+class Timer:
+    """A context-manager stopwatch accumulating elapsed wall-clock time.
+
+    Example::
+
+        timer = Timer()
+        with timer:
+            do_work()
+        print(timer.elapsed)
+
+    The same instance can be re-entered; ``elapsed`` accumulates across
+    uses and ``laps`` records each individual measurement.
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+
+    @property
+    def count(self) -> int:
+        """Number of completed measurements."""
+        return len(self.laps)
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per measurement (0.0 before any measurement)."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    @property
+    def max(self) -> float:
+        """Worst-case seconds over all measurements (0.0 if none)."""
+        return max(self.laps) if self.laps else 0.0
+
+
+def time_callable(fn: Callable[[], Any]) -> Tuple[float, Any]:
+    """Run ``fn`` once, returning ``(elapsed_seconds, result)``."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result

@@ -1,0 +1,62 @@
+"""Closeness-centrality estimation tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.centrality import estimate_closeness, rank_by_closeness
+from repro.baselines.apsp import ApspOracle
+from repro.exceptions import QueryError
+from repro.graph.builder import path_graph, star_graph
+
+from tests.conftest import random_connected_graph
+
+
+class TestEstimateCloseness:
+    def test_star_center_most_central(self):
+        g = star_graph(20)
+        oracle = ApspOracle(g)
+        center = estimate_closeness(oracle, g, 0, num_targets=19, rng=1)
+        leaf = estimate_closeness(oracle, g, 5, num_targets=19, rng=1)
+        assert center > leaf
+        assert center == pytest.approx(1.0)  # all targets at distance 1
+
+    def test_matches_networkx_on_full_sample(self):
+        g = random_connected_graph(80, 220, seed=131)
+        oracle = ApspOracle(g)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.n))
+        nxg.add_edges_from(g.edges())
+        expected = nx.closeness_centrality(nxg)
+        for node in range(0, g.n, 9):
+            ours = estimate_closeness(oracle, g, node, num_targets=g.n, rng=2)
+            # Sampled estimator with the full population = exact
+            # inverse-mean; NetworkX additionally multiplies by the
+            # reachable fraction, which is 1 on a connected graph.
+            assert ours == pytest.approx(expected[node], rel=0.02)
+
+    def test_isolated_node_zero(self):
+        from repro.graph.builder import graph_from_edges
+
+        g = graph_from_edges([(0, 1)], n=3)
+        oracle = ApspOracle(g)
+        assert estimate_closeness(oracle, g, 2, num_targets=2, rng=3) == 0.0
+
+
+class TestRanking:
+    def test_star_ranking(self):
+        g = star_graph(15)
+        oracle = ApspOracle(g)
+        ranked = rank_by_closeness(oracle, g, num_targets=14, rng=4)
+        assert ranked[0][0] == 0  # the hub wins
+
+    def test_subset_ranking(self):
+        g = path_graph(9)
+        oracle = ApspOracle(g)
+        ranked = rank_by_closeness(oracle, g, nodes=[0, 4, 8], num_targets=8, rng=5)
+        assert ranked[0][0] == 4  # the middle of a path is most central
+
+    def test_empty_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(QueryError):
+            rank_by_closeness(ApspOracle(g), g, nodes=[])

@@ -1,0 +1,108 @@
+"""Distance-distribution analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distances import (
+    DistanceDistribution,
+    estimate_distance_distribution,
+    mean_separation,
+)
+from repro.baselines.apsp import ApspOracle
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.exceptions import QueryError
+from repro.experiments.workloads import sample_pair_workload
+from repro.graph.builder import graph_from_edges, path_graph
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_connected_graph(250, 700, seed=121)
+
+
+@pytest.fixture(scope="module")
+def oracle(graph):
+    return VicinityOracle.build(
+        graph, config=OracleConfig(alpha=4.0, seed=3, fallback="bidirectional")
+    )
+
+
+class TestDistributionObject:
+    def test_record_and_moments(self):
+        dist = DistanceDistribution()
+        for d in (1, 2, 2, 3, None):
+            dist.record(d)
+        assert dist.answered == 4
+        assert dist.unanswered == 1
+        assert dist.coverage == pytest.approx(0.8)
+        assert dist.mean == pytest.approx(2.0)
+        assert dist.median == 2.0
+        assert dist.p99 == 3.0
+
+    def test_empty(self):
+        dist = DistanceDistribution()
+        assert dist.mean == 0.0
+        assert dist.median == 0.0
+        assert dist.p99 == 0.0
+        assert dist.pmf() == {}
+        assert dist.coverage == 0.0
+
+    def test_pmf_sums_to_one(self):
+        dist = DistanceDistribution()
+        for d in (1, 1, 2, 5):
+            dist.record(d)
+        assert sum(dist.pmf().values()) == pytest.approx(1.0)
+
+    def test_total_variation_zero_for_identical(self):
+        a = DistanceDistribution()
+        b = DistanceDistribution()
+        for d in (1, 2, 3):
+            a.record(d)
+            b.record(d)
+        assert a.total_variation(b) == pytest.approx(0.0)
+
+    def test_total_variation_disjoint(self):
+        a = DistanceDistribution()
+        b = DistanceDistribution()
+        a.record(1)
+        b.record(9)
+        assert a.total_variation(b) == pytest.approx(1.0)
+
+
+class TestEstimation:
+    def test_oracle_matches_exact_distribution(self, graph, oracle):
+        workload = sample_pair_workload(graph, 40, rng=5)
+        ours = estimate_distance_distribution(oracle, graph, workload=workload)
+        exact = estimate_distance_distribution(
+            ApspOracle(graph), graph, workload=workload
+        )
+        # The oracle with fallback answers everything, exactly.
+        assert ours.coverage == pytest.approx(1.0)
+        assert ours.total_variation(exact) == pytest.approx(0.0)
+
+    def test_path_graph_distribution(self):
+        g = path_graph(6)
+        dist = estimate_distance_distribution(
+            ApspOracle(g), g, num_nodes=6, rng=1
+        )
+        # All 15 pairs of the path; distances 1..5.
+        assert dist.answered == 15
+        assert dist.histogram[1] == 5
+        assert dist.histogram[5] == 1
+
+    def test_mean_separation(self, graph, oracle):
+        separation = mean_separation(oracle, graph, num_nodes=30, rng=7)
+        assert 1.0 < separation < 10.0
+
+    def test_mean_separation_unanswerable(self):
+        g = graph_from_edges([], n=4)  # no edges at all
+
+        class NoAnswer:
+            def distance(self, s, t):
+                return None
+
+        with pytest.raises(QueryError):
+            mean_separation(NoAnswer(), g, num_nodes=3, rng=1)

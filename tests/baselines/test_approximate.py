@@ -1,0 +1,141 @@
+"""Approximate comparators: upper-bound property and error behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.apsp import ApspOracle
+from repro.baselines.landmark_estimate import LandmarkEstimateOracle
+from repro.baselines.sketch import SketchOracle
+from repro.exceptions import IndexBuildError
+from repro.graph.builder import graph_from_edges
+from repro.graph.traversal.bfs import bfs_distances
+
+from tests.conftest import random_connected_graph, random_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_connected_graph(200, 520, seed=101)
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    return {s: bfs_distances(graph, s) for s in range(0, graph.n, 13)}
+
+
+class TestApsp:
+    def test_exact(self, graph, truth):
+        oracle = ApspOracle(graph)
+        for s, dist in truth.items():
+            for t in range(0, graph.n, 7):
+                expected = None if dist[t] < 0 else int(dist[t])
+                assert oracle.distance(s, t) == expected
+
+    def test_disconnected(self):
+        g = graph_from_edges([(0, 1)], n=3)
+        assert ApspOracle(g).distance(0, 2) is None
+
+    def test_memory_accessors(self, graph):
+        oracle = ApspOracle(graph)
+        assert oracle.entries == graph.n * graph.n
+        assert oracle.nbytes == graph.n * graph.n * 2
+
+    def test_size_guard(self, monkeypatch):
+        import repro.baselines.apsp as apsp_module
+
+        g = random_graph(30, 60, seed=2)
+        monkeypatch.setattr(apsp_module, "MAX_NODES", 10)
+        with pytest.raises(IndexBuildError, match="refusing"):
+            apsp_module.ApspOracle(g)
+
+    def test_weighted_rejected(self):
+        g = random_graph(20, 50, seed=1, weighted=True)
+        with pytest.raises(IndexBuildError):
+            ApspOracle(g)
+
+
+class TestLandmarkEstimate:
+    def test_upper_bound_property(self, graph, truth):
+        oracle = LandmarkEstimateOracle(graph, num_landmarks=12, rng=1)
+        for s, dist in truth.items():
+            for t in range(0, graph.n, 5):
+                estimate = oracle.distance(s, t)
+                if dist[t] < 0:
+                    continue
+                assert estimate is not None
+                assert estimate >= dist[t]
+
+    def test_exact_when_endpoint_is_landmark(self, graph, truth):
+        oracle = LandmarkEstimateOracle(graph, num_landmarks=8, strategy="degree")
+        landmark = int(oracle.landmarks[0])
+        dist = bfs_distances(graph, landmark)
+        for t in range(0, graph.n, 9):
+            if dist[t] >= 0:
+                assert oracle.distance(landmark, t) == int(dist[t])
+
+    def test_more_landmarks_tighter(self, graph, truth):
+        # Degree strategy takes the top-k prefix, so the landmark sets
+        # nest and estimates can only tighten.
+        few = LandmarkEstimateOracle(graph, num_landmarks=2, strategy="degree")
+        many = LandmarkEstimateOracle(graph, num_landmarks=32, strategy="degree")
+        worse = 0
+        for s, dist in truth.items():
+            for t in range(0, graph.n, 11):
+                if dist[t] < 0:
+                    continue
+                a = few.distance(s, t)
+                b = many.distance(s, t)
+                if a is not None and b is not None and b > a:
+                    worse += 1
+        assert worse == 0  # superset of landmarks can only tighten
+
+    def test_identical(self, graph):
+        oracle = LandmarkEstimateOracle(graph, num_landmarks=4)
+        assert oracle.distance(3, 3) == 0
+
+    def test_entries(self, graph):
+        oracle = LandmarkEstimateOracle(graph, num_landmarks=5)
+        assert oracle.entries == 5 * graph.n
+
+    def test_invalid_args(self, graph):
+        with pytest.raises(IndexBuildError):
+            LandmarkEstimateOracle(graph, num_landmarks=0)
+        with pytest.raises(IndexBuildError):
+            LandmarkEstimateOracle(graph, strategy="psychic")
+
+
+class TestSketch:
+    def test_upper_bound_property(self, graph, truth):
+        oracle = SketchOracle(graph, repetitions=2, rng=2)
+        for s, dist in truth.items():
+            for t in range(0, graph.n, 5):
+                estimate = oracle.distance(s, t)
+                if estimate is None:
+                    continue
+                assert dist[t] >= 0
+                assert estimate >= dist[t]
+
+    def test_mostly_answerable_on_connected(self, graph):
+        oracle = SketchOracle(graph, repetitions=2, rng=3)
+        rng = np.random.default_rng(4)
+        answered = 0
+        for _ in range(200):
+            s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+            if oracle.distance(s, t) is not None:
+                answered += 1
+        # The size-1 seed set gives every node a shared top seed, so
+        # coverage on a connected graph should be total.
+        assert answered == 200
+
+    def test_identical(self, graph):
+        oracle = SketchOracle(graph, repetitions=1, rng=5)
+        assert oracle.distance(7, 7) == 0
+
+    def test_entries_scale_with_repetitions(self, graph):
+        one = SketchOracle(graph, repetitions=1, rng=6)
+        three = SketchOracle(graph, repetitions=3, rng=6)
+        assert three.entries > one.entries
+
+    def test_invalid(self, graph):
+        with pytest.raises(IndexBuildError):
+            SketchOracle(graph, repetitions=0)

@@ -1,0 +1,111 @@
+"""Exact baselines: correctness and instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import (
+    AltBaseline,
+    BFSBaseline,
+    BidirectionalBaseline,
+    BidirectionalDijkstraBaseline,
+    DijkstraBaseline,
+)
+from repro.graph.builder import graph_from_edges
+from repro.graph.traversal.bfs import bfs_distances
+from repro.graph.traversal.dijkstra import dijkstra_distances
+
+from tests.conftest import random_connected_graph, random_graph
+
+
+@pytest.fixture(scope="module")
+def unweighted():
+    return random_connected_graph(150, 420, seed=91)
+
+
+@pytest.fixture(scope="module")
+def weighted():
+    return random_connected_graph(120, 330, seed=92, weighted=True)
+
+
+class TestUnweightedBaselines:
+    @pytest.mark.parametrize("engine_cls", [BFSBaseline, BidirectionalBaseline])
+    def test_exact(self, engine_cls, unweighted):
+        engine = engine_cls(unweighted)
+        truth = bfs_distances(unweighted, 0)
+        for t in range(0, unweighted.n, 3):
+            expected = None if truth[t] < 0 else int(truth[t])
+            assert engine.distance(0, t) == expected
+
+    def test_disconnected(self):
+        g = graph_from_edges([(0, 1)], n=3)
+        assert BFSBaseline(g).distance(0, 2) is None
+        assert BidirectionalBaseline(g).distance(0, 2) is None
+
+    def test_counters_grow(self, unweighted):
+        engine = BFSBaseline(unweighted)
+        engine.distance(0, unweighted.n - 1)
+        assert engine.counters.queries == 1
+        assert engine.counters.edges_scanned > 0
+        assert engine.counters.mean_edges > 0
+
+    def test_bidirectional_scans_fewer_edges(self, unweighted):
+        bfs = BFSBaseline(unweighted)
+        bidi = BidirectionalBaseline(unweighted)
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            s, t = (int(x) for x in rng.integers(0, unweighted.n, 2))
+            bfs.distance(s, t)
+            bidi.distance(s, t)
+        assert bidi.counters.edges_scanned < bfs.counters.edges_scanned
+
+
+class TestWeightedBaselines:
+    @pytest.mark.parametrize(
+        "engine_cls", [DijkstraBaseline, BidirectionalDijkstraBaseline]
+    )
+    def test_exact(self, engine_cls, weighted):
+        engine = engine_cls(weighted)
+        truth = dijkstra_distances(weighted, 0)
+        for t in range(0, weighted.n, 3):
+            got = engine.distance(0, t)
+            if truth[t] == np.inf:
+                assert got is None
+            else:
+                assert got == pytest.approx(truth[t])
+
+    def test_identical(self, weighted):
+        assert DijkstraBaseline(weighted).distance(4, 4) == 0.0
+        assert BidirectionalDijkstraBaseline(weighted).distance(4, 4) == 0.0
+
+
+class TestAlt:
+    def test_exact_on_unweighted(self, unweighted):
+        engine = AltBaseline(unweighted, num_landmarks=6, seed=1)
+        truth = bfs_distances(unweighted, 5)
+        for t in range(0, unweighted.n, 4):
+            got = engine.distance(5, t)
+            if truth[t] < 0:
+                assert got is None
+            else:
+                assert got == pytest.approx(float(truth[t]))
+
+    def test_exact_on_weighted(self, weighted):
+        # On weighted graphs the landmark vectors come from Dijkstra,
+        # so triangle-inequality bounds stay admissible.
+        engine = AltBaseline(weighted, num_landmarks=4, seed=2)
+        truth = dijkstra_distances(weighted, 0)
+        for t in range(0, weighted.n, 5):
+            got = engine.distance(0, t)
+            if truth[t] == np.inf:
+                assert got is None
+            else:
+                assert got == pytest.approx(truth[t])
+
+    def test_more_landmarks_never_hurt_exactness(self, unweighted):
+        truth = bfs_distances(unweighted, 1)
+        for k in (1, 3, 8):
+            engine = AltBaseline(unweighted, num_landmarks=k, seed=3)
+            for t in range(0, unweighted.n, 17):
+                got = engine.distance(1, t)
+                expected = None if truth[t] < 0 else float(truth[t])
+                assert got == expected

@@ -1,0 +1,70 @@
+"""Batch query API tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.graph.traversal.bfs import bfs_distances
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    graph = random_connected_graph(220, 620, seed=141)
+    return VicinityOracle.build(
+        graph, config=OracleConfig(alpha=4.0, seed=5, fallback="bidirectional")
+    )
+
+
+class TestQueryMany:
+    def test_matches_single_queries(self, oracle):
+        rng = np.random.default_rng(1)
+        pairs = [tuple(int(x) for x in rng.integers(0, oracle.graph.n, 2)) for _ in range(60)]
+        batch = oracle.query_many(pairs)
+        assert len(batch) == 60
+        for (s, t), result in zip(pairs, batch):
+            assert result.source == s and result.target == t
+            assert result.distance == oracle.query(s, t).distance
+
+    def test_with_paths(self, oracle):
+        rng = np.random.default_rng(2)
+        pairs = [tuple(int(x) for x in rng.integers(0, oracle.graph.n, 2)) for _ in range(20)]
+        for result in oracle.query_many(pairs, with_path=True):
+            if result.path is not None:
+                assert result.path[0] == result.source
+                assert result.path[-1] == result.target
+
+    def test_empty_batch(self, oracle):
+        assert oracle.query_many([]) == []
+
+
+class TestDistancesFrom:
+    def test_matches_bfs(self, oracle):
+        graph = oracle.graph
+        truth = bfs_distances(graph, 3)
+        targets = list(range(0, graph.n, 5))
+        got = oracle.distances_from(3, targets)
+        for target, distance in zip(targets, got):
+            expected = None if truth[target] < 0 else int(truth[target])
+            assert distance == expected
+
+    def test_landmark_source_fast_path(self, oracle):
+        landmark = int(oracle.index.landmarks.ids[0])
+        graph = oracle.graph
+        truth = bfs_distances(graph, landmark)
+        targets = list(range(0, graph.n, 7))
+        got = oracle.distances_from(landmark, targets)
+        for target, distance in zip(targets, got):
+            expected = None if truth[target] < 0 else int(truth[target])
+            assert distance == expected
+
+    def test_source_included_in_targets(self, oracle):
+        landmark = int(oracle.index.landmarks.ids[0])
+        assert oracle.distances_from(landmark, [landmark]) == [0]
+        non_landmark = next(
+            u for u in range(oracle.graph.n)
+            if not oracle.index.landmarks.is_landmark[u]
+        )
+        assert oracle.distances_from(non_landmark, [non_landmark]) == [0]

@@ -1,0 +1,66 @@
+"""OracleConfig validation tests."""
+
+import pytest
+
+from repro.core.config import FALLBACKS, KERNELS, OracleConfig
+from repro.exceptions import IndexBuildError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = OracleConfig()
+        assert config.alpha == 4.0
+        assert config.probability_scale == "auto"
+
+    def test_alpha_positive(self):
+        with pytest.raises(IndexBuildError):
+            OracleConfig(alpha=0)
+        with pytest.raises(IndexBuildError):
+            OracleConfig(alpha=-1)
+
+    def test_scale_validation(self):
+        OracleConfig(probability_scale=2.0)
+        OracleConfig(probability_scale="auto")
+        with pytest.raises(IndexBuildError):
+            OracleConfig(probability_scale=0.0)
+        with pytest.raises(IndexBuildError):
+            OracleConfig(probability_scale="magic")
+
+    def test_kernel_validation(self):
+        for kernel in KERNELS:
+            OracleConfig(kernel=kernel)
+        with pytest.raises(IndexBuildError):
+            OracleConfig(kernel="quantum")
+
+    def test_fallback_validation(self):
+        for fallback in FALLBACKS:
+            OracleConfig(fallback=fallback)
+        with pytest.raises(IndexBuildError):
+            OracleConfig(fallback="magic")
+
+    def test_landmark_tables_validation(self):
+        OracleConfig(landmark_tables="none")
+        with pytest.raises(IndexBuildError):
+            OracleConfig(landmark_tables="some")
+
+    def test_max_landmarks_validation(self):
+        OracleConfig(max_landmarks=5)
+        with pytest.raises(IndexBuildError):
+            OracleConfig(max_landmarks=0)
+
+    def test_floor_validation(self):
+        OracleConfig(vicinity_floor=0.5)
+        with pytest.raises(IndexBuildError):
+            OracleConfig(vicinity_floor=-0.1)
+
+    def test_frozen(self):
+        config = OracleConfig()
+        with pytest.raises(Exception):
+            config.alpha = 8.0
+
+    def test_with_updates(self):
+        config = OracleConfig(alpha=4.0)
+        updated = config.with_updates(alpha=16.0, kernel="full-source")
+        assert updated.alpha == 16.0
+        assert updated.kernel == "full-source"
+        assert config.alpha == 4.0

@@ -1,0 +1,148 @@
+"""Directed extension tests: exactness and the boundary lemma analogue."""
+
+import numpy as np
+import pytest
+
+from repro.core.directed import (
+    DirectedVicinityOracle,
+    directed_bidirectional_bfs,
+)
+from repro.datasets.chung_lu import directed_chung_lu_graph, powerlaw_weights
+from repro.exceptions import IndexBuildError
+from repro.graph.builder import digraph_from_arrays, digraph_from_edges
+from repro.graph.traversal.vectorized import digraph_bfs_tree_vectorized
+
+
+def random_digraph(n, arcs, seed=0):
+    rng = np.random.default_rng(seed)
+    return digraph_from_arrays(
+        rng.integers(0, n, arcs), rng.integers(0, n, arcs), n=n
+    )
+
+
+def directed_truth(graph, source):
+    dist, _ = digraph_bfs_tree_vectorized(
+        graph.out_indptr, graph.out_indices, graph.n, source
+    )
+    return dist
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    graph = random_digraph(260, 1600, seed=61)
+    return DirectedVicinityOracle.build(graph, alpha=4.0, seed=3)
+
+
+class TestDirectedBidirectionalBfs:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_forward_bfs(self, seed):
+        graph = random_digraph(80, 400, seed=seed)
+        for s in range(0, graph.n, 11):
+            truth = directed_truth(graph, s)
+            for t in range(0, graph.n, 7):
+                got = directed_bidirectional_bfs(graph, s, t)
+                if truth[t] < 0:
+                    assert got is None
+                else:
+                    assert got[0] == truth[t], (s, t)
+
+    def test_path_valid(self):
+        graph = random_digraph(80, 420, seed=3)
+        truth = directed_truth(graph, 0)
+        for t in range(graph.n):
+            if truth[t] < 0:
+                continue
+            distance, path = directed_bidirectional_bfs(graph, 0, t, with_path=True)
+            assert path[0] == 0 and path[-1] == t
+            assert len(path) - 1 == distance
+            for a, b in zip(path, path[1:]):
+                assert graph.has_arc(a, b)
+
+    def test_asymmetry_respected(self):
+        graph = digraph_from_edges([(0, 1), (1, 2)])
+        assert directed_bidirectional_bfs(graph, 0, 2)[0] == 2
+        assert directed_bidirectional_bfs(graph, 2, 0) is None
+
+
+class TestDirectedOracle:
+    def test_exactness_on_random_pairs(self, oracle):
+        graph = oracle.graph
+        rng = np.random.default_rng(4)
+        for _ in range(300):
+            s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+            truth = directed_truth(graph, s)[t]
+            result = oracle.query(s, t)
+            expected = None if truth < 0 else int(truth)
+            assert result.distance == expected, (s, t, result.method)
+
+    def test_paths_are_valid_directed_walks(self, oracle):
+        graph = oracle.graph
+        rng = np.random.default_rng(5)
+        for _ in range(120):
+            s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+            result = oracle.query(s, t, with_path=True)
+            if result.distance is None or result.path is None:
+                continue
+            path = result.path
+            assert path[0] == s and path[-1] == t
+            assert len(path) - 1 == result.distance
+            for a, b in zip(path, path[1:]):
+                assert graph.has_arc(a, b)
+
+    def test_intersection_exact_without_fallback(self):
+        graph = random_digraph(220, 1400, seed=62)
+        oracle = DirectedVicinityOracle.build(
+            graph, alpha=4.0, seed=1, fallback="none"
+        )
+        rng = np.random.default_rng(6)
+        intersections = 0
+        for _ in range(400):
+            s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+            result = oracle.query(s, t)
+            if result.method == "intersection":
+                intersections += 1
+                truth = directed_truth(graph, s)[t]
+                assert result.distance == int(truth)
+        assert intersections > 0  # the theorem analogue was exercised
+
+    def test_social_digraph_end_to_end(self):
+        weights = powerlaw_weights(600, exponent=2.4, mean_degree=10, rng=1)
+        graph = directed_chung_lu_graph(weights, reciprocity=0.4, rng=2)
+        oracle = DirectedVicinityOracle.build(graph, alpha=4.0, seed=2)
+        rng = np.random.default_rng(7)
+        for _ in range(150):
+            s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+            truth = directed_truth(graph, s)[t]
+            expected = None if truth < 0 else int(truth)
+            assert oracle.query(s, t).distance == expected
+
+    def test_weighted_rejected(self):
+        graph = digraph_from_arrays(
+            np.array([0]), np.array([1]), weights=np.array([2.0])
+        )
+        with pytest.raises(IndexBuildError):
+            DirectedVicinityOracle.build(graph)
+
+    def test_empty_rejected(self):
+        graph = digraph_from_edges([], n=0)
+        with pytest.raises(IndexBuildError):
+            DirectedVicinityOracle.build(graph)
+
+    def test_vicinity_floor_improves_intersections(self):
+        graph = random_digraph(300, 1500, seed=63)
+        plain = DirectedVicinityOracle.build(
+            graph, alpha=1.0, seed=5, fallback="none"
+        )
+        floored = DirectedVicinityOracle.build(
+            graph, alpha=1.0, seed=5, fallback="none", vicinity_floor=1.0
+        )
+        rng = np.random.default_rng(8)
+        pairs = [(int(a), int(b)) for a, b in rng.integers(0, graph.n, (300, 2))]
+        plain_hits = sum(plain.query(s, t).distance is not None for s, t in pairs)
+        floored_hits = sum(floored.query(s, t).distance is not None for s, t in pairs)
+        assert floored_hits >= plain_hits
+
+    def test_counters(self, oracle):
+        oracle.counters.reset()
+        oracle.query(0, 1)
+        assert oracle.counters.queries == 1

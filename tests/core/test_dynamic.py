@@ -1,0 +1,140 @@
+"""Dynamic-oracle tests: insertions must match a fresh rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.dynamic import DynamicVicinityOracle
+from repro.core.index import VicinityIndex
+from repro.core.oracle import VicinityOracle
+from repro.exceptions import EdgeError, IndexBuildError
+from repro.graph.builder import path_graph
+from repro.graph.traversal.bfs import bfs_distance
+
+from tests.conftest import random_connected_graph
+
+
+def fresh_equivalent(dynamic):
+    """Rebuild a static index on the current graph with the same L."""
+    index = VicinityIndex.from_landmarks(
+        dynamic.graph, dynamic.index.config, dynamic.index.landmarks
+    )
+    return VicinityOracle(index)
+
+
+class TestAddEdge:
+    def test_distance_updates(self):
+        oracle = DynamicVicinityOracle.build(path_graph(10), alpha=4.0, seed=1)
+        assert oracle.distance(0, 9) == 9
+        assert oracle.add_edge(0, 9)
+        assert oracle.distance(0, 9) == 1
+        assert oracle.distance(1, 8) == 3  # 1-0-9-8
+
+    def test_duplicate_edge_noop(self):
+        oracle = DynamicVicinityOracle.build(path_graph(5), alpha=4.0, seed=1)
+        assert not oracle.add_edge(0, 1)
+        assert oracle.edges_added == 0
+
+    def test_self_loop_rejected(self):
+        oracle = DynamicVicinityOracle.build(path_graph(5), alpha=4.0, seed=1)
+        with pytest.raises(EdgeError):
+            oracle.add_edge(2, 2)
+
+    def test_weighted_rejected(self):
+        graph = random_connected_graph(50, 120, seed=81, weighted=True)
+        with pytest.raises(IndexBuildError):
+            DynamicVicinityOracle.build(graph, alpha=4.0, seed=1)
+
+    def test_matches_fresh_rebuild_after_insertions(self):
+        graph = random_connected_graph(200, 500, seed=82)
+        dynamic = DynamicVicinityOracle.build(graph, alpha=4.0, seed=2)
+        rng = np.random.default_rng(3)
+        added = 0
+        while added < 8:
+            u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+            if u == v or dynamic.graph.has_edge(u, v):
+                continue
+            assert dynamic.add_edge(u, v)
+            added += 1
+        static = fresh_equivalent(dynamic)
+        for _ in range(250):
+            s, t = (int(x) for x in rng.integers(0, dynamic.graph.n, 2))
+            assert dynamic.query(s, t).distance == static.query(s, t).distance, (s, t)
+
+    def test_landmark_tables_repaired_exactly(self):
+        graph = random_connected_graph(150, 380, seed=83)
+        dynamic = DynamicVicinityOracle.build(graph, alpha=4.0, seed=4)
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+            if u == v or dynamic.graph.has_edge(u, v):
+                continue
+            dynamic.add_edge(u, v)
+        from repro.graph.traversal.bfs import bfs_distances
+
+        for landmark, table in dynamic.index.tables.items():
+            expected = bfs_distances(dynamic.graph, landmark)
+            assert np.array_equal(table.dist, expected), landmark
+
+    def test_queries_exact_after_updates(self):
+        graph = random_connected_graph(150, 380, seed=84)
+        dynamic = DynamicVicinityOracle.build(graph, alpha=4.0, seed=6)
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+            if u != v and not dynamic.graph.has_edge(u, v):
+                dynamic.add_edge(u, v)
+        for _ in range(200):
+            s, t = (int(x) for x in rng.integers(0, dynamic.graph.n, 2))
+            assert dynamic.query(s, t).distance == bfs_distance(dynamic.graph, s, t)
+
+    def test_paths_valid_after_updates(self):
+        graph = random_connected_graph(120, 300, seed=85)
+        dynamic = DynamicVicinityOracle.build(graph, alpha=4.0, seed=8)
+        rng = np.random.default_rng(9)
+        for _ in range(4):
+            u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+            if u != v and not dynamic.graph.has_edge(u, v):
+                dynamic.add_edge(u, v)
+        for _ in range(80):
+            s, t = (int(x) for x in rng.integers(0, dynamic.graph.n, 2))
+            result = dynamic.query(s, t, with_path=True)
+            if result.path is None:
+                continue
+            for a, b in zip(result.path, result.path[1:]):
+                assert dynamic.graph.has_edge(a, b)
+
+
+class TestStaleness:
+    def test_zero_when_untouched(self):
+        graph = random_connected_graph(100, 250, seed=86)
+        dynamic = DynamicVicinityOracle.build(graph, alpha=4.0, seed=10)
+        assert dynamic.staleness() == pytest.approx(0.0)
+
+    def test_grows_with_insertions(self):
+        graph = random_connected_graph(100, 250, seed=87)
+        dynamic = DynamicVicinityOracle.build(graph, alpha=4.0, seed=11)
+        rng = np.random.default_rng(12)
+        before = dynamic.staleness()
+        added = 0
+        while added < 10:
+            u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+            if u != v and not dynamic.graph.has_edge(u, v):
+                dynamic.add_edge(u, v)
+                added += 1
+        assert dynamic.staleness() > before
+
+    def test_rebuild_resets(self):
+        graph = random_connected_graph(100, 250, seed=88)
+        dynamic = DynamicVicinityOracle.build(graph, alpha=4.0, seed=13)
+        rng = np.random.default_rng(14)
+        added = 0
+        while added < 5:
+            u, v = (int(x) for x in rng.integers(0, graph.n, 2))
+            if u != v and not dynamic.graph.has_edge(u, v):
+                dynamic.add_edge(u, v)
+                added += 1
+        dynamic.rebuild()
+        assert dynamic.staleness() == pytest.approx(0.0)
+        s, t = 0, graph.n - 1
+        assert dynamic.query(s, t).distance == bfs_distance(dynamic.graph, s, t)

@@ -1,0 +1,136 @@
+"""Offline-phase (VicinityIndex) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.index import VicinityIndex
+from repro.core.landmarks import landmark_set_from_ids
+from repro.exceptions import IndexBuildError
+from repro.graph.builder import empty_graph, path_graph
+from repro.graph.traversal.bfs import bfs_distances
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def small_index():
+    graph = random_connected_graph(300, 900, seed=11)
+    return VicinityIndex.build(graph, OracleConfig(alpha=4.0, seed=3))
+
+
+class TestBuild:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(IndexBuildError):
+            VicinityIndex.build(empty_graph(0))
+
+    def test_landmarks_have_empty_vicinities(self, small_index):
+        for landmark in small_index.landmarks.ids.tolist():
+            vic = small_index.vicinity(landmark)
+            assert vic.size == 0
+            assert vic.radius == 0
+
+    def test_every_landmark_has_table(self, small_index):
+        for landmark in small_index.landmarks.ids.tolist():
+            assert small_index.table(landmark) is not None
+
+    def test_tables_match_bfs(self, small_index):
+        graph = small_index.graph
+        for landmark in small_index.landmarks.ids.tolist()[:3]:
+            expected = bfs_distances(graph, landmark)
+            assert np.array_equal(small_index.table(landmark).dist, expected)
+
+    def test_vicinity_distances_exact(self, small_index):
+        graph = small_index.graph
+        flags = small_index.landmarks.is_landmark
+        checked = 0
+        for u in range(0, graph.n, 37):
+            if flags[u]:
+                continue
+            expected = bfs_distances(graph, u)
+            vic = small_index.vicinity(u)
+            for v in vic.members:
+                assert vic.dist[v] == expected[v]
+            checked += 1
+        assert checked > 0
+
+    def test_radius_is_distance_to_landmark_set(self, small_index):
+        from repro.graph.traversal.bfs import multi_source_bfs
+
+        radii = multi_source_bfs(small_index.graph, small_index.landmarks.ids.tolist())
+        flags = small_index.landmarks.is_landmark
+        for u in range(small_index.n):
+            if flags[u]:
+                continue
+            assert small_index.radius(u) == radii[u]
+
+    def test_no_tables_mode(self):
+        graph = random_connected_graph(150, 450, seed=12)
+        index = VicinityIndex.build(
+            graph, OracleConfig(alpha=4.0, seed=1, landmark_tables="none")
+        )
+        assert index.tables == {}
+
+    def test_store_paths_false(self):
+        graph = random_connected_graph(150, 450, seed=13)
+        index = VicinityIndex.build(
+            graph, OracleConfig(alpha=4.0, seed=1, store_paths=False)
+        )
+        flags = index.landmarks.is_landmark
+        non_landmark = next(u for u in range(graph.n) if not flags[u])
+        assert index.vicinity(non_landmark).pred == {}
+        table = index.table(index.landmarks.ids[0])
+        assert table.parent is None
+
+    def test_from_landmarks_frozen_set(self):
+        graph = path_graph(12)
+        landmarks = landmark_set_from_ids(graph, [6], alpha=4.0)
+        index = VicinityIndex.from_landmarks(
+            graph, OracleConfig(alpha=4.0, probability_scale=1.0), landmarks
+        )
+        assert index.landmarks.ids.tolist() == [6]
+        # Node 0's radius is its distance to the single landmark.
+        assert index.radius(0) == 6
+
+    def test_progress_callback_invoked(self):
+        graph = random_connected_graph(120, 360, seed=14)
+        stages = []
+        VicinityIndex.build(
+            graph,
+            OracleConfig(alpha=4.0, seed=2),
+            progress=lambda stage, done, total: stages.append(stage),
+        )
+        assert "vicinities" in stages
+        assert "landmark-tables" in stages
+
+    def test_floor_enlarges_vicinities(self):
+        graph = random_connected_graph(250, 800, seed=15)
+        base = VicinityIndex.build(graph, OracleConfig(alpha=1.0, seed=4))
+        floored = VicinityIndex.build(
+            graph, OracleConfig(alpha=1.0, seed=4, vicinity_floor=1.0)
+        )
+        flags = floored.landmarks.is_landmark
+        min_size = int(1.0 * np.sqrt(graph.n))
+        sizes = [
+            floored.vicinity(u).size for u in range(graph.n) if not flags[u]
+        ]
+        # Every floored vicinity meets the minimum (unless it swallowed
+        # its whole component).
+        for u, size in zip((u for u in range(graph.n) if not flags[u]), sizes):
+            assert size >= min(min_size, graph.n - 1) or floored.vicinity(u).radius is None
+        base_mean = np.mean(
+            [base.vicinity(u).size for u in range(graph.n) if not base.landmarks.is_landmark[u]]
+        )
+        assert np.mean(sizes) >= base_mean
+
+    def test_floor_rejected_on_weighted(self):
+        graph = random_connected_graph(60, 150, seed=16, weighted=True)
+        with pytest.raises(IndexBuildError, match="unweighted"):
+            VicinityIndex.build(
+                graph, OracleConfig(alpha=4.0, seed=1, vicinity_floor=0.5)
+            )
+
+    def test_repr(self, small_index):
+        text = repr(small_index)
+        assert "VicinityIndex" in text
+        assert "landmarks=" in text

@@ -1,0 +1,99 @@
+"""Intersection kernel unit tests."""
+
+import pytest
+
+from repro.core.intersect import run_kernel, scan_and_probe
+from repro.core.vicinity import Vicinity
+
+
+def make_vicinity(node, dist, boundary=None):
+    return Vicinity(
+        node=node,
+        radius=2,
+        dist=dict(dist),
+        pred={},
+        members=frozenset(dist),
+        boundary=list(boundary if boundary is not None else dist),
+    )
+
+
+class TestScanAndProbe:
+    def test_finds_minimum(self):
+        best, witness, probes = scan_and_probe(
+            [1, 2, 3],
+            {1: 1, 2: 2, 3: 3},
+            frozenset({2, 3}),
+            {2: 5, 3: 1},
+        )
+        assert best == 4  # w=3: 3+1
+        assert witness == 3
+        assert probes == 3
+
+    def test_no_intersection(self):
+        best, witness, probes = scan_and_probe(
+            [1, 2], {1: 1, 2: 1}, frozenset({9}), {9: 0}
+        )
+        assert best is None
+        assert witness is None
+        assert probes == 2
+
+    def test_empty_scan(self):
+        best, witness, probes = scan_and_probe([], {}, frozenset({1}), {1: 0})
+        assert best is None and probes == 0
+
+    def test_tie_keeps_first(self):
+        best, witness, _ = scan_and_probe(
+            [5, 6], {5: 2, 6: 2}, frozenset({5, 6}), {5: 2, 6: 2}
+        )
+        assert best == 4
+        assert witness == 5
+
+
+class TestKernels:
+    def setup_method(self):
+        self.vic_s = make_vicinity(
+            0, {0: 0, 1: 1, 2: 2}, boundary=[2]
+        )
+        self.vic_t = make_vicinity(
+            9, {9: 0, 8: 1, 2: 3}, boundary=[2, 8]
+        )
+
+    def test_boundary_source(self):
+        best, witness, probes = run_kernel("boundary-source", self.vic_s, self.vic_t)
+        assert best == 5 and witness == 2
+        assert probes == 1
+
+    def test_boundary_target(self):
+        best, witness, probes = run_kernel("boundary-target", self.vic_s, self.vic_t)
+        assert best == 5 and witness == 2
+        assert probes == 2
+
+    def test_boundary_smaller_picks_smaller(self):
+        _b, _w, probes = run_kernel("boundary-smaller", self.vic_s, self.vic_t)
+        assert probes == 1  # source boundary has 1 node vs 2
+
+    def test_full_source(self):
+        best, _w, probes = run_kernel("full-source", self.vic_s, self.vic_t)
+        assert best == 5
+        assert probes == 3
+
+    def test_full_smaller(self):
+        _b, _w, probes = run_kernel("full-smaller", self.vic_s, self.vic_t)
+        assert probes == 3  # equal sizes -> source side
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            run_kernel("bogus", self.vic_s, self.vic_t)
+
+    def test_all_kernels_agree_on_distance(self):
+        results = {
+            kernel: run_kernel(kernel, self.vic_s, self.vic_t)[0]
+            for kernel in (
+                "boundary-source",
+                "boundary-target",
+                "boundary-smaller",
+                "full-source",
+                "full-smaller",
+            )
+        }
+        assert len(set(results.values())) == 1

@@ -1,0 +1,144 @@
+"""Landmark sampling and calibration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.landmarks import (
+    LandmarkSet,
+    calibrate_scale,
+    landmark_set_from_ids,
+    sample_landmarks,
+    sampling_probabilities,
+)
+from repro.exceptions import IndexBuildError
+from repro.graph.builder import empty_graph, graph_from_edges, star_graph
+
+from tests.conftest import random_connected_graph, random_graph
+
+
+class TestProbabilities:
+    def test_formula(self):
+        g = star_graph(101)  # hub degree 100, leaves degree 1
+        p = sampling_probabilities(g, alpha=4.0)
+        expected_leaf = 1.0 / (4.0 * np.sqrt(101))
+        assert p[1] == pytest.approx(expected_leaf)
+        assert p[0] == pytest.approx(min(1.0, 100 * expected_leaf))
+
+    def test_proportional_to_degree(self):
+        g = random_graph(60, 200, seed=1)
+        p = sampling_probabilities(g, alpha=2.0)
+        degrees = g.degrees()
+        uncapped = p < 1.0
+        # Among uncapped nodes the ratio p/deg must be constant.
+        ratios = p[uncapped & (degrees > 0)] / degrees[uncapped & (degrees > 0)]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_scale_multiplies(self):
+        g = random_graph(60, 200, seed=2)
+        a = sampling_probabilities(g, alpha=4.0, scale=1.0)
+        b = sampling_probabilities(g, alpha=4.0, scale=2.0)
+        mask = b < 1.0
+        assert np.allclose(b[mask], 2 * a[mask])
+
+    def test_invalid_args(self):
+        g = star_graph(5)
+        with pytest.raises(IndexBuildError):
+            sampling_probabilities(g, alpha=0)
+        with pytest.raises(IndexBuildError):
+            sampling_probabilities(g, alpha=4, scale=0)
+
+    def test_empty_graph(self):
+        assert sampling_probabilities(empty_graph(0), alpha=4).size == 0
+
+
+class TestSampling:
+    def test_deterministic_under_seed(self):
+        g = random_graph(100, 300, seed=3)
+        a = sample_landmarks(g, 4.0, rng=11)
+        b = sample_landmarks(g, 4.0, rng=11)
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_flags_match_ids(self):
+        g = random_graph(100, 300, seed=4)
+        ls = sample_landmarks(g, 4.0, rng=5)
+        for u in range(g.n):
+            assert bool(ls.is_landmark[u]) == (u in ls.ids)
+
+    def test_contains_protocol(self):
+        g = random_graph(50, 150, seed=5)
+        ls = sample_landmarks(g, 4.0, rng=6)
+        if len(ls):
+            assert int(ls.ids[0]) in ls
+
+    def test_per_component_forcing(self):
+        # Two components; tiny alpha makes natural sampling unlikely in
+        # the small one, forcing must cover it anyway.
+        g = graph_from_edges([(0, 1), (1, 2), (3, 4)], n=5)
+        ls = sample_landmarks(g, 64.0, rng=1, per_component=True)
+        covered = {0, 1, 2} & set(ls.ids.tolist())
+        covered_small = {3, 4} & set(ls.ids.tolist())
+        assert covered and covered_small
+
+    def test_never_empty_without_per_component(self):
+        g = random_graph(40, 100, seed=6)
+        ls = sample_landmarks(g, 1e9, rng=2, per_component=False)
+        assert len(ls) >= 1
+
+    def test_max_landmarks_cap(self):
+        g = random_connected_graph(200, 900, seed=7)
+        ls = sample_landmarks(g, 0.25, rng=3, max_landmarks=5, per_component=False)
+        assert len(ls) <= 5
+        # The kept landmarks should be high degree.
+        degrees = g.degrees()
+        kept = degrees[ls.ids]
+        assert kept.min() >= np.percentile(degrees, 50)
+
+    def test_expected_size_close(self):
+        g = random_connected_graph(400, 1600, seed=8)
+        ls = sample_landmarks(g, 1.0, rng=4, per_component=False)
+        expected = ls.expected_size()
+        assert expected > 0
+        # 5-sigma tolerance on a Poisson-binomial.
+        assert abs(len(ls) - expected) < 5 * np.sqrt(expected) + 5
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(IndexBuildError):
+            sample_landmarks(empty_graph(0), 4.0)
+
+    def test_from_ids(self):
+        g = random_graph(30, 90, seed=9)
+        ls = landmark_set_from_ids(g, [3, 1, 3], alpha=4.0)
+        assert ls.ids.tolist() == [1, 3]
+        assert ls.is_landmark[1] and ls.is_landmark[3]
+
+    def test_from_ids_invalid(self):
+        g = random_graph(10, 20, seed=10)
+        with pytest.raises(IndexBuildError):
+            landmark_set_from_ids(g, [99], alpha=4.0)
+
+
+class TestCalibration:
+    def test_hits_target_size(self, social_graph):
+        rng = np.random.default_rng(0)
+        alpha = 4.0
+        scale = calibrate_scale(social_graph, alpha, rng=rng)
+        ls = sample_landmarks(social_graph, alpha, rng=rng, scale=scale)
+        from repro.graph.traversal.bounded import truncated_bfs_ball
+
+        sizes = []
+        probe = rng.choice(social_graph.n, 40, replace=False)
+        for u in probe.tolist():
+            if ls.is_landmark[u]:
+                continue
+            sizes.append(len(truncated_bfs_ball(social_graph, int(u), ls.is_landmark).gamma))
+        target = alpha * np.sqrt(social_graph.n)
+        assert 0.3 * target < np.mean(sizes) < 3.0 * target
+
+    def test_trivial_graphs_return_one(self):
+        assert calibrate_scale(empty_graph(2), 4.0, rng=0) == 1.0
+        assert calibrate_scale(graph_from_edges([], n=1), 4.0, rng=0) == 1.0
+
+    def test_deterministic(self, social_graph):
+        a = calibrate_scale(social_graph, 4.0, rng=42)
+        b = calibrate_scale(social_graph, 4.0, rng=42)
+        assert a == b

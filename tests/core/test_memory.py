@@ -1,0 +1,69 @@
+"""Memory accounting tests (§3.2 model)."""
+
+import math
+
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.memory import memory_report
+from repro.core.index import VicinityIndex
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = random_connected_graph(300, 900, seed=31)
+    return VicinityIndex.build(graph, OracleConfig(alpha=4.0, seed=7))
+
+
+class TestMemoryReport:
+    def test_entry_counts_match_structures(self, index):
+        report = memory_report(index)
+        expected_vic = sum(v.size for v in index.vicinities)
+        expected_boundary = sum(v.boundary_size for v in index.vicinities)
+        assert report.vicinity_entries == expected_vic
+        assert report.boundary_entries == expected_boundary
+        assert report.table_entries == len(index.tables) * index.n
+
+    def test_apsp_entries(self, index):
+        report = memory_report(index)
+        assert report.apsp_entries == index.n * (index.n - 1) // 2
+
+    def test_paper_ratio_definition(self, index):
+        report = memory_report(index)
+        assert report.apsp_ratio_vicinities_only == pytest.approx(
+            report.apsp_entries / report.vicinity_entries
+        )
+        assert report.apsp_ratio_total <= report.apsp_ratio_vicinities_only
+
+    def test_entries_per_node(self, index):
+        report = memory_report(index)
+        assert report.entries_per_node == pytest.approx(
+            report.vicinity_entries / index.n
+        )
+
+    def test_model_bytes_positive_and_consistent(self, index):
+        report = memory_report(index)
+        expected = (
+            (report.vicinity_entries + report.table_entries) * report.bytes_per_entry
+            + report.boundary_entries * 4
+        )
+        assert report.model_bytes == expected
+
+    def test_distance_only_entry_cost(self):
+        graph = random_connected_graph(150, 400, seed=32)
+        index = VicinityIndex.build(
+            graph, OracleConfig(alpha=4.0, seed=1, store_paths=False)
+        )
+        report = memory_report(index)
+        assert report.bytes_per_entry == 4
+
+    def test_measured_bytes_nonzero(self, index):
+        report = memory_report(index)
+        assert report.measured_container_bytes > 0
+
+    def test_summary_mentions_ratios(self, index):
+        text = memory_report(index).summary()
+        assert "APSP ratio" in text
+        assert "entries/node" in text

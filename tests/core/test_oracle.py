@@ -1,0 +1,210 @@
+"""Online-phase (Algorithm 1) tests: exactness, methods, instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import METHODS, VicinityOracle
+from repro.exceptions import NodeNotFoundError, QueryError, UnreachableError
+from repro.graph.builder import graph_from_edges, path_graph
+from repro.graph.traversal.bfs import bfs_distance, bfs_distances
+
+from tests.conftest import random_connected_graph, random_graph
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    graph = random_connected_graph(350, 1100, seed=21)
+    config = OracleConfig(alpha=4.0, seed=5, fallback="bidirectional")
+    return VicinityOracle.build(graph, config=config)
+
+
+class TestExactness:
+    def test_all_pairs_sample_exact(self, oracle):
+        graph = oracle.graph
+        rng = np.random.default_rng(1)
+        for _ in range(400):
+            s, t = rng.integers(0, graph.n, 2)
+            result = oracle.query(int(s), int(t))
+            assert result.distance == bfs_distance(graph, int(s), int(t)), result.method
+
+    def test_identical_nodes(self, oracle):
+        result = oracle.query(5, 5)
+        assert result.distance == 0
+        assert result.method == "identical"
+        assert result.probes == 0
+
+    def test_landmark_source_condition(self, oracle):
+        landmark = int(oracle.index.landmarks.ids[0])
+        target = (landmark + 1) % oracle.graph.n
+        result = oracle.query(landmark, target)
+        assert result.method in ("landmark-source", "identical", "disconnected")
+        if result.method == "landmark-source":
+            assert result.distance == bfs_distance(oracle.graph, landmark, target)
+
+    def test_landmark_target_condition(self, oracle):
+        landmark = int(oracle.index.landmarks.ids[-1])
+        flags = oracle.index.landmarks.is_landmark
+        source = next(
+            u for u in range(oracle.graph.n) if not flags[u] and u != landmark
+        )
+        result = oracle.query(source, landmark)
+        assert result.method == "landmark-target"
+
+    def test_methods_are_known(self, oracle):
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            s, t = rng.integers(0, oracle.graph.n, 2)
+            assert oracle.query(int(s), int(t)).method in METHODS
+
+    def test_unknown_nodes_raise(self, oracle):
+        with pytest.raises(NodeNotFoundError):
+            oracle.query(-1, 0)
+        with pytest.raises(NodeNotFoundError):
+            oracle.query(0, oracle.graph.n)
+
+
+class TestPaths:
+    def test_paths_valid_and_shortest(self, oracle):
+        graph = oracle.graph
+        rng = np.random.default_rng(3)
+        for _ in range(150):
+            s, t = rng.integers(0, graph.n, 2)
+            result = oracle.query(int(s), int(t), with_path=True)
+            if result.distance is None:
+                continue
+            path = result.path
+            assert path is not None
+            assert path[0] == s and path[-1] == t
+            assert len(path) - 1 == result.distance
+            for a, b in zip(path, path[1:]):
+                assert graph.has_edge(a, b)
+
+    def test_path_method(self, oracle):
+        rng = np.random.default_rng(4)
+        s, t = rng.integers(0, oracle.graph.n, 2)
+        path = oracle.path(int(s), int(t))
+        assert path[0] == s and path[-1] == t
+
+    def test_path_disconnected_raises(self):
+        graph = graph_from_edges([(0, 1), (2, 3)], n=4)
+        oracle = VicinityOracle.build(graph, config=OracleConfig(alpha=4, seed=1))
+        with pytest.raises(UnreachableError):
+            oracle.path(0, 3)
+
+    def test_distance_disconnected_is_none(self):
+        graph = graph_from_edges([(0, 1), (2, 3)], n=4)
+        oracle = VicinityOracle.build(graph, config=OracleConfig(alpha=4, seed=1))
+        result = oracle.query(0, 3)
+        assert result.distance is None
+        assert result.method == "disconnected"
+
+
+class TestFallbackModes:
+    def test_fallback_none_reports_miss(self):
+        graph = random_connected_graph(300, 750, seed=22)
+        config = OracleConfig(alpha=0.25, seed=2, fallback="none")
+        oracle = VicinityOracle.build(graph, config=config)
+        rng = np.random.default_rng(5)
+        methods = set()
+        for _ in range(300):
+            s, t = rng.integers(0, graph.n, 2)
+            result = oracle.query(int(s), int(t))
+            methods.add(result.method)
+            if result.distance is not None:
+                assert result.distance == bfs_distance(graph, int(s), int(t))
+        # At alpha=1/4 on a homogeneous-ish graph some pairs must miss.
+        assert "miss" in methods
+
+    def test_fallback_bidirectional_always_exact(self):
+        graph = random_connected_graph(250, 600, seed=23)
+        config = OracleConfig(alpha=0.25, seed=3, fallback="bidirectional")
+        oracle = VicinityOracle.build(graph, config=config)
+        rng = np.random.default_rng(6)
+        for _ in range(200):
+            s, t = rng.integers(0, graph.n, 2)
+            result = oracle.query(int(s), int(t))
+            assert result.distance == bfs_distance(graph, int(s), int(t))
+
+    def test_landmark_tables_none_still_exact_with_fallback(self):
+        graph = random_connected_graph(250, 650, seed=24)
+        config = OracleConfig(
+            alpha=4.0, seed=4, landmark_tables="none", fallback="bidirectional"
+        )
+        oracle = VicinityOracle.build(graph, config=config)
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            s, t = rng.integers(0, graph.n, 2)
+            result = oracle.query(int(s), int(t))
+            assert result.distance == bfs_distance(graph, int(s), int(t))
+
+
+class TestInstrumentation:
+    def test_counters_accumulate(self, oracle):
+        oracle.counters.reset()
+        rng = np.random.default_rng(8)
+        for _ in range(50):
+            s, t = rng.integers(0, oracle.graph.n, 2)
+            oracle.query(int(s), int(t))
+        assert oracle.counters.queries == 50
+        assert oracle.counters.probes > 0
+        assert oracle.counters.worst_probes >= oracle.counters.mean_probes
+        assert sum(oracle.counters.by_method.values()) == 50
+
+    def test_reset(self, oracle):
+        oracle.counters.reset()
+        assert oracle.counters.queries == 0
+        assert oracle.counters.mean_probes == 0.0
+
+    def test_probes_reported_per_query(self, oracle):
+        flags = oracle.index.landmarks.is_landmark
+        s = next(u for u in range(oracle.graph.n) if not flags[u])
+        t = next(
+            u for u in range(oracle.graph.n - 1, -1, -1) if not flags[u] and u != s
+        )
+        result = oracle.query(s, t)
+        assert result.probes >= 4  # at least the four condition checks
+
+
+class TestKernelsAgree:
+    @pytest.mark.parametrize(
+        "kernel",
+        ["boundary-source", "boundary-target", "boundary-smaller", "full-source", "full-smaller"],
+    )
+    def test_kernel_equivalence(self, kernel):
+        graph = random_connected_graph(220, 660, seed=25)
+        config = OracleConfig(alpha=4.0, seed=6, kernel=kernel, fallback="none")
+        oracle = VicinityOracle.build(graph, config=config)
+        expected = bfs_distances(graph, 0)
+        for t in range(0, graph.n, 7):
+            result = oracle.query(0, t)
+            if result.distance is not None:
+                want = None if expected[t] < 0 else int(expected[t])
+                assert result.distance == want
+
+
+class TestBuildApi:
+    def test_shorthand_build(self):
+        graph = path_graph(30)
+        oracle = VicinityOracle.build(graph, alpha=2.0, seed=1)
+        assert oracle.config.alpha == 2.0
+
+    def test_config_and_overrides_conflict(self):
+        graph = path_graph(10)
+        with pytest.raises(QueryError):
+            VicinityOracle.build(
+                graph, config=OracleConfig(), fallback="none"
+            )
+
+    def test_store_paths_false_query_raises_for_path(self):
+        graph = path_graph(20)
+        config = OracleConfig(alpha=4, seed=1, store_paths=False, fallback="none")
+        oracle = VicinityOracle.build(graph, config=config)
+        with pytest.raises(QueryError):
+            oracle.query(0, 5, with_path=True)
+
+    def test_stats_and_memory_accessors(self, oracle):
+        stats = oracle.stats()
+        assert stats.n == oracle.graph.n
+        memory = oracle.memory()
+        assert memory.vicinity_entries > 0

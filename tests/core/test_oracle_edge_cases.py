@@ -1,0 +1,139 @@
+"""Oracle exactness on structured corner-case topologies.
+
+The random-graph tests cover typical inputs; these pin down the
+degenerate shapes where off-by-one radius or boundary errors would
+hide: paths (maximum diameter), stars (radius-1 world), cycles (two
+equal shortest paths), complete graphs (everything adjacent), grids
+(high girth), and disconnected forests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.graph.builder import (
+    complete_graph,
+    cycle_graph,
+    graph_from_edges,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.traversal.bfs import bfs_distance
+
+
+def build(graph, **overrides):
+    defaults = dict(alpha=4.0, seed=3, fallback="bidirectional")
+    defaults.update(overrides)
+    return VicinityOracle.build(graph, config=OracleConfig(**defaults))
+
+
+def assert_exact_all_pairs(graph, oracle):
+    for s in range(graph.n):
+        for t in range(graph.n):
+            result = oracle.query(s, t)
+            assert result.distance == bfs_distance(graph, s, t), (s, t, result.method)
+
+
+class TestToyTopologies:
+    def test_path_graph(self):
+        g = path_graph(25)
+        assert_exact_all_pairs(g, build(g))
+
+    def test_star_graph(self):
+        g = star_graph(30)
+        assert_exact_all_pairs(g, build(g))
+
+    def test_cycle_graph(self):
+        g = cycle_graph(17)
+        assert_exact_all_pairs(g, build(g))
+
+    def test_complete_graph(self):
+        g = complete_graph(12)
+        assert_exact_all_pairs(g, build(g))
+
+    def test_grid_graph(self):
+        g = grid_graph(5, 6)
+        assert_exact_all_pairs(g, build(g))
+
+    def test_two_node_graph(self):
+        g = graph_from_edges([(0, 1)])
+        oracle = build(g)
+        assert oracle.query(0, 1).distance == 1
+        assert oracle.query(0, 0).distance == 0
+
+    def test_single_node(self):
+        g = graph_from_edges([], n=1)
+        oracle = build(g)
+        assert oracle.query(0, 0).distance == 0
+
+
+class TestDisconnectedInputs:
+    def test_forest(self):
+        g = graph_from_edges([(0, 1), (1, 2), (3, 4), (5, 6), (6, 7)], n=9)
+        oracle = build(g)
+        assert_exact_all_pairs(g, oracle)
+        # Cross-component queries report disconnection, not miss.
+        assert oracle.query(0, 3).method == "disconnected"
+        assert oracle.query(8, 0).distance is None
+
+    def test_isolated_nodes_everywhere(self):
+        g = graph_from_edges([(2, 5)], n=8)
+        oracle = build(g)
+        assert oracle.query(2, 5).distance == 1
+        assert oracle.query(0, 7).distance is None
+
+    def test_each_component_got_a_landmark(self):
+        g = graph_from_edges([(0, 1), (2, 3), (4, 5)], n=6)
+        oracle = build(g)
+        labels = {0: 0, 2: 1, 4: 2}
+        flags = oracle.index.landmarks.is_landmark
+        for start in (0, 2, 4):
+            assert flags[start] or flags[start + 1]
+
+
+class TestExtremeAlphas:
+    @pytest.mark.parametrize("alpha", [1 / 64, 64.0])
+    def test_exactness_preserved(self, alpha):
+        g = grid_graph(5, 5)
+        oracle = build(g, alpha=alpha)
+        assert_exact_all_pairs(g, oracle)
+
+    def test_everyone_is_a_landmark(self):
+        # With a huge probability scale every node samples into L.
+        g = cycle_graph(10)
+        oracle = build(g, alpha=0.01, probability_scale=1e6)
+        assert oracle.index.landmarks.size == g.n
+        assert_exact_all_pairs(g, oracle)
+
+    def test_single_landmark_whole_graph(self):
+        from repro.core.index import VicinityIndex
+        from repro.core.landmarks import landmark_set_from_ids
+
+        g = path_graph(15)
+        config = OracleConfig(alpha=4.0, probability_scale=1.0, fallback="none")
+        landmarks = landmark_set_from_ids(g, [7], alpha=4.0)
+        oracle = VicinityOracle(VicinityIndex.from_landmarks(g, config, landmarks))
+        assert_exact_all_pairs(g, oracle)
+
+
+class TestWeightedEndToEnd:
+    def test_weighted_with_fallback_never_wrong_on_misses(self):
+        # Weighted intersection can overestimate (documented caveat);
+        # but misses must still resolve exactly through the fallback.
+        from tests.conftest import random_connected_graph
+        from repro.graph.traversal.dijkstra import dijkstra_distances
+
+        g = random_connected_graph(120, 300, seed=151, weighted=True)
+        oracle = build(g, alpha=0.25)
+        rng = np.random.default_rng(1)
+        fallback_checked = 0
+        for _ in range(200):
+            s, t = (int(x) for x in rng.integers(0, g.n, 2))
+            result = oracle.query(s, t)
+            if result.method in ("fallback", "landmark-source", "landmark-target"):
+                truth = dijkstra_distances(g, s)[t]
+                assert result.distance == pytest.approx(truth)
+                fallback_checked += 1
+        assert fallback_checked > 0

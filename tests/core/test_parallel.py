@@ -1,0 +1,99 @@
+"""Partitioned-oracle simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.index import VicinityIndex
+from repro.core.oracle import VicinityOracle
+from repro.core.parallel import PartitionedOracle
+from repro.exceptions import QueryError
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = random_connected_graph(300, 900, seed=71)
+    return VicinityIndex.build(graph, OracleConfig(alpha=4.0, seed=11, fallback="none"))
+
+
+class TestPlacement:
+    def test_shard_of_in_range(self, index):
+        oracle = PartitionedOracle(index, 4)
+        for u in range(index.n):
+            assert 0 <= oracle.shard_of(u) < 4
+
+    def test_range_placement_contiguous(self, index):
+        oracle = PartitionedOracle(index, 3, placement="range")
+        shards = [oracle.shard_of(u) for u in range(index.n)]
+        assert shards == sorted(shards)
+
+    def test_invalid_args(self, index):
+        with pytest.raises(QueryError):
+            PartitionedOracle(index, 0)
+        with pytest.raises(QueryError):
+            PartitionedOracle(index, 2, placement="magic")
+
+
+class TestShardReports:
+    def test_entries_partition_exactly(self, index):
+        oracle = PartitionedOracle(index, 5)
+        reports = oracle.shard_reports()
+        assert sum(r.nodes for r in reports) == index.n
+        total_vic = sum(v.size for v in index.vicinities)
+        assert sum(r.vicinity_entries for r in reports) == total_vic
+        assert sum(r.table_entries for r in reports) == len(index.tables) * index.n
+
+    def test_replicated_tables_multiply(self, index):
+        replicated = PartitionedOracle(index, 3, replicate_tables=True)
+        reports = replicated.shard_reports()
+        for report in reports:
+            assert report.table_entries == len(index.tables) * index.n
+
+    def test_more_shards_less_memory_each(self, index):
+        few = max(
+            r.model_bytes for r in PartitionedOracle(index, 2).shard_reports()
+        )
+        many = max(
+            r.model_bytes for r in PartitionedOracle(index, 8).shard_reports()
+        )
+        assert many < few
+
+    def test_balance_summary(self, index):
+        summary = PartitionedOracle(index, 4).balance_summary()
+        assert summary["shards"] == 4
+        assert summary["imbalance"] >= 1.0
+
+
+class TestQuerySimulation:
+    def test_results_match_single_machine(self, index):
+        single = VicinityOracle(index)
+        sharded = PartitionedOracle(index, 4)
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            s, t = (int(x) for x in rng.integers(0, index.n, 2))
+            a = single.query(s, t)
+            b = sharded.query(s, t)
+            assert a.distance == b.distance, (s, t, a.method, b.method)
+
+    def test_traffic_accounted(self, index):
+        sharded = PartitionedOracle(index, 4)
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            s, t = (int(x) for x in rng.integers(0, index.n, 2))
+            sharded.query(s, t)
+        log = sharded.log
+        assert log.local_queries + log.remote_queries == 200
+        if log.remote_queries:
+            assert log.messages > 0
+            assert log.bytes > 0
+            assert log.mean_messages < 10  # bounded rounds per query
+
+    def test_single_shard_no_messages(self, index):
+        sharded = PartitionedOracle(index, 1)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            s, t = (int(x) for x in rng.integers(0, index.n, 2))
+            sharded.query(s, t)
+        assert sharded.log.messages == 0

@@ -1,0 +1,77 @@
+"""Path reconstruction helpers."""
+
+import pytest
+
+from repro.core.paths import (
+    splice_at_witness,
+    validate_path,
+    walk_parent_array,
+    walk_predecessors,
+)
+from repro.exceptions import QueryError
+from repro.graph.builder import path_graph
+
+
+class TestWalkPredecessors:
+    def test_straight_chain(self):
+        pred = {0: 0, 1: 0, 2: 1, 3: 2}
+        assert walk_predecessors(pred, 3, 0) == [0, 1, 2, 3]
+
+    def test_start_is_root(self):
+        assert walk_predecessors({5: 5}, 5, 5) == [5]
+
+    def test_broken_chain_raises(self):
+        with pytest.raises(QueryError, match="broken"):
+            walk_predecessors({3: 2}, 3, 0)
+
+    def test_cycle_raises(self):
+        with pytest.raises(QueryError, match="cyclic"):
+            walk_predecessors({1: 2, 2: 1}, 1, 0)
+
+
+class TestWalkParentArray:
+    def test_chain(self):
+        parent = [0, 0, 1, 2]
+        assert walk_parent_array(parent, 3, 0) == [0, 1, 2, 3]
+
+    def test_broken_raises(self):
+        with pytest.raises(QueryError, match="broken"):
+            walk_parent_array([-1, -1], 1, 0)
+
+    def test_cycle_raises(self):
+        with pytest.raises(QueryError, match="cyclic"):
+            walk_parent_array([1, 0], 1, 2)
+
+
+class TestSplice:
+    def test_combines_halves(self):
+        # s=0 .. w=2 .. t=5
+        pred_s = {0: 0, 1: 0, 2: 1}
+        pred_t = {5: 5, 4: 5, 3: 4, 2: 3}
+        assert splice_at_witness(pred_s, pred_t, 0, 5, 2) == [0, 1, 2, 3, 4, 5]
+
+    def test_witness_is_neighbor_of_both(self):
+        pred_s = {0: 0, 7: 0}
+        pred_t = {9: 9, 7: 9}
+        assert splice_at_witness(pred_s, pred_t, 0, 9, 7) == [0, 7, 9]
+
+
+class TestValidatePath:
+    def test_accepts_real_path(self):
+        g = path_graph(4)
+        validate_path([0, 1, 2, 3], g.has_edge, 0, 3)
+
+    def test_rejects_wrong_endpoints(self):
+        g = path_graph(4)
+        with pytest.raises(QueryError, match="endpoints"):
+            validate_path([1, 2], g.has_edge, 0, 2)
+
+    def test_rejects_missing_edge(self):
+        g = path_graph(4)
+        with pytest.raises(QueryError, match="missing edge"):
+            validate_path([0, 2], g.has_edge, 0, 2)
+
+    def test_rejects_empty(self):
+        g = path_graph(2)
+        with pytest.raises(QueryError, match="empty"):
+            validate_path([], g.has_edge, 0, 1)

@@ -1,0 +1,78 @@
+"""nearest() ranking and explain() tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.exceptions import QueryError
+from repro.graph.builder import graph_from_edges, path_graph
+from repro.graph.traversal.bfs import bfs_distances
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    graph = random_connected_graph(200, 560, seed=161)
+    return VicinityOracle.build(
+        graph, config=OracleConfig(alpha=4.0, seed=7, fallback="bidirectional")
+    )
+
+
+class TestNearest:
+    def test_orders_by_true_distance(self, oracle):
+        graph = oracle.graph
+        truth = bfs_distances(graph, 0)
+        candidates = list(range(1, graph.n, 4))
+        ranked = oracle.nearest(0, candidates, k=len(candidates))
+        distances = [d for _c, d in ranked]
+        assert distances == sorted(distances)
+        for candidate, distance in ranked:
+            assert distance == truth[candidate]
+
+    def test_k_limits(self, oracle):
+        ranked = oracle.nearest(0, range(1, 50), k=3)
+        assert len(ranked) == 3
+
+    def test_deterministic_tie_break(self):
+        g = path_graph(5)
+        oracle = VicinityOracle.build(g, config=OracleConfig(alpha=4, seed=1))
+        # Nodes 1 and 3 are both at distance 1 from node 2.
+        ranked = oracle.nearest(2, [3, 1], k=2)
+        assert ranked == [(1, 1), (3, 1)]
+
+    def test_unreachable_excluded(self):
+        g = graph_from_edges([(0, 1)], n=4)
+        oracle = VicinityOracle.build(g, config=OracleConfig(alpha=4, seed=1))
+        ranked = oracle.nearest(0, [1, 2, 3], k=3)
+        assert ranked == [(1, 1)]
+
+    def test_invalid_k(self, oracle):
+        with pytest.raises(QueryError):
+            oracle.nearest(0, [1], k=0)
+
+
+class TestExplain:
+    def test_mentions_method_and_distance(self, oracle):
+        rng = np.random.default_rng(2)
+        s, t = (int(x) for x in rng.integers(0, oracle.graph.n, 2))
+        text = oracle.explain(s, t)
+        result = oracle.query(s, t)
+        assert f"distance {result.distance}" in text
+        assert result.method in text
+        assert "Gamma(s)" in text
+
+    def test_witness_shown_for_intersection(self, oracle):
+        rng = np.random.default_rng(3)
+        for _ in range(300):
+            s, t = (int(x) for x in rng.integers(0, oracle.graph.n, 2))
+            result = oracle.query(s, t)
+            if result.method == "intersection":
+                text = oracle.explain(s, t)
+                assert f"witness w={result.witness}" in text
+                return
+        pytest.skip("no intersection-resolved pair found")
+
+    def test_identical_pair(self, oracle):
+        assert "distance 0" in oracle.explain(4, 4)

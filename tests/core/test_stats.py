@@ -1,0 +1,54 @@
+"""Index statistics (Figure 2 raw material)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.index import VicinityIndex
+from repro.core.stats import IndexStats
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def stats():
+    graph = random_connected_graph(300, 900, seed=41)
+    index = VicinityIndex.build(graph, OracleConfig(alpha=4.0, seed=9))
+    return IndexStats.from_index(index)
+
+
+class TestIndexStats:
+    def test_covers_non_landmarks_only(self, stats):
+        assert stats.vicinity_sizes.size == stats.n - stats.num_landmarks
+
+    def test_boundary_never_exceeds_vicinity(self, stats):
+        assert np.all(stats.boundary_sizes <= stats.vicinity_sizes)
+
+    def test_radii_positive_for_non_landmarks(self, stats):
+        finite = stats.radii[~np.isnan(stats.radii)]
+        assert np.all(finite >= 1)
+
+    def test_mean_accessors(self, stats):
+        assert stats.mean_vicinity_size == pytest.approx(stats.vicinity_sizes.mean())
+        assert stats.mean_boundary_size == pytest.approx(stats.boundary_sizes.mean())
+        assert 0 < stats.max_boundary_fraction <= 1
+
+    def test_expected_size_formula(self, stats):
+        assert stats.expected_vicinity_size == pytest.approx(
+            stats.alpha * np.sqrt(stats.n)
+        )
+
+    def test_boundary_cdf_monotone(self, stats):
+        x, y = stats.boundary_cdf(points=50)
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) >= 0)
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_boundary_cdf_small_request(self, stats):
+        x, y = stats.boundary_cdf(points=5)
+        assert x.size <= max(5, stats.boundary_sizes.size)
+
+    def test_summary_renders(self, stats):
+        text = stats.summary()
+        assert "vicinity size" in text
+        assert "radius" in text

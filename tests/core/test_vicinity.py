@@ -1,0 +1,77 @@
+"""Vicinity records and boundary extraction."""
+
+from repro.core.landmarks import sample_landmarks
+from repro.core.vicinity import Vicinity, build_vicinity, compute_boundary
+from repro.graph.builder import cycle_graph, path_graph, star_graph
+from repro.graph.traversal.bounded import truncated_bfs_ball
+
+from tests.conftest import random_connected_graph
+
+
+class TestComputeBoundary:
+    def test_interior_nodes_excluded(self):
+        # Path 0-1-2-3-4; vicinity {0,1,2}: node 0 and 1 have all
+        # neighbours inside, 2 borders 3.
+        g = path_graph(5)
+        members = [0, 1, 2]
+        boundary = compute_boundary(members, frozenset(members), g.adjacency())
+        assert boundary == [2]
+
+    def test_whole_graph_has_empty_boundary(self):
+        g = cycle_graph(6)
+        members = list(range(6))
+        assert compute_boundary(members, frozenset(members), g.adjacency()) == []
+
+    def test_star_leaf_vicinity(self):
+        g = star_graph(5)
+        members = [1, 0]  # leaf and hub
+        boundary = compute_boundary(members, frozenset(members), g.adjacency())
+        assert boundary == [0]  # hub touches other leaves; leaf is interior
+
+    def test_boundary_subset_and_order(self):
+        g = random_connected_graph(100, 260, seed=3)
+        ls = sample_landmarks(g, 2.0, rng=1)
+        source = next(u for u in range(g.n) if not ls.is_landmark[u])
+        ball = truncated_bfs_ball(g, source, ls.is_landmark)
+        member_set = frozenset(ball.gamma)
+        boundary = compute_boundary(ball.gamma, member_set, g.adjacency())
+        assert set(boundary) <= member_set
+        # Order preserved relative to gamma.
+        positions = {v: i for i, v in enumerate(ball.gamma)}
+        assert boundary == sorted(boundary, key=positions.get)
+
+
+class TestVicinityRecord:
+    def _make(self, store_paths=True):
+        g = path_graph(6)
+        ls_flags = bytearray(6)
+        ls_flags[4] = 1
+        ball = truncated_bfs_ball(g, 0, ls_flags)
+        return g, build_vicinity(
+            0, ball.radius, ball.dist, ball.pred, ball.gamma, g.adjacency(),
+            store_paths=store_paths,
+        )
+
+    def test_membership(self):
+        _g, vic = self._make()
+        assert 0 in vic
+        assert 4 in vic  # the landmark sits on the frontier
+        assert 5 not in vic
+
+    def test_sizes(self):
+        _g, vic = self._make()
+        assert vic.size == 5  # nodes 0..4
+        assert vic.boundary_size >= 1
+
+    def test_distance_to(self):
+        _g, vic = self._make()
+        assert vic.distance_to(3) == 3
+        assert vic.distance_to(5) is None
+
+    def test_store_paths_false_drops_pred(self):
+        _g, vic = self._make(store_paths=False)
+        assert vic.pred == {}
+
+    def test_radius_recorded(self):
+        _g, vic = self._make()
+        assert vic.radius == 4

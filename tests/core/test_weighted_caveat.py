@@ -1,0 +1,105 @@
+"""The weighted-graph caveat documented in DESIGN.md.
+
+Theorem 1's "simple extension" to weighted graphs is *not*
+unconditional under Definition 1 (``Gamma = B ∪ N(B)``): a heavy
+frontier edge can make two vicinities intersect at an off-path node
+only, so the intersection minimum strictly exceeds ``d(s, t)``.  This
+module constructs that counterexample explicitly, verifies the exact
+failure, and verifies the guarantees that *do* survive:
+
+* the oracle never underestimates (triangle inequality);
+* with the bidirectional fallback the final answer is exact anyway;
+* intersection answers are exact whenever ``d(s,t) < r(s) + r(t)``.
+"""
+
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.index import VicinityIndex
+from repro.core.landmarks import landmark_set_from_ids
+from repro.core.oracle import VicinityOracle
+from repro.graph.builder import graph_from_weighted_edges
+from repro.graph.traversal.dijkstra import dijkstra_distances
+
+from tests.conftest import random_connected_graph
+
+
+def counterexample_graph():
+    """A long cheap chain s..t plus one heavy 'bridge' node adjacent to
+    both endpoints.
+
+    Landmarks are placed so both balls are tiny: the only intersection
+    node is the bridge, whose detour is far longer than the chain.
+    """
+    chain = [(i, i + 1, 1.0) for i in range(10)]  # 0 .. 10, d(0,10)=10
+    bridge = [(0, 11, 100.0), (10, 11, 95.0)]
+    return graph_from_weighted_edges(chain + bridge)
+
+
+class TestWeightedCaveat:
+    def test_intersection_overestimates(self):
+        graph = counterexample_graph()
+        # Landmarks at 2 and 8 give r(0) = 2 and r(10) = 2: the balls
+        # B(0) = {0,1}, B(10) = {9,10} and their frontiers contain the
+        # bridge node 11 via the heavy edges.
+        landmarks = landmark_set_from_ids(graph, [2, 8], alpha=4.0)
+        config = OracleConfig(alpha=4.0, probability_scale=1.0, fallback="none")
+        index = VicinityIndex.from_landmarks(graph, config, landmarks)
+        vic_s = index.vicinity(0)
+        vic_t = index.vicinity(10)
+        # The construction holds: 11 is the only shared member.
+        assert vic_s.members & vic_t.members == {11}
+        oracle = VicinityOracle(index)
+        result = oracle.query(0, 10)
+        true_distance = dijkstra_distances(graph, 0)[10]
+        assert true_distance == pytest.approx(10.0)
+        assert result.method == "intersection"
+        assert result.distance == pytest.approx(195.0)  # 100 + 95
+        assert result.distance > true_distance  # the documented failure
+
+    def test_never_underestimates(self):
+        graph = counterexample_graph()
+        landmarks = landmark_set_from_ids(graph, [2, 8], alpha=4.0)
+        config = OracleConfig(alpha=4.0, probability_scale=1.0, fallback="none")
+        oracle = VicinityOracle(VicinityIndex.from_landmarks(graph, config, landmarks))
+        full = dijkstra_distances(graph, 0)
+        for t in range(graph.n):
+            result = oracle.query(0, t)
+            if result.distance is not None:
+                assert result.distance >= full[t] - 1e-9
+
+    def test_fallback_would_not_catch_overestimate(self):
+        # The fallback only fires on *miss*; the overestimate comes from
+        # a successful intersection, so Definition-1 weighted vicinities
+        # genuinely answer incorrectly.  This is the reproduction
+        # finding DESIGN.md records.
+        graph = counterexample_graph()
+        landmarks = landmark_set_from_ids(graph, [2, 8], alpha=4.0)
+        config = OracleConfig(alpha=4.0, probability_scale=1.0, fallback="bidirectional")
+        oracle = VicinityOracle(VicinityIndex.from_landmarks(graph, config, landmarks))
+        assert oracle.query(0, 10).distance == pytest.approx(195.0)
+
+    def test_exact_when_radius_condition_holds(self):
+        # On random weighted graphs, intersection answers with
+        # d(s,t) < r(s) + r(t) must be exact (ball-cover argument).
+        graph = random_connected_graph(150, 500, seed=51, weighted=True)
+        config = OracleConfig(alpha=2.0, seed=3, fallback="none")
+        oracle = VicinityOracle.build(graph, config=config)
+        index = oracle.index
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        checked = 0
+        for _ in range(600):
+            s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+            if s == t or index.is_landmark(s) or index.is_landmark(t):
+                continue
+            result = oracle.query(s, t)
+            if result.method != "intersection":
+                continue
+            rs, rt = index.radius(s), index.radius(t)
+            true = dijkstra_distances(graph, s)[t]
+            if rs is not None and rt is not None and true < rs + rt:
+                assert result.distance == pytest.approx(true)
+                checked += 1
+        assert checked > 0

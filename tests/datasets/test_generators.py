@@ -1,0 +1,190 @@
+"""Synthetic-generator tests: parameter validation and structural laws."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.barabasi_albert import barabasi_albert_graph
+from repro.datasets.chung_lu import (
+    chung_lu_graph,
+    directed_chung_lu_graph,
+    powerlaw_weights,
+)
+from repro.datasets.erdos_renyi import erdos_renyi_graph
+from repro.datasets.forest_fire import forest_fire_graph
+from repro.datasets.rmat import rmat_graph
+from repro.datasets.watts_strogatz import watts_strogatz_graph
+from repro.exceptions import DatasetError
+from repro.graph.degree import average_degree, max_degree
+
+
+class TestPowerlawWeights:
+    def test_mean_matches_target(self):
+        w = powerlaw_weights(5000, exponent=2.5, mean_degree=12, rng=0)
+        assert np.mean(w) == pytest.approx(12, rel=0.05)
+
+    def test_truncation_respected(self):
+        w = powerlaw_weights(2000, exponent=2.2, mean_degree=10, max_degree=50, rng=1)
+        assert w.max() <= 50 + 1e-9
+
+    def test_heavier_tail_for_smaller_exponent(self):
+        light = powerlaw_weights(5000, exponent=3.2, mean_degree=10, rng=2)
+        heavy = powerlaw_weights(5000, exponent=2.1, mean_degree=10, rng=2)
+        # Both may hit the truncation cap; the body of the tail is the
+        # robust signal.
+        assert np.percentile(heavy, 99) > 1.5 * np.percentile(light, 99)
+
+    def test_deterministic(self):
+        a = powerlaw_weights(100, exponent=2.5, mean_degree=5, rng=7)
+        b = powerlaw_weights(100, exponent=2.5, mean_degree=5, rng=7)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"n": 10, "exponent": 1.0},
+            {"n": 10, "mean_degree": 0},
+            {"n": 10, "mean_degree": 20},
+        ],
+    )
+    def test_invalid_args(self, kwargs):
+        args = {"n": 10, "exponent": 2.5, "mean_degree": 3.0}
+        args.update(kwargs)
+        with pytest.raises(DatasetError):
+            powerlaw_weights(args.pop("n"), **args)
+
+
+class TestChungLu:
+    def test_edge_count_close_to_half_weight_sum(self):
+        w = powerlaw_weights(3000, exponent=2.5, mean_degree=10, rng=3)
+        g = chung_lu_graph(w, rng=4)
+        target = w.sum() / 2
+        assert 0.75 * target < g.num_edges <= target
+
+    def test_degrees_correlate_with_weights(self):
+        w = powerlaw_weights(3000, exponent=2.5, mean_degree=12, rng=5)
+        g = chung_lu_graph(w, rng=6)
+        corr = np.corrcoef(w, g.degrees())[0, 1]
+        assert corr > 0.8
+
+    def test_invalid_weights(self):
+        with pytest.raises(DatasetError):
+            chung_lu_graph(np.array([]))
+        with pytest.raises(DatasetError):
+            chung_lu_graph(np.array([1.0, -1.0]))
+
+    def test_deterministic(self):
+        w = powerlaw_weights(500, exponent=2.5, mean_degree=8, rng=7)
+        assert chung_lu_graph(w, rng=8) == chung_lu_graph(w, rng=8)
+
+
+class TestDirectedChungLu:
+    def test_reciprocity_extremes(self):
+        w = powerlaw_weights(1500, exponent=2.5, mean_degree=10, rng=9)
+        mutual = directed_chung_lu_graph(w, reciprocity=1.0, rng=10)
+        # Fully reciprocal: arcs ~ 2x distinct pairs.
+        und = mutual.as_undirected()
+        assert mutual.num_arcs == pytest.approx(2 * und.num_edges, rel=0.01)
+        oneway = directed_chung_lu_graph(w, reciprocity=0.0, rng=11)
+        und1 = oneway.as_undirected()
+        # Almost no mutual pairs (random collisions only).
+        assert oneway.num_arcs <= 1.05 * und1.num_edges
+
+    def test_invalid_reciprocity(self):
+        w = powerlaw_weights(100, exponent=2.5, mean_degree=5, rng=12)
+        with pytest.raises(DatasetError):
+            directed_chung_lu_graph(w, reciprocity=1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert_graph(500, 3, rng=1)
+        # k seed edges + k per arrival.
+        assert g.num_edges <= 3 + 3 * (500 - 4)
+        assert g.num_edges >= 3 * (500 - 4) * 0.95
+
+    def test_hub_emerges(self):
+        g = barabasi_albert_graph(800, 2, rng=2)
+        assert max_degree(g) > 10 * average_degree(g) / 2
+
+    def test_connected(self):
+        from repro.graph.components import is_connected
+
+        assert is_connected(barabasi_albert_graph(300, 2, rng=3))
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(DatasetError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_lattice(self):
+        g = watts_strogatz_graph(50, 3, 0.0, rng=1)
+        assert g.num_edges == 150
+        assert all(g.degree(u) == 6 for u in range(50))
+
+    def test_rewiring_changes_edges(self):
+        lattice = watts_strogatz_graph(100, 2, 0.0, rng=2)
+        rewired = watts_strogatz_graph(100, 2, 0.5, rng=2)
+        assert rewired != lattice
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            watts_strogatz_graph(5, 3, 0.1)
+        with pytest.raises(DatasetError):
+            watts_strogatz_graph(50, 2, 1.5)
+
+
+class TestErdosRenyi:
+    def test_edge_count_close(self):
+        g = erdos_renyi_graph(500, 2000, rng=1)
+        assert 1800 <= g.num_edges <= 2000
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi_graph(4, 100)
+
+    def test_degenerate(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi_graph(1, 0)
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat_graph(8, edge_factor=8, rng=1)
+        assert g.n == 256
+        assert g.num_edges <= 256 * 8
+
+    def test_skew(self):
+        g = rmat_graph(10, edge_factor=8, rng=2)
+        degrees = np.sort(g.degrees())[::-1]
+        top_share = degrees[: g.n // 100].sum() / degrees.sum()
+        assert top_share > 0.05  # heavy head
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            rmat_graph(0)
+        with pytest.raises(DatasetError):
+            rmat_graph(5, a=0.9, b=0.2, c=0.2)
+
+
+class TestForestFire:
+    def test_grows_connected(self):
+        from repro.graph.components import is_connected
+
+        g = forest_fire_graph(300, 0.3, rng=1)
+        assert g.n == 300
+        assert is_connected(g)
+
+    def test_higher_burn_gives_denser(self):
+        sparse = forest_fire_graph(300, 0.1, rng=2)
+        dense = forest_fire_graph(300, 0.45, rng=2)
+        assert average_degree(dense) > average_degree(sparse)
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            forest_fire_graph(1, 0.3)
+        with pytest.raises(DatasetError):
+            forest_fire_graph(10, 1.0)

@@ -1,0 +1,70 @@
+"""Calibrated dataset registry tests (Table 2 stand-ins)."""
+
+import pytest
+
+from repro.datasets.social import DATASETS, available, generate, generate_directed, spec
+from repro.exceptions import DatasetError
+from repro.graph.components import is_connected
+from repro.graph.degree import average_degree
+
+
+class TestRegistry:
+    def test_all_four_paper_datasets(self):
+        assert available() == ["dblp", "flickr", "orkut", "livejournal"]
+
+    def test_spec_lookup(self):
+        dataset = spec("orkut")
+        assert dataset.paper_nodes == 3_070_000
+        assert dataset.mean_degree == pytest.approx(76.3, abs=0.5)
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            spec("myspace")
+
+    def test_reciprocity_derivation(self):
+        # DBLP is symmetric: arcs == undirected pairs -> reciprocity 0
+        # under the (A - U) / U convention (no extra mutual arcs).
+        assert spec("dblp").reciprocity == pytest.approx(0.0)
+        flickr = spec("flickr")
+        expected = (22_610_000 - 15_560_000) / 15_560_000
+        assert flickr.reciprocity == pytest.approx(expected)
+
+    def test_nodes_at_scale(self):
+        dataset = spec("dblp")
+        assert dataset.nodes_at_scale(0.01) == 7100
+        assert dataset.nodes_at_scale(1e-9) == 64  # floor
+        with pytest.raises(DatasetError):
+            dataset.nodes_at_scale(0)
+        with pytest.raises(DatasetError):
+            dataset.nodes_at_scale(1.5)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_density_calibration(self, name):
+        graph = generate(name, scale=0.001, seed=42)
+        target = spec(name).mean_degree
+        # Largest-component extraction raises density slightly; the
+        # generator itself undershoots slightly; allow 25%.
+        assert average_degree(graph) == pytest.approx(target, rel=0.25)
+
+    def test_connected_by_default(self):
+        graph = generate("dblp", scale=0.002, seed=1)
+        assert is_connected(graph)
+
+    def test_unconnected_option(self):
+        graph = generate("dblp", scale=0.002, seed=1, connected=False)
+        # The raw Chung-Lu sample essentially always has isolated nodes.
+        assert not is_connected(graph)
+
+    def test_deterministic(self):
+        a = generate("flickr", scale=0.001, seed=9)
+        b = generate("flickr", scale=0.001, seed=9)
+        assert a == b
+
+    def test_directed_variant(self):
+        digraph = generate_directed("flickr", scale=0.001, seed=3)
+        target = spec("flickr")
+        ratio = digraph.num_arcs / digraph.as_undirected().num_edges
+        expected = target.paper_directed_links / target.paper_undirected_links
+        assert ratio == pytest.approx(expected, rel=0.1)

@@ -1,0 +1,144 @@
+"""End-to-end tests for the table/figure drivers (small scales)."""
+
+import pytest
+
+from repro.datasets.social import generate
+from repro.experiments.figure2 import render_figure2, run_figure2
+from repro.experiments.memory_table import render_memory_table, run_memory_for_graph
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3_for_graph
+from repro.experiments.tradeoff import render_tradeoff, run_tradeoff
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate("dblp", scale=0.0015, seed=42)
+
+
+@pytest.mark.integration
+class TestTable2:
+    def test_rows_cover_datasets(self):
+        rows = run_table2(["dblp", "flickr"], scale=0.0005, seed=1)
+        assert [r.dataset for r in rows] == ["dblp", "flickr"]
+        for row in rows:
+            assert row.nodes > 0
+            assert row.directed_links >= row.undirected_links
+            assert 0.5 < row.density_ratio < 1.5
+
+    def test_render(self):
+        rows = run_table2(["dblp"], scale=0.0005, seed=1)
+        text = render_table2(rows)
+        assert "Table 2" in text
+        assert "dblp" in text
+
+
+@pytest.mark.integration
+class TestFigure2:
+    def test_curve_shape(self, graph):
+        result = run_figure2(
+            graph,
+            dataset="dblp",
+            alphas=(0.25, 4.0, 16.0),
+            sample_nodes=30,
+            runs=1,
+            seed=3,
+        )
+        curve = result.curve()
+        assert [alpha for alpha, *_ in curve] == [0.25, 4.0, 16.0]
+        rates = [rate for _a, rate, *_ in curve]
+        # Intersection fraction grows with alpha.
+        assert rates[0] <= rates[1] + 0.05
+        assert rates[1] <= rates[2] + 0.05
+        sizes = [size for *_x, size in curve]
+        assert sizes[0] < sizes[2]
+
+    def test_boundary_cdf_collected_at_alpha_4(self, graph):
+        result = run_figure2(
+            graph,
+            dataset="dblp",
+            alphas=(4.0,),
+            sample_nodes=25,
+            runs=1,
+            seed=4,
+        )
+        cdf = result.boundary_cdf()
+        assert cdf
+        xs, ys = zip(*cdf)
+        assert ys[-1] == pytest.approx(1.0)
+        assert all(0 <= x <= 1 for x in xs)
+
+    def test_render(self, graph):
+        result = run_figure2(
+            graph, dataset="dblp", alphas=(4.0,), sample_nodes=20, runs=1, seed=5
+        )
+        text = render_figure2([result])
+        assert "Figure 2" in text
+
+
+@pytest.mark.integration
+class TestTable3:
+    def test_row_sanity(self, graph):
+        row = run_table3_for_graph(
+            graph,
+            dataset="dblp",
+            seed=6,
+            sample_nodes=20,
+            bfs_pairs=4,
+            bidirectional_pairs=10,
+        )
+        assert row.n == graph.n
+        assert row.avg_probes > 0
+        assert row.worst_probes >= row.avg_probes
+        assert row.our_time_ms > 0
+        assert row.answered_fraction > 0.5
+        # The headline shape: ours beats both baselines.
+        assert row.speedup_vs_bfs > 1
+        assert row.speedup_vs_bidirectional > 1
+
+    def test_render(self, graph):
+        row = run_table3_for_graph(
+            graph, dataset="dblp", seed=7, sample_nodes=16,
+            bfs_pairs=3, bidirectional_pairs=8,
+        )
+        text = render_table3([row])
+        assert "Table 3" in text
+        assert "speed-up" in text
+
+
+@pytest.mark.integration
+class TestMemoryTable:
+    def test_row_sanity(self, graph):
+        row = run_memory_for_graph(graph, dataset="dblp", seed=8)
+        assert row.entries_per_node > 0
+        assert row.apsp_ratio_paper > 1
+        assert row.apsp_ratio_total <= row.apsp_ratio_paper
+        assert row.model_bytes > 0
+
+    def test_render(self, graph):
+        row = run_memory_for_graph(graph, dataset="dblp", seed=9)
+        text = render_memory_table([row])
+        assert "Memory accounting" in text
+
+
+@pytest.mark.integration
+class TestTradeoff:
+    def test_alpha_sweep_monotone_accuracy(self, graph):
+        rows = run_tradeoff(
+            graph, alphas=(0.25, 4.0), floors=(0.0,), seed=10, sample_nodes=16
+        )
+        assert len(rows) == 2
+        low, high = rows
+        assert low.alpha == 0.25 and high.alpha == 4.0
+        assert high.answered_fraction >= low.answered_fraction - 0.05
+        assert high.entries_per_node > low.entries_per_node
+
+    def test_floor_improves_accuracy(self, graph):
+        rows = run_tradeoff(
+            graph, alphas=(1.0,), floors=(0.0, 1.0), seed=11, sample_nodes=16
+        )
+        plain, floored = rows
+        assert floored.answered_fraction >= plain.answered_fraction - 0.02
+
+    def test_render(self, graph):
+        rows = run_tradeoff(graph, alphas=(4.0,), floors=(0.0,), seed=12, sample_nodes=10)
+        assert "trade-off" in render_tradeoff(rows, dataset="dblp")

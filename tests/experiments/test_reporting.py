@@ -1,0 +1,33 @@
+"""Rendering helpers."""
+
+from repro.experiments.reporting import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"],
+            [("alpha", 1), ("beta", 22222)],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2]
+        assert "22,222" in text
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(0.12345,), (1234.5,)])
+        assert "0.1234" in text or "0.1235" in text
+        assert "1,234" in text or "1,235" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = render_table(["x"], [(float("nan"),)])
+        assert "-" in text.splitlines()[-1]
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_series_is_table(self):
+        text = render_series("alpha", ["rate"], [("4", "0.99")])
+        assert "alpha" in text and "rate" in text

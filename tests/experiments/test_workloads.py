@@ -1,0 +1,45 @@
+"""Workload protocol tests (§2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.experiments.workloads import sample_pair_workload
+from repro.graph.builder import path_graph
+
+
+class TestPairWorkload:
+    def test_pair_count(self):
+        workload = sample_pair_workload(path_graph(50), 10, rng=1)
+        pairs = list(workload.pairs())
+        assert len(pairs) == 45
+        assert workload.num_pairs == 45
+
+    def test_nodes_distinct(self):
+        workload = sample_pair_workload(path_graph(30), 20, rng=2)
+        assert len(set(workload.nodes.tolist())) == 20
+
+    def test_pairs_within_sample(self):
+        workload = sample_pair_workload(path_graph(40), 8, rng=3)
+        sample = set(workload.nodes.tolist())
+        for s, t in workload.pairs():
+            assert s in sample and t in sample and s != t
+
+    def test_random_pairs_subsample(self):
+        workload = sample_pair_workload(path_graph(40), 8, rng=4)
+        picked = list(workload.random_pairs(12, rng=5))
+        assert len(picked) == 12
+        sample = set(workload.nodes.tolist())
+        for s, t in picked:
+            assert s in sample and t in sample and s != t
+
+    def test_deterministic(self):
+        a = sample_pair_workload(path_graph(40), 8, rng=9)
+        b = sample_pair_workload(path_graph(40), 8, rng=9)
+        assert np.array_equal(a.nodes, b.nodes)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(QueryError):
+            sample_pair_workload(path_graph(5), 1)
+        with pytest.raises(QueryError):
+            sample_pair_workload(path_graph(5), 6)

@@ -1,0 +1,168 @@
+"""Unit tests for graph builders and deterministic toy graphs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EdgeError, GraphError
+from repro.graph.builder import (
+    complete_graph,
+    cycle_graph,
+    digraph_from_arrays,
+    digraph_from_edges,
+    empty_graph,
+    graph_from_arrays,
+    graph_from_edges,
+    graph_from_weighted_edges,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestEdgeListBuilders:
+    def test_empty_edge_list(self):
+        g = graph_from_edges([], n=5)
+        assert g.n == 5
+        assert g.num_edges == 0
+
+    def test_empty_edge_list_no_n(self):
+        g = graph_from_edges([])
+        assert g.n == 0
+
+    def test_malformed_pairs_rejected(self):
+        with pytest.raises(EdgeError):
+            graph_from_edges([(0, 1, 2)])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(EdgeError):
+            graph_from_edges([(-1, 2)])
+
+    def test_n_too_small_rejected(self):
+        with pytest.raises(EdgeError, match="references node"):
+            graph_from_edges([(0, 5)], n=3)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(EdgeError):
+            graph_from_arrays(np.array([0, 1]), np.array([1]))
+
+    def test_weight_alignment_enforced(self):
+        with pytest.raises(EdgeError):
+            graph_from_arrays(
+                np.array([0]), np.array([1]), weights=np.array([1.0, 2.0])
+            )
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(EdgeError):
+            graph_from_arrays(
+                np.array([0]), np.array([1]), weights=np.array([-2.0])
+            )
+
+    def test_weighted_triples(self):
+        g = graph_from_weighted_edges([(0, 1, 2.0), (1, 2, 0.25)])
+        assert g.is_weighted
+        assert g.edge_weight(1, 2) == 0.25
+
+    def test_weighted_empty(self):
+        g = graph_from_weighted_edges([], n=3)
+        assert g.n == 3
+        assert g.is_weighted
+
+    def test_orientation_ignored_for_undirected(self):
+        a = graph_from_edges([(0, 1), (2, 1)])
+        b = graph_from_edges([(1, 0), (1, 2)])
+        assert a == b
+
+
+class TestDigraphBuilders:
+    def test_orientation_preserved(self):
+        g = digraph_from_edges([(0, 1), (1, 2)])
+        assert g.has_arc(0, 1)
+        assert not g.has_arc(1, 0)
+
+    def test_in_out_consistency(self):
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 30, 100)
+        dst = rng.integers(0, 30, 100)
+        g = digraph_from_arrays(src, dst)
+        for u in range(g.n):
+            for v in g.successors(u).tolist():
+                assert u in g.predecessors(v).tolist()
+        assert int(g.out_degrees().sum()) == int(g.in_degrees().sum()) == g.num_arcs
+
+    def test_self_loops_dropped(self):
+        g = digraph_from_edges([(0, 0), (0, 1)])
+        assert g.num_arcs == 1
+
+    def test_duplicates_collapse(self):
+        g = digraph_from_edges([(0, 1), (0, 1), (1, 0)])
+        assert g.num_arcs == 2
+
+    def test_reverse(self):
+        g = digraph_from_edges([(0, 1), (1, 2)])
+        r = g.reverse()
+        assert r.has_arc(1, 0)
+        assert r.has_arc(2, 1)
+        assert not r.has_arc(0, 1)
+
+    def test_as_undirected(self):
+        g = digraph_from_edges([(0, 1), (1, 0), (1, 2)])
+        und = g.as_undirected()
+        assert und.num_edges == 2
+
+    def test_weighted_digraph_min_weight_kept(self):
+        g = digraph_from_arrays(
+            np.array([0, 0]),
+            np.array([1, 1]),
+            weights=np.array([5.0, 2.0]),
+        )
+        assert g.num_arcs == 1
+        assert g.out_weights[0] == 2.0
+
+
+class TestToyGraphs:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_path_degenerate(self):
+        assert path_graph(1).num_edges == 0
+        assert path_graph(0).n == 0
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(u) == 2 for u in range(6))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert g.num_edges == 6
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(u) == 5 for u in range(6))
+
+    def test_complete_trivial(self):
+        assert complete_graph(0).n == 0
+        assert complete_graph(1).num_edges == 0
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.degree(0) == 2  # corner
+
+    def test_grid_invalid(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 4)
+
+    def test_empty_graph_negative(self):
+        with pytest.raises(GraphError):
+            empty_graph(-1)

@@ -1,0 +1,80 @@
+"""Unit tests for connected-component analysis."""
+
+import numpy as np
+
+from repro.graph.builder import empty_graph, graph_from_edges, path_graph
+from repro.graph.components import (
+    component_sizes,
+    connected_components,
+    is_connected,
+    largest_component,
+)
+
+from tests.conftest import random_graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        labels, count = connected_components(path_graph(6))
+        assert count == 1
+        assert set(labels.tolist()) == {0}
+
+    def test_two_components(self):
+        g = graph_from_edges([(0, 1), (2, 3)], n=5)
+        labels, count = connected_components(g)
+        assert count == 3  # {0,1}, {2,3}, {4}
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2] != labels[4]
+
+    def test_empty_graph(self):
+        labels, count = connected_components(empty_graph(0))
+        assert count == 0
+        assert labels.size == 0
+
+    def test_isolated_nodes(self):
+        labels, count = connected_components(empty_graph(4))
+        assert count == 4
+
+    def test_labels_dense(self):
+        g = random_graph(60, 50, seed=6)
+        labels, count = connected_components(g)
+        assert sorted(set(labels.tolist())) == list(range(count))
+
+
+class TestIsConnected:
+    def test_connected(self):
+        assert is_connected(path_graph(5))
+
+    def test_disconnected(self):
+        assert not is_connected(graph_from_edges([(0, 1)], n=3))
+
+    def test_empty_is_connected(self):
+        assert is_connected(empty_graph(0))
+
+
+class TestLargestComponent:
+    def test_extracts_largest(self):
+        g = graph_from_edges([(0, 1), (1, 2), (3, 4)], n=5)
+        sub, originals = largest_component(g)
+        assert sub.n == 3
+        assert sorted(originals.tolist()) == [0, 1, 2]
+        assert is_connected(sub)
+
+    def test_connected_graph_unchanged(self):
+        g = path_graph(5)
+        sub, originals = largest_component(g)
+        assert sub is g
+        assert originals.tolist() == list(range(5))
+
+    def test_empty(self):
+        g = empty_graph(0)
+        sub, originals = largest_component(g)
+        assert sub.n == 0
+        assert originals.size == 0
+
+    def test_component_sizes_sorted(self):
+        g = graph_from_edges([(0, 1), (1, 2), (3, 4)], n=6)
+        sizes = component_sizes(g)
+        assert sizes.tolist() == [3, 2, 1]
+        assert int(sizes.sum()) == g.n

@@ -1,0 +1,205 @@
+"""Unit tests for the CSR graph core."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.builder import graph_from_arrays, graph_from_edges, path_graph
+from repro.graph.csr import CSRGraph
+
+from tests.conftest import random_graph
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = graph_from_edges([(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.num_edges == 3
+        assert g.num_directed_entries == 6
+
+    def test_duplicate_edges_collapse(self):
+        g = graph_from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        g = graph_from_edges([(0, 0), (0, 1), (2, 2)], n=3)
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_explicit_n_larger_than_ids(self):
+        g = graph_from_edges([(0, 1)], n=10)
+        assert g.n == 10
+        assert g.degree(9) == 0
+
+    def test_rows_sorted(self):
+        g = random_graph(50, 300, seed=3)
+        for u in range(g.n):
+            row = g.neighbors(u)
+            assert np.all(np.diff(row) > 0)
+
+    def test_validate_accepts_builder_output(self):
+        random_graph(40, 160, seed=1).validate()
+
+    def test_validate_rejects_asymmetric(self):
+        bad = CSRGraph(
+            2,
+            np.array([0, 1, 1], dtype=np.int64),
+            np.array([1], dtype=np.int32),
+        )
+        with pytest.raises(GraphError, match="symmetric"):
+            bad.validate()
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(3, np.array([0, 1]), np.array([1], dtype=np.int32))
+
+    def test_indices_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(2, np.array([0, 1, 2]), np.array([5, 0], dtype=np.int32))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                2,
+                np.array([0, 1, 2]),
+                np.array([1, 0], dtype=np.int32),
+                np.array([-1.0, -1.0]),
+            )
+
+
+class TestAccessors:
+    def test_degree_and_degrees_agree(self):
+        g = random_graph(60, 200, seed=2)
+        degrees = g.degrees()
+        for u in range(g.n):
+            assert g.degree(u) == degrees[u]
+
+    def test_degrees_sum_to_twice_edges(self):
+        g = random_graph(60, 200, seed=4)
+        assert int(g.degrees().sum()) == 2 * g.num_edges
+
+    def test_has_edge_matches_neighbors(self):
+        g = random_graph(40, 120, seed=5)
+        for u in range(g.n):
+            for v in g.neighbors(u).tolist():
+                assert g.has_edge(u, v)
+                assert g.has_edge(v, u)
+        assert not g.has_edge(0, 0)
+
+    def test_unknown_node_raises(self):
+        g = path_graph(3)
+        with pytest.raises(NodeNotFoundError):
+            g.degree(3)
+        with pytest.raises(NodeNotFoundError):
+            g.neighbors(-1)
+
+    def test_edge_weight_default_one(self):
+        g = graph_from_edges([(0, 1)])
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_edge_weight_missing_edge(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        with pytest.raises(GraphError, match="does not exist"):
+            g.edge_weight(0, 2)
+
+    def test_weighted_edge_weight(self):
+        g = graph_from_arrays(
+            np.array([0, 1]), np.array([1, 2]), weights=np.array([2.5, 0.5])
+        )
+        assert g.edge_weight(0, 1) == 2.5
+        assert g.edge_weight(2, 1) == 0.5
+        assert g.is_weighted
+
+    def test_duplicate_weighted_edges_keep_minimum(self):
+        g = graph_from_arrays(
+            np.array([0, 1, 0]),
+            np.array([1, 0, 1]),
+            weights=np.array([3.0, 1.0, 2.0]),
+        )
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 1.0
+
+
+class TestViewsAndExport:
+    def test_adjacency_matches_neighbors(self):
+        g = random_graph(30, 100, seed=7)
+        adj = g.adjacency()
+        for u in range(g.n):
+            assert adj[u] == g.neighbors(u).tolist()
+
+    def test_adjacency_cached(self):
+        g = random_graph(10, 20, seed=8)
+        assert g.adjacency() is g.adjacency()
+
+    def test_weighted_adjacency_unit_weights(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        wadj = g.weighted_adjacency()
+        assert wadj[1] == [(0, 1.0), (2, 1.0)]
+
+    def test_edges_each_once(self):
+        g = random_graph(25, 80, seed=9)
+        edges = list(g.edges())
+        assert len(edges) == g.num_edges
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_edge_arrays_round_trip(self):
+        g = random_graph(25, 80, seed=10)
+        src, dst, _ = g.edge_arrays()
+        rebuilt = graph_from_arrays(src, dst, n=g.n)
+        assert rebuilt == g
+
+    def test_weighted_edges_round_trip(self):
+        g = random_graph(20, 60, seed=11, weighted=True)
+        triples = list(g.weighted_edges())
+        from repro.graph.builder import graph_from_weighted_edges
+
+        rebuilt = graph_from_weighted_edges(triples, n=g.n)
+        assert rebuilt == g
+
+    def test_equality(self):
+        a = random_graph(15, 40, seed=12)
+        b = random_graph(15, 40, seed=12)
+        c = random_graph(15, 40, seed=13)
+        assert a == b
+        assert a != c
+
+    def test_repr_mentions_sizes(self):
+        g = graph_from_edges([(0, 1)])
+        assert "n=2" in repr(g)
+        assert "m=1" in repr(g)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self):
+        g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        sub, originals = g.subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert sub.num_edges == 3  # triangle 0-1-2 via edges (0,1),(1,2),(0,2)
+        assert originals.tolist() == [0, 1, 2]
+
+    def test_subgraph_relabels(self):
+        g = graph_from_edges([(0, 1), (1, 2), (2, 3)])
+        sub, originals = g.subgraph([2, 3])
+        assert sub.n == 2
+        assert sub.has_edge(0, 1)
+        assert originals.tolist() == [2, 3]
+
+    def test_subgraph_duplicates_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(GraphError, match="duplicates"):
+            g.subgraph([1, 1])
+
+    def test_subgraph_unknown_nodes_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(GraphError):
+            g.subgraph([0, 99])
+
+    def test_weighted_subgraph_keeps_weights(self):
+        g = graph_from_arrays(
+            np.array([0, 1, 2]),
+            np.array([1, 2, 3]),
+            weights=np.array([1.5, 2.5, 3.5]),
+        )
+        sub, _ = g.subgraph([1, 2])
+        assert sub.edge_weight(0, 1) == 2.5

@@ -1,0 +1,62 @@
+"""Unit tests for degree statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.chung_lu import chung_lu_graph, powerlaw_weights
+from repro.exceptions import GraphError
+from repro.graph.builder import empty_graph, graph_from_edges, star_graph
+from repro.graph.degree import (
+    average_degree,
+    degree_histogram,
+    degree_percentiles,
+    estimate_powerlaw_exponent,
+    max_degree,
+)
+
+
+class TestDegreeStats:
+    def test_histogram(self):
+        g = star_graph(5)
+        hist = degree_histogram(g)
+        assert hist[1] == 4  # four leaves
+        assert hist[4] == 1  # the hub
+
+    def test_histogram_empty(self):
+        assert degree_histogram(empty_graph(0)).tolist() == [0]
+
+    def test_average_degree(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        assert average_degree(g) == pytest.approx(4 / 3)
+
+    def test_average_degree_empty(self):
+        assert average_degree(empty_graph(0)) == 0.0
+
+    def test_max_degree(self):
+        assert max_degree(star_graph(8)) == 7
+        assert max_degree(empty_graph(3)) == 0
+
+    def test_percentiles(self):
+        g = star_graph(11)
+        p = degree_percentiles(g, (50.0, 100.0))
+        assert p[50.0] == 1.0
+        assert p[100.0] == 10.0
+
+
+class TestPowerlawFit:
+    def test_recovers_exponent_roughly(self):
+        weights = powerlaw_weights(4000, exponent=2.5, mean_degree=8, rng=1)
+        graph = chung_lu_graph(weights, rng=2)
+        alpha, tail = estimate_powerlaw_exponent(graph, k_min=5)
+        # The MLE over a truncated, finite sample is biased; just require
+        # a heavy-tail-range answer.
+        assert 1.3 < alpha < 3.5
+        assert tail > 100
+
+    def test_no_tail_raises(self):
+        with pytest.raises(GraphError):
+            estimate_powerlaw_exponent(empty_graph(5), k_min=2)
+
+    def test_invalid_k_min(self):
+        with pytest.raises(GraphError):
+            estimate_powerlaw_exponent(star_graph(4), k_min=0)

@@ -1,0 +1,99 @@
+"""DiGraph accessor and invariant tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.builder import digraph_from_arrays, digraph_from_edges
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture()
+def triangle():
+    return digraph_from_edges([(0, 1), (1, 2), (2, 0)])
+
+
+class TestAccessors:
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.in_degree(0) == 1
+        assert triangle.total_degrees().tolist() == [2, 2, 2]
+
+    def test_successors_predecessors(self, triangle):
+        assert triangle.successors(0).tolist() == [1]
+        assert triangle.predecessors(0).tolist() == [2]
+
+    def test_has_arc(self, triangle):
+        assert triangle.has_arc(0, 1)
+        assert not triangle.has_arc(1, 0)
+
+    def test_unknown_nodes(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.out_degree(9)
+        with pytest.raises(NodeNotFoundError):
+            triangle.has_arc(0, 9)
+
+    def test_arcs_iterator(self, triangle):
+        assert sorted(triangle.arcs()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_adjacency_views_cached(self, triangle):
+        assert triangle.out_adjacency() is triangle.out_adjacency()
+        assert triangle.in_adjacency() is triangle.in_adjacency()
+
+    def test_repr(self, triangle):
+        assert "DiGraph(n=3, arcs=3" in repr(triangle)
+
+
+class TestReverseAndProjection:
+    def test_reverse_twice_is_identity(self):
+        rng = np.random.default_rng(1)
+        g = digraph_from_arrays(rng.integers(0, 20, 60), rng.integers(0, 20, 60))
+        rr = g.reverse().reverse()
+        assert np.array_equal(rr.out_indices, g.out_indices)
+        assert np.array_equal(rr.in_indices, g.in_indices)
+
+    def test_reverse_swaps_weights(self):
+        g = digraph_from_arrays(
+            np.array([0, 1]), np.array([1, 2]), weights=np.array([3.0, 5.0])
+        )
+        r = g.reverse()
+        assert r.is_weighted
+        assert np.array_equal(np.sort(r.out_weights), np.sort(g.in_weights))
+
+    def test_undirected_projection_counts(self):
+        g = digraph_from_edges([(0, 1), (1, 0), (1, 2), (3, 1)])
+        und = g.as_undirected()
+        assert und.num_edges == 3  # {0,1}, {1,2}, {1,3}
+
+
+class TestConstructionValidation:
+    def test_mismatched_arc_counts_rejected(self):
+        with pytest.raises(GraphError, match="arc counts"):
+            DiGraph(
+                2,
+                np.array([0, 1, 1]),
+                np.array([1], dtype=np.int32),
+                np.array([0, 0, 0]),
+                np.array([], dtype=np.int32),
+            )
+
+    def test_one_sided_weights_rejected(self):
+        with pytest.raises(GraphError, match="both orientations"):
+            DiGraph(
+                2,
+                np.array([0, 1, 1]),
+                np.array([1], dtype=np.int32),
+                np.array([0, 0, 1]),
+                np.array([0], dtype=np.int32),
+                out_weights=np.array([1.0]),
+            )
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(
+                2,
+                np.array([0, 2, 1]),
+                np.array([1, 0], dtype=np.int32),
+                np.array([0, 1, 2]),
+                np.array([1, 0], dtype=np.int32),
+            )

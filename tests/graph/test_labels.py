@@ -1,0 +1,66 @@
+"""Unit tests for label encoding."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.labels import LabelEncoder, labeled_graph_from_edges
+
+
+class TestLabelEncoder:
+    def test_first_seen_order(self):
+        enc = LabelEncoder()
+        assert enc.encode("alice") == 0
+        assert enc.encode("bob") == 1
+        assert enc.encode("alice") == 0
+        assert len(enc) == 2
+
+    def test_decode(self):
+        enc = LabelEncoder()
+        enc.encode_many(["x", "y", "z"])
+        assert enc.decode(1) == "y"
+        assert enc.decode_many([2, 0]) == ["z", "x"]
+
+    def test_lookup_known(self):
+        enc = LabelEncoder()
+        enc.encode("a")
+        assert enc.lookup("a") == 0
+
+    def test_lookup_unknown_raises(self):
+        enc = LabelEncoder()
+        with pytest.raises(GraphError, match="unknown label"):
+            enc.lookup("ghost")
+
+    def test_decode_unknown_raises(self):
+        enc = LabelEncoder()
+        with pytest.raises(GraphError, match="unknown node id"):
+            enc.decode(0)
+
+    def test_contains(self):
+        enc = LabelEncoder()
+        enc.encode("a")
+        assert "a" in enc
+        assert "b" not in enc
+
+    def test_labels_property(self):
+        enc = LabelEncoder()
+        enc.encode_many(["p", "q"])
+        assert enc.labels == ("p", "q")
+
+
+class TestLabeledGraph:
+    def test_round_trip(self):
+        graph, enc = labeled_graph_from_edges(
+            [("alice", "bob"), ("bob", "carol"), ("carol", "alice")]
+        )
+        assert graph.n == 3
+        assert graph.num_edges == 3
+        assert graph.has_edge(enc.lookup("alice"), enc.lookup("bob"))
+
+    def test_duplicate_labelled_edges_collapse(self):
+        graph, _ = labeled_graph_from_edges([("a", "b"), ("b", "a")])
+        assert graph.num_edges == 1
+
+    def test_hashable_nonstring_labels(self):
+        graph, enc = labeled_graph_from_edges([((1, 2), (3, 4))])
+        assert graph.n == 2
+        assert enc.decode(0) == (1, 2)

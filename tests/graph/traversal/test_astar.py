@@ -1,0 +1,59 @@
+"""A* must be exact under admissible heuristics."""
+
+import pytest
+
+from repro.exceptions import UnreachableError
+from repro.graph.builder import graph_from_edges, grid_graph
+from repro.graph.traversal.astar import astar_distance, astar_path
+from repro.graph.traversal.bfs import bfs_distances
+from repro.graph.traversal.dijkstra import dijkstra_distances
+
+from tests.conftest import random_graph
+
+
+def zero_heuristic(_v: int) -> float:
+    return 0.0
+
+
+class TestAstar:
+    def test_zero_heuristic_is_dijkstra(self):
+        g = random_graph(60, 160, seed=1, weighted=True)
+        full = dijkstra_distances(g, 0)
+        for t in range(0, g.n, 3):
+            got = astar_distance(g, 0, t, zero_heuristic)
+            if full[t] == float("inf"):
+                assert got is None
+            else:
+                assert got == pytest.approx(full[t])
+
+    def test_manhattan_heuristic_on_grid(self):
+        rows, cols = 7, 9
+        g = grid_graph(rows, cols)
+        target = (rows - 1) * cols + (cols - 1)
+
+        def manhattan(v: int) -> float:
+            r, c = divmod(v, cols)
+            tr, tc = divmod(target, cols)
+            return abs(r - tr) + abs(c - tc)
+
+        expected = bfs_distances(g, 0)[target]
+        assert astar_distance(g, 0, target, manhattan) == pytest.approx(expected)
+
+    def test_path_valid(self):
+        g = grid_graph(5, 5)
+        path = astar_path(g, 0, 24, zero_heuristic)
+        assert path[0] == 0 and path[-1] == 24
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+        assert len(path) - 1 == bfs_distances(g, 0)[24]
+
+    def test_identical(self):
+        g = grid_graph(2, 2)
+        assert astar_distance(g, 1, 1, zero_heuristic) == 0.0
+        assert astar_path(g, 1, 1, zero_heuristic) == [1]
+
+    def test_unreachable(self):
+        g = graph_from_edges([(0, 1)], n=3)
+        assert astar_distance(g, 0, 2, zero_heuristic) is None
+        with pytest.raises(UnreachableError):
+            astar_path(g, 0, 2, zero_heuristic)

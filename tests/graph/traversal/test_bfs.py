@@ -1,0 +1,136 @@
+"""BFS engines cross-validated against NetworkX."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import UnreachableError
+from repro.graph.builder import graph_from_edges, path_graph
+from repro.graph.traversal.bfs import (
+    bfs_distance,
+    bfs_distances,
+    bfs_path,
+    bfs_tree,
+    eccentricity,
+    multi_source_bfs,
+)
+
+from tests.conftest import random_graph
+
+
+def to_networkx(graph):
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.n))
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+class TestBfsDistances:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx(self, seed):
+        g = random_graph(80, 220, seed=seed)
+        nxg = to_networkx(g)
+        source = seed % g.n
+        expected = nx.single_source_shortest_path_length(nxg, source)
+        dist = bfs_distances(g, source)
+        for v in range(g.n):
+            if v in expected:
+                assert dist[v] == expected[v]
+            else:
+                assert dist[v] == -1
+
+    def test_source_zero(self):
+        g = path_graph(4)
+        dist = bfs_distances(g, 0)
+        assert dist.tolist() == [0, 1, 2, 3]
+
+    def test_unreachable_marked(self):
+        g = graph_from_edges([(0, 1)], n=3)
+        assert bfs_distances(g, 0)[2] == -1
+
+
+class TestBfsTree:
+    def test_parents_consistent(self):
+        g = random_graph(60, 180, seed=4)
+        dist, parent = bfs_tree(g, 0)
+        assert parent[0] == 0
+        for v in range(g.n):
+            if dist[v] > 0:
+                p = int(parent[v])
+                assert dist[p] == dist[v] - 1
+                assert g.has_edge(p, v)
+
+    def test_unreachable_parent(self):
+        g = graph_from_edges([(0, 1)], n=3)
+        _dist, parent = bfs_tree(g, 0)
+        assert parent[2] == -1
+
+
+class TestPointToPoint:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_matches_full_bfs(self, seed):
+        g = random_graph(70, 200, seed=seed)
+        rng = np.random.default_rng(seed)
+        full = bfs_distances(g, 3)
+        for _ in range(40):
+            t = int(rng.integers(0, g.n))
+            got = bfs_distance(g, 3, t)
+            expected = None if full[t] < 0 else int(full[t])
+            assert got == expected
+
+    def test_identical_nodes(self):
+        g = path_graph(3)
+        assert bfs_distance(g, 1, 1) == 0
+
+    def test_path_valid(self):
+        g = random_graph(60, 160, seed=8)
+        full = bfs_distances(g, 0)
+        for t in range(1, g.n):
+            if full[t] < 0:
+                continue
+            path = bfs_path(g, 0, t)
+            assert path[0] == 0 and path[-1] == t
+            assert len(path) - 1 == full[t]
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+
+    def test_path_unreachable_raises(self):
+        g = graph_from_edges([(0, 1)], n=3)
+        with pytest.raises(UnreachableError):
+            bfs_path(g, 0, 2)
+
+    def test_path_identical(self):
+        g = path_graph(3)
+        assert bfs_path(g, 2, 2) == [2]
+
+
+class TestMultiSource:
+    def test_matches_min_of_singles(self):
+        g = random_graph(60, 150, seed=9)
+        sources = [0, 5, 11]
+        singles = np.stack([bfs_distances(g, s) for s in sources]).astype(float)
+        singles[singles < 0] = np.inf
+        best = singles.min(axis=0)
+        multi = multi_source_bfs(g, sources)
+        for v in range(g.n):
+            if best[v] == np.inf:
+                assert multi[v] == -1
+            else:
+                assert multi[v] == best[v]
+
+    def test_duplicate_sources(self):
+        g = path_graph(5)
+        dist = multi_source_bfs(g, [0, 0, 4])
+        assert dist.tolist() == [0, 1, 2, 1, 0]
+
+    def test_no_sources(self):
+        g = path_graph(3)
+        assert multi_source_bfs(g, []).tolist() == [-1, -1, -1]
+
+
+class TestEccentricity:
+    def test_path_end(self):
+        assert eccentricity(path_graph(6), 0) == 5
+
+    def test_path_middle(self):
+        assert eccentricity(path_graph(5), 2) == 2

@@ -1,0 +1,84 @@
+"""Bidirectional search must agree with unidirectional ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UnreachableError
+from repro.graph.builder import graph_from_edges, path_graph
+from repro.graph.traversal.bfs import bfs_distances
+from repro.graph.traversal.bidirectional import (
+    bidirectional_bfs,
+    bidirectional_bfs_path,
+    bidirectional_dijkstra,
+)
+from repro.graph.traversal.dijkstra import dijkstra_distances
+
+from tests.conftest import random_graph
+
+
+class TestBidirectionalBfs:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_bfs_exhaustively(self, seed):
+        g = random_graph(60, 150, seed=seed)
+        for s in range(0, g.n, 7):
+            full = bfs_distances(g, s)
+            for t in range(g.n):
+                got = bidirectional_bfs(g, s, t)
+                expected = None if full[t] < 0 else int(full[t])
+                assert got == expected, (s, t)
+
+    def test_identical(self):
+        assert bidirectional_bfs(path_graph(4), 2, 2) == 0
+
+    def test_adjacent(self):
+        assert bidirectional_bfs(path_graph(4), 1, 2) == 1
+
+    def test_disconnected(self):
+        g = graph_from_edges([(0, 1)], n=4)
+        assert bidirectional_bfs(g, 0, 3) is None
+
+    def test_path_valid_and_shortest(self):
+        g = random_graph(70, 180, seed=5)
+        full = bfs_distances(g, 0)
+        for t in range(1, g.n):
+            if full[t] < 0:
+                continue
+            path = bidirectional_bfs_path(g, 0, t)
+            assert path[0] == 0 and path[-1] == t
+            assert len(path) - 1 == full[t]
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+
+    def test_path_unreachable_raises(self):
+        g = graph_from_edges([(0, 1)], n=3)
+        with pytest.raises(UnreachableError):
+            bidirectional_bfs_path(g, 0, 2)
+
+    def test_long_path_graph(self):
+        # Worst case for meeting rules: a single path, distance n-1.
+        g = path_graph(30)
+        assert bidirectional_bfs(g, 0, 29) == 29
+
+
+class TestBidirectionalDijkstra:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dijkstra(self, seed):
+        g = random_graph(50, 140, seed=seed, weighted=True)
+        for s in range(0, g.n, 11):
+            full = dijkstra_distances(g, s)
+            for t in range(g.n):
+                got = bidirectional_dijkstra(g, s, t)
+                if full[t] == np.inf:
+                    assert got is None
+                else:
+                    assert got == pytest.approx(full[t]), (s, t)
+
+    def test_unit_weights_match_bfs_variant(self):
+        g = random_graph(60, 150, seed=6)
+        for t in range(0, g.n, 5):
+            assert bidirectional_dijkstra(g, 0, t) == (
+                None if bidirectional_bfs(g, 0, t) is None else float(bidirectional_bfs(g, 0, t))
+            )
+
+    def test_identical(self):
+        assert bidirectional_dijkstra(path_graph(3), 0, 0) == 0.0

@@ -1,0 +1,182 @@
+"""Truncated (ball) traversals — the heart of the offline phase."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import graph_from_weighted_edges, path_graph, star_graph
+from repro.graph.traversal.bfs import bfs_distances
+from repro.graph.traversal.bounded import (
+    truncated_bfs_ball,
+    truncated_dijkstra_ball,
+)
+from repro.graph.traversal.dijkstra import dijkstra_distances
+
+from tests.conftest import random_connected_graph
+
+
+def flags_for(n, landmarks):
+    flags = bytearray(n)
+    for u in landmarks:
+        flags[u] = 1
+    return flags
+
+
+class TestTruncatedBfs:
+    def test_definition_1_exactly(self):
+        # Gamma(u) must equal {v : d(u,v) <= d(u, L)} on unweighted graphs.
+        g = random_connected_graph(80, 200, seed=1)
+        landmarks = [0, 17 % g.n, 33 % g.n]
+        flags = flags_for(g.n, landmarks)
+        for source in range(0, g.n, 9):
+            if flags[source]:
+                continue
+            result = truncated_bfs_ball(g, source, flags)
+            dist = bfs_distances(g, source)
+            radius = min(dist[l] for l in landmarks if dist[l] >= 0)
+            assert result.radius == radius
+            expected_gamma = {v for v in range(g.n) if 0 <= dist[v] <= radius}
+            assert set(result.gamma) == expected_gamma
+            expected_ball = {v for v in range(g.n) if 0 <= dist[v] < radius}
+            assert set(result.ball) == expected_ball
+
+    def test_distances_exact(self):
+        g = random_connected_graph(80, 200, seed=2)
+        flags = flags_for(g.n, [1, 5])
+        result = truncated_bfs_ball(g, 0, flags) if not flags[0] else None
+        if result is None:
+            return
+        dist = bfs_distances(g, 0)
+        for v, d in result.dist.items():
+            assert d == dist[v]
+
+    def test_pred_chains_reach_source(self):
+        g = random_connected_graph(80, 200, seed=3)
+        flags = flags_for(g.n, [2])
+        source = 0 if not flags[0] else 1
+        result = truncated_bfs_ball(g, source, flags)
+        for v in result.gamma:
+            node = v
+            steps = 0
+            while node != source:
+                node = result.pred[node]
+                steps += 1
+                assert steps <= g.n
+            assert steps == result.dist[v]
+
+    def test_source_is_landmark(self):
+        g = path_graph(5)
+        result = truncated_bfs_ball(g, 2, flags_for(5, [2]))
+        assert result.radius == 0
+        assert result.gamma == []
+        assert result.ball == []
+
+    def test_no_landmark_in_component(self):
+        g = path_graph(5)
+        result = truncated_bfs_ball(g, 0, flags_for(5, []))
+        assert result.radius is None
+        assert set(result.gamma) == set(range(5))
+
+    def test_adjacent_landmark_gives_radius_one(self):
+        g = star_graph(6)
+        result = truncated_bfs_ball(g, 1, flags_for(6, [0]))
+        assert result.radius == 1
+        # Gamma = {1, 0} — the leaf and the hub landmark at distance 1.
+        assert set(result.gamma) == {0, 1}
+
+    def test_max_size_aborts(self):
+        g = random_connected_graph(200, 600, seed=4)
+        flags = flags_for(g.n, [])  # no landmark: would explore everything
+        result = truncated_bfs_ball(g, 0, flags, max_size=10)
+        assert result.radius is None
+        assert len(result.dist) <= 10 + 200  # one level overshoot at most
+
+    def test_min_size_extends_past_landmark(self):
+        g = path_graph(10)
+        flags = flags_for(10, [1])
+        plain = truncated_bfs_ball(g, 0, flags)
+        assert plain.radius == 1
+        extended = truncated_bfs_ball(g, 0, flags, min_size=5)
+        assert extended.radius is not None and extended.radius > 1
+        assert len(extended.gamma) >= 5
+        # Distances must remain exact.
+        dist = bfs_distances(g, 0)
+        for v, d in extended.dist.items():
+            assert d == dist[v]
+
+    def test_min_size_still_level_complete(self):
+        g = random_connected_graph(100, 260, seed=5)
+        flags = flags_for(g.n, [3])
+        source = 0 if not flags[0] else 1
+        result = truncated_bfs_ball(g, source, flags, min_size=30)
+        if result.radius is None:
+            return
+        dist = bfs_distances(g, source)
+        expected = {v for v in range(g.n) if 0 <= dist[v] <= result.radius}
+        assert set(result.gamma) == expected
+
+
+class TestTruncatedDijkstra:
+    def test_matches_bfs_on_unit_weights(self):
+        g = random_connected_graph(60, 160, seed=6)
+        weighted = graph_from_weighted_edges(
+            [(u, v, 1.0) for u, v in g.edges()], n=g.n
+        )
+        flags = flags_for(g.n, [1, 7 % g.n])
+        for source in range(0, g.n, 13):
+            if flags[source]:
+                continue
+            a = truncated_bfs_ball(g, source, flags)
+            b = truncated_dijkstra_ball(weighted, source, flags)
+            assert a.radius == b.radius
+            assert set(a.gamma) == set(b.gamma)
+
+    def test_distances_exact_weighted(self):
+        g = random_connected_graph(60, 160, seed=7, weighted=True)
+        flags = flags_for(g.n, [2, 9 % g.n])
+        for source in range(0, g.n, 11):
+            if flags[source]:
+                continue
+            result = truncated_dijkstra_ball(g, source, flags)
+            full = dijkstra_distances(g, source)
+            for v, d in result.dist.items():
+                assert d == pytest.approx(full[v]), (source, v)
+
+    def test_gamma_is_ball_union_frontier(self):
+        g = random_connected_graph(60, 160, seed=8, weighted=True)
+        flags = flags_for(g.n, [4])
+        source = 0 if not flags[0] else 1
+        result = truncated_dijkstra_ball(g, source, flags)
+        full = dijkstra_distances(g, source)
+        radius = result.radius
+        ball = {v for v in range(g.n) if full[v] < radius}
+        frontier = set()
+        for b in ball:
+            frontier.update(g.neighbors(b).tolist())
+        assert set(result.gamma) == ball | frontier
+
+    def test_heavy_frontier_edge_settled_exactly(self):
+        # A frontier node whose only cheap path enters from outside the
+        # ball: phase 2 must still label it with the true distance.
+        edges = [
+            (0, 1, 1.0),   # ball
+            (1, 2, 1.0),   # landmark at distance 2
+            (0, 3, 10.0),  # heavy frontier edge
+            (2, 3, 1.0),   # cheap path to 3 through the landmark
+        ]
+        g = graph_from_weighted_edges(edges)
+        flags = flags_for(4, [2])
+        result = truncated_dijkstra_ball(g, 0, flags)
+        assert result.radius == pytest.approx(2.0)
+        assert result.dist[3] == pytest.approx(3.0)  # 0-1-2-3, not 10.0
+
+    def test_source_is_landmark(self):
+        g = graph_from_weighted_edges([(0, 1, 1.0)])
+        result = truncated_dijkstra_ball(g, 0, flags_for(2, [0]))
+        assert result.radius == 0
+        assert result.gamma == []
+
+    def test_no_landmark(self):
+        g = graph_from_weighted_edges([(0, 1, 2.0), (1, 2, 2.0)])
+        result = truncated_dijkstra_ball(g, 0, flags_for(3, []))
+        assert result.radius is None
+        assert set(result.gamma) == {0, 1, 2}

@@ -1,0 +1,91 @@
+"""Dijkstra engines cross-validated against NetworkX and BFS."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import UnreachableError
+from repro.graph.builder import graph_from_weighted_edges, path_graph
+from repro.graph.traversal.bfs import bfs_distances
+from repro.graph.traversal.dijkstra import (
+    dijkstra_distance,
+    dijkstra_distances,
+    dijkstra_path,
+    dijkstra_tree,
+)
+
+from tests.conftest import random_graph
+
+
+def to_networkx_weighted(graph):
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.n))
+    for u, v, w in graph.weighted_edges():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+class TestDijkstraDistances:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        g = random_graph(60, 180, seed=seed, weighted=True)
+        nxg = to_networkx_weighted(g)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        dist = dijkstra_distances(g, 0)
+        for v in range(g.n):
+            if v in expected:
+                assert dist[v] == pytest.approx(expected[v])
+            else:
+                assert dist[v] == np.inf
+
+    def test_unit_weights_match_bfs(self):
+        g = random_graph(70, 200, seed=3)
+        bfs = bfs_distances(g, 2).astype(float)
+        bfs[bfs < 0] = np.inf
+        dij = dijkstra_distances(g, 2)
+        assert np.allclose(bfs, dij)
+
+
+class TestDijkstraTree:
+    def test_parents_relax_correctly(self):
+        g = random_graph(50, 150, seed=4, weighted=True)
+        dist, parent = dijkstra_tree(g, 0)
+        for v in range(g.n):
+            if v == 0 or dist[v] == np.inf:
+                continue
+            p = int(parent[v])
+            assert dist[v] == pytest.approx(dist[p] + g.edge_weight(p, v))
+
+
+class TestPointToPoint:
+    def test_matches_full(self):
+        g = random_graph(50, 140, seed=5, weighted=True)
+        full = dijkstra_distances(g, 1)
+        for t in range(g.n):
+            got = dijkstra_distance(g, 1, t)
+            if full[t] == np.inf:
+                assert got is None
+            else:
+                assert got == pytest.approx(full[t])
+
+    def test_identical(self):
+        assert dijkstra_distance(path_graph(3), 1, 1) == 0.0
+
+    def test_path_weight_sums(self):
+        g = random_graph(50, 140, seed=6, weighted=True)
+        full = dijkstra_distances(g, 0)
+        for t in range(1, g.n):
+            if full[t] == np.inf:
+                continue
+            path = dijkstra_path(g, 0, t)
+            total = sum(g.edge_weight(a, b) for a, b in zip(path, path[1:]))
+            assert total == pytest.approx(full[t])
+
+    def test_unreachable_raises(self):
+        g = graph_from_weighted_edges([(0, 1, 1.0)], n=3)
+        with pytest.raises(UnreachableError):
+            dijkstra_path(g, 0, 2)
+
+    def test_zero_weight_edges(self):
+        g = graph_from_weighted_edges([(0, 1, 0.0), (1, 2, 2.0)])
+        assert dijkstra_distance(g, 0, 2) == pytest.approx(2.0)

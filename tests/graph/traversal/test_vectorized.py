@@ -1,0 +1,74 @@
+"""Vectorised BFS must agree bit-for-bit with the scalar engines."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import digraph_from_edges, graph_from_edges, path_graph
+from repro.graph.traversal.bfs import bfs_distances, multi_source_bfs
+from repro.graph.traversal.vectorized import (
+    bfs_distances_vectorized,
+    bfs_tree_vectorized,
+    digraph_bfs_tree_vectorized,
+    multi_source_bfs_vectorized,
+)
+
+from tests.conftest import random_graph
+
+
+class TestVectorizedBfs:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_distances_match_scalar(self, seed):
+        g = random_graph(120, 400, seed=seed)
+        for source in (0, g.n // 2, g.n - 1):
+            assert np.array_equal(
+                bfs_distances(g, source), bfs_distances_vectorized(g, source)
+            )
+
+    def test_parents_form_valid_tree(self):
+        g = random_graph(100, 300, seed=4)
+        dist, parent = bfs_tree_vectorized(g, 0)
+        assert parent[0] == 0
+        for v in range(g.n):
+            if dist[v] > 0:
+                p = int(parent[v])
+                assert dist[p] == dist[v] - 1
+                assert g.has_edge(p, v)
+            elif dist[v] < 0:
+                assert parent[v] == -1
+
+    def test_isolated_source(self):
+        g = graph_from_edges([(1, 2)], n=4)
+        dist, parent = bfs_tree_vectorized(g, 0)
+        assert dist.tolist() == [0, -1, -1, -1]
+
+    def test_multi_source_matches_scalar(self):
+        g = random_graph(100, 250, seed=5)
+        sources = [0, 9, 42]
+        assert np.array_equal(
+            multi_source_bfs(g, sources),
+            multi_source_bfs_vectorized(g, sources),
+        )
+
+    def test_multi_source_empty(self):
+        g = path_graph(4)
+        assert multi_source_bfs_vectorized(g, []).tolist() == [-1] * 4
+
+
+class TestDigraphVectorized:
+    def test_forward_distances(self):
+        g = digraph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        dist, parent = digraph_bfs_tree_vectorized(
+            g.out_indptr, g.out_indices, g.n, 0
+        )
+        assert dist.tolist() == [0, 1, 2, 3]
+
+    def test_backward_distances(self):
+        g = digraph_from_edges([(0, 1), (1, 2)])
+        dist, _ = digraph_bfs_tree_vectorized(g.in_indptr, g.in_indices, g.n, 2)
+        # distances *to* node 2
+        assert dist.tolist() == [2, 1, 0]
+
+    def test_unreachable_direction(self):
+        g = digraph_from_edges([(0, 1)])
+        dist, _ = digraph_bfs_tree_vectorized(g.out_indptr, g.out_indices, g.n, 1)
+        assert dist.tolist() == [-1, 0]

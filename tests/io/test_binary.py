@@ -1,0 +1,51 @@
+"""Binary snapshot round trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.graph.builder import digraph_from_arrays
+from repro.io.binary import load_digraph, load_graph, save_digraph, save_graph
+
+from tests.conftest import random_graph
+
+
+class TestGraphSnapshots:
+    def test_round_trip(self, tmp_path):
+        g = random_graph(60, 180, seed=1)
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        assert load_graph(path) == g
+
+    def test_weighted_round_trip(self, tmp_path):
+        g = random_graph(40, 120, seed=2, weighted=True)
+        path = tmp_path / "w.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded == g
+        assert loaded.is_weighted
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, magic="something-else")
+        with pytest.raises(SerializationError):
+            load_graph(path)
+
+
+class TestDigraphSnapshots:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        g = digraph_from_arrays(rng.integers(0, 30, 90), rng.integers(0, 30, 90))
+        path = tmp_path / "d.npz"
+        save_digraph(g, path)
+        loaded = load_digraph(path)
+        assert loaded.num_arcs == g.num_arcs
+        assert np.array_equal(loaded.out_indices, g.out_indices)
+        assert np.array_equal(loaded.in_indices, g.in_indices)
+
+    def test_graph_digraph_magic_mismatch(self, tmp_path):
+        g = random_graph(10, 30, seed=4)
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        with pytest.raises(SerializationError):
+            load_digraph(path)

@@ -1,0 +1,64 @@
+"""Edge-list text format round trips."""
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.graph.builder import digraph_from_edges, graph_from_weighted_edges
+from repro.io.edgelist import read_edgelist, write_edgelist
+
+from tests.conftest import random_graph
+
+
+class TestRoundTrip:
+    def test_unweighted(self, tmp_path):
+        g = random_graph(40, 120, seed=1)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path, header="test graph")
+        loaded = read_edgelist(path)
+        assert loaded == g
+
+    def test_weighted(self, tmp_path):
+        g = graph_from_weighted_edges([(0, 1, 2.5), (1, 2, 0.125)])
+        path = tmp_path / "w.txt"
+        write_edgelist(g, path)
+        loaded = read_edgelist(path, weighted=True)
+        assert loaded == g
+
+    def test_directed(self, tmp_path):
+        g = digraph_from_edges([(0, 1), (1, 2), (2, 0)])
+        path = tmp_path / "d.txt"
+        write_edgelist(g, path)
+        loaded = read_edgelist(path, directed=True)
+        assert loaded.num_arcs == 3
+        assert loaded.has_arc(2, 0)
+        assert not loaded.has_arc(0, 2)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n\n0 1\n# mid comment\n1 2\n")
+        g = read_edgelist(path)
+        assert g.num_edges == 2
+
+
+class TestErrors:
+    def test_short_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(SerializationError, match="expected 2 columns"):
+            read_edgelist(path)
+
+    def test_missing_weight_column(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(SerializationError, match="expected 3 columns"):
+            read_edgelist(path, weighted=True)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(SerializationError):
+            read_edgelist(path)
+
+    def test_unserialisable_object(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_edgelist("not a graph", tmp_path / "x.txt")

@@ -1,0 +1,92 @@
+"""Oracle persistence: queries must be identical after a round trip."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.index import VicinityIndex
+from repro.core.oracle import VicinityOracle
+from repro.exceptions import SerializationError
+from repro.io.oracle_store import load_index, save_index
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = random_connected_graph(200, 560, seed=111)
+    return VicinityIndex.build(
+        graph, OracleConfig(alpha=4.0, seed=13, fallback="bidirectional")
+    )
+
+
+class TestRoundTrip:
+    def test_queries_identical(self, index, tmp_path):
+        path = tmp_path / "oracle.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        original = VicinityOracle(index)
+        restored = VicinityOracle(loaded)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            s, t = (int(x) for x in rng.integers(0, index.n, 2))
+            a = original.query(s, t, with_path=True)
+            b = restored.query(s, t, with_path=True)
+            assert a.distance == b.distance
+            assert a.method == b.method
+            if a.path is not None:
+                assert len(a.path) == len(b.path)
+
+    def test_structures_identical(self, index, tmp_path):
+        path = tmp_path / "oracle.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.n == index.n
+        assert np.array_equal(loaded.landmarks.ids, index.landmarks.ids)
+        assert loaded.landmarks.scale == index.landmarks.scale
+        assert loaded.config == index.config
+        for u in range(index.n):
+            a, b = index.vicinities[u], loaded.vicinities[u]
+            assert a.members == b.members
+            assert a.dist == b.dist
+            assert a.radius == b.radius
+            assert list(a.boundary) == list(b.boundary)
+
+    def test_tables_identical(self, index, tmp_path):
+        path = tmp_path / "oracle.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert set(loaded.tables) == set(index.tables)
+        for landmark, table in index.tables.items():
+            assert np.array_equal(loaded.tables[landmark].dist, table.dist)
+            assert np.array_equal(loaded.tables[landmark].parent, table.parent)
+
+    def test_weighted_round_trip(self, tmp_path):
+        graph = random_connected_graph(80, 200, seed=112, weighted=True)
+        index = VicinityIndex.build(graph, OracleConfig(alpha=4.0, seed=3))
+        path = tmp_path / "w.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        original = VicinityOracle(index)
+        restored = VicinityOracle(loaded)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+            assert original.query(s, t).distance == pytest.approx(
+                restored.query(s, t).distance
+            )
+
+    def test_no_tables_mode(self, tmp_path):
+        graph = random_connected_graph(100, 260, seed=113)
+        index = VicinityIndex.build(
+            graph, OracleConfig(alpha=4.0, seed=5, landmark_tables="none")
+        )
+        path = tmp_path / "nt.npz"
+        save_index(index, path)
+        assert load_index(path).tables == {}
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, magic="nonsense")
+        with pytest.raises(SerializationError):
+            load_index(path)

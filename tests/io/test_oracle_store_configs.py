@@ -1,0 +1,71 @@
+"""Persistence across the configuration matrix.
+
+The round-trip tests in test_oracle_store.py cover the default build;
+these pin the remaining configuration corners: the vicinity floor, the
+distances-only mode, alternative kernels and fallbacks — each of which
+changes what must survive serialisation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.index import VicinityIndex
+from repro.core.oracle import VicinityOracle
+from repro.io.oracle_store import load_index, save_index
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_connected_graph(160, 420, seed=171)
+
+
+CONFIGS = {
+    "floored": OracleConfig(alpha=2.0, seed=3, vicinity_floor=0.5, fallback="none"),
+    "distances-only": OracleConfig(alpha=4.0, seed=3, store_paths=False, fallback="none"),
+    "full-kernel": OracleConfig(alpha=4.0, seed=3, kernel="full-smaller", fallback="none"),
+    "capped-landmarks": OracleConfig(alpha=1.0, seed=3, max_landmarks=4, fallback="none"),
+    "literal-scale": OracleConfig(alpha=4.0, seed=3, probability_scale=2.0, fallback="none"),
+}
+
+
+@pytest.mark.parametrize("label", list(CONFIGS))
+def test_round_trip_preserves_queries(label, graph, tmp_path):
+    config = CONFIGS[label]
+    index = VicinityIndex.build(graph, config)
+    path = tmp_path / f"{label}.npz"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert loaded.config == config
+    original = VicinityOracle(index)
+    restored = VicinityOracle(loaded)
+    rng = np.random.default_rng(5)
+    for _ in range(120):
+        s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+        a = original.query(s, t)
+        b = restored.query(s, t)
+        assert a.distance == b.distance and a.method == b.method, (label, s, t)
+
+
+def test_distances_only_round_trip_has_no_parents(graph, tmp_path):
+    index = VicinityIndex.build(graph, CONFIGS["distances-only"])
+    path = tmp_path / "np.npz"
+    save_index(index, path)
+    loaded = load_index(path)
+    non_landmark = next(
+        u for u in range(graph.n) if not loaded.landmarks.is_landmark[u]
+    )
+    assert loaded.vicinities[non_landmark].pred == {}
+    table = loaded.tables[int(loaded.landmarks.ids[0])]
+    assert table.parent is None
+
+
+def test_floor_round_trip_preserves_radii(graph, tmp_path):
+    index = VicinityIndex.build(graph, CONFIGS["floored"])
+    path = tmp_path / "fl.npz"
+    save_index(index, path)
+    loaded = load_index(path)
+    for u in range(graph.n):
+        assert loaded.vicinities[u].radius == index.vicinities[u].radius

@@ -1,0 +1,74 @@
+"""CLI smoke tests (everything at tiny scales)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "g.npz"
+    assert main(["generate", "dblp", "--scale", "0.0005", "--seed", "1",
+                 "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_npz_output(self, graph_file, capsys):
+        assert graph_file.exists()
+
+    def test_edgelist_output(self, tmp_path):
+        out = tmp_path / "g.txt"
+        assert main(["generate", "dblp", "--scale", "0.0005", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("#")
+
+
+class TestStats:
+    def test_prints_degree_info(self, graph_file, capsys):
+        assert main(["stats", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "average degree" in out
+
+
+class TestBuildAndQuery:
+    def test_build_then_query(self, graph_file, tmp_path, capsys):
+        oracle_file = tmp_path / "oracle.npz"
+        assert main(["build", str(graph_file), "--alpha", "4", "--seed", "2",
+                     "--out", str(oracle_file)]) == 0
+        assert oracle_file.exists()
+        assert main(["query", str(oracle_file), "0", "5", "--path"]) == 0
+        out = capsys.readouterr().out
+        assert "distance(0, 5)" in out
+        assert "method" in out
+
+    def test_query_explain(self, graph_file, tmp_path, capsys):
+        oracle_file = tmp_path / "oracle.npz"
+        assert main(["build", str(graph_file), "--alpha", "4", "--seed", "2",
+                     "--out", str(oracle_file)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(oracle_file), "0", "5", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "resolved by" in out
+        assert "Gamma(s)" in out
+
+
+class TestExperiments:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2", "--scale", "0.0004",
+                     "--datasets", "dblp"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_memory(self, capsys):
+        assert main(["experiment", "memory", "--scale", "0.0008",
+                     "--datasets", "dblp"]) == 0
+        assert "Memory accounting" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_dataset_error_is_reported(self, tmp_path, capsys):
+        # Valid CLI usage but an unloadable file -> clean error, exit 1.
+        missing = tmp_path / "missing.txt"
+        missing.write_text("not numbers\n")
+        assert main(["stats", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err

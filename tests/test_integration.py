@@ -1,0 +1,91 @@
+"""Cross-module integration tests: the full pipeline, per generator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import BidirectionalBaseline
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.datasets.barabasi_albert import barabasi_albert_graph
+from repro.datasets.chung_lu import chung_lu_graph, powerlaw_weights
+from repro.datasets.erdos_renyi import erdos_renyi_graph
+from repro.datasets.forest_fire import forest_fire_graph
+from repro.datasets.rmat import rmat_graph
+from repro.datasets.watts_strogatz import watts_strogatz_graph
+from repro.graph.components import largest_component
+from repro.graph.traversal.bfs import bfs_distance
+from repro.io.oracle_store import load_index, save_index
+
+
+def generators():
+    w = powerlaw_weights(900, exponent=2.5, mean_degree=10, rng=1)
+    yield "chung-lu", largest_component(chung_lu_graph(w, rng=2))[0]
+    yield "barabasi-albert", barabasi_albert_graph(700, 3, rng=3)
+    yield "watts-strogatz", largest_component(
+        watts_strogatz_graph(600, 3, 0.1, rng=4)
+    )[0]
+    yield "erdos-renyi", largest_component(erdos_renyi_graph(600, 2400, rng=5))[0]
+    yield "rmat", largest_component(rmat_graph(9, 6, rng=6))[0]
+    yield "forest-fire", forest_fire_graph(400, 0.3, rng=7)
+
+
+@pytest.mark.integration
+@pytest.mark.parametrize("name,graph", list(generators()), ids=lambda p: p if isinstance(p, str) else "")
+def test_offline_online_pipeline_every_generator(name, graph):
+    """Build + query on each topology family; exactness everywhere."""
+    config = OracleConfig(alpha=4.0, seed=17, fallback="bidirectional")
+    oracle = VicinityOracle.build(graph, config=config)
+    rng = np.random.default_rng(8)
+    for _ in range(120):
+        s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+        result = oracle.query(s, t, with_path=True)
+        assert result.distance == bfs_distance(graph, s, t), (name, s, t)
+        if result.path is not None:
+            for a, b in zip(result.path, result.path[1:]):
+                assert graph.has_edge(a, b)
+
+
+@pytest.mark.integration
+def test_persist_query_consistency_under_load(tmp_path, social_graph):
+    """Build -> persist -> load -> answers agree with live baselines."""
+    config = OracleConfig(alpha=4.0, seed=19, fallback="bidirectional")
+    oracle = VicinityOracle.build(social_graph, config=config)
+    path = tmp_path / "oracle.npz"
+    save_index(oracle.index, path)
+    restored = VicinityOracle(load_index(path))
+    baseline = BidirectionalBaseline(social_graph)
+    rng = np.random.default_rng(9)
+    for _ in range(150):
+        s, t = (int(x) for x in rng.integers(0, social_graph.n, 2))
+        assert restored.query(s, t).distance == baseline.distance(s, t)
+
+
+@pytest.mark.integration
+def test_accuracy_claim_on_social_standins():
+    """The §3.2-style accuracy shape: alpha=4 + floor answers ~all pairs."""
+    from repro.datasets.social import generate
+
+    graph = generate("flickr", scale=0.0008, seed=23)
+    config = OracleConfig(alpha=4.0, seed=5, fallback="none", vicinity_floor=0.75)
+    oracle = VicinityOracle.build(graph, config=config)
+    rng = np.random.default_rng(10)
+    answered = 0
+    total = 500
+    for _ in range(total):
+        s, t = (int(x) for x in rng.integers(0, graph.n, 2))
+        if oracle.query(s, t).distance is not None:
+            answered += 1
+    assert answered / total > 0.95
+
+
+@pytest.mark.integration
+def test_sqrt_n_memory_shape():
+    """Entries/node tracks alpha*sqrt(n) within a small constant."""
+    from repro.datasets.social import generate
+
+    graph = generate("dblp", scale=0.002, seed=29)
+    config = OracleConfig(alpha=4.0, seed=6, fallback="none")
+    oracle = VicinityOracle.build(graph, config=config)
+    report = oracle.memory()
+    target = 4.0 * np.sqrt(graph.n)
+    assert 0.25 * target < report.entries_per_node < 4.0 * target

@@ -1,0 +1,89 @@
+"""Utility module tests (rng, timer, formatting)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.format import format_bytes, format_count, format_duration, format_ratio
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Timer, time_callable
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_rng(3, streams=2)
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic(self):
+        a1, _ = spawn_rng(3, streams=2)
+        a2, _ = spawn_rng(3, streams=2)
+        assert a1.random() == a2.random()
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rng(1, streams=-1)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        with timer:
+            time.sleep(0.002)
+        assert timer.count == 2
+        assert timer.elapsed >= 0.004
+        assert timer.mean >= 0.002
+        assert timer.max >= timer.mean
+
+    def test_empty(self):
+        timer = Timer()
+        assert timer.mean == 0.0
+        assert timer.max == 0.0
+
+    def test_time_callable(self):
+        elapsed, value = time_callable(lambda: 41 + 1)
+        assert value == 42
+        assert elapsed >= 0.0
+
+
+class TestFormat:
+    def test_duration_units(self):
+        assert format_duration(2.5) == "2.500 s"
+        assert format_duration(0.0025).endswith("ms")
+        assert format_duration(2.5e-6).endswith("us")
+        assert format_duration(3e-10).endswith("ns")
+
+    def test_duration_negative(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+    def test_bytes_units(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert "MiB" in format_bytes(5 * 1024**2)
+        assert "TiB" in format_bytes(3 * 1024**4)
+
+    def test_ratio_precision(self):
+        assert format_ratio(431.2) == "431x"
+        assert format_ratio(43.12) == "43.1x"
+        assert format_ratio(4.312) == "4.31x"
+
+    def test_count(self):
+        assert format_count(68990000) == "68,990,000"
+        assert format_count(12.5) == "12.50"
