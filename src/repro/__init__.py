@@ -21,6 +21,11 @@ Public surface (re-exported here):
   :class:`QueryResult`, :class:`VicinityIndex`;
 * extensions — :class:`DirectedVicinityOracle`,
   :class:`PartitionedOracle`, :class:`DynamicVicinityOracle`;
+* the serving layer — :class:`BatchExecutor`, :class:`ResultCache`,
+  :class:`ShardedService`, :class:`Telemetry` (see
+  :mod:`repro.service`; ``VicinityOracle.query_batch`` is the batch
+  substrate, :data:`repro.core.oracle.METHODS` the authoritative list
+  of resolution-method names);
 * baselines and dataset generators via the :mod:`repro.baselines` and
   :mod:`repro.datasets` submodules.
 """
@@ -54,6 +59,14 @@ from repro.core import (
     VicinityIndex,
     VicinityOracle,
 )
+from repro.core.oracle import CHEAP_METHODS, EXPENSIVE_METHODS, METHODS
+from repro.service import (
+    BatchExecutor,
+    ResultCache,
+    ServiceApp,
+    ShardedService,
+    Telemetry,
+)
 
 __all__ = [
     "__version__",
@@ -82,4 +95,14 @@ __all__ = [
     "DirectedVicinityOracle",
     "PartitionedOracle",
     "DynamicVicinityOracle",
+    # resolution-method vocabulary (single source of truth)
+    "METHODS",
+    "CHEAP_METHODS",
+    "EXPENSIVE_METHODS",
+    # serving layer
+    "BatchExecutor",
+    "ResultCache",
+    "ShardedService",
+    "ServiceApp",
+    "Telemetry",
 ]

@@ -6,6 +6,8 @@ Subcommands mirror the library's workflow:
 * ``stats``      — basic statistics of a stored graph;
 * ``build``      — run the offline phase and persist the oracle;
 * ``query``      — answer one query from a persisted oracle;
+* ``serve``      — run the query service (JSON-lines over stdin, or the
+  ``--bench`` self-driving workload) from a persisted oracle;
 * ``experiment`` — regenerate a paper table/figure (table2, figure2,
   table3, memory, tradeoff).
 """
@@ -13,6 +15,7 @@ Subcommands mirror the library's workflow:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Optional, Sequence
@@ -58,6 +61,35 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--path", action="store_true", help="also print the path")
     query.add_argument(
         "--explain", action="store_true", help="print the Algorithm 1 resolution trace"
+    )
+
+    serve = sub.add_parser("serve", help="run the query service from a stored oracle")
+    serve.add_argument("oracle", help="oracle .npz path (from `build`)")
+    serve.add_argument(
+        "--cache-size", type=int, default=65536,
+        help="LRU result-cache capacity; 0 disables caching",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="serve through N in-process shard workers (0 = single machine)",
+    )
+    serve.add_argument(
+        "--replicate-tables", action="store_true",
+        help="sharded mode: copy landmark tables onto every shard",
+    )
+    serve.add_argument(
+        "--bench", action="store_true",
+        help="self-drive a Zipf workload instead of reading stdin",
+    )
+    serve.add_argument("--queries", type=int, default=20000, help="bench query count")
+    serve.add_argument("--batch-size", type=int, default=256, help="bench batch size")
+    serve.add_argument(
+        "--zipf", type=float, default=1.0, help="bench workload skew exponent"
+    )
+    serve.add_argument("--seed", type=int, default=7, help="bench workload seed")
+    serve.add_argument(
+        "--json", action="store_true",
+        help="bench mode: emit the full report as JSON instead of text",
     )
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
@@ -125,6 +157,50 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import (
+        ServiceApp,
+        render_bench_report,
+        run_bench,
+        serve_stdio,
+    )
+
+    index = load_index(args.oracle)
+    app = ServiceApp.from_index(
+        index,
+        cache_size=args.cache_size,
+        shards=args.shards,
+        replicate_tables=args.replicate_tables,
+    )
+    try:
+        if args.bench:
+            report = run_bench(
+                app,
+                queries=args.queries,
+                batch_size=args.batch_size,
+                exponent=args.zipf,
+                seed=args.seed,
+            )
+            if args.json:
+                print(_json.dumps(report, indent=2))
+            else:
+                print(render_bench_report(report))
+        else:
+            mode = f"{args.shards} shards" if args.shards else "single machine"
+            print(
+                f"serving {index.n:,}-node oracle ({mode}); "
+                'one JSON request per line ({"s": 0, "t": 5}, '
+                '{"pairs": [[0, 5]]}, {"cmd": "stats"}, {"cmd": "quit"})',
+                file=sys.stderr,
+            )
+            serve_stdio(app)
+    finally:
+        app.close()
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names = args.datasets or None
     if args.name == "table2":
@@ -182,11 +258,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": _cmd_stats,
         "build": _cmd_build,
         "query": _cmd_query,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
     }
     try:
         return handlers[args.command](args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. head).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except OSError as exc:
+        # Unreadable/missing input files and other I/O failures.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

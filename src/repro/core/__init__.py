@@ -24,7 +24,13 @@ from repro.core.landmarks import (
 )
 from repro.core.vicinity import Vicinity, compute_boundary
 from repro.core.index import VicinityIndex
-from repro.core.oracle import QueryResult, VicinityOracle
+from repro.core.oracle import (
+    CHEAP_METHODS,
+    EXPENSIVE_METHODS,
+    METHODS,
+    QueryResult,
+    VicinityOracle,
+)
 from repro.core.memory import MemoryReport, memory_report
 from repro.core.stats import IndexStats
 from repro.core.directed import DirectedQueryResult, DirectedVicinityOracle
@@ -42,6 +48,9 @@ __all__ = [
     "VicinityIndex",
     "VicinityOracle",
     "QueryResult",
+    "METHODS",
+    "CHEAP_METHODS",
+    "EXPENSIVE_METHODS",
     "MemoryReport",
     "memory_report",
     "IndexStats",

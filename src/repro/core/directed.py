@@ -318,6 +318,20 @@ class DirectedVicinityOracle:
         self.counters.record(result)
         return result
 
+    def query_batch(
+        self, pairs, *, with_path: bool = False
+    ) -> list[DirectedQueryResult]:
+        """Answer many ``(source, target)`` pairs, in input order.
+
+        The directed counterpart of
+        :meth:`~repro.core.oracle.VicinityOracle.query_batch`, making
+        the oracle a valid serving-layer backend
+        (``BatchExecutor(..., symmetry=False)`` with
+        ``ResultCache(symmetric=False)`` — ``d(s -> t)`` and
+        ``d(t -> s)`` differ, so orientations must stay distinct).
+        """
+        return [self.query(int(s), int(t), with_path=with_path) for s, t in pairs]
+
     def _resolve(self, source: int, target: int, with_path: bool) -> DirectedQueryResult:
         probes = 0
         if source == target:

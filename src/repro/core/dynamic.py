@@ -10,14 +10,17 @@ unweighted graphs with two mechanisms:
    BFS seeded at the cheaper endpoint (classic dynamic-SSSP insertion
    case);
 2. **conservative vicinity rebuild** — a vicinity ``Gamma(w)`` (radius
-   ``r``) can change only if the new edge creates a strictly shorter
-   path from ``w`` into its ball, which requires
-   ``min(d'(w,u), d'(w,v)) < r`` (``d'`` = post-insertion distances):
+   ``r``) can change only if ``min(d'(w,u), d'(w,v)) <= r`` (``d'`` =
+   post-insertion distances).  Distances/membership can change only
+   when the new edge creates a strictly shorter path into the ball:
    any changed distance ``d'(w,x) <= r`` decomposes as
    ``d'(w,u) + 1 + d'(v,x)`` (or symmetrically), forcing
-   ``d'(w,u) < r``.  We therefore rebuild exactly the nodes within
-   distance ``max_radius`` of either endpoint that satisfy the test —
-   everything else is provably untouched.
+   ``d'(w,u) < r``.  The *boundary* can additionally change without
+   any distance changing: the insertion gives ``u`` and ``v`` — and
+   only them — a new neighbour, so a rim member (``d'(w,u) == r``)
+   whose neighbours were all inside ``Gamma(w)`` becomes a boundary
+   node, which Lemma 1's boundary-restricted scan must see.  Hence the
+   non-strict test; everything else is provably untouched.
 
 The landmark *set* is frozen across updates: sampling probabilities
 drift as degrees grow, and :meth:`DynamicVicinityOracle.staleness`
@@ -190,7 +193,9 @@ class DynamicVicinityOracle:
                 # edge touches the component at all.
                 affected = nearest >= 0
             else:
-                affected = 0 <= nearest < radius
+                # Non-strict: an endpoint exactly on the rim can flip
+                # from interior to boundary (see module docstring).
+                affected = 0 <= nearest <= radius
             if not affected:
                 continue
             result = truncated_bfs_ball(graph, w, flags)

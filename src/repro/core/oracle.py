@@ -20,6 +20,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+import numpy as np
+
 from repro.core.config import OracleConfig
 from repro.core.fallback import fallback_distance, fallback_path
 from repro.core.index import VicinityIndex
@@ -36,13 +38,38 @@ from repro.graph.csr import CSRGraph
 
 Distance = Union[int, float]
 
-#: Resolution methods, in Algorithm 1 order.
+#: Resolution methods, in Algorithm 1 order.  This tuple is the single
+#: authoritative list of method names; downstream code (the serving
+#: layer, caches, telemetry) must reference these constants rather than
+#: re-listing the strings.
 METHODS = (
     "identical",
     "landmark-source",
     "landmark-target",
     "target-in-source-vicinity",
     "source-in-target-vicinity",
+    "intersection",
+    "fallback",
+    "miss",
+    "disconnected",
+)
+
+#: Methods that resolve in O(1) table probes — conditions (1)-(4) of
+#: Algorithm 1 plus the trivial same-node case.  Re-answering these is
+#: as cheap as a cache hit, so the serving layer does not cache them.
+CHEAP_METHODS = (
+    "identical",
+    "landmark-source",
+    "landmark-target",
+    "target-in-source-vicinity",
+    "source-in-target-vicinity",
+)
+
+#: Methods that pay for a boundary scan (intersection) or a graph
+#: search (fallback) — the expensive tail worth caching.  ``miss`` and
+#: ``disconnected`` belong here because discovering either costs a full
+#: failed scan.
+EXPENSIVE_METHODS = (
     "intersection",
     "fallback",
     "miss",
@@ -79,6 +106,27 @@ class QueryResult:
     def answered(self) -> bool:
         """Whether an exact distance was produced."""
         return self.distance is not None
+
+    def mirrored(self) -> "QueryResult":
+        """Return this result reoriented as an answer to ``(target, source)``.
+
+        On an undirected graph ``d(s, t) == d(t, s)``, so a resolved
+        pair answers its mirror for free.  The serving layer uses this
+        for symmetry deduplication and cache orientation.  The method
+        and witness are carried over unchanged (they describe how the
+        canonical orientation was resolved); ``probes`` is zero because
+        the mirror costs no further look-ups.
+        """
+        path = None if self.path is None else list(reversed(self.path))
+        return QueryResult(
+            source=self.target,
+            target=self.source,
+            distance=self.distance,
+            path=path,
+            method=self.method,
+            witness=self.witness,
+            probes=0,
+        )
 
 
 @dataclass
@@ -274,6 +322,82 @@ class VicinityOracle:
         (the §2.3 protocol, bulk screening in the examples).
         """
         return [self.query(s, t, with_path=with_path) for s, t in pairs]
+
+    def query_batch(
+        self, pairs, *, with_path: bool = False
+    ) -> list[QueryResult]:
+        """Answer many ``(source, target)`` pairs with batch-level grouping.
+
+        Semantically identical to mapping :meth:`query` over ``pairs``
+        — same distances, methods and probe counts per pair, counters
+        folded in once per pair — but cheaper in aggregate:
+
+        * endpoints are validated in bulk with one vectorised bounds
+          check instead of two Python calls per pair;
+        * the landmark-flag test of conditions (1)/(2) is evaluated as
+          one numpy gather across the whole batch, so landmark-endpoint
+          pairs jump straight to their table lookup;
+        * trivial ``s == t`` pairs short-circuit without touching the
+          index.
+
+        Only the remaining pairs — the ones that need a vicinity probe
+        or an intersection — run the full Algorithm 1 dispatch.  This is
+        the substrate the serving layer's
+        :class:`~repro.service.batch.BatchExecutor` builds on (adding
+        deduplication, symmetry and caching).
+
+        Args:
+            pairs: iterable of ``(source, target)`` node pairs.
+            with_path: also reconstruct shortest paths.
+
+        Returns:
+            One :class:`QueryResult` per input pair, in input order.
+        """
+        index = self.index
+        graph = index.graph
+        pair_list = [(int(s), int(t)) for s, t in pairs]
+        if not pair_list:
+            return []
+        if with_path and not index.config.store_paths and index.config.fallback == "none":
+            raise QueryError("index was built with store_paths=False")
+
+        flat = np.asarray(pair_list, dtype=np.int64)
+        out_of_range = (flat < 0) | (flat >= graph.n)
+        if out_of_range.any():
+            # Delegate to check_node for the canonical error.
+            graph.check_node(int(flat[out_of_range][0]))
+
+        sources, targets = flat[:, 0], flat[:, 1]
+        flags = np.asarray(index.landmarks.is_landmark, dtype=np.uint8)
+        source_is_landmark = flags[sources]
+        target_is_landmark = flags[targets]
+
+        tables = index.tables
+        results: list[Optional[QueryResult]] = [None] * len(pair_list)
+        record = self.counters.record
+        for i, (s, t) in enumerate(pair_list):
+            if s == t:
+                result = QueryResult(
+                    s, t, 0, [s] if with_path else None, "identical", None, 0
+                )
+            # The probe constants below replicate _resolve's incremental
+            # counting for these lanes and must stay in sync with it
+            # (pinned by tests/service/test_batch.py probe-equality).
+            elif source_is_landmark[i] and s in tables:
+                # Condition (1): probes = source flag + table hit.
+                result = self._answer_from_table(
+                    s, t, tables[s], "landmark-source", 2, with_path
+                )
+            elif target_is_landmark[i] and t in tables:
+                # Condition (2): probes = both flags + table hit.
+                result = self._answer_from_table(
+                    s, t, tables[t], "landmark-target", 3, with_path
+                )
+            else:
+                result = self._resolve(s, t, with_path)
+            record(result)
+            results[i] = result
+        return results
 
     def distances_from(self, source: int, targets) -> list[Optional[Distance]]:
         """Return distances from ``source`` to each of ``targets``.

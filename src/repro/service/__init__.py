@@ -1,0 +1,54 @@
+"""The query-serving subsystem: batching, caching, sharding, telemetry.
+
+The algorithmic core (:mod:`repro.core`) answers one pair at a time;
+this package turns it into an embeddable production service, following
+the serving design of the follow-up paper *"Shortest Paths in
+Microseconds"* (arXiv:1309.0874):
+
+* :class:`~repro.service.batch.BatchExecutor` — deduplicates and
+  symmetry-folds batches, then answers through the cache and
+  :meth:`repro.core.oracle.VicinityOracle.query_batch`;
+* :class:`~repro.service.cache.ResultCache` — landmark-aware LRU that
+  caches only the expensive resolution tail
+  (:data:`repro.core.oracle.EXPENSIVE_METHODS`);
+* :class:`~repro.service.sharded.ShardedService` — the §5 partitioned
+  scheme executed by real per-shard worker threads instead of the
+  message-counting simulation;
+* :class:`~repro.service.telemetry.Telemetry` — latency percentiles,
+  per-method counters, snapshot reporting;
+* :mod:`~repro.service.workload` — Zipf/uniform workload generators;
+* :mod:`~repro.service.server` — the JSON-lines request loop and
+  self-driving benchmark behind ``repro-paths serve``.
+"""
+
+from repro.service.batch import BatchExecutor, BatchStats
+from repro.service.cache import DEFAULT_CAPACITY, ResultCache
+from repro.service.server import (
+    ServiceApp,
+    handle_request,
+    render_bench_report,
+    run_bench,
+    serve_stdio,
+)
+from repro.service.sharded import ShardedService
+from repro.service.telemetry import LatencyHistogram, Telemetry, render_snapshot
+from repro.service.workload import in_batches, uniform_pairs, zipf_pairs
+
+__all__ = [
+    "BatchExecutor",
+    "BatchStats",
+    "ResultCache",
+    "DEFAULT_CAPACITY",
+    "ShardedService",
+    "Telemetry",
+    "LatencyHistogram",
+    "render_snapshot",
+    "ServiceApp",
+    "serve_stdio",
+    "handle_request",
+    "run_bench",
+    "render_bench_report",
+    "zipf_pairs",
+    "uniform_pairs",
+    "in_batches",
+]

@@ -1,0 +1,186 @@
+"""Batched query execution: dedup, symmetry folding, caching.
+
+Production query streams are highly redundant — social workloads follow
+a Zipf law over pairs, and an undirected ``d(s, t)`` equals ``d(t, s)``.
+The :class:`BatchExecutor` exploits both before the oracle sees a
+single pair:
+
+1. canonicalise every pair to ``(min, max)`` (symmetry folding);
+2. deduplicate the batch, answering each distinct pair once;
+3. consult the landmark-aware LRU cache
+   (:class:`~repro.service.cache.ResultCache`);
+4. send only the residual pairs to the backend's ``query_batch`` —
+   :meth:`repro.core.oracle.VicinityOracle.query_batch` or a
+   :class:`~repro.service.sharded.ShardedService`;
+5. fan results back out to the original order and orientation.
+
+The executor itself exposes ``query_batch``, so executors compose (for
+example a cache in front of a sharded service).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.core.oracle import QueryResult
+from repro.exceptions import QueryError
+from repro.service.cache import ResultCache
+from repro.service.telemetry import Telemetry
+
+
+class QueryBackend(Protocol):
+    """Anything able to answer a list of pairs in order."""
+
+    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        ...
+
+
+@dataclass
+class BatchStats:
+    """Work-avoidance accounting across an executor's lifetime."""
+
+    batches: int = 0
+    pairs_in: int = 0
+    unique_pairs: int = 0
+    cache_hits: int = 0
+    backend_pairs: int = 0
+    mirrored: int = 0
+
+    @property
+    def duplicates(self) -> int:
+        """Pairs answered by batch-local dedup (symmetry included)."""
+        return self.pairs_in - self.unique_pairs
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable view."""
+        return {
+            "batches": self.batches,
+            "pairs_in": self.pairs_in,
+            "unique_pairs": self.unique_pairs,
+            "duplicates": self.duplicates,
+            "cache_hits": self.cache_hits,
+            "backend_pairs": self.backend_pairs,
+            "mirrored": self.mirrored,
+        }
+
+
+class BatchExecutor:
+    """Answer batches of pairs through dedup + cache + a query backend.
+
+    Args:
+        backend: the resolver — typically a
+            :class:`~repro.core.oracle.VicinityOracle` (whose
+            ``query_batch`` does the stage grouping) or a
+            :class:`~repro.service.sharded.ShardedService`.
+        cache: optional shared :class:`ResultCache`; ``None`` disables
+            caching (dedup and symmetry still apply).
+        telemetry: optional :class:`Telemetry` receiving per-batch
+            latency and method counts.
+        symmetry: fold ``(t, s)`` onto ``(s, t)``.  Correct for the
+            undirected oracle; disable when fronting a directed
+            backend, pairing it with ``ResultCache(symmetric=False)``
+            (a symmetric cache under ``symmetry=False`` would still
+            fold orientations, so the mismatch is rejected).
+
+    Raises:
+        QueryError: when ``cache.symmetric`` disagrees with
+            ``symmetry``.
+    """
+
+    def __init__(
+        self,
+        backend: QueryBackend,
+        *,
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[Telemetry] = None,
+        symmetry: bool = True,
+    ) -> None:
+        if cache is not None and cache.symmetric != symmetry:
+            raise QueryError(
+                "cache.symmetric must match the executor's symmetry setting "
+                f"(cache: {cache.symmetric}, executor: {symmetry})"
+            )
+        self.backend = backend
+        self.cache = cache
+        self.telemetry = telemetry
+        self.symmetry = symmetry
+        self.stats = BatchStats()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        """Answer ``pairs``, returning one result per pair in order.
+
+        Results are exact and identical (in distance) to per-pair
+        :meth:`~repro.core.oracle.VicinityOracle.query`; mirrored
+        answers reuse the canonical orientation's method and witness
+        with ``probes == 0``.
+        """
+        started = time.perf_counter()
+        pair_list = [(int(s), int(t)) for s, t in pairs]
+        keys: list[tuple[int, int]] = []
+        seen: dict[tuple[int, int], None] = {}
+        for s, t in pair_list:
+            key = self._key(s, t)
+            if key not in seen:
+                seen[key] = None
+                keys.append(key)
+
+        resolved: dict[tuple[int, int], QueryResult] = {}
+        if self.cache is not None:
+            for key in keys:
+                hit = self.cache.get(key[0], key[1], need_path=with_path)
+                if hit is not None:
+                    resolved[key] = hit
+        cache_hits = len(resolved)
+
+        residual = [key for key in keys if key not in resolved]
+        if residual:
+            answers = self.backend.query_batch(residual, with_path=with_path)
+            for key, answer in zip(residual, answers):
+                resolved[key] = answer
+                if self.cache is not None:
+                    self.cache.put(answer)
+
+        results: list[QueryResult] = []
+        mirrored = 0
+        for s, t in pair_list:
+            answer = resolved[self._key(s, t)]
+            if answer.source != s or answer.target != t:
+                answer = answer.mirrored()
+                mirrored += 1
+            results.append(answer)
+
+        stats = self.stats
+        stats.batches += 1
+        stats.pairs_in += len(pair_list)
+        stats.unique_pairs += len(keys)
+        stats.cache_hits += cache_hits
+        stats.backend_pairs += len(residual)
+        stats.mirrored += mirrored
+        if self.telemetry is not None:
+            self.telemetry.observe_batch(results, time.perf_counter() - started)
+        return results
+
+    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        """Alias for :meth:`run`, making executors composable backends."""
+        return self.run(pairs, with_path=with_path)
+
+    def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
+        """Answer a single pair through the same dedup/cache machinery."""
+        return self.run([(source, target)], with_path=with_path)[0]
+
+    def _key(self, s: int, t: int) -> tuple[int, int]:
+        if self.symmetry:
+            return ResultCache.canonical(s, t)
+        return (s, t)
+
+    def snapshot(self) -> dict:
+        """Executor statistics plus embedded cache statistics."""
+        snap = self.stats.snapshot()
+        if self.cache is not None:
+            snap["cache"] = self.cache.snapshot()
+        return snap

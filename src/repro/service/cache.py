@@ -1,0 +1,168 @@
+"""Landmark-aware LRU result cache for the serving layer.
+
+Algorithm 1 has a sharply bimodal cost profile: conditions (1)-(4)
+resolve with a handful of hash probes, while the intersection stage
+scans a boundary (tens to hundreds of probes) and a fallback runs a
+graph search.  Caching the cheap stages would only duplicate work the
+index already does in O(1); caching the expensive tail converts the
+worst case of a repeated-pair workload into a dictionary hit.  The
+method classes are defined once in :mod:`repro.core.oracle`
+(:data:`~repro.core.oracle.CHEAP_METHODS` /
+:data:`~repro.core.oracle.EXPENSIVE_METHODS`) and referenced here.
+
+By default keys are canonicalised ``(min(s, t), max(s, t))`` pairs:
+the oracle serves undirected graphs, so one entry answers both
+orientations (mirrors are reoriented on the way out via
+:meth:`~repro.core.oracle.QueryResult.mirrored`).  For directed
+backends pass ``symmetric=False`` and keys stay orientation-exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.core.oracle import EXPENSIVE_METHODS, QueryResult
+from repro.exceptions import QueryError
+
+#: Default maximum number of cached pairs.
+DEFAULT_CAPACITY = 65536
+
+
+class ResultCache:
+    """LRU cache over canonical node pairs, storing full query results.
+
+    Attributes:
+        capacity: maximum entries held; least-recently-used eviction.
+        cacheable: resolution methods worth caching (defaults to
+            :data:`~repro.core.oracle.EXPENSIVE_METHODS`).
+        symmetric: fold ``(t, s)`` onto ``(s, t)`` (correct for the
+            undirected oracle).  Pass ``False`` when caching for a
+            directed backend, where ``d(s, t) != d(t, s)``; keys are
+            then stored and looked up orientation-exact.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        cacheable: Iterable[str] = EXPENSIVE_METHODS,
+        symmetric: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise QueryError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.cacheable = frozenset(cacheable)
+        self.symmetric = symmetric
+        self._entries: "OrderedDict[tuple[int, int], QueryResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejected = 0
+
+    @staticmethod
+    def canonical(source: int, target: int) -> tuple[int, int]:
+        """The symmetry-folded cache key for a pair."""
+        return (source, target) if source <= target else (target, source)
+
+    def _key(self, source: int, target: int) -> tuple[int, int]:
+        if self.symmetric:
+            return self.canonical(source, target)
+        return (source, target)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def get(
+        self, source: int, target: int, *, need_path: bool = False
+    ) -> Optional[QueryResult]:
+        """Return a cached result oriented for ``(source, target)``.
+
+        Args:
+            source / target: the queried pair (either orientation).
+            need_path: treat entries stored without a path as misses.
+
+        Returns:
+            A :class:`QueryResult` whose ``source``/``target`` match the
+            arguments, or ``None`` on a miss.
+        """
+        key = self._key(source, target)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or (need_path and entry.path is None):
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        if entry.source == source and entry.target == target:
+            return entry
+        return entry.mirrored()
+
+    # ------------------------------------------------------------------
+    # inserts
+    # ------------------------------------------------------------------
+    def put(self, result: QueryResult) -> bool:
+        """Offer a result; store it only if its method is cacheable.
+
+        Returns:
+            ``True`` when the entry was stored (or refreshed).
+        """
+        if result.method not in self.cacheable:
+            self.rejected += 1
+            return False
+        key = self._key(result.source, result.target)
+        entry = result if (result.source, result.target) == key else result.mirrored()
+        with self._lock:
+            known = key in self._entries
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            if not known:
+                self.insertions += 1
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # maintenance / reporting
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return self._key(*pair) in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+            self.insertions = self.evictions = self.rejected = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable statistics for telemetry embedding."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+        }

@@ -1,0 +1,295 @@
+"""The embeddable service front end and the ``serve`` CLI's engine.
+
+Two entry points:
+
+* :func:`serve_stdio` — a newline-delimited-JSON request loop (one
+  request object in, one response object out), the transport-agnostic
+  core a socket or HTTP frame would wrap;
+* :func:`run_bench` — the self-driving mode: generate a repeated-pair
+  (Zipf) workload, serve it through the batched/cached stack, and race
+  it against the naive single-query loop.
+
+Both operate on a :class:`ServiceApp`, the bundle of oracle, batch
+executor, cache, telemetry and (optionally) a sharded backend that
+``repro-paths serve`` assembles from a persisted index.
+
+Protocol (one JSON object per line)::
+
+    {"s": 3, "t": 17}                  -> single query
+    {"s": 3, "t": 17, "path": true}    -> single query with path
+    {"pairs": [[3, 17], [4, 9]]}       -> batch
+    {"cmd": "stats"}                   -> telemetry snapshot
+    {"cmd": "reset"}                   -> zero telemetry + cache
+    {"cmd": "quit"}                    -> acknowledge and stop
+
+Responses mirror requests: ``{"s", "t", "distance", "method",
+"probes"}`` (plus ``"path"`` when asked), ``{"results": [...]}`` for
+batches, the snapshot dict for ``stats``, ``{"error": ...}`` for
+malformed or failing requests.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional, TextIO
+
+from repro.core.index import VicinityIndex
+from repro.core.oracle import QueryResult, VicinityOracle
+from repro.core.parallel import MessageLog
+from repro.exceptions import QueryError, ReproError
+from repro.service.batch import BatchExecutor, BatchStats
+from repro.service.cache import DEFAULT_CAPACITY, ResultCache
+from repro.service.sharded import ShardedService
+from repro.service.telemetry import Telemetry, render_snapshot
+from repro.service.workload import in_batches, zipf_pairs
+
+
+@dataclass
+class ServiceApp:
+    """Everything a running query service consists of."""
+
+    oracle: VicinityOracle
+    executor: BatchExecutor
+    telemetry: Telemetry
+    cache: Optional[ResultCache] = None
+    sharded: Optional[ShardedService] = None
+
+    @classmethod
+    def from_index(
+        cls,
+        index: VicinityIndex,
+        *,
+        cache_size: Optional[int] = DEFAULT_CAPACITY,
+        shards: int = 0,
+        replicate_tables: bool = False,
+    ) -> "ServiceApp":
+        """Assemble the serving stack over a built index.
+
+        Args:
+            index: the loaded/built :class:`VicinityIndex`.
+            cache_size: LRU capacity; ``None`` or ``0`` disables caching.
+            shards: when positive, route queries through an in-process
+                :class:`ShardedService` with that many shard workers
+                (fallback is then unavailable, as in §5).
+            replicate_tables: sharded-mode landmark-table replication.
+        """
+        oracle = VicinityOracle(index)
+        telemetry = Telemetry()
+        cache = ResultCache(cache_size) if cache_size else None
+        sharded = None
+        backend = oracle
+        if shards > 0:
+            sharded = ShardedService(
+                index, shards, replicate_tables=replicate_tables
+            )
+            backend = sharded
+        executor = BatchExecutor(
+            backend, cache=cache, telemetry=telemetry, symmetry=True
+        )
+        return cls(
+            oracle=oracle,
+            executor=executor,
+            telemetry=telemetry,
+            cache=cache,
+            sharded=sharded,
+        )
+
+    def snapshot(self) -> dict:
+        """Full service snapshot: telemetry + cache + batch + shard stats."""
+        snap = self.telemetry.snapshot(
+            cache=self.cache,
+            message_log=self.sharded.log if self.sharded is not None else None,
+        )
+        snap["batching"] = self.executor.stats.snapshot()
+        return snap
+
+    def reset(self) -> None:
+        """Zero every counter epoch: telemetry, cache, batching, shard log.
+
+        The index itself stays warm; only observability state restarts,
+        so a post-reset snapshot describes exactly the traffic since.
+        """
+        self.telemetry.reset()
+        if self.cache is not None:
+            self.cache.clear()
+        self.executor.stats = BatchStats()
+        if self.sharded is not None:
+            self.sharded.log = MessageLog()
+
+    def close(self) -> None:
+        """Release the sharded backend's threads, if any."""
+        if self.sharded is not None:
+            self.sharded.close()
+
+
+def _encode(result: QueryResult, with_path: bool) -> dict:
+    body = {
+        "s": result.source,
+        "t": result.target,
+        "distance": result.distance,
+        "method": result.method,
+        "probes": result.probes,
+    }
+    if with_path:
+        body["path"] = result.path
+    return body
+
+
+def handle_request(app: ServiceApp, request: dict) -> tuple[dict, bool]:
+    """Answer one decoded request; returns ``(response, keep_serving)``."""
+    if not isinstance(request, dict):
+        return {"error": "request must be a JSON object"}, True
+    command = request.get("cmd")
+    if command is not None:
+        if command == "stats":
+            return app.snapshot(), True
+        if command == "reset":
+            app.reset()
+            return {"ok": True}, True
+        if command == "quit":
+            return {"ok": True}, False
+        return {"error": f"unknown command {command!r}"}, True
+    try:
+        if "pairs" in request:
+            pairs = [(int(s), int(t)) for s, t in request["pairs"]]
+            with_path = bool(request.get("path", False))
+            results = app.executor.run(pairs, with_path=with_path)
+            return {"results": [_encode(r, with_path) for r in results]}, True
+        if "s" in request and "t" in request:
+            with_path = bool(request.get("path", False))
+            result = app.executor.query(
+                int(request["s"]), int(request["t"]), with_path=with_path
+            )
+            return _encode(result, with_path), True
+    except (ReproError, ValueError, TypeError) as exc:
+        return {"error": str(exc)}, True
+    return {"error": "expected {'s','t'}, {'pairs'} or {'cmd'}"}, True
+
+
+def serve_stdio(
+    app: ServiceApp,
+    *,
+    input_stream: Optional[TextIO] = None,
+    output_stream: Optional[TextIO] = None,
+) -> int:
+    """Run the JSON-lines request loop until EOF or ``quit``.
+
+    Returns the number of requests served.
+    """
+    source = input_stream if input_stream is not None else sys.stdin
+    sink = output_stream if output_stream is not None else sys.stdout
+    served = 0
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response, keep = {"error": f"bad JSON: {exc}"}, True
+        else:
+            response, keep = handle_request(app, request)
+        print(json.dumps(response), file=sink, flush=True)
+        served += 1
+        if not keep:
+            break
+    return served
+
+
+def run_bench(
+    app: ServiceApp,
+    *,
+    queries: int = 20000,
+    batch_size: int = 256,
+    exponent: float = 1.0,
+    pool: Optional[int] = None,
+    seed: Optional[int] = 7,
+    baseline: bool = True,
+) -> dict:
+    """Self-drive the service with a Zipf workload; return a report.
+
+    The workload is served twice: once through the batched + cached
+    executor (what production traffic would see) and — when
+    ``baseline`` is true — once as the naive per-pair ``query()`` loop,
+    giving the speedup headline.  The baseline uses the same backend
+    semantics as the batched pass: on a sharded app it is the per-pair
+    sharded loop (both sides fallback-free), so the speedup isolates
+    what batching + caching buy rather than conflating them with
+    skipped fallback searches.  The telemetry snapshot reflects only
+    the batched pass.
+
+    Returns:
+        A dict with ``workload``, ``batched`` / ``single`` timing
+        blocks, ``speedup`` and the post-run ``snapshot``.
+    """
+    if queries < 1:
+        raise QueryError("queries must be at least 1")
+    n = app.oracle.graph.n
+    pairs = zipf_pairs(n, queries, exponent=exponent, pool=pool, seed=seed)
+
+    started = time.perf_counter()
+    answered = 0
+    for batch in in_batches(pairs, batch_size):
+        for result in app.executor.run(batch):
+            if result.answered:
+                answered += 1
+    batched_s = time.perf_counter() - started
+
+    report = {
+        "workload": {
+            "queries": queries,
+            "distinct_pairs": len({ResultCache.canonical(s, t) for s, t in pairs}),
+            "batch_size": batch_size,
+            "zipf_exponent": exponent,
+            "seed": seed,
+        },
+        "batched": {
+            "seconds": batched_s,
+            "qps": queries / batched_s if batched_s > 0 else float("inf"),
+            "answered": answered,
+        },
+    }
+    report["snapshot"] = app.snapshot()
+    if baseline:
+        if app.sharded is not None:
+            query, mode = app.sharded.query, "sharded-loop"
+        else:
+            query, mode = app.oracle.query, "oracle-loop"
+        started = time.perf_counter()
+        for s, t in pairs:
+            query(s, t)
+        single_s = time.perf_counter() - started
+        report["single"] = {
+            "seconds": single_s,
+            "qps": queries / single_s if single_s > 0 else float("inf"),
+            "mode": mode,
+        }
+        report["speedup"] = single_s / batched_s if batched_s > 0 else float("inf")
+    return report
+
+
+def render_bench_report(report: dict) -> str:
+    """Human-readable view of :func:`run_bench`'s dict."""
+    workload = report["workload"]
+    batched = report["batched"]
+    lines = [
+        f"workload         : {workload['queries']:,} queries over "
+        f"{workload['distinct_pairs']:,} distinct pairs "
+        f"(zipf s={workload['zipf_exponent']}, batches of {workload['batch_size']})",
+        f"batched+cached   : {batched['seconds']:.3f} s  "
+        f"({batched['qps']:,.0f} q/s, {batched['answered']:,} answered)",
+    ]
+    if "single" in report:
+        single = report["single"]
+        label = "sharded" if single.get("mode") == "sharded-loop" else "single"
+        lines.append(
+            f"{label + '-query loop':<17s}: {single['seconds']:.3f} s  "
+            f"({single['qps']:,.0f} q/s)"
+        )
+        lines.append(f"speedup          : {report['speedup']:.2f}x")
+    lines.append("")
+    lines.append(render_snapshot(report["snapshot"]))
+    return "\n".join(lines)

@@ -1,0 +1,297 @@
+"""In-process execution of the §5 partitioned serving scheme.
+
+:class:`~repro.core.parallel.PartitionedOracle` *simulates* the paper's
+sharding challenge: it counts the messages a deployment would send but
+answers every query from the whole index.  This module promotes that
+routing scheme to an actual executor:
+
+* the index is physically partitioned — each shard holds only the
+  vicinities of its resident nodes and the tables of its resident
+  landmarks (optionally replicated);
+* each shard is served by exactly one worker thread, so shard state is
+  thread-confined the way per-machine state is process-confined;
+* a query runs its coordinator logic on the calling thread and touches
+  shard state only through that shard's worker (the in-process stand-in
+  for an RPC), with every cross-shard exchange recorded in the same
+  :class:`~repro.core.parallel.MessageLog` the simulation uses.
+
+Shard workers never call other shards — remote handlers are pure local
+reads — which is both the paper's single-round-trip property and what
+makes the executor deadlock-free.
+
+Placement, per-shard memory accounting and wire-size modelling are
+reused from :mod:`repro.core.parallel` rather than duplicated.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.index import VicinityIndex
+from repro.core.intersect import scan_and_probe
+from repro.core.oracle import QueryResult
+from repro.core.parallel import (
+    BYTES_PER_WIRE_ENTRY,
+    MessageLog,
+    PartitionedOracle,
+    ShardReport,
+)
+from repro.exceptions import QueryError
+
+
+@dataclass
+class _ShardState:
+    """What one shard physically holds (plus its serving thread)."""
+
+    shard_id: int
+    vicinities: dict = field(default_factory=dict)
+    tables: dict = field(default_factory=dict)
+    executor: Optional[ThreadPoolExecutor] = None
+
+    def call(self, fn, *args):
+        """Run ``fn(*args)`` on this shard's worker thread (the "RPC")."""
+        return self.executor.submit(fn, *args).result()
+
+    # ---- remote handlers: local reads only, never cross-shard ----
+    def table_distance(self, landmark: int, node: int):
+        table = self.tables.get(landmark)
+        if table is None:
+            raise QueryError(
+                f"shard {self.shard_id} does not hold the table for landmark {landmark}"
+            )
+        return table.distance_to(node)
+
+    def vicinity_probe(self, node: int, other: int):
+        """Return ``(is_member, distance)`` of ``other`` in Gamma(node)."""
+        vic = self.vicinities[node]
+        if other in vic.members:
+            return True, vic.dist[other]
+        return False, None
+
+    def boundary_payload(self, node: int):
+        """The wire payload for an intersection: boundary ids + distances."""
+        vic = self.vicinities[node]
+        return [(w, vic.dist[w]) for w in vic.boundary]
+
+    def resolve_remote(self, source: int, payload, target: int):
+        """Conditions (4) + intersection in one exchange, as §5 prescribes.
+
+        The coordinator ships ``source``'s boundary once; this shard
+        first probes ``source in Gamma(target)`` and only on a miss
+        scans the shipped payload against the local vicinity — so a
+        query never needs a second round trip.
+
+        Returns:
+            ``("member", distance)`` when condition (4) resolves, else
+            ``("intersection", best, witness, probes)``.
+        """
+        vic = self.vicinities[target]
+        if source in vic.members:
+            return ("member", vic.dist[source])
+        scan_dist = dict(payload)
+        best, witness, probes = scan_and_probe(
+            [w for w, _ in payload], scan_dist, vic.members, vic.dist
+        )
+        return ("intersection", best, witness, probes)
+
+
+class ShardedService:
+    """Serve Algorithm 1 from ``num_shards`` single-threaded shard workers.
+
+    Results (distance, method, probes) are identical to
+    :class:`~repro.core.parallel.PartitionedOracle`.  Distances and
+    methods also match the single-machine oracle, except that fallback
+    is disabled for the same reason the simulation disables it (a
+    fallback search needs the input graph, which no shard holds).
+    Probe counts and witnesses can differ from the single-machine
+    oracle under kernels other than ``boundary-source``: the §5 scheme
+    always ships the *source's* boundary to ``shard(t)``, whereas e.g.
+    the default ``boundary-smaller`` kernel scans whichever boundary
+    is smaller.
+
+    Args:
+        index: a built :class:`~repro.core.index.VicinityIndex`.
+        num_shards: worker/shard count.
+        placement: ``"hash"`` or ``"range"`` (see
+            :meth:`~repro.core.parallel.PartitionedOracle.shard_of`).
+        replicate_tables: copy every landmark table onto every shard,
+            trading memory for one round trip on landmark-target hits.
+        dispatchers: thread count of the batch dispatcher pool
+            (defaults to ``num_shards``).
+    """
+
+    def __init__(
+        self,
+        index: VicinityIndex,
+        num_shards: int,
+        *,
+        placement: str = "hash",
+        replicate_tables: bool = False,
+        dispatchers: Optional[int] = None,
+    ) -> None:
+        # Reuse the simulation for placement and memory accounting.
+        self._router = PartitionedOracle(
+            index, num_shards,
+            placement=placement, replicate_tables=replicate_tables,
+        )
+        self.index = index
+        self.num_shards = num_shards
+        self.replicate_tables = replicate_tables
+        self.log = MessageLog()
+        self._log_lock = threading.Lock()
+        self._closed = False
+
+        self._shards = [
+            _ShardState(
+                shard_id=k,
+                executor=ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-shard-{k}"
+                ),
+            )
+            for k in range(num_shards)
+        ]
+        for u in range(index.n):
+            self._shards[self.shard_of(u)].vicinities[u] = index.vicinities[u]
+        for landmark, table in index.tables.items():
+            if replicate_tables:
+                for shard in self._shards:
+                    shard.tables[landmark] = table
+            else:
+                self._shards[self.shard_of(landmark)].tables[landmark] = table
+        # Coordinator-side routing metadata (which landmarks have tables).
+        self._table_landmarks = frozenset(index.tables)
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=dispatchers or num_shards,
+            thread_name_prefix="repro-dispatch",
+        )
+
+    # ------------------------------------------------------------------
+    # placement / accounting (delegated to the simulation)
+    # ------------------------------------------------------------------
+    def shard_of(self, u: int) -> int:
+        """Return the shard owning node ``u``."""
+        return self._router.shard_of(u)
+
+    def shard_reports(self) -> list[ShardReport]:
+        """Per-shard memory accounting."""
+        return self._router.shard_reports()
+
+    def balance_summary(self) -> dict[str, float]:
+        """Load-balance metrics over shard memory sizes."""
+        return self._router.balance_summary()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int) -> QueryResult:
+        """Answer one pair, executing each step on its owning shard."""
+        if self._closed:
+            raise QueryError("service is closed")
+        index = self.index
+        index.graph.check_node(source)
+        index.graph.check_node(target)
+        shard_s = self._shards[self.shard_of(source)]
+        shard_t = self._shards[self.shard_of(target)]
+        same_shard = shard_s.shard_id == shard_t.shard_id
+        with self._log_lock:
+            if same_shard:
+                self.log.local_queries += 1
+            else:
+                self.log.remote_queries += 1
+        probes = 0
+
+        if source == target:
+            return QueryResult(source, target, 0, None, "identical", None, 0)
+
+        flags = index.landmarks.is_landmark
+        # Condition (1): the source's table lives on the coordinator.
+        probes += 1
+        if flags[source] and source in self._table_landmarks:
+            probes += 1
+            d = shard_s.call(shard_s.table_distance, source, target)
+            method = "landmark-source" if d is not None else "disconnected"
+            return QueryResult(source, target, d, None, method, None, probes)
+        # Condition (2): the target's table needs one round trip unless
+        # replicated (then the coordinator's local copy answers).
+        probes += 1
+        if flags[target] and target in self._table_landmarks:
+            probes += 1
+            owner = shard_s if self.replicate_tables else shard_t
+            if not same_shard and not self.replicate_tables:
+                self._record_round_trip(BYTES_PER_WIRE_ENTRY)
+            d = owner.call(owner.table_distance, target, source)
+            method = "landmark-target" if d is not None else "disconnected"
+            return QueryResult(source, target, d, None, method, None, probes)
+
+        # Condition (3): Gamma(s) is coordinator-local.
+        probes += 1
+        member, d = shard_s.call(shard_s.vicinity_probe, source, target)
+        if member:
+            return QueryResult(
+                source, target, d, None, "target-in-source-vicinity", None, probes
+            )
+        # Conditions (4) + intersection: one round trip to shard(t),
+        # shipping s's boundary; shard(t) probes s in Gamma(t) first and
+        # intersects on a miss.  The member-hit response is modelled at
+        # one wire entry, exactly as in the simulation's accounting.
+        probes += 1
+        payload = shard_s.call(shard_s.boundary_payload, source)
+        outcome = shard_t.call(shard_t.resolve_remote, source, payload, target)
+        if outcome[0] == "member":
+            if not same_shard:
+                self._record_round_trip(BYTES_PER_WIRE_ENTRY)
+            return QueryResult(
+                source, target, outcome[1], None,
+                "source-in-target-vicinity", None, probes,
+            )
+        if not same_shard:
+            self._record_round_trip(len(payload) * BYTES_PER_WIRE_ENTRY)
+        _, best, witness, kernel_probes = outcome
+        probes += kernel_probes
+        if best is not None:
+            return QueryResult(
+                source, target, best, None, "intersection", witness, probes
+            )
+        return QueryResult(source, target, None, None, "miss", None, probes)
+
+    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        """Answer a batch, dispatching coordinator work across threads.
+
+        Pairs are fanned out to the dispatcher pool (coordinators), each
+        of which touches shard state only through the owning shard's
+        worker; results come back in input order.
+        """
+        if with_path:
+            raise QueryError(
+                "sharded serving cannot reconstruct paths: predecessor "
+                "walks would need every shard's vicinities"
+            )
+        pair_list = [(int(s), int(t)) for s, t in pairs]
+        if not pair_list:
+            return []
+        return list(self._dispatch.map(lambda p: self.query(*p), pair_list))
+
+    def _record_round_trip(self, payload_bytes: int) -> None:
+        with self._log_lock:
+            self.log.record_round_trip(payload_bytes)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the shard workers and the dispatcher pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._dispatch.shutdown(wait=True)
+        for shard in self._shards:
+            shard.executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

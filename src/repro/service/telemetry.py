@@ -1,0 +1,249 @@
+"""Serving-side observability: latency histograms and method counters.
+
+The oracle's own :class:`~repro.core.oracle.OracleCounters` track the
+paper's machine-independent cost metric (hash probes).  A serving layer
+additionally needs wall-clock latency percentiles and a cheap snapshot
+it can export on demand — this module provides both, thread-safe so the
+sharded executor's dispatcher threads can share one instance.
+
+Percentiles are computed from a bounded reservoir of the most recent
+samples (exact for small streams, recency-weighted for long-running
+services), alongside log-spaced bucket counts whose memory never grows
+with traffic.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter, deque
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.core.oracle import METHODS, QueryResult
+
+#: Histogram bucket boundaries in seconds: 1 µs .. ~16 s, doubling.
+_BUCKET_FLOOR = 1e-6
+_BUCKET_COUNT = 25
+
+
+class LatencyHistogram:
+    """Latency tracker with bounded memory.
+
+    Keeps exact aggregates (count, sum, min, max), a power-of-two
+    bucket histogram, and a sliding reservoir of the most recent
+    ``reservoir`` samples from which percentiles are computed by
+    nearest rank.
+    """
+
+    def __init__(self, reservoir: int = 8192) -> None:
+        if reservoir < 1:
+            raise ValueError("reservoir must be at least 1")
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * (_BUCKET_COUNT + 1)
+        self._samples: deque[float] = deque(maxlen=reservoir)
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (in seconds)."""
+        seconds = max(0.0, float(seconds))
+        self.count += 1
+        self.total += seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+        self.buckets[self._bucket(seconds)] += 1
+        self._samples.append(seconds)
+
+    @staticmethod
+    def _bucket(seconds: float) -> int:
+        if seconds < _BUCKET_FLOOR:
+            return 0
+        return min(_BUCKET_COUNT, 1 + int(math.log2(seconds / _BUCKET_FLOOR)))
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 before any sample)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the reservoir."""
+        return self.percentiles([q])[0]
+
+    def percentiles(self, qs) -> list[float]:
+        """Nearest-rank percentiles, sorting the reservoir once."""
+        if any(not 0 <= q <= 100 for q in qs):
+            raise ValueError("percentile must be within [0, 100]")
+        if not self._samples:
+            return [0.0] * len(qs)
+        ordered = sorted(self._samples)
+        return [
+            ordered[max(1, math.ceil(q / 100.0 * len(ordered))) - 1] for q in qs
+        ]
+
+    def snapshot(self) -> dict:
+        """Summary dict with millisecond-denominated percentiles."""
+        p50, p95, p99 = self.percentiles((50, 95, 99))
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": p50 * 1e3,
+            "p95_ms": p95 * 1e3,
+            "p99_ms": p99 * 1e3,
+            "min_ms": (self.min or 0.0) * 1e3,
+            "max_ms": (self.max or 0.0) * 1e3,
+        }
+
+
+class Telemetry:
+    """Aggregated serving metrics: latencies, method mix, batch shape.
+
+    All mutators take an internal lock, so one instance can be shared
+    by the stdin loop, a batch executor and the sharded dispatcher
+    threads simultaneously.
+    """
+
+    def __init__(self, reservoir: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self.query_latency = LatencyHistogram(reservoir)
+        self.batch_latency = LatencyHistogram(reservoir)
+        self.by_method: Counter = Counter()
+        self.queries = 0
+        self.batches = 0
+        self.unanswered = 0
+        self.started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def observe_query(self, method: str, seconds: float, *, answered: bool = True) -> None:
+        """Record one resolved query: its method and wall-clock latency."""
+        with self._lock:
+            self.queries += 1
+            self.by_method[method] += 1
+            if not answered:
+                self.unanswered += 1
+            self.query_latency.observe(seconds)
+
+    def observe_result(self, result: QueryResult, seconds: float) -> None:
+        """Record one :class:`QueryResult` with its latency."""
+        self.observe_query(result.method, seconds, answered=result.answered)
+
+    def observe_batch(self, results, seconds: float) -> None:
+        """Record a whole batch: per-pair methods, amortised latency.
+
+        Individual per-pair timings inside a batch are dominated by
+        timer overhead, so each pair is attributed an equal share of
+        the batch's wall time — the figure that matters for capacity
+        planning — while the batch itself lands in ``batch_latency``.
+        """
+        results = list(results)
+        with self._lock:
+            self.batches += 1
+            self.batch_latency.observe(seconds)
+            share = seconds / len(results) if results else 0.0
+            for result in results:
+                self.queries += 1
+                self.by_method[result.method] += 1
+                if not result.answered:
+                    self.unanswered += 1
+                self.query_latency.observe(share)
+
+    @contextmanager
+    def timed_batch(self):
+        """Context manager timing a batch; yields a list to fill with results."""
+        sink: list = []
+        started = time.perf_counter()
+        try:
+            yield sink
+        finally:
+            self.observe_batch(sink, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self, *, cache=None, message_log=None) -> dict:
+        """One JSON-serialisable dict describing the service so far.
+
+        Args:
+            cache: optional :class:`~repro.service.cache.ResultCache`
+                whose hit/miss statistics should be embedded.
+            message_log: optional
+                :class:`~repro.core.parallel.MessageLog` from a sharded
+                deployment.
+        """
+        with self._lock:
+            elapsed = time.perf_counter() - self.started
+            snap = {
+                "uptime_s": elapsed,
+                "queries": self.queries,
+                "batches": self.batches,
+                "unanswered": self.unanswered,
+                "throughput_qps": self.queries / elapsed if elapsed > 0 else 0.0,
+                "latency": self.query_latency.snapshot(),
+                "batch_latency": self.batch_latency.snapshot(),
+                "by_method": {m: self.by_method[m] for m in METHODS if self.by_method[m]},
+            }
+        if cache is not None:
+            snap["cache"] = cache.snapshot()
+        if message_log is not None:
+            total = message_log.local_queries + message_log.remote_queries
+            snap["shards"] = {
+                "local_queries": message_log.local_queries,
+                "remote_queries": message_log.remote_queries,
+                "messages": message_log.messages,
+                "bytes": message_log.bytes,
+                "mean_messages": message_log.mean_messages,
+                "mean_bytes": message_log.bytes / total if total else 0.0,
+            }
+        return snap
+
+    def reset(self) -> None:
+        """Zero every aggregate (the reservoir included)."""
+        with self._lock:
+            reservoir = self.query_latency._samples.maxlen or 8192
+            self.query_latency = LatencyHistogram(reservoir)
+            self.batch_latency = LatencyHistogram(reservoir)
+            self.by_method.clear()
+            self.queries = 0
+            self.batches = 0
+            self.unanswered = 0
+            self.started = time.perf_counter()
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Human-readable multi-line view of :meth:`Telemetry.snapshot`."""
+    lines = [
+        f"queries          : {snapshot['queries']:,}"
+        + (f"  ({snapshot['batches']:,} batches)" if snapshot.get("batches") else ""),
+        f"throughput       : {snapshot['throughput_qps']:,.0f} q/s",
+    ]
+    latency = snapshot["latency"]
+    lines.append(
+        "latency          : "
+        f"p50 {latency['p50_ms']:.3f} ms | p95 {latency['p95_ms']:.3f} ms | "
+        f"p99 {latency['p99_ms']:.3f} ms | max {latency['max_ms']:.3f} ms"
+    )
+    if "cache" in snapshot:
+        cache = snapshot["cache"]
+        lines.append(
+            f"cache            : {cache['hits']:,} hits / {cache['lookups']:,} lookups "
+            f"({cache['hit_rate']:.1%}), {cache['size']:,}/{cache['capacity']:,} entries"
+        )
+    if "shards" in snapshot:
+        shards = snapshot["shards"]
+        lines.append(
+            f"shard traffic    : {shards['mean_messages']:.2f} msgs/query, "
+            f"{shards['mean_bytes']:.0f} bytes/query"
+        )
+    by_method = snapshot.get("by_method", {})
+    if by_method:
+        total = sum(by_method.values()) or 1
+        lines.append("resolution mix   :")
+        for method, count in by_method.items():
+            lines.append(f"    {method:<26s} {count:>10,}  ({count / total:.1%})")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Query-workload generators for benchmarking and self-driving.
+
+Social serving traffic is not uniform: a small set of pairs (popular
+profiles, trending content) is queried over and over.  The follow-up
+serving literature models this as a Zipf law over distinct pairs, which
+is exactly the regime the serving layer's dedup + cache is built for.
+``zipf_pairs`` draws such a workload; ``uniform_pairs`` is the
+adversarial no-repetition baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.utils.rng import ensure_rng
+
+
+def uniform_pairs(
+    n_nodes: int, count: int, *, seed: Optional[int] = None, rng=None
+) -> list[tuple[int, int]]:
+    """``count`` independent uniform ``(s, t)`` pairs over ``n_nodes``."""
+    if n_nodes < 1:
+        raise QueryError("need at least one node")
+    generator = ensure_rng(rng if rng is not None else seed)
+    flat = generator.integers(0, n_nodes, size=(count, 2))
+    return [(int(s), int(t)) for s, t in flat]
+
+
+def zipf_pairs(
+    n_nodes: int,
+    count: int,
+    *,
+    exponent: float = 1.0,
+    pool: Optional[int] = None,
+    seed: Optional[int] = None,
+    rng=None,
+) -> list[tuple[int, int]]:
+    """A repeated-pair workload: Zipf-ranked draws from a pair pool.
+
+    A pool of ``pool`` distinct uniform pairs is ranked 1..pool and each
+    of the ``count`` queries picks rank ``r`` with probability
+    proportional to ``r ** -exponent`` — rank 1 dominates, the tail is
+    long.  With the default pool of ``count // 8`` the stream revisits
+    pairs heavily, like production traffic does.
+
+    Args:
+        n_nodes: node-id range.
+        count: number of queries to draw.
+        exponent: Zipf skew; 0 degenerates to uniform over the pool.
+        pool: distinct-pair pool size (default ``max(1, count // 8)``).
+        seed / rng: reproducibility (``rng`` wins when both given).
+
+    Returns:
+        ``count`` pairs, heavy ranks first-drawn no more likely than
+        late — the sequence is i.i.d., only the marginal is skewed.
+    """
+    if exponent < 0:
+        raise QueryError("exponent must be non-negative")
+    generator = ensure_rng(rng if rng is not None else seed)
+    pool_size = pool if pool is not None else max(1, count // 8)
+    if pool_size < 1:
+        raise QueryError("pool must be at least 1")
+    pool_pairs = uniform_pairs(n_nodes, pool_size, rng=generator)
+    ranks = np.arange(1, pool_size + 1, dtype=np.float64)
+    weights = ranks ** -float(exponent)
+    weights /= weights.sum()
+    picks = generator.choice(pool_size, size=count, p=weights)
+    return [pool_pairs[i] for i in picks]
+
+
+def in_batches(pairs, batch_size: int):
+    """Yield ``pairs`` in consecutive chunks of ``batch_size``."""
+    if batch_size < 1:
+        raise QueryError("batch_size must be at least 1")
+    batch = []
+    for pair in pairs:
+        batch.append(pair)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

@@ -21,6 +21,43 @@ def index():
 
 
 class TestRoundTrip:
+    def test_batch_queries_identical(self, index, tmp_path):
+        """save -> load -> query_batch answers match the original index.
+
+        The `serve` command's whole contract: a persisted index must
+        serve exactly the same distances the freshly built one does.
+        """
+        path = tmp_path / "oracle.npz"
+        save_index(index, path)
+        restored = VicinityOracle(load_index(path))
+        original = VicinityOracle(index)
+        rng = np.random.default_rng(7)
+        pairs = [
+            tuple(int(x) for x in rng.integers(0, index.n, 2)) for _ in range(500)
+        ]
+        for before, after in zip(
+            original.query_batch(pairs), restored.query_batch(pairs)
+        ):
+            assert before.distance == after.distance
+            assert before.method == after.method
+            assert before.probes == after.probes
+
+    def test_served_from_disk_through_service_stack(self, index, tmp_path):
+        """save -> load -> full serving stack (cache + batching) agrees."""
+        from repro.service import ServiceApp
+
+        path = tmp_path / "oracle.npz"
+        save_index(index, path)
+        app = ServiceApp.from_index(load_index(path))
+        original = VicinityOracle(index)
+        rng = np.random.default_rng(8)
+        pairs = [
+            tuple(int(x) for x in rng.integers(0, index.n, 2)) for _ in range(300)
+        ]
+        # Repeat the workload so the second pass is cache/dedup-heavy.
+        for got, (s, t) in zip(app.executor.run(pairs + pairs), pairs + pairs):
+            assert got.distance == original.query(s, t).distance
+
     def test_queries_identical(self, index, tmp_path):
         path = tmp_path / "oracle.npz"
         save_index(index, path)

@@ -1,0 +1,193 @@
+"""Batch execution: query_batch equivalence, dedup, symmetry, caching.
+
+Includes the acceptance check: ``query_batch()`` over 10k+ random pairs
+must return distances identical to per-pair ``query()``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.service import BatchExecutor, ResultCache, Telemetry
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    graph = random_connected_graph(300, 900, seed=77)
+    return VicinityOracle.build(
+        graph, config=OracleConfig(alpha=4.0, seed=5, fallback="bidirectional")
+    )
+
+
+class TestQueryBatchAPI:
+    def test_ten_thousand_pairs_match_single_queries(self, oracle):
+        """Acceptance: >=10k random pairs, distances identical to query()."""
+        rng = np.random.default_rng(42)
+        n = oracle.graph.n
+        pairs = [tuple(int(x) for x in rng.integers(0, n, 2)) for _ in range(10500)]
+        batch = oracle.query_batch(pairs)
+        reference = VicinityOracle(oracle.index)
+        assert len(batch) == len(pairs)
+        for (s, t), got in zip(pairs, batch):
+            expected = reference.query(s, t)
+            assert got.source == s and got.target == t
+            assert got.distance == expected.distance
+            assert got.method == expected.method
+            assert got.probes == expected.probes
+
+    def test_counters_recorded_per_pair(self, oracle):
+        fresh = VicinityOracle(oracle.index)
+        pairs = [(0, 1), (1, 2), (2, 2)]
+        fresh.query_batch(pairs)
+        assert fresh.counters.queries == 3
+        assert fresh.counters.by_method["identical"] == 1
+
+    def test_empty_batch(self, oracle):
+        assert oracle.query_batch([]) == []
+
+    def test_landmark_lanes_match_resolve(self, oracle):
+        landmark = int(oracle.index.landmarks.ids[0])
+        non_landmark = next(
+            u for u in range(oracle.graph.n)
+            if not oracle.index.landmarks.is_landmark[u]
+        )
+        reference = VicinityOracle(oracle.index)
+        for s, t in [(landmark, non_landmark), (non_landmark, landmark),
+                     (landmark, landmark)]:
+            got = oracle.query_batch([(s, t)])[0]
+            expected = reference.query(s, t)
+            assert (got.distance, got.method, got.probes) == (
+                expected.distance, expected.method, expected.probes
+            )
+
+    def test_with_paths(self, oracle):
+        rng = np.random.default_rng(3)
+        n = oracle.graph.n
+        pairs = [tuple(int(x) for x in rng.integers(0, n, 2)) for _ in range(50)]
+        for (s, t), result in zip(pairs, oracle.query_batch(pairs, with_path=True)):
+            if result.path is not None:
+                assert result.path[0] == s and result.path[-1] == t
+                assert len(result.path) == result.distance + 1
+
+    def test_invalid_node_raises(self, oracle):
+        from repro.exceptions import NodeNotFoundError
+
+        with pytest.raises(NodeNotFoundError):
+            oracle.query_batch([(0, oracle.graph.n + 5)])
+
+
+class TestBatchExecutor:
+    def test_results_in_input_order_and_orientation(self, oracle):
+        executor = BatchExecutor(oracle, cache=ResultCache(64))
+        pairs = [(4, 9), (9, 4), (4, 9), (7, 7)]
+        results = executor.run(pairs)
+        for (s, t), result in zip(pairs, results):
+            assert result.source == s and result.target == t
+        assert results[0].distance == results[1].distance == results[2].distance
+        assert results[3].distance == 0
+
+    def test_dedup_and_symmetry_hit_backend_once(self, oracle):
+        backend = VicinityOracle(oracle.index)
+        executor = BatchExecutor(backend)
+        pairs = [(4, 9), (9, 4)] * 10
+        executor.run(pairs)
+        # One canonical pair -> one backend query.
+        assert backend.counters.queries == 1
+        assert executor.stats.pairs_in == 20
+        assert executor.stats.unique_pairs == 1
+        assert executor.stats.duplicates == 19
+
+    def test_cache_spans_batches(self, oracle):
+        cache = ResultCache(128)
+        executor = BatchExecutor(VicinityOracle(oracle.index), cache=cache)
+        # Pick a pair the oracle resolves expensively so it is cached.
+        rng = np.random.default_rng(8)
+        n = oracle.graph.n
+        pair = next(
+            (int(s), int(t))
+            for s, t in rng.integers(0, n, size=(500, 2))
+            if executor.run([(int(s), int(t))])[0].method == "intersection"
+        )
+        before = executor.stats.backend_pairs
+        executor.run([pair])
+        assert executor.stats.backend_pairs == before  # served from cache
+        assert cache.hits >= 1
+
+    def test_cheap_methods_not_cached(self, oracle):
+        cache = ResultCache(128)
+        executor = BatchExecutor(VicinityOracle(oracle.index), cache=cache)
+        landmark = int(oracle.index.landmarks.ids[0])
+        executor.run([(landmark, 5)])
+        executor.run([(landmark, 5)])
+        assert cache.hits == 0
+        assert executor.stats.backend_pairs == 2
+
+    def test_distances_identical_through_full_stack(self, oracle):
+        """Dedup + symmetry + cache must never change an answer."""
+        executor = BatchExecutor(
+            VicinityOracle(oracle.index),
+            cache=ResultCache(256),
+            telemetry=Telemetry(),
+        )
+        rng = np.random.default_rng(13)
+        n = oracle.graph.n
+        pool = [tuple(int(x) for x in rng.integers(0, n, 2)) for _ in range(150)]
+        picks = rng.integers(0, len(pool), size=2000)
+        pairs = [pool[i] for i in picks]
+        reference = VicinityOracle(oracle.index)
+        for chunk_start in range(0, len(pairs), 256):
+            chunk = pairs[chunk_start:chunk_start + 256]
+            for (s, t), got in zip(chunk, executor.run(chunk)):
+                assert got.distance == reference.query(s, t).distance
+
+    def test_telemetry_receives_batches(self, oracle):
+        telemetry = Telemetry()
+        executor = BatchExecutor(VicinityOracle(oracle.index), telemetry=telemetry)
+        executor.run([(1, 2), (3, 4)])
+        snap = telemetry.snapshot()
+        assert snap["queries"] == 2
+        assert snap["batches"] == 1
+
+    def test_directed_backend_end_to_end(self):
+        """The documented directed configuration actually serves."""
+        import numpy as np
+
+        from repro.core.directed import DirectedVicinityOracle
+        from repro.graph.builder import digraph_from_arrays
+
+        rng = np.random.default_rng(6)
+        n, m = 60, 240
+        graph = digraph_from_arrays(
+            rng.integers(0, n, m), rng.integers(0, n, m), n=n
+        )
+        oracle = DirectedVicinityOracle.build(graph, alpha=2.0, seed=3)
+        executor = BatchExecutor(
+            oracle, cache=ResultCache(128, symmetric=False), symmetry=False
+        )
+        pairs = [tuple(int(x) for x in rng.integers(0, n, 2)) for _ in range(200)]
+        results = executor.run(pairs + pairs)  # repetition drives the cache
+        for (s, t), got in zip(pairs, results):
+            assert got.source == s and got.target == t
+            assert got.distance == oracle.query(s, t).distance
+        # Orientations must never be folded for a directed backend.
+        asym = next(
+            ((s, t) for s, t in pairs
+             if oracle.query(s, t).distance != oracle.query(t, s).distance),
+            None,
+        )
+        if asym is not None:
+            s, t = asym
+            forward = executor.run([(s, t)])[0]
+            backward = executor.run([(t, s)])[0]
+            assert forward.distance == oracle.query(s, t).distance
+            assert backward.distance == oracle.query(t, s).distance
+
+    def test_executor_is_a_backend(self, oracle):
+        """Executors compose: an executor can front another executor."""
+        inner = BatchExecutor(VicinityOracle(oracle.index), cache=ResultCache(64))
+        outer = BatchExecutor(inner)
+        result = outer.query(2, 8)
+        assert result.distance == VicinityOracle(oracle.index).query(2, 8).distance

@@ -1,0 +1,121 @@
+"""Landmark-aware LRU result cache."""
+
+import pytest
+
+from repro.core.oracle import CHEAP_METHODS, EXPENSIVE_METHODS, QueryResult
+from repro.exceptions import QueryError
+from repro.service.cache import ResultCache
+
+
+def _result(s, t, d, method="intersection", path=None, witness=None):
+    return QueryResult(s, t, d, path, method, witness, probes=17)
+
+
+class TestPolicy:
+    def test_caches_expensive_methods_only(self):
+        cache = ResultCache(16)
+        for method in EXPENSIVE_METHODS:
+            assert cache.put(_result(1, 2, 3, method=method))
+        for method in CHEAP_METHODS:
+            assert not cache.put(_result(3, 4, 1, method=method))
+        assert cache.rejected == len(CHEAP_METHODS)
+
+    def test_capacity_validation(self):
+        with pytest.raises(QueryError):
+            ResultCache(0)
+
+    def test_custom_cacheable_set(self):
+        cache = ResultCache(4, cacheable=("fallback",))
+        assert not cache.put(_result(1, 2, 3, method="intersection"))
+        assert cache.put(_result(1, 2, 3, method="fallback"))
+
+
+class TestLookup:
+    def test_hit_both_orientations(self):
+        cache = ResultCache(8)
+        cache.put(_result(5, 2, 4, witness=9))
+        forward = cache.get(2, 5)
+        assert forward.distance == 4 and forward.source == 2 and forward.target == 5
+        backward = cache.get(5, 2)
+        assert backward.distance == 4 and backward.source == 5 and backward.target == 2
+        assert cache.hits == 2 and cache.misses == 0
+
+    def test_mirror_preserves_method_and_reverses_path(self):
+        cache = ResultCache(8)
+        cache.put(_result(2, 7, 2, path=[2, 4, 7]))
+        mirrored = cache.get(7, 2)
+        assert mirrored.path == [7, 4, 2]
+        assert mirrored.method == "intersection"
+        assert mirrored.probes == 0
+
+    def test_need_path_misses_pathless_entries(self):
+        cache = ResultCache(8)
+        cache.put(_result(1, 2, 3))
+        assert cache.get(1, 2, need_path=True) is None
+        assert cache.misses == 1
+        cache.put(_result(1, 2, 3, path=[1, 9, 2]))
+        assert cache.get(1, 2, need_path=True).path == [1, 9, 2]
+
+    def test_miss_counts(self):
+        cache = ResultCache(8)
+        assert cache.get(1, 2) is None
+        assert cache.misses == 1 and cache.hit_rate == 0.0
+
+
+class TestAsymmetric:
+    def test_orientations_are_distinct_entries(self):
+        cache = ResultCache(8, symmetric=False)
+        cache.put(_result(2, 7, 2))   # directed: d(2,7)=2 ...
+        cache.put(_result(7, 2, 5))   # ... but d(7,2)=5
+        assert cache.get(2, 7).distance == 2
+        assert cache.get(7, 2).distance == 5
+        assert len(cache) == 2
+        assert (2, 7) in cache and (7, 2) in cache
+
+    def test_no_mirror_answers(self):
+        cache = ResultCache(8, symmetric=False)
+        cache.put(_result(5, 2, 4))
+        assert cache.get(2, 5) is None
+        assert cache.misses == 1
+
+    def test_executor_rejects_mismatched_symmetry(self):
+        from repro.service.batch import BatchExecutor
+
+        with pytest.raises(QueryError):
+            BatchExecutor(object(), cache=ResultCache(8), symmetry=False)
+        with pytest.raises(QueryError):
+            BatchExecutor(object(), cache=ResultCache(8, symmetric=False))
+        BatchExecutor(object(), cache=ResultCache(8, symmetric=False), symmetry=False)
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(2)
+        cache.put(_result(1, 2, 1))
+        cache.put(_result(3, 4, 1))
+        cache.get(1, 2)  # refresh (1, 2)
+        cache.put(_result(5, 6, 1))  # evicts (3, 4)
+        assert cache.get(1, 2) is not None
+        assert cache.get(3, 4) is None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_refresh_does_not_grow(self):
+        cache = ResultCache(4)
+        cache.put(_result(1, 2, 3))
+        cache.put(_result(2, 1, 3))  # same canonical pair
+        assert len(cache) == 1
+        assert cache.insertions == 1
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        cache = ResultCache(4)
+        cache.put(_result(1, 2, 3))
+        cache.get(1, 2)
+        cache.get(8, 9)
+        snap = cache.snapshot()
+        assert snap["size"] == 1
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+        assert (1, 2) in cache and (2, 1) in cache

@@ -1,0 +1,190 @@
+"""The JSON-lines front end and the self-driving benchmark."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import METHODS, VicinityOracle
+from repro.service import ServiceApp, handle_request, run_bench, serve_stdio
+from repro.service.server import render_bench_report
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = random_connected_graph(240, 700, seed=31)
+    oracle = VicinityOracle.build(
+        graph, config=OracleConfig(alpha=4.0, seed=3, fallback="bidirectional")
+    )
+    return oracle.index
+
+
+@pytest.fixture()
+def app(index):
+    service = ServiceApp.from_index(index)
+    yield service
+    service.close()
+
+
+class TestHandleRequest:
+    def test_single_query(self, app, index):
+        response, keep = handle_request(app, {"s": 0, "t": 5})
+        assert keep
+        assert response["distance"] == VicinityOracle(index).query(0, 5).distance
+        assert response["method"] in METHODS
+
+    def test_query_with_path(self, app):
+        response, _ = handle_request(app, {"s": 0, "t": 5, "path": True})
+        path = response["path"]
+        assert path[0] == 0 and path[-1] == 5
+        assert len(path) == response["distance"] + 1
+
+    def test_batch(self, app):
+        response, keep = handle_request(app, {"pairs": [[0, 5], [5, 0], [3, 3]]})
+        assert keep
+        results = response["results"]
+        assert len(results) == 3
+        assert results[0]["distance"] == results[1]["distance"]
+        assert results[2]["distance"] == 0
+
+    def test_stats_and_reset(self, app):
+        handle_request(app, {"s": 0, "t": 5})
+        snapshot, _ = handle_request(app, {"cmd": "stats"})
+        assert snapshot["queries"] == 1
+        assert "latency" in snapshot and "batching" in snapshot
+        handle_request(app, {"cmd": "reset"})
+        snapshot, _ = handle_request(app, {"cmd": "stats"})
+        assert snapshot["queries"] == 0
+        # Reset covers every layer, not just telemetry.
+        assert snapshot["batching"]["pairs_in"] == 0
+        assert snapshot["cache"]["lookups"] == 0
+
+    def test_reset_clears_shard_log(self, index):
+        service = ServiceApp.from_index(index, shards=3)
+        try:
+            service.executor.run([(0, 5), (6, 9), (1, 8)])
+            assert service.snapshot()["shards"]["messages"] >= 0
+            service.reset()
+            shards = service.snapshot()["shards"]
+            assert shards["messages"] == 0
+            assert shards["local_queries"] + shards["remote_queries"] == 0
+        finally:
+            service.close()
+
+    def test_quit(self, app):
+        response, keep = handle_request(app, {"cmd": "quit"})
+        assert response == {"ok": True}
+        assert not keep
+
+    def test_errors(self, app, index):
+        assert "error" in handle_request(app, {"cmd": "nope"})[0]
+        assert "error" in handle_request(app, {"wat": 1})[0]
+        assert "error" in handle_request(app, [1, 2])[0]
+        response, keep = handle_request(app, {"s": 0, "t": index.n + 10})
+        assert "error" in response and keep
+
+
+class TestServeStdio:
+    def test_loop_round_trip(self, app):
+        requests = "\n".join([
+            json.dumps({"s": 0, "t": 5}),
+            "",                      # blank lines ignored
+            "garbage",               # bad JSON answered with an error
+            json.dumps({"pairs": [[1, 4]]}),
+            json.dumps({"cmd": "quit"}),
+            json.dumps({"s": 9, "t": 9}),   # after quit: never served
+        ])
+        sink = io.StringIO()
+        served = serve_stdio(
+            app, input_stream=io.StringIO(requests), output_stream=sink
+        )
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert served == 4
+        assert len(lines) == 4
+        assert lines[0]["distance"] is not None
+        assert "error" in lines[1]
+        assert lines[2]["results"][0]["s"] == 1
+        assert lines[3] == {"ok": True}
+
+    def test_eof_terminates(self, app):
+        sink = io.StringIO()
+        served = serve_stdio(
+            app, input_stream=io.StringIO('{"s": 0, "t": 1}\n'), output_stream=sink
+        )
+        assert served == 1
+
+
+class TestServiceApp:
+    def test_snapshot_includes_all_layers(self, app):
+        app.executor.run([(0, 5), (5, 0)])
+        snap = app.snapshot()
+        assert snap["queries"] == 2
+        assert snap["cache"]["capacity"] > 0
+        assert snap["batching"]["pairs_in"] == 2
+        assert "shards" not in snap
+
+    def test_cache_disabled(self, index):
+        service = ServiceApp.from_index(index, cache_size=0)
+        try:
+            assert service.cache is None
+            service.executor.run([(0, 5)])
+            assert "cache" not in service.snapshot()
+        finally:
+            service.close()
+
+    def test_sharded_app(self, index):
+        service = ServiceApp.from_index(index, shards=3)
+        try:
+            results = service.executor.run([(0, 5), (6, 9)])
+            assert len(results) == 2
+            snap = service.snapshot()
+            assert "shards" in snap
+        finally:
+            service.close()
+
+
+class TestRunBench:
+    def test_bench_report_and_acceptance_fields(self, app):
+        report = run_bench(app, queries=1500, batch_size=128, seed=5)
+        assert report["workload"]["queries"] == 1500
+        assert report["batched"]["qps"] > 0
+        assert report["single"]["qps"] > 0
+        assert report["speedup"] > 0
+        snapshot = report["snapshot"]
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            assert key in snapshot["latency"]
+        assert "hit_rate" in snapshot["cache"]
+        assert snapshot["by_method"]
+        text = render_bench_report(report)
+        assert "speedup" in text and "p99" in text
+
+    def test_bench_sharded_baseline_is_sharded_loop(self, index):
+        """Sharded speedup must compare fallback-free against fallback-free."""
+        service = ServiceApp.from_index(index, shards=2)
+        try:
+            report = run_bench(service, queries=300, batch_size=64, seed=5)
+            assert report["single"]["mode"] == "sharded-loop"
+            # Snapshot is taken before the baseline: shard traffic in it
+            # reflects only the batched pass.
+            shards = report["snapshot"]["shards"]
+            assert shards["local_queries"] + shards["remote_queries"] <= 300
+            assert "sharded-query loop" in render_bench_report(report)
+        finally:
+            service.close()
+
+    def test_bench_single_machine_baseline_mode(self, app):
+        report = run_bench(app, queries=200, batch_size=64, seed=5)
+        assert report["single"]["mode"] == "oracle-loop"
+
+    def test_bench_without_baseline(self, app):
+        report = run_bench(app, queries=200, batch_size=64, seed=5, baseline=False)
+        assert "single" not in report and "speedup" not in report
+
+    def test_bench_validation(self, app):
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            run_bench(app, queries=0)

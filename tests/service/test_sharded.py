@@ -1,0 +1,138 @@
+"""The in-process sharded executor must match the §5 simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.core.parallel import PartitionedOracle
+from repro.exceptions import QueryError
+from repro.service import BatchExecutor, ResultCache, ShardedService
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = random_connected_graph(260, 760, seed=51)
+    oracle = VicinityOracle.build(
+        graph, config=OracleConfig(alpha=4.0, seed=9, fallback="none")
+    )
+    return oracle.index
+
+
+@pytest.fixture(scope="module")
+def pairs(index):
+    rng = np.random.default_rng(4)
+    return [tuple(int(x) for x in rng.integers(0, index.n, 2)) for _ in range(300)]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 3, 8])
+    def test_matches_simulation(self, index, pairs, num_shards):
+        simulation = PartitionedOracle(index, num_shards)
+        with ShardedService(index, num_shards) as service:
+            for s, t in pairs:
+                got = service.query(s, t)
+                expected = simulation.query(s, t)
+                assert (got.distance, got.method, got.probes) == (
+                    expected.distance, expected.method, expected.probes
+                ), (s, t)
+
+    def test_matches_single_machine_distances(self, index, pairs):
+        reference = VicinityOracle(index)
+        with ShardedService(index, 4) as service:
+            for (s, t), got in zip(pairs, service.query_batch(pairs)):
+                expected = reference.query(s, t)
+                if expected.method == "fallback":
+                    assert got.method == "miss"
+                else:
+                    assert got.distance == expected.distance
+
+    def test_replicated_tables(self, index, pairs):
+        simulation = PartitionedOracle(index, 4, replicate_tables=True)
+        with ShardedService(index, 4, replicate_tables=True) as service:
+            for s, t in pairs:
+                got, expected = service.query(s, t), simulation.query(s, t)
+                assert (got.distance, got.method) == (expected.distance, expected.method)
+
+
+class TestPartitioning:
+    def test_each_node_on_exactly_one_shard(self, index):
+        with ShardedService(index, 5) as service:
+            held = sorted(
+                node for shard in service._shards for node in shard.vicinities
+            )
+            assert held == list(range(index.n))
+
+    def test_tables_on_owner_shard_only(self, index):
+        with ShardedService(index, 5) as service:
+            for landmark in index.tables:
+                owners = [
+                    shard.shard_id for shard in service._shards
+                    if landmark in shard.tables
+                ]
+                assert owners == [service.shard_of(landmark)]
+
+    def test_replication_puts_tables_everywhere(self, index):
+        with ShardedService(index, 3, replicate_tables=True) as service:
+            for shard in service._shards:
+                assert set(shard.tables) == set(index.tables)
+
+    def test_reports_delegate_to_simulation(self, index):
+        with ShardedService(index, 4) as service:
+            reports = service.shard_reports()
+            assert sum(r.nodes for r in reports) == index.n
+            assert service.balance_summary()["shards"] == 4.0
+
+
+class TestTraffic:
+    def test_message_log_matches_simulation(self, index, pairs):
+        simulation = PartitionedOracle(index, 4)
+        with ShardedService(index, 4) as service:
+            for s, t in pairs:
+                service.query(s, t)
+                simulation.query(s, t)
+            assert service.log.messages == simulation.log.messages
+            assert service.log.bytes == simulation.log.bytes
+            assert service.log.remote_queries == simulation.log.remote_queries
+            assert service.log.local_queries == simulation.log.local_queries
+
+    def test_concurrent_batch_logs_every_query(self, index, pairs):
+        with ShardedService(index, 4) as service:
+            service.query_batch(pairs)
+            log = service.log
+            assert log.local_queries + log.remote_queries == len(pairs)
+
+
+class TestLifecycle:
+    def test_paths_unsupported(self, index):
+        with ShardedService(index, 2) as service:
+            with pytest.raises(QueryError):
+                service.query_batch([(0, 1)], with_path=True)
+
+    def test_query_after_close_raises(self, index):
+        service = ShardedService(index, 2)
+        service.close()
+        with pytest.raises(QueryError):
+            service.query(0, 1)
+
+    def test_close_is_idempotent(self, index):
+        service = ShardedService(index, 2)
+        service.close()
+        service.close()
+
+    def test_empty_batch(self, index):
+        with ShardedService(index, 2) as service:
+            assert service.query_batch([]) == []
+
+    def test_composes_with_batch_executor(self, index, pairs):
+        """A cache + dedup front end over the sharded backend."""
+        reference = VicinityOracle(index)
+        with ShardedService(index, 4) as backend:
+            executor = BatchExecutor(backend, cache=ResultCache(512))
+            results = executor.run(pairs + pairs)  # heavy repetition
+            for (s, t), got in zip(pairs, results):
+                expected = reference.query(s, t)
+                if expected.method != "fallback":
+                    assert got.distance == expected.distance

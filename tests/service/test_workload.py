@@ -1,0 +1,69 @@
+"""Workload generators: determinism, skew, batching."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.service.workload import in_batches, uniform_pairs, zipf_pairs
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        pairs = uniform_pairs(50, 200, seed=1)
+        assert len(pairs) == 200
+        assert all(0 <= s < 50 and 0 <= t < 50 for s, t in pairs)
+
+    def test_deterministic(self):
+        assert uniform_pairs(50, 100, seed=3) == uniform_pairs(50, 100, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            uniform_pairs(0, 5)
+
+
+class TestZipf:
+    def test_draws_from_bounded_pool(self):
+        pairs = zipf_pairs(100, 1000, pool=20, seed=2)
+        assert len(pairs) == 1000
+        assert len(set(pairs)) <= 20
+
+    def test_skew_concentrates_mass(self):
+        pairs = zipf_pairs(100, 4000, exponent=1.5, pool=100, seed=5)
+        from collections import Counter
+
+        top = Counter(pairs).most_common(10)
+        top_mass = sum(count for _, count in top)
+        assert top_mass > 4000 * 0.4  # head-heavy by construction
+
+    def test_zero_exponent_is_uniform_over_pool(self):
+        pairs = zipf_pairs(100, 3000, exponent=0.0, pool=10, seed=6)
+        from collections import Counter
+
+        counts = Counter(pairs)
+        assert max(counts.values()) < 3000 * 0.2
+
+    def test_deterministic(self):
+        assert zipf_pairs(80, 500, seed=9) == zipf_pairs(80, 500, seed=9)
+
+    def test_default_pool_is_fraction_of_count(self):
+        pairs = zipf_pairs(1000, 800, seed=4)
+        assert len(set(pairs)) <= 100  # count // 8
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            zipf_pairs(10, 10, exponent=-1)
+        with pytest.raises(QueryError):
+            zipf_pairs(10, 10, pool=0)
+
+
+class TestBatches:
+    def test_chunks_and_remainder(self):
+        chunks = list(in_batches(range(10), 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert [x for chunk in chunks for x in chunk] == list(range(10))
+
+    def test_exact_multiple(self):
+        assert [len(c) for c in in_batches(range(8), 4)] == [4, 4]
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            list(in_batches(range(5), 0))

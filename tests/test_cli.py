@@ -1,5 +1,8 @@
 """CLI smoke tests (everything at tiny scales)."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import main
@@ -53,6 +56,59 @@ class TestBuildAndQuery:
         assert "Gamma(s)" in out
 
 
+class TestServe:
+    @pytest.fixture()
+    def oracle_file(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "oracle.npz"
+        assert main(["build", str(graph_file), "--alpha", "4", "--seed", "2",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_bench_prints_telemetry_snapshot(self, oracle_file, capsys):
+        assert main(["serve", str(oracle_file), "--bench",
+                     "--queries", "800", "--batch-size", "64", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("speedup", "p50", "p95", "p99", "cache", "resolution mix"):
+            assert needle in out, needle
+
+    def test_bench_json_report(self, oracle_file, capsys):
+        assert main(["serve", str(oracle_file), "--bench", "--json",
+                     "--queries", "400", "--batch-size", "64", "--seed", "5"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"]["queries"] == 400
+        assert "p99_ms" in report["snapshot"]["latency"]
+        assert "hit_rate" in report["snapshot"]["cache"]
+
+    def test_bench_sharded(self, oracle_file, capsys):
+        assert main(["serve", str(oracle_file), "--bench", "--shards", "2",
+                     "--queries", "300", "--batch-size", "64", "--seed", "5"]) == 0
+        assert "shard traffic" in capsys.readouterr().out
+
+    def test_stdin_request_loop(self, oracle_file, capsys, monkeypatch):
+        requests = "\n".join([
+            json.dumps({"s": 0, "t": 5}),
+            json.dumps({"pairs": [[0, 5], [5, 0]]}),
+            json.dumps({"cmd": "stats"}),
+            json.dumps({"cmd": "quit"}),
+        ]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+        assert main(["serve", str(oracle_file)]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+        assert lines[0]["distance"] is not None
+        assert lines[1]["results"][0]["distance"] == lines[0]["distance"]
+        assert lines[2]["queries"] == 3
+        assert lines[3] == {"ok": True}
+
+    def test_cache_can_be_disabled(self, oracle_file, capsys):
+        assert main(["serve", str(oracle_file), "--bench", "--json",
+                     "--cache-size", "0",
+                     "--queries", "200", "--batch-size", "64", "--seed", "5"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "cache" not in report["snapshot"]
+
+
 class TestExperiments:
     def test_table2(self, capsys):
         assert main(["experiment", "table2", "--scale", "0.0004",
@@ -66,6 +122,14 @@ class TestExperiments:
 
 
 class TestErrors:
+    def test_missing_oracle_file_is_reported(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "missing.npz"), "--bench"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_oracle_file_is_reported(self, graph_file, capsys):
+        assert main(["serve", str(graph_file), "--bench"]) == 1
+        assert "not a repro-oracle-v1 snapshot" in capsys.readouterr().err
+
     def test_dataset_error_is_reported(self, tmp_path, capsys):
         # Valid CLI usage but an unloadable file -> clean error, exit 1.
         missing = tmp_path / "missing.txt"
