@@ -62,6 +62,7 @@ from repro.core import (
 from repro.core.oracle import CHEAP_METHODS, EXPENSIVE_METHODS, METHODS
 from repro.service import (
     BatchExecutor,
+    ProcessShardedService,
     ResultCache,
     ServiceApp,
     ShardedService,
@@ -103,6 +104,7 @@ __all__ = [
     "BatchExecutor",
     "ResultCache",
     "ShardedService",
+    "ProcessShardedService",
     "ServiceApp",
     "Telemetry",
 ]

@@ -74,6 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve through N in-process shard workers (0 = single machine)",
     )
     serve.add_argument(
+        "--backend", choices=["threads", "procpool"], default="threads",
+        help="sharded mode: worker threads (GIL-bound, instant startup) or "
+        "worker processes over a shared-memory index (true parallelism)",
+    )
+    serve.add_argument(
         "--replicate-tables", action="store_true",
         help="sharded mode: copy landmark tables onto every shard",
     )
@@ -167,11 +172,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve_stdio,
     )
 
-    index = load_index(args.oracle)
-    app = ServiceApp.from_index(
-        index,
+    if args.backend != "threads" and args.shards < 1:
+        print(
+            f"error: --backend {args.backend} requires --shards N (N >= 1); "
+            "without shards the single-machine oracle serves",
+            file=sys.stderr,
+        )
+        return 2
+    # from_saved skips per-node dict materialisation entirely on the
+    # procpool backend (the workers probe the flattened arrays).
+    app = ServiceApp.from_saved(
+        args.oracle,
         cache_size=args.cache_size,
         shards=args.shards,
+        backend=args.backend,
         replicate_tables=args.replicate_tables,
     )
     try:
@@ -188,9 +202,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else:
                 print(render_bench_report(report))
         else:
-            mode = f"{args.shards} shards" if args.shards else "single machine"
+            mode = (
+                f"{args.shards} shards ({args.backend})"
+                if args.shards
+                else "single machine"
+            )
             print(
-                f"serving {index.n:,}-node oracle ({mode}); "
+                f"serving {app.n:,}-node oracle ({mode}); "
                 'one JSON request per line ({"s": 0, "t": 5}, '
                 '{"pairs": [[0, 5]]}, {"cmd": "stats"}, {"cmd": "quit"})',
                 file=sys.stderr,

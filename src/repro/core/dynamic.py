@@ -65,6 +65,7 @@ class DynamicVicinityOracle:
         self.index = index
         self._oracle = VicinityOracle(index)
         self._edges_added = 0
+        self._caches: list = []
 
     # ------------------------------------------------------------------
     # construction
@@ -90,6 +91,16 @@ class DynamicVicinityOracle:
         """Answer one query on the current graph."""
         return self._oracle.query(source, target, with_path=with_path)
 
+    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        """Answer a batch on the current graph (the serving-layer surface).
+
+        Makes the dynamic oracle a valid
+        :class:`~repro.service.batch.BatchExecutor` backend; pair it
+        with :meth:`attach_cache` so edge insertions evict stale
+        entries.
+        """
+        return self._oracle.query_batch(pairs, with_path=with_path)
+
     def distance(self, source: int, target: int):
         """Return the exact distance on the current graph."""
         return self._oracle.distance(source, target)
@@ -107,6 +118,27 @@ class DynamicVicinityOracle:
     def edges_added(self) -> int:
         """How many edges have been absorbed since the build."""
         return self._edges_added
+
+    # ------------------------------------------------------------------
+    # caches
+    # ------------------------------------------------------------------
+    def attach_cache(self, cache) -> None:
+        """Register a result cache for invalidation on edge insertions.
+
+        ``cache`` is anything with ``invalidate_where(stale)`` —
+        normally a :class:`~repro.service.cache.ResultCache` fronting
+        this oracle through a ``BatchExecutor``.  On every
+        :meth:`add_edge`, attached caches drop exactly the pairs the new
+        edge can shorten (or newly connect); without this hook a cache
+        keeps serving pre-insertion distances forever.
+        """
+        if cache not in self._caches:
+            self._caches.append(cache)
+
+    def detach_cache(self, cache) -> None:
+        """Stop invalidating ``cache`` (absent caches are ignored)."""
+        if cache in self._caches:
+            self._caches.remove(cache)
 
     # ------------------------------------------------------------------
     # mutation
@@ -132,9 +164,48 @@ class DynamicVicinityOracle:
         new_graph = self._rebuild_graph_with_edge(u, v)
         self.index.graph = new_graph
         self._repair_tables(new_graph, u, v)
-        self._rebuild_affected_vicinities(new_graph, u, v)
+        # Post-insertion distances from both endpoints drive both the
+        # conservative vicinity-rebuild test and exact cache eviction.
+        dist_u = bfs_distances(new_graph, u)
+        dist_v = bfs_distances(new_graph, v)
+        self._rebuild_affected_vicinities(new_graph, u, v, dist_u, dist_v)
+        self._invalidate_caches(dist_u, dist_v)
         self._edges_added += 1
         return True
+
+    #: Alias matching the serving layer's "edge insertion" vocabulary.
+    insert_edge = add_edge
+
+    def _invalidate_caches(self, dist_u: np.ndarray, dist_v: np.ndarray) -> None:
+        """Evict attached-cache entries the new edge can invalidate.
+
+        A new edge ``{u, v}`` only ever *shortens* distances, and any
+        shortened ``d(s, t)`` must route through it:
+        ``d'(s, t) = min(d(s, t), d'(s, u) + 1 + d'(v, t),
+        d'(s, v) + 1 + d'(u, t))``.  With the post-insertion BFS layers
+        from both endpoints in hand, the through-edge candidate is exact
+        — a cached pair is evicted iff the candidate beats its stored
+        distance (or the pair was stored unanswered and is now
+        reachable through the edge).
+        """
+        if not self._caches:
+            return
+
+        def stale(entry) -> bool:
+            du_s, dv_s = int(dist_u[entry.source]), int(dist_v[entry.source])
+            du_t, dv_t = int(dist_u[entry.target]), int(dist_v[entry.target])
+            candidate = None
+            if du_s >= 0 and dv_t >= 0:
+                candidate = du_s + 1 + dv_t
+            if dv_s >= 0 and du_t >= 0:
+                other = dv_s + 1 + du_t
+                candidate = other if candidate is None else min(candidate, other)
+            if candidate is None:
+                return False
+            return entry.distance is None or candidate < entry.distance
+
+        for cache in self._caches:
+            cache.invalidate_where(stale)
 
     def _rebuild_graph_with_edge(self, u: int, v: int) -> CSRGraph:
         """Produce the post-insertion CSR graph."""
@@ -173,14 +244,16 @@ class DynamicVicinityOracle:
                                 next_frontier.append(y)
                     frontier = next_frontier
 
-    def _rebuild_affected_vicinities(self, graph: CSRGraph, u: int, v: int) -> None:
-        """Rebuild exactly the vicinities the insertion may have changed."""
+    def _rebuild_affected_vicinities(
+        self, graph: CSRGraph, u: int, v: int, dist_u: np.ndarray, dist_v: np.ndarray
+    ) -> None:
+        """Rebuild exactly the vicinities the insertion may have changed.
+
+        ``dist_u`` / ``dist_v`` are the post-insertion BFS distances
+        from the edge endpoints (undirected, so ``d'(w, u) == d'(u, w)``).
+        """
         flags = self.index.landmarks.is_landmark
         adj = graph.adjacency()
-        # Post-insertion distances from both endpoints (undirected, so
-        # d'(w, u) == d'(u, w)).
-        dist_u = bfs_distances(graph, u)
-        dist_v = bfs_distances(graph, v)
         for w in range(graph.n):
             if flags[w]:
                 continue

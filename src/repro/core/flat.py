@@ -1,0 +1,382 @@
+"""Array-backed, read-only probe surface over a flattened index.
+
+The dict-backed :class:`~repro.core.vicinity.Vicinity` records are ideal
+for the single-machine oracle, but they cannot be shared across worker
+*processes* without pickling the whole index into every worker.  The
+flattened offset-indexed arrays that :mod:`repro.io.oracle_store`
+persists have exactly the opposite property: they are a handful of
+contiguous numpy buffers, so they can live in one
+``multiprocessing.shared_memory`` segment, mapped zero-copy by every
+shard worker.
+
+This module provides the two halves of that story:
+
+* :func:`flatten_index` — the CSR-of-dicts flattening (moved here from
+  the persistence layer so serving backends and ``save_index`` share one
+  implementation);
+* :class:`FlatIndex` — probe helpers over the flattened arrays
+  (vicinity membership/distance, boundary payloads, landmark tables,
+  predecessor chains, the intersection kernel) whose results are
+  *identical* — distance, method, witness, probes — to the dict-backed
+  code paths.  Entries are re-sorted per node at construction time so
+  every probe is a binary search instead of a hash lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.paths import walk_parent_array
+from repro.exceptions import QueryError
+
+Distance = Union[int, float]
+
+#: Array names that make up a flattened index (the shared-memory unit).
+#: ``vic_*`` triplets are sorted by node id *within* each node's slice;
+#: ``boundary_nodes`` keeps the stored scan order (Lemma 1 iteration
+#: order, which the kernels' witness tie-breaking depends on) with
+#: ``boundary_dists`` aligned to it.
+FLAT_ARRAYS = (
+    "vic_offsets",
+    "vic_nodes",
+    "vic_dists",
+    "vic_preds",
+    "member_offsets",
+    "member_nodes",
+    "boundary_offsets",
+    "boundary_nodes",
+    "boundary_dists",
+    "table_dist",
+    "table_parent",
+    "landmark_ids",
+    "landmark_row",
+)
+
+
+def flatten_index(index) -> dict[str, np.ndarray]:
+    """Flatten a built :class:`~repro.core.index.VicinityIndex` to arrays.
+
+    Returns the offset-indexed arrays in the persistence layout (dict
+    iteration order preserved, nothing re-sorted): ``vic_offsets /
+    vic_nodes / vic_dists / vic_preds``, ``member_offsets /
+    member_nodes``, ``boundary_offsets / boundary_nodes``, ``radii``,
+    ``landmarks``, ``landmark_scale``, ``table_dist / table_parent``.
+    :func:`repro.io.oracle_store.save_index` persists exactly this dict;
+    :meth:`FlatIndex.from_store_arrays` derives the probe-ready views.
+    """
+    graph = index.graph
+    n = graph.n
+    weighted = graph.is_weighted
+
+    vic_offsets = np.zeros(n + 1, dtype=np.int64)
+    member_offsets = np.zeros(n + 1, dtype=np.int64)
+    boundary_offsets = np.zeros(n + 1, dtype=np.int64)
+    nodes_parts: list[np.ndarray] = []
+    dist_parts: list[np.ndarray] = []
+    pred_parts: list[np.ndarray] = []
+    member_parts: list[np.ndarray] = []
+    boundary_parts: list[np.ndarray] = []
+    radii = np.full(n, np.nan, dtype=np.float64)
+
+    dist_dtype = np.float64 if weighted else np.int32
+    for u in range(n):
+        vic = index.vicinities[u]
+        if vic.radius is not None:
+            radii[u] = float(vic.radius)
+        keys = np.fromiter(vic.dist.keys(), dtype=np.int64, count=len(vic.dist))
+        values = np.fromiter(
+            (vic.dist[k] for k in keys.tolist()), dtype=dist_dtype, count=keys.size
+        )
+        preds = np.fromiter(
+            (vic.pred.get(k, -1) for k in keys.tolist()), dtype=np.int64, count=keys.size
+        )
+        nodes_parts.append(keys)
+        dist_parts.append(values)
+        pred_parts.append(preds)
+        vic_offsets[u + 1] = vic_offsets[u] + keys.size
+        members = np.fromiter(vic.members, dtype=np.int64, count=len(vic.members))
+        member_parts.append(np.sort(members))
+        member_offsets[u + 1] = member_offsets[u] + members.size
+        boundary = np.asarray(vic.boundary, dtype=np.int64)
+        boundary_parts.append(boundary)
+        boundary_offsets[u + 1] = boundary_offsets[u] + boundary.size
+
+    landmark_ids = index.landmarks.ids
+    if index.tables:
+        table_dist = np.stack([index.tables[l].dist for l in landmark_ids.tolist()])
+        parents = [index.tables[l].parent for l in landmark_ids.tolist()]
+        if any(p is None for p in parents):
+            table_parent = np.zeros((0, 0), dtype=np.int32)
+        else:
+            table_parent = np.stack(parents)
+    else:
+        table_dist = np.zeros((0, 0), dtype=dist_dtype)
+        table_parent = np.zeros((0, 0), dtype=np.int32)
+
+    return {
+        "landmarks": landmark_ids,
+        "landmark_scale": np.asarray(index.landmarks.scale, dtype=np.float64),
+        "vic_offsets": vic_offsets,
+        "vic_nodes": _concat(nodes_parts, np.int64),
+        "vic_dists": _concat(dist_parts, dist_dtype),
+        "vic_preds": _concat(pred_parts, np.int64),
+        "member_offsets": member_offsets,
+        "member_nodes": _concat(member_parts, np.int64),
+        "boundary_offsets": boundary_offsets,
+        "boundary_nodes": _concat(boundary_parts, np.int64),
+        "radii": radii,
+        "table_dist": table_dist,
+        "table_parent": table_parent,
+    }
+
+
+def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
+    if not parts:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate(parts).astype(dtype, copy=False)
+
+
+class FlatIndex:
+    """Probe helpers over the flattened arrays of a built index.
+
+    Construct with :meth:`from_index` (in-memory index) or
+    :meth:`from_store_arrays` (the raw arrays of a saved index, e.g.
+    from :func:`repro.io.oracle_store.load_flat_arrays`), or pass
+    already-derived arrays — shared-memory views in a worker process —
+    straight to ``__init__``.
+
+    Every helper reproduces its dict-backed counterpart exactly:
+    :meth:`vicinity_probe` matches ``other in vic.members`` +
+    ``vic.dist[other]``; :meth:`intersect_payload` matches
+    :func:`repro.core.intersect.scan_and_probe` (same scan order, same
+    first-minimum witness, same probe count); :meth:`pred_chain` /
+    :meth:`parent_chain` match :func:`repro.core.paths.walk_predecessors`
+    / :func:`~repro.core.paths.walk_parent_array`.
+    """
+
+    def __init__(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        n: int,
+        weighted: bool,
+        store_paths: bool,
+    ) -> None:
+        missing = [name for name in FLAT_ARRAYS if name not in arrays]
+        if missing:
+            raise QueryError(f"flat index is missing arrays: {missing}")
+        self.n = int(n)
+        self.weighted = bool(weighted)
+        self.store_paths = bool(store_paths)
+        self.arrays: dict[str, np.ndarray] = {
+            name: arrays[name] for name in FLAT_ARRAYS
+        }
+        for name in FLAT_ARRAYS:
+            setattr(self, name, self.arrays[name])
+        self.has_tables = self.table_dist.size > 0
+        self.has_parents = self.table_parent.size > 0
+        self._integral = self.vic_dists.dtype.kind == "i"
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(cls, index) -> "FlatIndex":
+        """Flatten an in-memory :class:`VicinityIndex` into probe arrays."""
+        return cls.from_store_arrays(
+            flatten_index(index),
+            n=index.n,
+            weighted=index.graph.is_weighted,
+            store_paths=index.config.store_paths,
+        )
+
+    @classmethod
+    def from_store_arrays(
+        cls,
+        data: Mapping[str, np.ndarray],
+        *,
+        n: Optional[int] = None,
+        weighted: Optional[bool] = None,
+        store_paths: bool = True,
+    ) -> "FlatIndex":
+        """Derive probe-ready arrays from the persistence layout.
+
+        Sorts each node's ``vic_*`` slice by node id (binary-search
+        probes), precomputes per-boundary-node distances, and builds the
+        landmark row map.  ``data`` uses the store's names (``landmarks``
+        for the id array); unspecified ``n``/``weighted`` are inferred.
+        """
+        vic_offsets = np.ascontiguousarray(data["vic_offsets"], dtype=np.int64)
+        if n is None:
+            n = vic_offsets.size - 1
+        vic_nodes = np.asarray(data["vic_nodes"], dtype=np.int64)
+        vic_dists = np.asarray(data["vic_dists"])
+        vic_preds = np.asarray(data["vic_preds"], dtype=np.int64)
+        if weighted is None:
+            weighted = vic_dists.dtype.kind == "f"
+
+        counts = np.diff(vic_offsets)
+        owner = np.repeat(np.arange(n, dtype=np.int64), counts)
+        # Within-node sort: owner is already non-decreasing, so the
+        # lexsort yields globally (owner, node)-sorted entries.
+        order = np.lexsort((vic_nodes, owner))
+        vic_nodes = np.ascontiguousarray(vic_nodes[order])
+        vic_dists = np.ascontiguousarray(vic_dists[order])
+        vic_preds = np.ascontiguousarray(vic_preds[order])
+
+        boundary_offsets = np.ascontiguousarray(
+            data["boundary_offsets"], dtype=np.int64
+        )
+        boundary_nodes = np.ascontiguousarray(data["boundary_nodes"], dtype=np.int64)
+        # Every boundary node is a vicinity member; after the sort the
+        # combined (owner, node) key is globally sorted, so one
+        # searchsorted resolves every boundary distance at once.
+        b_owner = np.repeat(np.arange(n, dtype=np.int64), np.diff(boundary_offsets))
+        scale = np.int64(max(n, 1))
+        vic_key = owner * scale + vic_nodes
+        pos = np.searchsorted(vic_key, b_owner * scale + boundary_nodes)
+        boundary_dists = np.ascontiguousarray(vic_dists[pos])
+
+        landmark_ids = np.ascontiguousarray(data["landmarks"], dtype=np.int64)
+        landmark_row = np.full(n, -1, dtype=np.int64)
+        landmark_row[landmark_ids] = np.arange(landmark_ids.size, dtype=np.int64)
+
+        arrays = {
+            "vic_offsets": vic_offsets,
+            "vic_nodes": vic_nodes,
+            "vic_dists": vic_dists,
+            "vic_preds": vic_preds,
+            "member_offsets": np.ascontiguousarray(
+                data["member_offsets"], dtype=np.int64
+            ),
+            "member_nodes": np.ascontiguousarray(data["member_nodes"], dtype=np.int64),
+            "boundary_offsets": boundary_offsets,
+            "boundary_nodes": boundary_nodes,
+            "boundary_dists": boundary_dists,
+            "table_dist": np.ascontiguousarray(data["table_dist"]),
+            "table_parent": np.ascontiguousarray(data["table_parent"]),
+            "landmark_ids": landmark_ids,
+            "landmark_row": landmark_row,
+        }
+        return cls(arrays, n=n, weighted=weighted, store_paths=store_paths)
+
+    # ------------------------------------------------------------------
+    # landmarks and tables
+    # ------------------------------------------------------------------
+    def is_landmark(self, u: int) -> bool:
+        """Whether ``u`` is in the landmark set."""
+        return bool(self.landmark_row[u] >= 0)
+
+    def has_table(self, u: int) -> bool:
+        """Whether ``u`` is a landmark with a stored full table."""
+        return self.has_tables and self.landmark_row[u] >= 0
+
+    def table_distance(self, landmark: int, v: int) -> Optional[Distance]:
+        """The stored table distance ``d(landmark, v)`` (``None`` = unreachable)."""
+        d = self.table_dist[int(self.landmark_row[landmark]), v]
+        if d < 0 or d == np.inf:
+            return None
+        return int(d) if self._integral else float(d)
+
+    def parent_chain(self, landmark: int, start: int) -> list[int]:
+        """Walk the landmark's parent row; returns ``[landmark .. start]``."""
+        if not self.has_parents:
+            raise QueryError("index was built with store_paths=False")
+        parent = self.table_parent[int(self.landmark_row[landmark])]
+        return walk_parent_array(parent, int(start), landmark)
+
+    # ------------------------------------------------------------------
+    # vicinities
+    # ------------------------------------------------------------------
+    def _vic_slice(self, u: int) -> Tuple[int, int]:
+        return int(self.vic_offsets[u]), int(self.vic_offsets[u + 1])
+
+    def vicinity_size(self, u: int) -> int:
+        """``|Gamma(u)|`` (membership count, not distance-table size)."""
+        return int(self.member_offsets[u + 1] - self.member_offsets[u])
+
+    def vicinity_probe(self, u: int, other: int) -> Tuple[bool, Optional[Distance]]:
+        """``(is_member, distance)`` of ``other`` in ``Gamma(u)``."""
+        lo, hi = int(self.member_offsets[u]), int(self.member_offsets[u + 1])
+        members = self.member_nodes[lo:hi]
+        i = int(np.searchsorted(members, other))
+        if i >= members.size or members[i] != other:
+            return False, None
+        return True, self.vicinity_distance(u, other)
+
+    def vicinity_distance(self, u: int, v: int) -> Distance:
+        """``d(u, v)`` from ``u``'s stored table (``v`` must be stored)."""
+        lo, hi = self._vic_slice(u)
+        nodes = self.vic_nodes[lo:hi]
+        i = int(np.searchsorted(nodes, v))
+        if i >= nodes.size or nodes[i] != v:
+            raise QueryError(f"node {v} is not in the stored table of {u}")
+        d = self.vic_dists[lo + i]
+        return int(d) if self._integral else float(d)
+
+    def boundary_payload(self, u: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The intersection wire payload: boundary ids and distances.
+
+        Views into the shared arrays (scan order preserved), so building
+        a payload allocates nothing.
+        """
+        lo, hi = int(self.boundary_offsets[u]), int(self.boundary_offsets[u + 1])
+        return self.boundary_nodes[lo:hi], self.boundary_dists[lo:hi]
+
+    def intersect_payload(
+        self,
+        scan_nodes: np.ndarray,
+        scan_dists: np.ndarray,
+        target: int,
+    ) -> Tuple[Optional[Distance], Optional[int], int]:
+        """Vectorised :func:`~repro.core.intersect.scan_and_probe`.
+
+        Probes every scanned node against ``Gamma(target)`` and returns
+        ``(best, witness, probes)`` — the same first-minimum witness and
+        one-probe-per-scanned-node count as the scalar kernel.
+        """
+        probes = int(scan_nodes.size)
+        if probes == 0:
+            return None, None, probes
+        mlo, mhi = int(self.member_offsets[target]), int(self.member_offsets[target + 1])
+        members = self.member_nodes[mlo:mhi]
+        if members.size == 0:
+            return None, None, probes
+        pos = np.searchsorted(members, scan_nodes)
+        np.minimum(pos, members.size - 1, out=pos)
+        hit = members[pos] == scan_nodes
+        if not hit.any():
+            return None, None, probes
+        hit_nodes = scan_nodes[hit]
+        lo, hi = self._vic_slice(target)
+        nodes_t = self.vic_nodes[lo:hi]
+        sums = scan_dists[hit] + self.vic_dists[lo:hi][np.searchsorted(nodes_t, hit_nodes)]
+        # argmin returns the first minimum in scan order — the same
+        # witness the scalar kernel's strict `candidate < best` keeps.
+        k = int(np.argmin(sums))
+        best = sums[k]
+        return (int(best) if self._integral else float(best)), int(hit_nodes[k]), probes
+
+    def pred_chain(self, u: int, start: int, root: int) -> list[int]:
+        """Walk ``u``'s predecessor entries from ``start`` back to ``root``.
+
+        Returns ``[root .. start]`` —
+        :func:`~repro.core.paths.walk_predecessors` over flat arrays.
+        """
+        lo, hi = self._vic_slice(u)
+        nodes = self.vic_nodes[lo:hi]
+        preds = self.vic_preds[lo:hi]
+        path = [int(start)]
+        node = int(start)
+        for _hop in range(nodes.size + 1):
+            if node == root:
+                path.reverse()
+                return path
+            i = int(np.searchsorted(nodes, node))
+            if i >= nodes.size or nodes[i] != node or preds[i] < 0:
+                raise QueryError(f"broken predecessor chain at node {node}")
+            node = int(preds[i])
+            path.append(node)
+        raise QueryError(f"cyclic predecessor chain walking {start} -> {root}")

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.core.index import VicinityIndex
 from repro.core.intersect import scan_and_probe
 from repro.core.memory import BYTES_PER_ENTRY_WITH_PATHS
@@ -35,6 +37,37 @@ from repro.exceptions import QueryError
 BYTES_PER_WIRE_ENTRY = 8
 #: Modelled wire size of a control message (request/response header).
 BYTES_PER_CONTROL = 64
+
+
+def shard_assignment(n: int, num_shards: int, placement: str = "hash") -> np.ndarray:
+    """Vectorised node-to-shard map (``shard_of`` for all of ``V`` at once).
+
+    Element ``u`` equals :meth:`PartitionedOracle.shard_of` ``(u)`` for
+    the same placement — pinned by a test, since both serving backends
+    route with this array.
+    """
+    if num_shards < 1:
+        raise QueryError("num_shards must be at least 1")
+    ids = np.arange(n, dtype=np.int64)
+    if placement == "hash":
+        return ((ids * 2654435761 % (1 << 32)) % num_shards).astype(np.int64)
+    if placement == "range":
+        span = (n + num_shards - 1) // num_shards
+        return np.minimum(ids // span, num_shards - 1)
+    raise QueryError("placement must be 'hash' or 'range'")
+
+
+def balance_summary_from_reports(reports: list["ShardReport"]) -> dict[str, float]:
+    """Load-balance metrics over per-shard model memory sizes."""
+    sizes = [r.model_bytes for r in reports]
+    mean = sum(sizes) / len(sizes) if sizes else 0.0
+    worst = max(sizes) if sizes else 0
+    return {
+        "shards": float(len(reports)),
+        "mean_bytes": mean,
+        "max_bytes": float(worst),
+        "imbalance": (worst / mean) if mean else 0.0,
+    }
 
 
 @dataclass
@@ -211,13 +244,4 @@ class PartitionedOracle:
     # ------------------------------------------------------------------
     def balance_summary(self) -> dict[str, float]:
         """Load-balance metrics over shard memory sizes."""
-        reports = self.shard_reports()
-        sizes = [r.model_bytes for r in reports]
-        mean = sum(sizes) / len(sizes) if sizes else 0.0
-        worst = max(sizes) if sizes else 0
-        return {
-            "shards": float(self.num_shards),
-            "mean_bytes": mean,
-            "max_bytes": float(worst),
-            "imbalance": (worst / mean) if mean else 0.0,
-        }
+        return balance_summary_from_reports(self.shard_reports())

@@ -5,12 +5,17 @@
 * :mod:`~repro.io.binary` — fast ``.npz`` snapshots of CSR graphs;
 * :mod:`~repro.io.oracle_store` — round-trip a built
   :class:`~repro.core.index.VicinityIndex` so the offline phase is paid
-  once (the deployment model the paper assumes).
+  once (the deployment model the paper assumes), plus
+  :func:`~repro.io.oracle_store.load_flat_arrays` for dict-free loading
+  of the flattened arrays the serving backends probe directly;
+* :mod:`~repro.io.shm` — one shared-memory segment holding many named
+  arrays, the zero-copy substrate of the process-pool shard backend.
 """
 
 from repro.io.edgelist import read_edgelist, write_edgelist
 from repro.io.binary import load_digraph, load_graph, save_digraph, save_graph
-from repro.io.oracle_store import load_index, save_index
+from repro.io.oracle_store import load_flat_arrays, load_index, save_index
+from repro.io.shm import SharedArrayBundle
 
 __all__ = [
     "read_edgelist",
@@ -21,4 +26,6 @@ __all__ = [
     "load_digraph",
     "save_index",
     "load_index",
+    "load_flat_arrays",
+    "SharedArrayBundle",
 ]

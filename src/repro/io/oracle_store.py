@@ -30,6 +30,7 @@ from typing import Union
 import numpy as np
 
 from repro.core.config import OracleConfig
+from repro.core.flat import flatten_index
 from repro.core.index import LandmarkTable, VicinityIndex
 from repro.core.landmarks import landmark_set_from_ids
 from repro.core.vicinity import Vicinity
@@ -40,82 +41,81 @@ PathLike = Union[str, Path]
 
 _MAGIC = "repro-oracle-v1"
 
+#: Index arrays persisted by :func:`save_index` (the flattened layout,
+#: produced by :func:`repro.core.flat.flatten_index`).
+FLAT_STORE_ARRAYS = (
+    "landmarks",
+    "landmark_scale",
+    "vic_offsets",
+    "vic_nodes",
+    "vic_dists",
+    "vic_preds",
+    "member_offsets",
+    "member_nodes",
+    "boundary_offsets",
+    "boundary_nodes",
+    "radii",
+    "table_dist",
+    "table_parent",
+)
+
 
 def save_index(index: VicinityIndex, path: PathLike) -> None:
     """Serialise a built index (graph included) to ``.npz``."""
     graph = index.graph
-    n = graph.n
-    weighted = graph.is_weighted
-
-    vic_offsets = np.zeros(n + 1, dtype=np.int64)
-    member_offsets = np.zeros(n + 1, dtype=np.int64)
-    boundary_offsets = np.zeros(n + 1, dtype=np.int64)
-    nodes_parts: list[np.ndarray] = []
-    dist_parts: list[np.ndarray] = []
-    pred_parts: list[np.ndarray] = []
-    member_parts: list[np.ndarray] = []
-    boundary_parts: list[np.ndarray] = []
-    radii = np.full(n, np.nan, dtype=np.float64)
-
-    dist_dtype = np.float64 if weighted else np.int32
-    for u in range(n):
-        vic = index.vicinities[u]
-        if vic.radius is not None:
-            radii[u] = float(vic.radius)
-        keys = np.fromiter(vic.dist.keys(), dtype=np.int64, count=len(vic.dist))
-        values = np.fromiter(
-            (vic.dist[k] for k in keys.tolist()), dtype=dist_dtype, count=keys.size
-        )
-        preds = np.fromiter(
-            (vic.pred.get(k, -1) for k in keys.tolist()), dtype=np.int64, count=keys.size
-        )
-        nodes_parts.append(keys)
-        dist_parts.append(values)
-        pred_parts.append(preds)
-        vic_offsets[u + 1] = vic_offsets[u] + keys.size
-        members = np.fromiter(vic.members, dtype=np.int64, count=len(vic.members))
-        member_parts.append(np.sort(members))
-        member_offsets[u + 1] = member_offsets[u] + members.size
-        boundary = np.asarray(vic.boundary, dtype=np.int64)
-        boundary_parts.append(boundary)
-        boundary_offsets[u + 1] = boundary_offsets[u] + boundary.size
-
-    landmark_ids = index.landmarks.ids
-    if index.tables:
-        table_dist = np.stack([index.tables[l].dist for l in landmark_ids.tolist()])
-        parents = [index.tables[l].parent for l in landmark_ids.tolist()]
-        if any(p is None for p in parents):
-            table_parent = np.zeros((0, 0), dtype=np.int32)
-        else:
-            table_parent = np.stack(parents)
-    else:
-        table_dist = np.zeros((0, 0), dtype=dist_dtype)
-        table_parent = np.zeros((0, 0), dtype=np.int32)
-
     config = dict(asdict(index.config))
     payload = {
         "magic": np.asarray(_MAGIC),
         "config": np.asarray(json.dumps(config)),
-        "graph_n": np.asarray(n, dtype=np.int64),
+        "graph_n": np.asarray(graph.n, dtype=np.int64),
         "graph_indptr": graph.indptr,
         "graph_indices": graph.indices,
-        "landmarks": landmark_ids,
-        "landmark_scale": np.asarray(index.landmarks.scale, dtype=np.float64),
-        "vic_offsets": vic_offsets,
-        "vic_nodes": _concat(nodes_parts, np.int64),
-        "vic_dists": _concat(dist_parts, dist_dtype),
-        "vic_preds": _concat(pred_parts, np.int64),
-        "member_offsets": member_offsets,
-        "member_nodes": _concat(member_parts, np.int64),
-        "boundary_offsets": boundary_offsets,
-        "boundary_nodes": _concat(boundary_parts, np.int64),
-        "radii": radii,
-        "table_dist": table_dist,
-        "table_parent": table_parent,
+        **flatten_index(index),
     }
-    if weighted:
+    if graph.is_weighted:
         payload["graph_weights"] = graph.weights
     np.savez_compressed(path, **payload)
+
+
+def load_flat_arrays(
+    path: PathLike, *, include_graph: bool = False
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a saved index's raw offset-indexed arrays, dict-free.
+
+    The serving backends probe the flattened arrays directly (see
+    :class:`repro.core.flat.FlatIndex`), so they can skip
+    :func:`load_index`'s per-node dict materialisation — the expensive
+    part of loading — entirely.  The O(|E|) graph CSR arrays are needed
+    at query time by *nothing* in the flat serving path, so they stay
+    compressed unless ``include_graph`` asks for them.
+
+    Returns:
+        ``(arrays, meta)`` — the :data:`FLAT_STORE_ARRAYS` (plus the
+        graph CSR arrays when ``include_graph``), and a metadata dict
+        with ``n``, ``weighted``, ``store_paths`` and the full
+        ``config`` mapping.
+
+    Raises:
+        SerializationError: on unknown or corrupt files.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _MAGIC:
+            raise SerializationError(f"{path} is not a {_MAGIC} snapshot")
+        config = json.loads(str(data["config"]))
+        arrays = {name: data[name] for name in FLAT_STORE_ARRAYS}
+        weighted = "graph_weights" in data
+        if include_graph:
+            arrays["graph_indptr"] = data["graph_indptr"]
+            arrays["graph_indices"] = data["graph_indices"]
+            if weighted:
+                arrays["graph_weights"] = data["graph_weights"]
+        meta = {
+            "n": int(data["graph_n"]),
+            "weighted": weighted,
+            "store_paths": bool(config.get("store_paths", True)),
+            "config": config,
+        }
+    return arrays, meta
 
 
 def load_index(path: PathLike) -> VicinityIndex:
@@ -184,9 +184,3 @@ def load_index(path: PathLike) -> VicinityIndex:
                     landmark=landmark, dist=table_dist[row], parent=parent
                 )
         return VicinityIndex(graph, config, landmarks, vicinities, tables)
-
-
-def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
-    if not parts:
-        return np.zeros(0, dtype=dtype)
-    return np.concatenate(parts).astype(dtype, copy=False)

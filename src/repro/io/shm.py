@@ -1,0 +1,155 @@
+"""One shared-memory segment holding many named numpy arrays.
+
+The process-pool shard backend loads (or flattens) the index once,
+copies every array into a single ``multiprocessing.shared_memory``
+segment, and hands workers a small picklable *spec* — segment name plus
+per-array ``(offset, shape, dtype)`` — from which they rebuild zero-copy
+read-only views.  No worker ever pickles or re-loads the index.
+
+Lifecycle: exactly one :class:`SharedArrayBundle` owns the segment (the
+one returned by :meth:`SharedArrayBundle.create`); its ``close()``
+unlinks the segment.  Attached bundles (:meth:`SharedArrayBundle.attach`)
+only drop their mapping.  If the owning process is SIGKILLed the segment
+can outlive it under ``/dev/shm`` until the OS reclaims it — the
+``repro-paths serve`` front end closes the backend in a ``finally`` for
+exactly this reason.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+#: Byte alignment of each array inside the segment (cache-line sized).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayBundle:
+    """Named read-only numpy views over one shared-memory segment."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        arrays: dict[str, np.ndarray],
+        spec: dict,
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.arrays = arrays
+        self.spec = spec
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayBundle":
+        """Copy ``arrays`` into a fresh segment; returns the owning bundle."""
+        layout: dict[str, tuple[int, tuple, str]] = {}
+        offset = 0
+        sources: dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            sources[name] = array
+            layout[name] = (offset, tuple(array.shape), array.dtype.str)
+            offset = _aligned(offset + array.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        views = {}
+        for name, array in sources.items():
+            view = _view(shm, *layout[name])
+            if array.size:
+                np.copyto(view, array, casting="no")
+            view.flags.writeable = False
+            views[name] = view
+        spec = {"segment": shm.name, "layout": layout}
+        return cls(shm, views, spec, owner=True)
+
+    @classmethod
+    def attach(cls, spec: Mapping) -> "SharedArrayBundle":
+        """Map an existing segment from its spec (non-owning views)."""
+        name = spec["segment"]
+        try:
+            shm = _attach_untracked(name)
+        except FileNotFoundError:
+            raise SerializationError(f"shared-memory segment {name!r} is gone")
+        views = {}
+        for array_name, (offset, shape, dtype) in spec["layout"].items():
+            view = _view(shm, offset, shape, dtype)
+            view.flags.writeable = False
+            views[array_name] = view
+        return cls(shm, views, dict(spec), owner=False)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop the views and the mapping; the owner also unlinks.
+
+        Any view still referenced elsewhere keeps its buffer exported —
+        the mapping then survives until that reference dies, but the
+        owner's unlink still removes the segment's name immediately.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:
+            # A view outlived the bundle; the mapping is freed when the
+            # last view is garbage-collected.
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _view(shm: shared_memory.SharedMemory, offset: int, shape, dtype) -> np.ndarray:
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without registering it for cleanup.
+
+    Only the owner may unlink the segment.  Before Python 3.13 (which
+    added ``track=False``), *attaching* also registers the name with the
+    resource tracker — shared with the parent under multiprocessing —
+    so a worker's exit would "clean up" the owner's segment out from
+    under it.  Suppressing registration during attach is the documented
+    workaround (python/cpython#82300).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register_except_shm(resource_name, rtype):
+        if rtype != "shared_memory":
+            original(resource_name, rtype)
+
+    resource_tracker.register = register_except_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original

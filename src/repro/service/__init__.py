@@ -14,6 +14,10 @@ Microseconds"* (arXiv:1309.0874):
 * :class:`~repro.service.sharded.ShardedService` — the §5 partitioned
   scheme executed by real per-shard worker threads instead of the
   message-counting simulation;
+* :class:`~repro.service.procpool.ProcessShardedService` — the same
+  scheme on worker *processes* over a shared-memory flat index (true
+  parallelism; see :mod:`repro.service.backends` for the common
+  :class:`~repro.service.backends.ShardBackend` surface);
 * :class:`~repro.service.telemetry.Telemetry` — latency percentiles,
   per-method counters, snapshot reporting;
 * :mod:`~repro.service.workload` — Zipf/uniform workload generators;
@@ -21,8 +25,14 @@ Microseconds"* (arXiv:1309.0874):
   self-driving benchmark behind ``repro-paths serve``.
 """
 
+from repro.service.backends import (
+    SHARD_BACKENDS,
+    ShardBackend,
+    create_shard_backend,
+)
 from repro.service.batch import BatchExecutor, BatchStats
 from repro.service.cache import DEFAULT_CAPACITY, ResultCache
+from repro.service.procpool import ProcessShardedService
 from repro.service.server import (
     ServiceApp,
     handle_request,
@@ -40,6 +50,10 @@ __all__ = [
     "ResultCache",
     "DEFAULT_CAPACITY",
     "ShardedService",
+    "ProcessShardedService",
+    "ShardBackend",
+    "SHARD_BACKENDS",
+    "create_shard_backend",
     "Telemetry",
     "LatencyHistogram",
     "render_snapshot",

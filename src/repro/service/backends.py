@@ -1,0 +1,96 @@
+"""The shard-backend abstraction shared by the serving front ends.
+
+Two interchangeable executors implement the §5 partitioned scheme:
+
+* ``"threads"`` — :class:`~repro.service.sharded.ShardedService`, one
+  worker thread per shard.  Zero startup cost and the lowest
+  single-query latency, but the GIL serialises the workers, so it buys
+  routing fidelity rather than throughput.
+* ``"procpool"`` — :class:`~repro.service.procpool.ProcessShardedService`,
+  one worker *process* per shard over a shared-memory flat index.  Pays
+  a process-spawn startup and one IPC exchange per worker per batch,
+  and in return actually executes batches in parallel.
+
+Both present the :class:`ShardBackend` surface, answer with identical
+:class:`~repro.core.oracle.QueryResult`\\ s, and keep the same
+:class:`~repro.core.parallel.MessageLog` accounting, so
+:class:`~repro.service.batch.BatchExecutor`, the server front end and
+the CLI treat them as one thing.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.index import VicinityIndex
+from repro.core.oracle import QueryResult
+from repro.core.parallel import MessageLog, ShardReport
+from repro.exceptions import QueryError
+from repro.service.procpool import ProcessShardedService
+from repro.service.sharded import ShardedService
+
+#: Valid ``backend=`` names, in preference order for docs/CLI.
+SHARD_BACKENDS = ("threads", "procpool")
+
+
+@runtime_checkable
+class ShardBackend(Protocol):
+    """What every sharded executor exposes to the serving layer."""
+
+    n: int
+    num_shards: int
+    log: MessageLog
+
+    def shard_of(self, u: int) -> int:
+        ...
+
+    def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
+        ...
+
+    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        ...
+
+    def shard_reports(self) -> list[ShardReport]:
+        ...
+
+    def balance_summary(self) -> dict[str, float]:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+def create_shard_backend(
+    index: VicinityIndex,
+    num_shards: int,
+    *,
+    backend: str = "threads",
+    placement: str = "hash",
+    replicate_tables: bool = False,
+    **kwargs,
+) -> ShardBackend:
+    """Build the named shard backend over a built index.
+
+    Extra keyword arguments are forwarded to the backend constructor
+    (e.g. ``start_method=`` for ``procpool``, ``dispatchers=`` for
+    ``threads``).
+    """
+    if backend == "threads":
+        return ShardedService(
+            index,
+            num_shards,
+            placement=placement,
+            replicate_tables=replicate_tables,
+            **kwargs,
+        )
+    if backend == "procpool":
+        return ProcessShardedService(
+            index,
+            num_shards,
+            placement=placement,
+            replicate_tables=replicate_tables,
+            **kwargs,
+        )
+    raise QueryError(
+        f"unknown shard backend {backend!r}; choose from {SHARD_BACKENDS}"
+    )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.oracle import EXPENSIVE_METHODS, QueryResult
 from repro.exceptions import QueryError
@@ -62,6 +62,8 @@ class ResultCache:
         self.insertions = 0
         self.evictions = 0
         self.rejected = 0
+        self.invalidated = 0
+        self.path_preserved = 0
 
     @staticmethod
     def canonical(source: int, target: int) -> tuple[int, int]:
@@ -107,6 +109,14 @@ class ResultCache:
     def put(self, result: QueryResult) -> bool:
         """Offer a result; store it only if its method is cacheable.
 
+        A path-less result never *downgrades* a stored entry that
+        already carries a path for the same distance: the richer entry
+        is kept (and refreshed in LRU order), otherwise one distance-only
+        re-answer would turn every later ``need_path=True`` lookup for
+        the pair into a permanent miss.  A result with a *different*
+        distance always replaces the entry — fresher data wins after a
+        graph change.
+
         Returns:
             ``True`` when the entry was stored (or refreshed).
         """
@@ -116,15 +126,65 @@ class ResultCache:
         key = self._key(result.source, result.target)
         entry = result if (result.source, result.target) == key else result.mirrored()
         with self._lock:
-            known = key in self._entries
+            known = self._entries.get(key)
+            if (
+                known is not None
+                and known.path is not None
+                and entry.path is None
+                and known.distance == entry.distance
+            ):
+                self._entries.move_to_end(key)
+                self.path_preserved += 1
+                return True
             self._entries[key] = entry
             self._entries.move_to_end(key)
-            if not known:
+            if known is None:
                 self.insertions += 1
                 if len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
                     self.evictions += 1
         return True
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, source: int, target: int) -> bool:
+        """Drop the entry for one pair (either orientation); True if held."""
+        key = self._key(source, target)
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.invalidated += 1
+        return True
+
+    def invalidate_where(self, stale: Callable[[QueryResult], bool]) -> int:
+        """Evict every entry for which ``stale(entry)`` is true.
+
+        The invalidation hook for mutable backends:
+        :meth:`repro.core.dynamic.DynamicVicinityOracle.add_edge` calls
+        this on attached caches with an exact may-the-new-edge-shorten-
+        this-pair predicate.  Returns the number of entries evicted.
+
+        The predicate runs *outside* the cache lock (it may touch whole
+        distance arrays per entry), so concurrent serving threads are
+        only blocked for the two snapshot/delete instants.  An entry
+        replaced mid-scan may be evicted along with its stale
+        predecessor — eviction is always safe, staleness is not.
+        """
+        with self._lock:
+            snapshot = list(self._entries.items())
+        stale_keys = [key for key, entry in snapshot if stale(entry)]
+        if not stale_keys:
+            return 0
+        evicted = 0
+        with self._lock:
+            for key in stale_keys:
+                if key in self._entries:
+                    del self._entries[key]
+                    evicted += 1
+            self.invalidated += evicted
+        return evicted
 
     # ------------------------------------------------------------------
     # maintenance / reporting
@@ -141,6 +201,7 @@ class ResultCache:
             self._entries.clear()
             self.hits = self.misses = 0
             self.insertions = self.evictions = self.rejected = 0
+            self.invalidated = self.path_preserved = 0
 
     @property
     def lookups(self) -> int:
@@ -165,4 +226,6 @@ class ResultCache:
             "insertions": self.insertions,
             "evictions": self.evictions,
             "rejected": self.rejected,
+            "invalidated": self.invalidated,
+            "path_preserved": self.path_preserved,
         }

@@ -1,0 +1,461 @@
+"""Process-pool execution of the §5 partitioned serving scheme.
+
+:class:`~repro.service.sharded.ShardedService` runs shard workers as
+*threads*, which buys routing fidelity and isolation but — under the
+GIL — no speed (every worker interleaves on one core).  This module
+promotes the same scheme to worker *processes*:
+
+* the index is flattened once into the offset-indexed arrays the
+  persistence layer already defines, copied into one
+  ``multiprocessing.shared_memory`` segment, and mapped zero-copy by
+  every worker (no per-worker index load, no pickling);
+* each worker process serves the queries *homed* on its shard — the
+  §5 coordinator role for ``shard(s)`` — running Algorithm 1 against
+  the shared arrays via :class:`repro.core.flat.FlatIndex`;
+* a batch is partitioned by home shard, shipped to the workers in one
+  message each, and reassembled in input order — so IPC cost is per
+  *batch*, not per shard touch, while the wire *accounting* still
+  models the per-query exchanges §5 prescribes: workers return each
+  round trip's payload byte count and the coordinator records them in
+  the same :class:`~repro.core.parallel.MessageLog` the thread backend
+  and the simulation use.
+
+Results are identical to the thread backend — distance, method,
+witness, probes, path, and MessageLog totals — which a parity test
+pins across both backends from the same saved index.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.core.flat import FlatIndex
+from repro.core.oracle import QueryResult
+from repro.core.parallel import (
+    BYTES_PER_WIRE_ENTRY,
+    MessageLog,
+    ShardReport,
+    balance_summary_from_reports,
+    shard_assignment,
+)
+from repro.exceptions import NodeNotFoundError, QueryError
+from repro.io.shm import SharedArrayBundle
+
+
+class _FlatShardEngine:
+    """Algorithm 1 under §5 routing, over a shared :class:`FlatIndex`.
+
+    Runs inside each worker process.  The step order, probe counts and
+    wire-byte modelling replicate :meth:`ShardedService.query` exactly;
+    ``answer`` returns the query result plus the payload byte count of
+    every cross-shard round trip the query would have cost.
+    """
+
+    __slots__ = ("flat", "assign", "replicate_tables")
+
+    def __init__(
+        self, flat: FlatIndex, assign: np.ndarray, replicate_tables: bool
+    ) -> None:
+        self.flat = flat
+        self.assign = assign
+        self.replicate_tables = replicate_tables
+
+    def answer(self, source: int, target: int, with_path: bool):
+        """Answer one pair; returns ``(result, round_trip_payload_bytes)``."""
+        flat = self.flat
+        same_shard = self.assign[source] == self.assign[target]
+        trips: list[int] = []
+        probes = 0
+
+        if source == target:
+            path = [source] if with_path else None
+            return QueryResult(source, target, 0, path, "identical", None, 0), trips
+
+        # Condition (1): the source's table lives on the home shard.
+        probes += 1
+        if flat.has_table(source):
+            probes += 1
+            d = flat.table_distance(source, target)
+            method = "landmark-source" if d is not None else "disconnected"
+            path = (
+                flat.parent_chain(source, target)
+                if with_path and d is not None
+                else None
+            )
+            return QueryResult(source, target, d, path, method, None, probes), trips
+        # Condition (2): the target's table costs one round trip unless
+        # replicated.
+        probes += 1
+        if flat.has_table(target):
+            probes += 1
+            d = flat.table_distance(target, source)
+            path = None
+            chain_len = 0
+            if with_path and d is not None:
+                chain = flat.parent_chain(target, source)
+                chain_len = len(chain)
+                path = list(reversed(chain))
+            if not same_shard and not self.replicate_tables:
+                trips.append(max(chain_len, 1) * BYTES_PER_WIRE_ENTRY)
+            method = "landmark-target" if d is not None else "disconnected"
+            return QueryResult(source, target, d, path, method, None, probes), trips
+
+        # Condition (3): Gamma(s) is home-shard-local.
+        probes += 1
+        member, d = flat.vicinity_probe(source, target)
+        if member:
+            path = flat.pred_chain(source, target, source) if with_path else None
+            return (
+                QueryResult(
+                    source, target, d, path, "target-in-source-vicinity", None, probes
+                ),
+                trips,
+            )
+        # Conditions (4) + intersection: one round trip to shard(t).
+        probes += 1
+        member, d = flat.vicinity_probe(target, source)
+        if member:
+            path = None
+            chain_len = 0
+            if with_path:
+                chain = flat.pred_chain(target, source, target)
+                chain_len = len(chain)
+                path = list(reversed(chain))
+            if not same_shard:
+                trips.append(max(chain_len, 1) * BYTES_PER_WIRE_ENTRY)
+            return (
+                QueryResult(
+                    source, target, d, path, "source-in-target-vicinity", None, probes
+                ),
+                trips,
+            )
+        scan_nodes, scan_dists = flat.boundary_payload(source)
+        best, witness, kernel_probes = flat.intersect_payload(
+            scan_nodes, scan_dists, target
+        )
+        probes += kernel_probes
+        if best is not None:
+            path = None
+            chain_len = 0
+            if with_path:
+                second = flat.pred_chain(target, witness, target)
+                chain_len = len(second)
+                first = flat.pred_chain(source, witness, source)
+                path = first + list(reversed(second))[1:]
+            if not same_shard:
+                trips.append((len(scan_nodes) + chain_len) * BYTES_PER_WIRE_ENTRY)
+            return (
+                QueryResult(
+                    source, target, best, path, "intersection", witness, probes
+                ),
+                trips,
+            )
+        if not same_shard:
+            trips.append(len(scan_nodes) * BYTES_PER_WIRE_ENTRY)
+        return QueryResult(source, target, None, None, "miss", None, probes), trips
+
+
+def _worker_main(conn, spec: dict, meta: dict) -> None:
+    """Worker process entry: attach the shared index, serve sub-batches."""
+    bundle = SharedArrayBundle.attach(spec)
+    flat = FlatIndex(
+        bundle.arrays,
+        n=meta["n"],
+        weighted=meta["weighted"],
+        store_paths=meta["store_paths"],
+    )
+    engine = _FlatShardEngine(
+        flat, bundle.arrays["shard_assign"], meta["replicate_tables"]
+    )
+    assign = engine.assign
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            seq, pairs, with_path = message
+            try:
+                results: list[QueryResult] = []
+                trips: list[int] = []
+                local = remote = 0
+                for s, t in pairs:
+                    result, query_trips = engine.answer(s, t, with_path)
+                    results.append(result)
+                    trips.extend(query_trips)
+                    if assign[s] == assign[t]:
+                        local += 1
+                    else:
+                        remote += 1
+                conn.send((seq, "ok", results, local, remote, trips))
+            except Exception as exc:  # surface worker faults, keep serving
+                conn.send((seq, "error", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        del engine, flat
+        bundle.close()
+        conn.close()
+
+
+class ProcessShardedService:
+    """Serve the §5 scheme from ``num_shards`` worker *processes*.
+
+    Same API, same answers and same :class:`MessageLog` accounting as
+    the thread-backed :class:`~repro.service.sharded.ShardedService`,
+    but the shard workers run outside the GIL, so batches actually
+    execute in parallel.  Build from an in-memory index::
+
+        with ProcessShardedService(oracle.index, num_shards=4) as svc:
+            results = svc.query_batch(pairs)
+
+    or straight from a saved index without materialising the per-node
+    dicts (:meth:`from_saved`).
+
+    Args:
+        index: a built :class:`~repro.core.index.VicinityIndex`, or
+            ``None`` when ``flat`` is given.
+        num_shards: worker/shard count.
+        placement: ``"hash"`` or ``"range"`` node placement.
+        replicate_tables: model landmark tables as replicated on every
+            shard (no round trip for landmark-target hits).
+        start_method: multiprocessing start method; ``"spawn"``
+            (default) is safe everywhere, ``"fork"`` starts faster where
+            available.
+        flat: a prepared :class:`FlatIndex` (used by :meth:`from_saved`).
+    """
+
+    def __init__(
+        self,
+        index,
+        num_shards: int,
+        *,
+        placement: str = "hash",
+        replicate_tables: bool = False,
+        start_method: str = "spawn",
+        flat: Optional[FlatIndex] = None,
+    ) -> None:
+        if index is not None:
+            flat = FlatIndex.from_index(index)
+        elif flat is None:
+            raise QueryError("pass a built index or a prepared FlatIndex")
+        if num_shards < 1:
+            raise QueryError("num_shards must be at least 1")
+        self.num_shards = num_shards
+        self.placement = placement
+        self.replicate_tables = replicate_tables
+        self.n = flat.n
+        self.log = MessageLog()
+        self._log_lock = threading.Lock()
+        self._io_lock = threading.Lock()
+        self._store_paths = flat.store_paths
+        self._assign = shard_assignment(flat.n, num_shards, placement)
+        self._flat_meta = {
+            "n": flat.n,
+            "weighted": flat.weighted,
+            "store_paths": flat.store_paths,
+            "replicate_tables": replicate_tables,
+        }
+        # Kept for shard accounting; tiny next to the shared arrays.
+        self._member_counts = np.diff(flat.member_offsets)
+        self._boundary_counts = np.diff(flat.boundary_offsets)
+        self._table_landmarks = (
+            flat.landmark_ids.tolist() if flat.has_tables else []
+        )
+        self._closed = False
+        self._batch_seq = 0
+        self._bundle = SharedArrayBundle.create(
+            {**flat.arrays, "shard_assign": self._assign}
+        )
+        context = multiprocessing.get_context(start_method)
+        self._conns = []
+        self._procs = []
+        try:
+            for shard_id in range(num_shards):
+                parent_conn, child_conn = context.Pipe()
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, self._bundle.spec, self._flat_meta),
+                    name=f"repro-procshard-{shard_id}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+
+    @classmethod
+    def from_saved(cls, path, num_shards: int, **kwargs) -> "ProcessShardedService":
+        """Build straight from a saved index (``save_index`` output).
+
+        Loads only the flattened arrays — no per-node dict
+        materialisation — so startup is dominated by file I/O.
+        """
+        from repro.io.oracle_store import load_flat_arrays
+
+        arrays, meta = load_flat_arrays(path)
+        flat = FlatIndex.from_store_arrays(
+            arrays,
+            n=meta["n"],
+            weighted=meta["weighted"],
+            store_paths=meta["store_paths"],
+        )
+        return cls(None, num_shards, flat=flat, **kwargs)
+
+    # ------------------------------------------------------------------
+    # placement / accounting
+    # ------------------------------------------------------------------
+    def shard_of(self, u: int) -> int:
+        """Return the shard owning node ``u``."""
+        self._check_node(u)
+        return int(self._assign[u])
+
+    def shard_reports(self) -> list[ShardReport]:
+        """Per-shard memory accounting (matches the simulation's)."""
+        nodes = np.bincount(self._assign, minlength=self.num_shards)
+        vic_entries = np.bincount(
+            self._assign, weights=self._member_counts, minlength=self.num_shards
+        )
+        boundary_entries = np.bincount(
+            self._assign, weights=self._boundary_counts, minlength=self.num_shards
+        )
+        reports = [
+            ShardReport(
+                shard_id=k,
+                nodes=int(nodes[k]),
+                vicinity_entries=int(vic_entries[k]),
+                boundary_entries=int(boundary_entries[k]),
+            )
+            for k in range(self.num_shards)
+        ]
+        for landmark in self._table_landmarks:
+            if self.replicate_tables:
+                for report in reports:
+                    report.table_entries += self.n
+            else:
+                reports[int(self._assign[landmark])].table_entries += self.n
+        return reports
+
+    def balance_summary(self) -> dict[str, float]:
+        """Load-balance metrics over shard memory sizes."""
+        return balance_summary_from_reports(self.shard_reports())
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
+        """Answer one pair on its home shard's worker process."""
+        return self.query_batch([(source, target)], with_path=with_path)[0]
+
+    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        """Answer a batch, fanned out to the home-shard workers.
+
+        The batch is split by ``shard_of(source)``, shipped to each
+        involved worker in a single message, and reassembled in input
+        order.  Wire accounting lands in :attr:`log` exactly as the
+        thread backend records it.
+        """
+        if self._closed:
+            raise QueryError("service is closed")
+        pair_list = [(int(s), int(t)) for s, t in pairs]
+        if not pair_list:
+            return []
+        if with_path and not self._store_paths:
+            raise QueryError("index was built with store_paths=False")
+        flat_pairs = np.asarray(pair_list, dtype=np.int64)
+        out_of_range = (flat_pairs < 0) | (flat_pairs >= self.n)
+        if out_of_range.any():
+            raise NodeNotFoundError(int(flat_pairs[out_of_range][0]), self.n)
+
+        homes = self._assign[flat_pairs[:, 0]]
+        by_shard: dict[int, list[int]] = {}
+        for position, home in enumerate(homes.tolist()):
+            by_shard.setdefault(home, []).append(position)
+
+        results: list[Optional[QueryResult]] = [None] * len(pair_list)
+        local = remote = 0
+        trips: list[int] = []
+        errors: list[str] = []
+        with self._io_lock:
+            self._batch_seq += 1
+            seq = self._batch_seq
+            for shard_id, positions in by_shard.items():
+                sub = [pair_list[i] for i in positions]
+                self._conns[shard_id].send((seq, sub, with_path))
+            # Every involved worker owes exactly one reply for this seq;
+            # drain all of them even when one reports an error, so a
+            # failed batch never leaves replies queued for the next one.
+            for shard_id, positions in by_shard.items():
+                reply = self._receive(shard_id, seq)
+                if reply[1] == "error":
+                    errors.append(f"shard worker {shard_id} failed: {reply[2]}")
+                    continue
+                _, _, shard_results, shard_local, shard_remote, shard_trips = reply
+                for position, result in zip(positions, shard_results):
+                    results[position] = result
+                local += shard_local
+                remote += shard_remote
+                trips.extend(shard_trips)
+        if errors:
+            raise QueryError("; ".join(errors))
+        with self._log_lock:
+            self.log.local_queries += local
+            self.log.remote_queries += remote
+            for payload_bytes in trips:
+                self.log.record_round_trip(payload_bytes)
+        return results
+
+    def _receive(self, shard_id: int, seq: int):
+        """Read this batch's reply from one worker, skipping stale ones."""
+        while True:
+            try:
+                reply = self._conns[shard_id].recv()
+            except EOFError:
+                raise QueryError(f"shard worker {shard_id} died") from None
+            if reply[0] == seq:
+                return reply
+            # A reply from an aborted/foreign exchange: discard it.
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.n:
+            raise NodeNotFoundError(u, self.n)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and release the shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1)
+        for conn in self._conns:
+            conn.close()
+        self._bundle.close()
+
+    def __enter__(self) -> "ProcessShardedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -40,22 +40,35 @@ from repro.core.index import VicinityIndex
 from repro.core.oracle import QueryResult, VicinityOracle
 from repro.core.parallel import MessageLog
 from repro.exceptions import QueryError, ReproError
+from repro.service.backends import ShardBackend, create_shard_backend
 from repro.service.batch import BatchExecutor, BatchStats
 from repro.service.cache import DEFAULT_CAPACITY, ResultCache
-from repro.service.sharded import ShardedService
 from repro.service.telemetry import Telemetry, render_snapshot
 from repro.service.workload import in_batches, zipf_pairs
 
 
 @dataclass
 class ServiceApp:
-    """Everything a running query service consists of."""
+    """Everything a running query service consists of.
 
-    oracle: VicinityOracle
+    ``oracle`` is ``None`` only for a shard-only app assembled by
+    :meth:`from_saved` with the ``procpool`` backend, where the whole
+    point is never materialising the per-node dicts the single-machine
+    oracle needs.
+    """
+
+    oracle: Optional[VicinityOracle]
     executor: BatchExecutor
     telemetry: Telemetry
     cache: Optional[ResultCache] = None
-    sharded: Optional[ShardedService] = None
+    sharded: Optional[ShardBackend] = None
+
+    @property
+    def n(self) -> int:
+        """Node count of the served index."""
+        if self.oracle is not None:
+            return self.oracle.graph.n
+        return self.sharded.n
 
     @classmethod
     def from_index(
@@ -64,6 +77,7 @@ class ServiceApp:
         *,
         cache_size: Optional[int] = DEFAULT_CAPACITY,
         shards: int = 0,
+        backend: str = "threads",
         replicate_tables: bool = False,
     ) -> "ServiceApp":
         """Assemble the serving stack over a built index.
@@ -71,23 +85,76 @@ class ServiceApp:
         Args:
             index: the loaded/built :class:`VicinityIndex`.
             cache_size: LRU capacity; ``None`` or ``0`` disables caching.
-            shards: when positive, route queries through an in-process
-                :class:`ShardedService` with that many shard workers
-                (fallback is then unavailable, as in §5).
+            shards: when positive, route queries through a sharded
+                executor with that many shard workers (fallback is then
+                unavailable, as in §5).
+            backend: which sharded executor — ``"threads"`` (worker
+                threads, instant startup) or ``"procpool"`` (worker
+                processes over a shared-memory index, true parallelism).
             replicate_tables: sharded-mode landmark-table replication.
         """
-        oracle = VicinityOracle(index)
+        sharded = None
+        if shards > 0:
+            sharded = create_shard_backend(
+                index, shards, backend=backend, replicate_tables=replicate_tables
+            )
+        return cls._assemble(
+            oracle=VicinityOracle(index), sharded=sharded, cache_size=cache_size
+        )
+
+    @classmethod
+    def from_saved(
+        cls,
+        path,
+        *,
+        cache_size: Optional[int] = DEFAULT_CAPACITY,
+        shards: int = 0,
+        backend: str = "threads",
+        replicate_tables: bool = False,
+    ) -> "ServiceApp":
+        """Assemble the serving stack from a saved index file.
+
+        For a ``procpool`` sharded app this skips
+        :func:`~repro.io.oracle_store.load_index`'s per-node dict
+        materialisation entirely — the workers probe the flattened
+        arrays, so only :func:`~repro.io.oracle_store.load_flat_arrays`
+        runs and the app carries no single-machine oracle.  Every other
+        configuration loads the full index and delegates to
+        :meth:`from_index`.
+        """
+        if shards > 0 and backend == "procpool":
+            from repro.service.procpool import ProcessShardedService
+
+            sharded = ProcessShardedService.from_saved(
+                path, shards, replicate_tables=replicate_tables
+            )
+            return cls._assemble(oracle=None, sharded=sharded, cache_size=cache_size)
+        from repro.io.oracle_store import load_index
+
+        return cls.from_index(
+            load_index(path),
+            cache_size=cache_size,
+            shards=shards,
+            backend=backend,
+            replicate_tables=replicate_tables,
+        )
+
+    @classmethod
+    def _assemble(
+        cls,
+        *,
+        oracle: Optional[VicinityOracle],
+        sharded: Optional[ShardBackend],
+        cache_size: Optional[int],
+    ) -> "ServiceApp":
+        """The one place the serving stack is wired together."""
         telemetry = Telemetry()
         cache = ResultCache(cache_size) if cache_size else None
-        sharded = None
-        backend = oracle
-        if shards > 0:
-            sharded = ShardedService(
-                index, shards, replicate_tables=replicate_tables
-            )
-            backend = sharded
         executor = BatchExecutor(
-            backend, cache=cache, telemetry=telemetry, symmetry=True
+            sharded if sharded is not None else oracle,
+            cache=cache,
+            telemetry=telemetry,
+            symmetry=True,
         )
         return cls(
             oracle=oracle,
@@ -120,7 +187,7 @@ class ServiceApp:
             self.sharded.log = MessageLog()
 
     def close(self) -> None:
-        """Release the sharded backend's threads, if any."""
+        """Release the sharded backend's workers, if any."""
         if self.sharded is not None:
             self.sharded.close()
 
@@ -227,8 +294,7 @@ def run_bench(
     """
     if queries < 1:
         raise QueryError("queries must be at least 1")
-    n = app.oracle.graph.n
-    pairs = zipf_pairs(n, queries, exponent=exponent, pool=pool, seed=seed)
+    pairs = zipf_pairs(app.n, queries, exponent=exponent, pool=pool, seed=seed)
 
     started = time.perf_counter()
     answered = 0

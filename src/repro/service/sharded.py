@@ -39,6 +39,7 @@ from repro.core.parallel import (
     PartitionedOracle,
     ShardReport,
 )
+from repro.core.paths import walk_parent_array, walk_predecessors
 from repro.exceptions import QueryError
 
 
@@ -56,13 +57,25 @@ class _ShardState:
         return self.executor.submit(fn, *args).result()
 
     # ---- remote handlers: local reads only, never cross-shard ----
-    def table_distance(self, landmark: int, node: int):
+    def table_distance(self, landmark: int, node: int, want_chain: bool = False):
+        """``(distance, chain)`` from the landmark's table.
+
+        ``chain`` is the parent walk ``[landmark .. node]`` when
+        requested and reachable (the wire payload a path query ships),
+        else ``None``.
+        """
         table = self.tables.get(landmark)
         if table is None:
             raise QueryError(
                 f"shard {self.shard_id} does not hold the table for landmark {landmark}"
             )
-        return table.distance_to(node)
+        d = table.distance_to(node)
+        chain = None
+        if want_chain and d is not None:
+            if table.parent is None:
+                raise QueryError("index was built with store_paths=False")
+            chain = walk_parent_array(table.parent, node, landmark)
+        return d, chain
 
     def vicinity_probe(self, node: int, other: int):
         """Return ``(is_member, distance)`` of ``other`` in Gamma(node)."""
@@ -71,31 +84,45 @@ class _ShardState:
             return True, vic.dist[other]
         return False, None
 
+    def vicinity_chain(self, node: int, member: int):
+        """The stored predecessor walk ``[node .. member]``."""
+        return walk_predecessors(self.vicinities[node].pred, member, node)
+
     def boundary_payload(self, node: int):
         """The wire payload for an intersection: boundary ids + distances."""
         vic = self.vicinities[node]
         return [(w, vic.dist[w]) for w in vic.boundary]
 
-    def resolve_remote(self, source: int, payload, target: int):
+    def resolve_remote(self, source: int, payload, target: int, want_chain: bool = False):
         """Conditions (4) + intersection in one exchange, as §5 prescribes.
 
         The coordinator ships ``source``'s boundary once; this shard
         first probes ``source in Gamma(target)`` and only on a miss
         scans the shipped payload against the local vicinity — so a
-        query never needs a second round trip.
+        query never needs a second round trip.  With ``want_chain`` the
+        response additionally carries this side's predecessor walk (to
+        ``source`` on a member hit, to the witness on an intersection),
+        which is what lets the coordinator splice a full path without a
+        second exchange.
 
         Returns:
-            ``("member", distance)`` when condition (4) resolves, else
-            ``("intersection", best, witness, probes)``.
+            ``("member", distance, chain)`` when condition (4) resolves,
+            else ``("intersection", best, witness, probes, chain)``.
         """
         vic = self.vicinities[target]
         if source in vic.members:
-            return ("member", vic.dist[source])
+            chain = (
+                walk_predecessors(vic.pred, source, target) if want_chain else None
+            )
+            return ("member", vic.dist[source], chain)
         scan_dist = dict(payload)
         best, witness, probes = scan_and_probe(
             [w for w, _ in payload], scan_dist, vic.members, vic.dist
         )
-        return ("intersection", best, witness, probes)
+        chain = None
+        if want_chain and witness is not None:
+            chain = walk_predecessors(vic.pred, witness, target)
+        return ("intersection", best, witness, probes, chain)
 
 
 class ShardedService:
@@ -138,6 +165,7 @@ class ShardedService:
             placement=placement, replicate_tables=replicate_tables,
         )
         self.index = index
+        self.n = index.n
         self.num_shards = num_shards
         self.replicate_tables = replicate_tables
         self.log = MessageLog()
@@ -186,13 +214,22 @@ class ShardedService:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
-    def query(self, source: int, target: int) -> QueryResult:
-        """Answer one pair, executing each step on its owning shard."""
+    def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
+        """Answer one pair, executing each step on its owning shard.
+
+        With ``with_path`` every cross-shard response additionally
+        carries the answering side's predecessor chain (the witness-side
+        walk on an intersection), so the coordinator can splice a full
+        path without extra round trips — only the response payload
+        grows, and the wire accounting reflects that.
+        """
         if self._closed:
             raise QueryError("service is closed")
         index = self.index
         index.graph.check_node(source)
         index.graph.check_node(target)
+        if with_path and not index.config.store_paths:
+            raise QueryError("index was built with store_paths=False")
         shard_s = self._shards[self.shard_of(source)]
         shard_t = self._shards[self.shard_of(target)]
         same_shard = shard_s.shard_id == shard_t.shard_id
@@ -204,56 +241,77 @@ class ShardedService:
         probes = 0
 
         if source == target:
-            return QueryResult(source, target, 0, None, "identical", None, 0)
+            path = [source] if with_path else None
+            return QueryResult(source, target, 0, path, "identical", None, 0)
 
         flags = index.landmarks.is_landmark
         # Condition (1): the source's table lives on the coordinator.
         probes += 1
         if flags[source] and source in self._table_landmarks:
             probes += 1
-            d = shard_s.call(shard_s.table_distance, source, target)
+            d, chain = shard_s.call(shard_s.table_distance, source, target, with_path)
             method = "landmark-source" if d is not None else "disconnected"
-            return QueryResult(source, target, d, None, method, None, probes)
+            return QueryResult(source, target, d, chain, method, None, probes)
         # Condition (2): the target's table needs one round trip unless
         # replicated (then the coordinator's local copy answers).
         probes += 1
         if flags[target] and target in self._table_landmarks:
             probes += 1
             owner = shard_s if self.replicate_tables else shard_t
+            d, chain = owner.call(owner.table_distance, target, source, with_path)
+            path = list(reversed(chain)) if chain else None
             if not same_shard and not self.replicate_tables:
-                self._record_round_trip(BYTES_PER_WIRE_ENTRY)
-            d = owner.call(owner.table_distance, target, source)
+                entries = len(chain) if chain else 1
+                self._record_round_trip(entries * BYTES_PER_WIRE_ENTRY)
             method = "landmark-target" if d is not None else "disconnected"
-            return QueryResult(source, target, d, None, method, None, probes)
+            return QueryResult(source, target, d, path, method, None, probes)
 
         # Condition (3): Gamma(s) is coordinator-local.
         probes += 1
         member, d = shard_s.call(shard_s.vicinity_probe, source, target)
         if member:
+            path = (
+                shard_s.call(shard_s.vicinity_chain, source, target)
+                if with_path
+                else None
+            )
             return QueryResult(
-                source, target, d, None, "target-in-source-vicinity", None, probes
+                source, target, d, path, "target-in-source-vicinity", None, probes
             )
         # Conditions (4) + intersection: one round trip to shard(t),
         # shipping s's boundary; shard(t) probes s in Gamma(t) first and
         # intersects on a miss.  The member-hit response is modelled at
-        # one wire entry, exactly as in the simulation's accounting.
+        # one wire entry (or the shipped chain for a path query),
+        # exactly as in the simulation's accounting.
         probes += 1
         payload = shard_s.call(shard_s.boundary_payload, source)
-        outcome = shard_t.call(shard_t.resolve_remote, source, payload, target)
+        outcome = shard_t.call(
+            shard_t.resolve_remote, source, payload, target, with_path
+        )
         if outcome[0] == "member":
+            _, d, chain = outcome
             if not same_shard:
-                self._record_round_trip(BYTES_PER_WIRE_ENTRY)
+                entries = len(chain) if chain else 1
+                self._record_round_trip(entries * BYTES_PER_WIRE_ENTRY)
+            path = list(reversed(chain)) if chain else None
             return QueryResult(
-                source, target, outcome[1], None,
-                "source-in-target-vicinity", None, probes,
+                source, target, d, path, "source-in-target-vicinity", None, probes
             )
+        _, best, witness, kernel_probes, chain = outcome
         if not same_shard:
-            self._record_round_trip(len(payload) * BYTES_PER_WIRE_ENTRY)
-        _, best, witness, kernel_probes = outcome
+            entries = len(payload) + (len(chain) if chain else 0)
+            self._record_round_trip(entries * BYTES_PER_WIRE_ENTRY)
         probes += kernel_probes
         if best is not None:
+            path = None
+            if with_path:
+                # Splice: the coordinator-local half [source .. witness]
+                # plus the shipped witness-side chain [target .. witness]
+                # reversed.
+                first = shard_s.call(shard_s.vicinity_chain, source, witness)
+                path = first + list(reversed(chain))[1:]
             return QueryResult(
-                source, target, best, None, "intersection", witness, probes
+                source, target, best, path, "intersection", witness, probes
             )
         return QueryResult(source, target, None, None, "miss", None, probes)
 
@@ -264,15 +322,14 @@ class ShardedService:
         of which touches shard state only through the owning shard's
         worker; results come back in input order.
         """
-        if with_path:
-            raise QueryError(
-                "sharded serving cannot reconstruct paths: predecessor "
-                "walks would need every shard's vicinities"
-            )
         pair_list = [(int(s), int(t)) for s, t in pairs]
         if not pair_list:
             return []
-        return list(self._dispatch.map(lambda p: self.query(*p), pair_list))
+        return list(
+            self._dispatch.map(
+                lambda p: self.query(*p, with_path=with_path), pair_list
+            )
+        )
 
     def _record_round_trip(self, payload_bytes: int) -> None:
         with self._log_lock:

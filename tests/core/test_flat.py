@@ -1,0 +1,179 @@
+"""FlatIndex probe helpers must replicate the dict-backed code paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.flat import FlatIndex, flatten_index
+from repro.core.intersect import scan_and_probe
+from repro.core.oracle import VicinityOracle
+from repro.core.parallel import PartitionedOracle, shard_assignment
+from repro.core.paths import walk_parent_array, walk_predecessors
+from repro.exceptions import QueryError
+from repro.io.shm import SharedArrayBundle
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module", params=[False, True], ids=["unweighted", "weighted"])
+def built(request):
+    graph = random_connected_graph(180, 520, seed=13, weighted=request.param)
+    oracle = VicinityOracle.build(
+        graph, config=OracleConfig(alpha=4.0, seed=5, fallback="none")
+    )
+    return oracle.index
+
+
+@pytest.fixture(scope="module")
+def flat(built):
+    return FlatIndex.from_index(built)
+
+
+class TestProbes:
+    def test_vicinity_probe_matches_dicts(self, built, flat):
+        rng = np.random.default_rng(8)
+        for u in rng.integers(0, built.n, 40).tolist():
+            vic = built.vicinities[u]
+            others = set(rng.integers(0, built.n, 10).tolist()) | set(
+                list(vic.members)[:5]
+            )
+            for other in others:
+                member, d = flat.vicinity_probe(u, other)
+                assert member == (other in vic.members)
+                if member:
+                    assert d == vic.dist[other]
+                    assert type(d) in (int, float)
+
+    def test_boundary_payload_matches_dicts(self, built, flat):
+        for u in range(built.n):
+            vic = built.vicinities[u]
+            nodes, dists = flat.boundary_payload(u)
+            assert nodes.tolist() == list(vic.boundary)
+            assert dists.tolist() == [vic.dist[w] for w in vic.boundary]
+
+    def test_intersect_matches_scan_and_probe(self, built, flat):
+        rng = np.random.default_rng(3)
+        checked = 0
+        for _ in range(400):
+            s, t = (int(x) for x in rng.integers(0, built.n, 2))
+            vic_s, vic_t = built.vicinities[s], built.vicinities[t]
+            expected = scan_and_probe(
+                vic_s.boundary, vic_s.dist, vic_t.members, vic_t.dist
+            )
+            nodes, dists = flat.boundary_payload(s)
+            got = flat.intersect_payload(nodes, dists, t)
+            assert got == expected, (s, t)
+            checked += expected[0] is not None
+        assert checked > 0  # the workload actually exercised hits
+
+    def test_table_distance_matches_tables(self, built, flat):
+        rng = np.random.default_rng(5)
+        for landmark, table in built.tables.items():
+            assert flat.has_table(landmark)
+            for v in rng.integers(0, built.n, 25).tolist():
+                assert flat.table_distance(landmark, v) == table.distance_to(v)
+
+    def test_landmark_flags_match(self, built, flat):
+        for u in range(built.n):
+            assert flat.is_landmark(u) == bool(built.landmarks.is_landmark[u])
+
+
+class TestChains:
+    def test_pred_chain_matches_walk_predecessors(self, built, flat):
+        rng = np.random.default_rng(11)
+        walked = 0
+        for u in rng.integers(0, built.n, 60).tolist():
+            vic = built.vicinities[u]
+            for member in list(vic.members)[:4]:
+                expected = walk_predecessors(vic.pred, member, u)
+                assert flat.pred_chain(u, member, u) == expected
+                walked += 1
+        assert walked > 0
+
+    def test_parent_chain_matches_walk_parent_array(self, built, flat):
+        rng = np.random.default_rng(12)
+        for landmark, table in built.tables.items():
+            for v in rng.integers(0, built.n, 10).tolist():
+                if table.distance_to(v) is None:
+                    continue
+                expected = walk_parent_array(table.parent, v, landmark)
+                assert flat.parent_chain(landmark, v) == expected
+
+    def test_broken_chain_raises(self, built, flat):
+        u = next(
+            w for w in range(built.n) if built.vicinities[w].size > 0
+        )
+        outsider = next(
+            w for w in range(built.n) if w not in built.vicinities[u].members and w != u
+        )
+        with pytest.raises(QueryError):
+            flat.pred_chain(u, outsider, u)
+
+
+class TestConstruction:
+    def test_from_store_arrays_equals_from_index(self, built, flat):
+        other = FlatIndex.from_store_arrays(
+            flatten_index(built),
+            n=built.n,
+            weighted=built.graph.is_weighted,
+            store_paths=built.config.store_paths,
+        )
+        for name, array in flat.arrays.items():
+            assert np.array_equal(array, other.arrays[name]), name
+
+    def test_missing_array_rejected(self, flat):
+        arrays = dict(flat.arrays)
+        arrays.pop("vic_nodes")
+        with pytest.raises(QueryError, match="vic_nodes"):
+            FlatIndex(arrays, n=flat.n, weighted=flat.weighted, store_paths=True)
+
+
+class TestShardAssignment:
+    @pytest.mark.parametrize("placement", ["hash", "range"])
+    @pytest.mark.parametrize("num_shards", [1, 3, 8])
+    def test_matches_shard_of(self, built, placement, num_shards):
+        router = PartitionedOracle(built, num_shards, placement=placement)
+        assign = shard_assignment(built.n, num_shards, placement)
+        assert [router.shard_of(u) for u in range(built.n)] == assign.tolist()
+
+
+class TestSharedArrayBundle:
+    def test_round_trip_through_shared_memory(self, flat):
+        owner = SharedArrayBundle.create(flat.arrays)
+        try:
+            attached = SharedArrayBundle.attach(owner.spec)
+            try:
+                for name, array in flat.arrays.items():
+                    assert np.array_equal(attached.arrays[name], array), name
+                    assert not attached.arrays[name].flags.writeable
+            finally:
+                attached.close()
+        finally:
+            owner.close()
+
+    def test_attached_views_answer_probes(self, built, flat):
+        owner = SharedArrayBundle.create(flat.arrays)
+        try:
+            attached = SharedArrayBundle.attach(owner.spec)
+            view = FlatIndex(
+                attached.arrays,
+                n=flat.n,
+                weighted=flat.weighted,
+                store_paths=flat.store_paths,
+            )
+            u = next(w for w in range(built.n) if built.vicinities[w].size > 0)
+            member = next(iter(built.vicinities[u].members))
+            assert view.vicinity_probe(u, member) == flat.vicinity_probe(u, member)
+            attached.close()
+        finally:
+            owner.close()
+
+    def test_close_unlinks(self, flat):
+        owner = SharedArrayBundle.create(flat.arrays)
+        spec = owner.spec
+        owner.close()
+        owner.close()  # idempotent
+        from repro.exceptions import SerializationError
+
+        with pytest.raises(SerializationError):
+            SharedArrayBundle.attach(spec)

@@ -108,6 +108,79 @@ class TestEviction:
         assert cache.insertions == 1
 
 
+class TestPathPreservation:
+    """A path-less re-answer must never downgrade a path-carrying entry.
+
+    Regression: ``put`` used to overwrite unconditionally, so one
+    distance-only query turned every later ``need_path=True`` lookup
+    for the pair into a permanent miss.
+    """
+
+    def test_pathless_put_keeps_stored_path(self):
+        cache = ResultCache(8)
+        cache.put(_result(2, 7, 2, path=[2, 4, 7]))
+        assert cache.put(_result(2, 7, 2))  # distance-only re-answer
+        hit = cache.get(2, 7, need_path=True)
+        assert hit is not None and hit.path == [2, 4, 7]
+        assert cache.path_preserved == 1
+
+    def test_pathless_put_refreshes_lru_position(self):
+        cache = ResultCache(2)
+        cache.put(_result(1, 2, 3, path=[1, 9, 2]))
+        cache.put(_result(3, 4, 1))
+        cache.put(_result(1, 2, 3))  # preserved, but must refresh LRU
+        cache.put(_result(5, 6, 1))  # evicts (3, 4), not (1, 2)
+        assert cache.get(1, 2, need_path=True).path == [1, 9, 2]
+        assert cache.get(3, 4) is None
+
+    def test_mirrored_pathless_put_keeps_stored_path(self):
+        cache = ResultCache(8)
+        cache.put(_result(2, 7, 2, path=[2, 4, 7]))
+        assert cache.put(_result(7, 2, 2))  # other orientation, no path
+        assert cache.get(2, 7, need_path=True).path == [2, 4, 7]
+
+    def test_changed_distance_replaces_entry(self):
+        # Fresher data (a graph change) must win even without a path.
+        cache = ResultCache(8)
+        cache.put(_result(2, 7, 4, path=[2, 3, 5, 6, 7]))
+        cache.put(_result(2, 7, 2))
+        assert cache.get(2, 7).distance == 2
+        assert cache.get(2, 7, need_path=True) is None
+
+    def test_path_put_upgrades_pathless_entry(self):
+        cache = ResultCache(8)
+        cache.put(_result(2, 7, 2))
+        cache.put(_result(2, 7, 2, path=[2, 4, 7]))
+        assert cache.get(2, 7, need_path=True).path == [2, 4, 7]
+
+
+class TestInvalidation:
+    def test_invalidate_single_pair(self):
+        cache = ResultCache(8)
+        cache.put(_result(1, 2, 3))
+        assert cache.invalidate(2, 1)  # either orientation
+        assert cache.get(1, 2) is None
+        assert not cache.invalidate(1, 2)
+        assert cache.invalidated == 1
+
+    def test_invalidate_where_is_selective(self):
+        cache = ResultCache(8)
+        cache.put(_result(1, 2, 3))
+        cache.put(_result(3, 4, 9))
+        evicted = cache.invalidate_where(lambda entry: entry.distance > 5)
+        assert evicted == 1
+        assert cache.get(1, 2) is not None
+        assert cache.get(3, 4) is None
+        assert cache.snapshot()["invalidated"] == 1
+
+    def test_clear_resets_invalidation_counters(self):
+        cache = ResultCache(8)
+        cache.put(_result(1, 2, 3))
+        cache.invalidate(1, 2)
+        cache.clear()
+        assert cache.invalidated == 0 and cache.path_preserved == 0
+
+
 class TestSnapshot:
     def test_snapshot_fields(self):
         cache = ResultCache(4)

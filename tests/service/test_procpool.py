@@ -1,0 +1,228 @@
+"""Thread/process shard-backend parity: same index, identical serving.
+
+The acceptance bar for the process-pool backend is *byte-identical*
+behaviour: the same saved index and query set must produce equal
+``QueryResult``s (distance, method, witness, probes, path) and equal
+``MessageLog`` round-trip/byte totals on both backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.exceptions import NodeNotFoundError, QueryError
+from repro.io.oracle_store import save_index
+from repro.service import (
+    BatchExecutor,
+    ProcessShardedService,
+    ResultCache,
+    ShardedService,
+    create_shard_backend,
+)
+
+from tests.conftest import random_connected_graph
+
+
+def log_totals(service):
+    log = service.log
+    return (log.messages, log.bytes, log.local_queries, log.remote_queries)
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = random_connected_graph(260, 760, seed=51)
+    oracle = VicinityOracle.build(
+        graph, config=OracleConfig(alpha=4.0, seed=9, fallback="none")
+    )
+    return oracle.index
+
+
+@pytest.fixture(scope="module")
+def saved_index(index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("procpool") / "oracle.npz"
+    save_index(index, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def pairs(index):
+    rng = np.random.default_rng(4)
+    return [tuple(int(x) for x in rng.integers(0, index.n, 2)) for _ in range(300)]
+
+
+@pytest.fixture(scope="module")
+def procpool(index):
+    with ProcessShardedService(index, 4) as service:
+        yield service
+
+
+class TestParity:
+    def test_results_and_log_identical_to_thread_backend(self, index, pairs, procpool):
+        with ShardedService(index, 4) as threads:
+            expected = threads.query_batch(pairs)
+            expected_log = log_totals(threads)
+        got = procpool.query_batch(pairs)
+        assert got == expected
+        assert log_totals(procpool) == expected_log
+
+    def test_with_path_parity(self, index, pairs):
+        with ShardedService(index, 4) as threads:
+            expected = threads.query_batch(pairs, with_path=True)
+            expected_log = log_totals(threads)
+        with ProcessShardedService(index, 4) as procs:
+            got = procs.query_batch(pairs, with_path=True)
+            got_log = log_totals(procs)
+        assert got == expected
+        assert got_log == expected_log
+
+    def test_from_saved_matches_in_memory(self, saved_index, pairs, procpool):
+        expected = procpool.query_batch(pairs)
+        with ProcessShardedService.from_saved(saved_index, 4) as service:
+            assert service.query_batch(pairs) == expected
+
+    def test_single_shard_parity(self, index, pairs):
+        sample = pairs[:60]
+        with ShardedService(index, 1) as threads:
+            expected = threads.query_batch(sample)
+            expected_log = log_totals(threads)
+        with ProcessShardedService(index, 1) as procs:
+            assert procs.query_batch(sample) == expected
+            assert log_totals(procs) == expected_log
+
+    def test_replicated_tables_parity(self, index, pairs):
+        sample = pairs[:60]
+        with ShardedService(index, 3, replicate_tables=True) as threads:
+            expected = threads.query_batch(sample)
+            expected_log = log_totals(threads)
+        with ProcessShardedService(index, 3, replicate_tables=True) as procs:
+            assert procs.query_batch(sample) == expected
+            assert log_totals(procs) == expected_log
+
+    def test_matches_single_machine_distances(self, index, pairs, procpool):
+        reference = VicinityOracle(index)
+        for (s, t), got in zip(pairs, procpool.query_batch(pairs)):
+            expected = reference.query(s, t)
+            if expected.method == "fallback":
+                assert got.method == "miss"
+            else:
+                assert got.distance == expected.distance
+
+
+class TestAccounting:
+    def test_shard_of_and_reports_match_thread_backend(self, index, procpool):
+        with ShardedService(index, 4) as threads:
+            assert [procpool.shard_of(u) for u in range(index.n)] == [
+                threads.shard_of(u) for u in range(index.n)
+            ]
+            assert procpool.shard_reports() == threads.shard_reports()
+            assert procpool.balance_summary() == threads.balance_summary()
+
+    def test_replicated_reports(self, index):
+        with ProcessShardedService(index, 2, replicate_tables=True) as service:
+            for report in service.shard_reports():
+                assert report.table_entries == len(index.tables) * index.n
+
+
+class TestEdgeCases:
+    def test_empty_batch(self, procpool):
+        assert procpool.query_batch([]) == []
+
+    def test_single_query_routes_through_worker(self, procpool, index, pairs):
+        reference = VicinityOracle(index)
+        s, t = pairs[0]
+        got = procpool.query(s, t)
+        expected = reference.query(s, t)
+        if expected.method != "fallback":
+            assert got.distance == expected.distance
+
+    def test_unknown_node_rejected(self, procpool, index):
+        with pytest.raises(NodeNotFoundError):
+            procpool.query_batch([(0, index.n)])
+
+    def test_store_paths_false_raises(self):
+        graph = random_connected_graph(120, 340, seed=3)
+        oracle = VicinityOracle.build(
+            graph,
+            config=OracleConfig(alpha=4.0, seed=9, fallback="none", store_paths=False),
+        )
+        with ProcessShardedService(oracle.index, 2) as service:
+            with pytest.raises(QueryError, match="store_paths"):
+                service.query_batch([(0, 1)], with_path=True)
+
+    def test_query_after_close_raises(self, index):
+        service = ProcessShardedService(index, 2)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(QueryError):
+            service.query(0, 1)
+
+    def test_requires_index_or_flat(self):
+        with pytest.raises(QueryError):
+            ProcessShardedService(None, 2)
+
+    def test_stale_replies_do_not_misalign_later_batches(self, index, pairs):
+        """Regression: a worker error reply must not leave queued replies
+        that a later batch would mistake for its own answers."""
+        sample = pairs[:40]
+        with ProcessShardedService(index, 2) as service:
+            expected = service.query_batch(sample)
+            # Inject a malformed exchange: the worker answers it with an
+            # error reply tagged with a foreign sequence number.
+            service._conns[0].send((-1, [(0, "boom")], False))
+            assert service.query_batch(sample) == expected
+            assert service.query_batch(sample, with_path=True) == service.query_batch(
+                sample, with_path=True
+            )
+
+
+class TestComposition:
+    def test_factory_builds_both_backends(self, index):
+        thread_backend = create_shard_backend(index, 2, backend="threads")
+        thread_backend.close()
+        proc_backend = create_shard_backend(index, 2, backend="procpool")
+        proc_backend.close()
+        with pytest.raises(QueryError, match="unknown shard backend"):
+            create_shard_backend(index, 2, backend="gpu")
+
+    def test_composes_with_batch_executor(self, index, pairs, procpool):
+        reference = VicinityOracle(index)
+        executor = BatchExecutor(procpool, cache=ResultCache(512))
+        results = executor.run(pairs + pairs)  # heavy repetition
+        for (s, t), got in zip(pairs, results):
+            expected = reference.query(s, t)
+            if expected.method != "fallback":
+                assert got.distance == expected.distance
+
+    def test_service_app_from_saved_is_dict_free(self, saved_index, index, pairs):
+        """A procpool ServiceApp from a saved index carries no oracle."""
+        from repro.service import ServiceApp
+        from repro.service.server import handle_request
+
+        app = ServiceApp.from_saved(saved_index, shards=2, backend="procpool")
+        try:
+            assert app.oracle is None
+            assert app.n == index.n
+            reference = VicinityOracle(index)
+            s, t = pairs[0]
+            response, keep = handle_request(app, {"s": s, "t": t})
+            assert keep
+            expected = reference.query(s, t)
+            if expected.method != "fallback":
+                assert response["distance"] == expected.distance
+            snapshot, _ = handle_request(app, {"cmd": "stats"})
+            assert snapshot["shards"]["local_queries"] + snapshot["shards"][
+                "remote_queries"
+            ] == 1
+        finally:
+            app.close()
+
+    def test_service_app_from_saved_threads_keeps_oracle(self, saved_index):
+        from repro.service import ServiceApp
+
+        app = ServiceApp.from_saved(saved_index, shards=2, backend="threads")
+        try:
+            assert app.oracle is not None
+            assert app.sharded is not None
+        finally:
+            app.close()

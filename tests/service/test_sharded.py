@@ -105,12 +105,64 @@ class TestTraffic:
             assert log.local_queries + log.remote_queries == len(pairs)
 
 
-class TestLifecycle:
-    def test_paths_unsupported(self, index):
-        with ShardedService(index, 2) as service:
-            with pytest.raises(QueryError):
+class TestPaths:
+    """Sharded ``with_path``: the witness-side chain ships in-response."""
+
+    def test_paths_match_single_machine_exactly(self, pairs):
+        """Under the paper's boundary-source kernel the sharded scheme
+        scans the same boundary in the same order, so distances,
+        witnesses, probes *and spliced paths* must all be identical."""
+        graph = random_connected_graph(260, 760, seed=51)
+        oracle = VicinityOracle.build(
+            graph,
+            config=OracleConfig(
+                alpha=4.0, seed=9, fallback="none", kernel="boundary-source"
+            ),
+        )
+        reference = VicinityOracle(oracle.index)
+        with ShardedService(oracle.index, 4) as service:
+            got = service.query_batch(pairs, with_path=True)
+        for (s, t), result in zip(pairs, got):
+            expected = reference.query(s, t, with_path=True)
+            assert result == expected, (s, t)
+
+    def test_paths_are_valid_walks_under_default_kernel(self, index, pairs):
+        """The default kernel may pick a different witness, but every
+        spliced path must still be a real shortest walk."""
+        graph = index.graph
+        with ShardedService(index, 4) as service:
+            for (s, t), result in zip(pairs, service.query_batch(pairs, with_path=True)):
+                if result.distance is None:
+                    assert result.path is None
+                    continue
+                path = result.path
+                assert path[0] == s and path[-1] == t
+                assert len(path) - 1 == result.distance
+                assert all(graph.has_edge(a, b) for a, b in zip(path, path[1:]))
+
+    def test_with_path_logs_chain_bytes(self, index, pairs):
+        """A path query ships strictly more bytes, never more messages."""
+        with ShardedService(index, 4) as plain:
+            plain.query_batch(pairs)
+        with ShardedService(index, 4) as pathful:
+            pathful.query_batch(pairs, with_path=True)
+        assert pathful.log.messages == plain.log.messages
+        assert pathful.log.bytes >= plain.log.bytes
+
+    def test_store_paths_false_raises(self):
+        graph = random_connected_graph(120, 340, seed=3)
+        oracle = VicinityOracle.build(
+            graph,
+            config=OracleConfig(
+                alpha=4.0, seed=9, fallback="none", store_paths=False
+            ),
+        )
+        with ShardedService(oracle.index, 2) as service:
+            with pytest.raises(QueryError, match="store_paths"):
                 service.query_batch([(0, 1)], with_path=True)
 
+
+class TestLifecycle:
     def test_query_after_close_raises(self, index):
         service = ShardedService(index, 2)
         service.close()

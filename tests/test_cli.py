@@ -85,6 +85,16 @@ class TestServe:
                      "--queries", "300", "--batch-size", "64", "--seed", "5"]) == 0
         assert "shard traffic" in capsys.readouterr().out
 
+    def test_bench_procpool_backend(self, oracle_file, capsys):
+        assert main(["serve", str(oracle_file), "--bench", "--shards", "2",
+                     "--backend", "procpool",
+                     "--queries", "300", "--batch-size", "64", "--seed", "5"]) == 0
+        assert "shard traffic" in capsys.readouterr().out
+
+    def test_procpool_without_shards_is_rejected(self, oracle_file, capsys):
+        assert main(["serve", str(oracle_file), "--backend", "procpool"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
     def test_stdin_request_loop(self, oracle_file, capsys, monkeypatch):
         requests = "\n".join([
             json.dumps({"s": 0, "t": 5}),
