@@ -83,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sharded mode: copy landmark tables onto every shard",
     )
     serve.add_argument(
+        "--worker-cache", type=int, default=0,
+        help="procpool backend: per-worker result-cache capacity "
+        "(0 disables; repeated expensive pairs are then served from "
+        "worker memory, skipping the kernel and the modelled round trip)",
+    )
+    serve.add_argument(
         "--bench", action="store_true",
         help="self-drive a Zipf workload instead of reading stdin",
     )
@@ -179,14 +185,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    # from_saved skips per-node dict materialisation entirely on the
-    # procpool backend (the workers probe the flattened arrays).
+    # Invalid --worker-cache combinations are rejected by ServiceApp
+    # itself (one copy of the rule); the ReproError handler in main()
+    # turns that into a clean error line.
+    # from_saved skips per-node dict materialisation entirely in
+    # sharded mode (the workers probe the flattened arrays on both
+    # backends).
     app = ServiceApp.from_saved(
         args.oracle,
         cache_size=args.cache_size,
         shards=args.shards,
         backend=args.backend,
         replicate_tables=args.replicate_tables,
+        worker_cache_size=args.worker_cache,
     )
     try:
         if args.bench:

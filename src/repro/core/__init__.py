@@ -36,6 +36,8 @@ from repro.core.stats import IndexStats
 from repro.core.directed import DirectedQueryResult, DirectedVicinityOracle
 from repro.core.parallel import PartitionedOracle, ShardReport
 from repro.core.dynamic import DynamicVicinityOracle
+from repro.core.flat import FlatIndex, flatten_index
+from repro.core.engine import FlatQueryEngine, QueryEngine, ShardQueryEngine
 
 __all__ = [
     "OracleConfig",
@@ -59,4 +61,9 @@ __all__ = [
     "PartitionedOracle",
     "ShardReport",
     "DynamicVicinityOracle",
+    "FlatIndex",
+    "flatten_index",
+    "FlatQueryEngine",
+    "QueryEngine",
+    "ShardQueryEngine",
 ]

@@ -33,9 +33,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.intersect import scan_and_probe
 from repro.core.oracle import OracleCounters, QueryResult
-from repro.core.paths import walk_parent_array, walk_predecessors
 from repro.exceptions import IndexBuildError, QueryError, UnreachableError
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal.vectorized import digraph_bfs_tree_vectorized
@@ -162,6 +160,7 @@ class DirectedVicinityOracle:
         self.backward_tables = backward_tables
         self.fallback = fallback
         self.counters = OracleCounters()
+        self._engine = None
 
     # ------------------------------------------------------------------
     # offline phase
@@ -295,6 +294,36 @@ class DirectedVicinityOracle:
     # ------------------------------------------------------------------
     # online phase
     # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The two-sided flat engine the directed read path runs on.
+
+        The out-vicinities and forward tables flatten into the engine's
+        *source* side, the in-vicinities and backward tables into its
+        *target* side; the shared
+        :class:`~repro.core.engine.FlatQueryEngine` then runs the exact
+        directed analogue of Algorithm 1 (boundary-smaller scan over
+        the two orientations).  Built lazily on the first query.
+        """
+        if self._engine is None:
+            from repro.core.engine import FlatQueryEngine
+            from repro.core.flat import flatten_directed_side
+
+            out_side = flatten_directed_side(
+                self.out_vicinities, self.landmark_ids,
+                self.forward_tables, self.graph.n,
+            )
+            in_side = flatten_directed_side(
+                self.in_vicinities, self.landmark_ids,
+                self.backward_tables, self.graph.n,
+            )
+            self._engine = FlatQueryEngine(
+                out_side, in_side,
+                kernel="boundary-smaller",
+                result_cls=DirectedQueryResult,
+            )
+        return self._engine
+
     def distance(self, source: int, target: int) -> Optional[int]:
         """Return ``d(source -> target)`` or ``None`` when unanswerable."""
         return self.query(source, target).distance
@@ -311,10 +340,12 @@ class DirectedVicinityOracle:
     def query(
         self, source: int, target: int, *, with_path: bool = False
     ) -> DirectedQueryResult:
-        """Run the directed analogue of Algorithm 1."""
+        """Run the directed analogue of Algorithm 1 (on the flat engine)."""
         self.graph.check_node(source)
         self.graph.check_node(target)
-        result = self._resolve(source, target, with_path)
+        result = self.engine.resolve(int(source), int(target), with_path)
+        if result.method == "miss" and self.fallback != "none":
+            result = self._fallback(source, target, result.probes, with_path)
         self.counters.record(result)
         return result
 
@@ -324,98 +355,23 @@ class DirectedVicinityOracle:
         """Answer many ``(source, target)`` pairs, in input order.
 
         The directed counterpart of
-        :meth:`~repro.core.oracle.VicinityOracle.query_batch`, making
-        the oracle a valid serving-layer backend
+        :meth:`~repro.core.oracle.VicinityOracle.query_batch` — the
+        same fused engine lanes over the two orientations — making the
+        oracle a valid serving-layer backend
         (``BatchExecutor(..., symmetry=False)`` with
         ``ResultCache(symmetric=False)`` — ``d(s -> t)`` and
         ``d(t -> s)`` differ, so orientations must stay distinct).
         """
-        return [self.query(int(s), int(t), with_path=with_path) for s, t in pairs]
+        from repro.core.engine import run_query_batch
 
-    def _resolve(self, source: int, target: int, with_path: bool) -> DirectedQueryResult:
-        probes = 0
-        if source == target:
-            return DirectedQueryResult(
-                source, target, 0, [source] if with_path else None, "identical", None, 0
-            )
-        probes += 1
-        if self.is_landmark[source]:
-            dist, parent = self.forward_tables[source]
-            probes += 1
-            d = int(dist[target])
-            if d < 0:
-                return DirectedQueryResult(
-                    source, target, None, None, "disconnected", None, probes
-                )
-            path = walk_parent_array(parent, target, source) if with_path else None
-            return DirectedQueryResult(
-                source, target, d, path, "landmark-source", None, probes
-            )
-        probes += 1
-        if self.is_landmark[target]:
-            dist, parent = self.backward_tables[target]
-            probes += 1
-            d = int(dist[source])
-            if d < 0:
-                return DirectedQueryResult(
-                    source, target, None, None, "disconnected", None, probes
-                )
-            path = None
-            if with_path:
-                # Backward-table parents live on the reversed graph; the
-                # walk yields [target .. source] in reverse orientation,
-                # i.e. the forward path read backwards.
-                path = walk_parent_array(parent, source, target)
-                path.reverse()
-            return DirectedQueryResult(
-                source, target, d, path, "landmark-target", None, probes
-            )
-
-        vic_out = self.out_vicinities[source]
-        vic_in = self.in_vicinities[target]
-        probes += 1
-        if target in vic_out.members:
-            path = (
-                walk_predecessors(vic_out.pred, target, source) if with_path else None
-            )
-            return DirectedQueryResult(
-                source, target, vic_out.dist[target], path,
-                "target-in-source-vicinity", None, probes,
-            )
-        probes += 1
-        if source in vic_in.members:
-            path = None
-            if with_path:
-                path = walk_predecessors(vic_in.pred, source, target)
-                path.reverse()
-            return DirectedQueryResult(
-                source, target, vic_in.dist[source], path,
-                "source-in-target-vicinity", None, probes,
-            )
-
-        # Boundary intersection, smaller side first.
-        if len(vic_out.boundary) <= len(vic_in.boundary):
-            best, witness, kernel_probes = scan_and_probe(
-                vic_out.boundary, vic_out.dist, vic_in.members, vic_in.dist
-            )
-        else:
-            best, witness, kernel_probes = scan_and_probe(
-                vic_in.boundary, vic_in.dist, vic_out.members, vic_out.dist
-            )
-        probes += kernel_probes
-        if best is not None and witness is not None:
-            path = None
-            if with_path:
-                first = walk_predecessors(vic_out.pred, witness, source)
-                second = walk_predecessors(vic_in.pred, witness, target)
-                # second is [target .. witness] in reverse orientation ==
-                # forward path witness -> target read backwards.
-                second.reverse()
-                path = first + second[1:]
-            return DirectedQueryResult(
-                source, target, best, path, "intersection", witness, probes
-            )
-        return self._fallback(source, target, probes, with_path)
+        return run_query_batch(
+            self.engine,
+            pairs,
+            with_path,
+            check_node=self.graph.check_node,
+            fallback=self._fallback if self.fallback != "none" else None,
+            record=self.counters.record,
+        )
 
     def _fallback(
         self, source: int, target: int, probes: int, with_path: bool

@@ -168,8 +168,13 @@ class DynamicVicinityOracle:
         # conservative vicinity-rebuild test and exact cache eviction.
         dist_u = bfs_distances(new_graph, u)
         dist_v = bfs_distances(new_graph, v)
-        self._rebuild_affected_vicinities(new_graph, u, v, dist_u, dist_v)
+        touched = self._rebuild_affected_vicinities(new_graph, u, v, dist_u, dist_v)
         self._invalidate_caches(dist_u, dist_v)
+        # Re-flatten exactly the slices the repair touched, so the flat
+        # read path keeps serving without a full rebuild (the landmark
+        # tables are re-stacked inside the refresh — table repair
+        # mutates them in place).
+        self._oracle.refresh_engine(touched)
         self._edges_added += 1
         return True
 
@@ -246,14 +251,17 @@ class DynamicVicinityOracle:
 
     def _rebuild_affected_vicinities(
         self, graph: CSRGraph, u: int, v: int, dist_u: np.ndarray, dist_v: np.ndarray
-    ) -> None:
+    ) -> list[int]:
         """Rebuild exactly the vicinities the insertion may have changed.
 
         ``dist_u`` / ``dist_v`` are the post-insertion BFS distances
         from the edge endpoints (undirected, so ``d'(w, u) == d'(u, w)``).
+        Returns the rebuilt vicinity ids (the slices the flat engine
+        must re-flatten).
         """
         flags = self.index.landmarks.is_landmark
         adj = graph.adjacency()
+        touched: list[int] = []
         for w in range(graph.n):
             if flags[w]:
                 continue
@@ -281,6 +289,8 @@ class DynamicVicinityOracle:
                 adj,
                 store_paths=self.index.config.store_paths,
             )
+            touched.append(w)
+        return touched
 
     # ------------------------------------------------------------------
     # staleness diagnostics

@@ -1,0 +1,673 @@
+"""The canonical query engines: Algorithm 1 over flat arrays.
+
+PR 2 left the codebase with every kernel implemented twice — once over
+the per-node dicts (:class:`~repro.core.vicinity.Vicinity` records) and
+once over the flattened offset-indexed arrays of
+:class:`~repro.core.flat.FlatIndex`.  This module commits to the
+contiguous-array representation ("Shortest Paths in Microseconds",
+arXiv:1309.0874, wins with exactly this index family) and makes it the
+single read path:
+
+* :class:`FlatQueryEngine` — the full single-machine query surface
+  (``query``, fused ``query_batch``, ``with_path`` reconstruction,
+  landmark fast path, all five intersection kernels) over one
+  :class:`FlatIndex`, or over *two* (a source side and a target side),
+  which is how the directed oracle shares the implementation: the out-
+  vicinities/forward tables are the source side, the in-vicinities/
+  backward tables the target side.
+* :class:`ShardQueryEngine` — Algorithm 1 under the §5 routing scheme,
+  the per-shard worker engine shared by the thread and process shard
+  backends (with the round-trip wire accounting those backends fold
+  into their :class:`~repro.core.parallel.MessageLog`).
+* :class:`QueryEngine` — the protocol every resolver presents to the
+  serving layer (:class:`~repro.core.oracle.VicinityOracle`, the shard
+  backends and :class:`~repro.service.batch.BatchExecutor` all satisfy
+  it).
+
+Results are field-identical to the retired dict path — distance,
+method, witness, probes, path — pinned by the parity suite in
+``tests/core/test_engine.py`` against :mod:`repro.core.reference`.
+The one documented exception: the ablation-only ``full-*`` kernels scan
+members in sorted-id order (the flat layout has no dict iteration order
+to preserve), so a distance *tie* can elect a different witness.
+
+The batch path is where the representation pays off: endpoint
+validation, the landmark lanes and vicinity-membership conditions
+(3)/(4) each collapse to one vectorised gather or searchsorted across
+the whole batch, and the surviving pairs run the fused intersection
+join of :meth:`FlatIndex.intersect_many` — sorted by scan source so
+repeated sources share one boundary payload — instead of one kernel
+call per pair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Type, runtime_checkable
+
+import numpy as np
+
+from repro.core.flat import FlatIndex
+from repro.core.oracle import QueryResult
+from repro.core.parallel import BYTES_PER_WIRE_ENTRY
+from repro.exceptions import NodeNotFoundError, QueryError
+
+#: Kernels whose scan order matches the dict path exactly (boundary
+#: lists keep their Lemma 1 order through flattening), so witnesses are
+#: bit-for-bit identical.  ``full-*`` kernels scan sorted member ids.
+ORDER_EXACT_KERNELS = ("boundary-source", "boundary-target", "boundary-smaller")
+
+#: Mean scan size below which the fused intersection lane uses the
+#: all-pairs flat join of :meth:`FlatIndex.intersect_many`; above it,
+#: slice-local per-pair kernels win (the probe slice stays in cache,
+#: where the join's global-key binary search does not).
+JOIN_MAX_SCAN = 64
+
+
+@runtime_checkable
+class QueryEngine(Protocol):
+    """What the serving layer requires of any query resolver.
+
+    Satisfied by :class:`FlatQueryEngine`, the oracles wrapping it, the
+    shard backends and :class:`~repro.service.batch.BatchExecutor`
+    itself (executors compose).
+    """
+
+    def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
+        ...
+
+    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        ...
+
+
+def run_query_batch(
+    engine: "FlatQueryEngine",
+    pairs,
+    with_path: bool,
+    *,
+    check_node=None,
+    fallback=None,
+    record=None,
+) -> list[QueryResult]:
+    """The one validate → resolve → fallback-convert → record batch loop.
+
+    Shared by :meth:`FlatQueryEngine.query_batch` and both oracle
+    wrappers so endpoint validation and fallback conversion cannot
+    drift between them.
+
+    Args:
+        engine: the resolver whose ``resolve_many`` runs the lanes.
+        check_node: raises the caller's canonical error for an invalid
+            node id (defaults to :class:`NodeNotFoundError`).
+        fallback: ``(source, target, probes, with_path) -> QueryResult``
+            replacing ``miss`` results (``None`` = misses stand).
+        record: per-result counter hook (``None`` = no counters).
+    """
+    pair_list = [(int(s), int(t)) for s, t in pairs]
+    if not pair_list:
+        return []
+    arr = np.asarray(pair_list, dtype=np.int64)
+    out_of_range = (arr < 0) | (arr >= engine.n)
+    if out_of_range.any():
+        bad = int(arr[out_of_range][0])
+        if check_node is not None:
+            check_node(bad)
+        raise NodeNotFoundError(bad, engine.n)
+    results = engine.resolve_many(arr, with_path)
+    if fallback is None and record is None:
+        return results
+    # Fallback searches are the most expensive lane — keep the batch
+    # dedup's promise and run each distinct miss exactly once.
+    converted: dict[tuple[int, int], QueryResult] = {}
+    for i, result in enumerate(results):
+        if fallback is not None and result.method == "miss":
+            key = (result.source, result.target)
+            answer = converted.get(key)
+            if answer is None:
+                answer = fallback(
+                    result.source, result.target, result.probes, with_path
+                )
+                converted[key] = answer
+            results[i] = result = answer
+        if record is not None:
+            record(result)
+    return results
+
+
+class FlatQueryEngine:
+    """The full Algorithm 1 query surface over flat arrays.
+
+    Args:
+        source_flat: the :class:`FlatIndex` probed from the source side
+            (conditions (1), (3) and the source-scan kernels).
+        target_flat: the target side; defaults to ``source_flat`` (the
+            undirected case).  The directed oracle passes its flattened
+            in-vicinity/backward-table side here.
+        kernel: intersection kernel name (``OracleConfig.kernel``).
+        strict_paths: raise upfront on ``with_path=True`` when the
+            index stores no predecessors.  The oracle wrapper disables
+            this when a fallback is configured, matching the dict
+            path's behaviour of failing only if a stored chain is
+            actually needed.
+        result_cls: result dataclass to emit (the directed oracle
+            passes :class:`~repro.core.directed.DirectedQueryResult`).
+    """
+
+    def __init__(
+        self,
+        source_flat: FlatIndex,
+        target_flat: Optional[FlatIndex] = None,
+        *,
+        kernel: str = "boundary-smaller",
+        strict_paths: bool = True,
+        result_cls: Type[QueryResult] = QueryResult,
+    ) -> None:
+        self.out = source_flat
+        self.inn = target_flat if target_flat is not None else source_flat
+        if self.out.n != self.inn.n:
+            raise QueryError("source and target sides must index the same nodes")
+        self.n = self.out.n
+        self.kernel = kernel
+        self.strict_paths = strict_paths
+        self.result_cls = result_cls
+        self._integral = self.out._integral
+
+    @classmethod
+    def from_index(cls, index, **overrides) -> "FlatQueryEngine":
+        """Flatten a built :class:`VicinityIndex` into a ready engine."""
+        options = {
+            "kernel": index.config.kernel,
+            "strict_paths": index.config.fallback == "none",
+        }
+        options.update(overrides)
+        return cls(FlatIndex.from_index(index), **options)
+
+    @property
+    def store_paths(self) -> bool:
+        """Whether predecessor chains are available for ``with_path``."""
+        return self.out.store_paths
+
+    # ------------------------------------------------------------------
+    # the public (validating) surface
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
+        """Answer one pair (validating endpoints and path support)."""
+        for u in (source, target):
+            if not 0 <= u < self.n:
+                raise NodeNotFoundError(u, self.n)
+        self._check_paths(with_path)
+        return self.resolve(int(source), int(target), with_path)
+
+    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        """Answer many pairs through the fused batch lanes, in order."""
+        self._check_paths(with_path)
+        return run_query_batch(self, pairs, with_path)
+
+    def _check_paths(self, with_path: bool) -> None:
+        if with_path and self.strict_paths and not self.store_paths:
+            raise QueryError("index was built with store_paths=False")
+
+    # ------------------------------------------------------------------
+    # single-pair resolution (Algorithm 1, flat probes)
+    # ------------------------------------------------------------------
+    def resolve(self, source: int, target: int, with_path: bool) -> QueryResult:
+        """Run Algorithm 1 for one validated pair.
+
+        Step order and probe counting replicate the dict path exactly:
+        +1 per landmark-flag check, +1 per table hit, +1 per vicinity
+        membership probe, plus one probe per scanned kernel node.
+        """
+        out, inn = self.out, self.inn
+        rc = self.result_cls
+        if source == target:
+            path = [source] if with_path else None
+            return rc(source, target, 0, path, "identical", None, 0)
+
+        # Conditions (1) and (2): a landmark endpoint with a full table.
+        probes = 1
+        if out.has_table(source):
+            probes += 1
+            d = out.table_distance(source, target)
+            if d is None:
+                return rc(source, target, None, None, "disconnected", None, probes)
+            path = out.parent_chain(source, target) if with_path else None
+            return rc(source, target, d, path, "landmark-source", None, probes)
+        probes += 1
+        if inn.has_table(target):
+            probes += 1
+            d = inn.table_distance(target, source)
+            if d is None:
+                return rc(source, target, None, None, "disconnected", None, probes)
+            path = None
+            if with_path:
+                path = inn.parent_chain(target, source)
+                path.reverse()
+            return rc(source, target, d, path, "landmark-target", None, probes)
+
+        # Condition (3): t inside Gamma(s).
+        probes += 1
+        member, d = out.vicinity_probe(source, target)
+        if member:
+            path = out.pred_chain(source, target, source) if with_path else None
+            return rc(
+                source, target, d, path, "target-in-source-vicinity", None, probes
+            )
+        # Condition (4): s inside Gamma(t).
+        probes += 1
+        member, d = inn.vicinity_probe(target, source)
+        if member:
+            path = None
+            if with_path:
+                path = inn.pred_chain(target, source, target)
+                path.reverse()
+            return rc(
+                source, target, d, path, "source-in-target-vicinity", None, probes
+            )
+
+        # The main loop: the configured intersection kernel.
+        scan_flat, scan_owner, probe_flat, probe_owner = self._pick_sides(
+            source, target
+        )
+        if self.kernel.startswith("full"):
+            payload = scan_flat.member_payload(scan_owner)
+        else:
+            payload = scan_flat.boundary_payload(scan_owner)
+        best, witness, kernel_probes = probe_flat.intersect_payload(
+            payload[0], payload[1], probe_owner
+        )
+        probes += kernel_probes
+        if best is not None:
+            path = self._splice(source, target, witness) if with_path else None
+            return rc(source, target, best, path, "intersection", witness, probes)
+        return rc(source, target, None, None, "miss", None, probes)
+
+    def _pick_sides(self, source: int, target: int):
+        """(scan side, scan owner, probe side, probe owner) per kernel."""
+        out, inn = self.out, self.inn
+        kernel = self.kernel
+        if kernel in ("boundary-source", "full-source"):
+            return out, source, inn, target
+        if kernel == "boundary-target":
+            return inn, target, out, source
+        if kernel == "boundary-smaller":
+            if out.boundary_counts[source] <= inn.boundary_counts[target]:
+                return out, source, inn, target
+            return inn, target, out, source
+        if kernel == "full-smaller":
+            if out.member_counts[source] <= inn.member_counts[target]:
+                return out, source, inn, target
+            return inn, target, out, source
+        raise QueryError(f"unknown intersection kernel: {self.kernel!r}")
+
+    def _splice(self, source: int, target: int, witness: int) -> list[int]:
+        """Join the two half-paths at the witness (§3.1's splice)."""
+        first = self.out.pred_chain(source, witness, source)
+        second = self.inn.pred_chain(target, witness, target)
+        second.reverse()
+        return first + second[1:]
+
+    def _distance(self, value) -> object:
+        return int(value) if self._integral else float(value)
+
+    # ------------------------------------------------------------------
+    # fused batch resolution
+    # ------------------------------------------------------------------
+    def resolve_many(self, arr: np.ndarray, with_path: bool) -> list[QueryResult]:
+        """Resolve a validated ``(m, 2)`` pair array through fused lanes.
+
+        Per-pair results are identical to :meth:`resolve`; the lanes
+        differ only in how much work is shared:
+
+        * ``s == t`` short-circuits on one vectorised compare;
+        * conditions (1)/(2) gather every landmark table distance in
+          one fancy-indexing read per lane;
+        * conditions (3)/(4) resolve membership and distance for the
+          whole batch with two global searchsorteds each
+          (:meth:`FlatIndex.member_probe_many`);
+        * the survivors run the fused intersection join, sorted by scan
+          source so repeated sources share one payload slice.
+        """
+        out, inn = self.out, self.inn
+        rc = self.result_cls
+        m = arr.shape[0]
+        # Batch-level pair fusion: a production (Zipf) stream repeats
+        # pairs heavily, and a repeated pair is the same kernel run.
+        # Resolve each distinct pair once and fan the result object out
+        # to every occurrence (probes and all — identical to what the
+        # per-pair loop would have produced for each duplicate).
+        if m > 1:
+            uniq, inverse = np.unique(arr, axis=0, return_inverse=True)
+            if uniq.shape[0] < m:
+                resolved = self.resolve_many(uniq, with_path)
+                return [resolved[i] for i in inverse.ravel().tolist()]
+        sources, targets = arr[:, 0], arr[:, 1]
+        results: list[Optional[QueryResult]] = [None] * m
+
+        identical = sources == targets
+        for i in np.flatnonzero(identical).tolist():
+            s = int(sources[i])
+            results[i] = rc(s, s, 0, [s] if with_path else None, "identical", None, 0)
+
+        active = ~identical
+        zeros = np.zeros(m, dtype=bool)
+        src_lm = (
+            active & (out.landmark_row[sources] >= 0) if out.has_tables else zeros
+        )
+        tgt_lm = (
+            active & ~src_lm & (inn.landmark_row[targets] >= 0)
+            if inn.has_tables
+            else zeros
+        )
+
+        idx = np.flatnonzero(src_lm)
+        if idx.size:
+            # Condition (1): probes = source flag + table hit.
+            dists = out.table_dist[out.landmark_row[sources[idx]], targets[idx]]
+            self._fill_table_lane(
+                idx, sources, targets, dists, "landmark-source", 2, with_path, results
+            )
+        idx = np.flatnonzero(tgt_lm)
+        if idx.size:
+            # Condition (2): probes = both flags + table hit.
+            dists = inn.table_dist[inn.landmark_row[targets[idx]], sources[idx]]
+            self._fill_table_lane(
+                idx, sources, targets, dists, "landmark-target", 3, with_path, results
+            )
+
+        residual = np.flatnonzero(active & ~src_lm & ~tgt_lm)
+        if residual.size:
+            # Condition (3) across the whole lane.
+            hit, dists = out.member_probe_many(sources[residual], targets[residual])
+            for k in np.flatnonzero(hit).tolist():
+                i = int(residual[k])
+                s, t = int(sources[i]), int(targets[i])
+                path = out.pred_chain(s, t, s) if with_path else None
+                results[i] = rc(
+                    s, t, self._distance(dists[k]), path,
+                    "target-in-source-vicinity", None, 3,
+                )
+            residual = residual[~hit]
+        if residual.size:
+            # Condition (4) across the survivors.
+            hit, dists = inn.member_probe_many(targets[residual], sources[residual])
+            for k in np.flatnonzero(hit).tolist():
+                i = int(residual[k])
+                s, t = int(sources[i]), int(targets[i])
+                path = None
+                if with_path:
+                    path = inn.pred_chain(t, s, t)
+                    path.reverse()
+                results[i] = rc(
+                    s, t, self._distance(dists[k]), path,
+                    "source-in-target-vicinity", None, 4,
+                )
+            residual = residual[~hit]
+        if residual.size:
+            self._intersect_lane(residual, sources, targets, with_path, results)
+        return results
+
+    def _fill_table_lane(
+        self, idx, sources, targets, dists, method, probes, with_path, results
+    ) -> None:
+        unreachable = (dists < 0) | (dists == np.inf)
+        rc = self.result_cls
+        side = self.out if method == "landmark-source" else self.inn
+        for k, i in enumerate(idx.tolist()):
+            s, t = int(sources[i]), int(targets[i])
+            if unreachable[k]:
+                results[i] = rc(s, t, None, None, "disconnected", None, probes)
+                continue
+            path = None
+            if with_path:
+                if method == "landmark-source":
+                    path = side.parent_chain(s, t)
+                else:
+                    path = side.parent_chain(t, s)
+                    path.reverse()
+            results[i] = rc(
+                s, t, self._distance(dists[k]), path, method, None, probes
+            )
+
+    def _intersect_lane(self, lane, sources, targets, with_path, results) -> None:
+        out, inn = self.out, self.inn
+        rc = self.result_cls
+        s_arr, t_arr = sources[lane], targets[lane]
+        kernel = self.kernel
+        full = kernel.startswith("full")
+        if kernel in ("boundary-source", "full-source"):
+            scan_src = np.ones(lane.size, dtype=bool)
+        elif kernel == "boundary-target":
+            scan_src = np.zeros(lane.size, dtype=bool)
+        elif kernel == "boundary-smaller":
+            scan_src = out.boundary_counts[s_arr] <= inn.boundary_counts[t_arr]
+        elif kernel == "full-smaller":
+            scan_src = out.member_counts[s_arr] <= inn.member_counts[t_arr]
+        else:
+            raise QueryError(f"unknown intersection kernel: {kernel!r}")
+
+        for mask, scan_flat, probe_flat, scan_is_source in (
+            (scan_src, out, inn, True),
+            (~scan_src, inn, out, False),
+        ):
+            sub = np.flatnonzero(mask)
+            if sub.size == 0:
+                continue
+            pair_idx = lane[sub]
+            scan_owner = (s_arr if scan_is_source else t_arr)[sub]
+            probe_owner = (t_arr if scan_is_source else s_arr)[sub]
+            # Fused-lane sort: repeated scan sources become adjacent, so
+            # their payload slices coalesce into one contiguous gather.
+            order = np.argsort(scan_owner, kind="stable")
+            pair_idx = pair_idx[order]
+            scan_owner = scan_owner[order]
+            probe_owner = probe_owner[order]
+            if full:
+                offsets = scan_flat.member_offsets
+                nodes, dists = scan_flat.member_nodes, scan_flat.member_dists
+            else:
+                offsets = scan_flat.boundary_offsets
+                nodes, dists = scan_flat.boundary_nodes, scan_flat.boundary_dists
+            sizes = offsets[scan_owner + 1] - offsets[scan_owner]
+            if sizes.size and sizes.mean() <= JOIN_MAX_SCAN:
+                # Thin scans: per-pair call overhead would dominate the
+                # handful of comparisons, so run the whole sublane as
+                # one flat join.
+                best, witness, sizes = probe_flat.intersect_many(
+                    offsets, nodes, dists, scan_owner, probe_owner
+                )
+                for k, i in enumerate(pair_idx.tolist()):
+                    s, t = int(sources[i]), int(targets[i])
+                    probes = 4 + int(sizes[k])
+                    w = int(witness[k])
+                    if w < 0:
+                        results[i] = rc(s, t, None, None, "miss", None, probes)
+                        continue
+                    path = self._splice(s, t, w) if with_path else None
+                    results[i] = rc(
+                        s, t, self._distance(best[k]), path, "intersection", w, probes
+                    )
+                continue
+            # Fat scans: slice-local kernels stay cache-resident where a
+            # global-key join would thrash; the scan-owner sort above
+            # lets consecutive repeated owners share one payload slice.
+            last_owner = None
+            payload = None
+            for k, i in enumerate(pair_idx.tolist()):
+                owner = int(scan_owner[k])
+                if owner != last_owner:
+                    lo, hi = int(offsets[owner]), int(offsets[owner + 1])
+                    payload = (nodes[lo:hi], dists[lo:hi])
+                    last_owner = owner
+                best, w, kernel_probes = probe_flat.intersect_payload(
+                    payload[0], payload[1], int(probe_owner[k])
+                )
+                s, t = int(sources[i]), int(targets[i])
+                probes = 4 + kernel_probes
+                if best is None:
+                    results[i] = rc(s, t, None, None, "miss", None, probes)
+                    continue
+                path = self._splice(s, t, w) if with_path else None
+                results[i] = rc(
+                    s, t, best, path, "intersection", w, probes
+                )
+
+
+class ShardQueryEngine:
+    """Algorithm 1 under §5 routing, over a shared :class:`FlatIndex`.
+
+    The per-shard worker engine: the thread backend runs one on each
+    shard's worker thread, the process backend inside each worker
+    process over the shared-memory mapping.  The step order, probe
+    counts and wire-byte modelling replicate the §5 coordinator scheme;
+    ``answer`` returns the query result plus the payload byte count of
+    every cross-shard round trip the query would have cost.
+    """
+
+    __slots__ = ("flat", "assign", "replicate_tables")
+
+    def __init__(
+        self, flat: FlatIndex, assign: np.ndarray, replicate_tables: bool
+    ) -> None:
+        self.flat = flat
+        self.assign = assign
+        self.replicate_tables = replicate_tables
+
+    def answer(self, source: int, target: int, with_path: bool, payload=None):
+        """Answer one pair; returns ``(result, round_trip_payload_bytes)``.
+
+        ``payload`` optionally carries a precomputed boundary payload
+        for ``source`` (the fused batch loop shares it across
+        consecutive same-source pairs).
+        """
+        flat = self.flat
+        same_shard = self.assign[source] == self.assign[target]
+        trips: list[int] = []
+        probes = 0
+
+        if source == target:
+            path = [source] if with_path else None
+            return QueryResult(source, target, 0, path, "identical", None, 0), trips
+
+        # Condition (1): the source's table lives on the home shard.
+        probes += 1
+        if flat.has_table(source):
+            probes += 1
+            d = flat.table_distance(source, target)
+            method = "landmark-source" if d is not None else "disconnected"
+            path = (
+                flat.parent_chain(source, target)
+                if with_path and d is not None
+                else None
+            )
+            return QueryResult(source, target, d, path, method, None, probes), trips
+        # Condition (2): the target's table costs one round trip unless
+        # replicated.
+        probes += 1
+        if flat.has_table(target):
+            probes += 1
+            d = flat.table_distance(target, source)
+            path = None
+            chain_len = 0
+            if with_path and d is not None:
+                chain = flat.parent_chain(target, source)
+                chain_len = len(chain)
+                path = list(reversed(chain))
+            if not same_shard and not self.replicate_tables:
+                trips.append(max(chain_len, 1) * BYTES_PER_WIRE_ENTRY)
+            method = "landmark-target" if d is not None else "disconnected"
+            return QueryResult(source, target, d, path, method, None, probes), trips
+
+        # Condition (3): Gamma(s) is home-shard-local.
+        probes += 1
+        member, d = flat.vicinity_probe(source, target)
+        if member:
+            path = flat.pred_chain(source, target, source) if with_path else None
+            return (
+                QueryResult(
+                    source, target, d, path, "target-in-source-vicinity", None, probes
+                ),
+                trips,
+            )
+        # Conditions (4) + intersection: one round trip to shard(t).
+        probes += 1
+        member, d = flat.vicinity_probe(target, source)
+        if member:
+            path = None
+            chain_len = 0
+            if with_path:
+                chain = flat.pred_chain(target, source, target)
+                chain_len = len(chain)
+                path = list(reversed(chain))
+            if not same_shard:
+                trips.append(max(chain_len, 1) * BYTES_PER_WIRE_ENTRY)
+            return (
+                QueryResult(
+                    source, target, d, path, "source-in-target-vicinity", None, probes
+                ),
+                trips,
+            )
+        if payload is None:
+            payload = flat.boundary_payload(source)
+        scan_nodes, scan_dists = payload
+        best, witness, kernel_probes = flat.intersect_payload(
+            scan_nodes, scan_dists, target
+        )
+        probes += kernel_probes
+        if best is not None:
+            path = None
+            chain_len = 0
+            if with_path:
+                second = flat.pred_chain(target, witness, target)
+                chain_len = len(second)
+                first = flat.pred_chain(source, witness, source)
+                path = first + list(reversed(second))[1:]
+            if not same_shard:
+                trips.append((len(scan_nodes) + chain_len) * BYTES_PER_WIRE_ENTRY)
+            return (
+                QueryResult(
+                    source, target, best, path, "intersection", witness, probes
+                ),
+                trips,
+            )
+        if not same_shard:
+            trips.append(len(scan_nodes) * BYTES_PER_WIRE_ENTRY)
+        return QueryResult(source, target, None, None, "miss", None, probes), trips
+
+    def answer_batch(self, pairs, with_path: bool = False, cache=None):
+        """Answer a home-shard sub-batch with the fused worker loop.
+
+        Pairs are processed in source-sorted order so consecutive
+        repeated sources reuse one boundary payload (results come back
+        in input order; the wire totals are order-independent).  With a
+        ``cache`` (the worker-side :class:`~repro.service.cache.ResultCache`),
+        resolved expensive pairs are served from worker memory on
+        repeats — skipping both the kernel and the modelled round trip.
+
+        Returns ``(results, local, remote, trips)``.
+        """
+        results: list[Optional[QueryResult]] = [None] * len(pairs)
+        trips: list[int] = []
+        local = remote = 0
+        assign = self.assign
+        order = sorted(range(len(pairs)), key=lambda i: pairs[i][0])
+        last_source = None
+        payload = None
+        for i in order:
+            s, t = pairs[i]
+            if assign[s] == assign[t]:
+                local += 1
+            else:
+                remote += 1
+            if cache is not None:
+                hit = cache.get(s, t, need_path=with_path)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+            if s != last_source:
+                payload = self.flat.boundary_payload(s)
+                last_source = s
+            result, query_trips = self.answer(s, t, with_path, payload=payload)
+            results[i] = result
+            trips.extend(query_trips)
+            if cache is not None:
+                cache.put(result)
+        return results, local, remote, trips

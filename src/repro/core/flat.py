@@ -55,53 +55,90 @@ FLAT_ARRAYS = (
 )
 
 
+def _flatten_records(vicinities, n: int, dist_dtype) -> dict[str, np.ndarray]:
+    """Flatten any sequence of vicinity-shaped records to offset arrays.
+
+    A record needs ``radius``, ``dist``, ``pred``, ``members`` and
+    ``boundary`` — both the undirected :class:`~repro.core.vicinity.Vicinity`
+    and the per-orientation :class:`~repro.core.directed.DirectedVicinity`
+    qualify, which is what lets the directed oracle share the flat
+    query engine.  Distance-table slices and member lists are sorted by
+    node id (binary-search probes); boundary lists keep their Lemma 1
+    scan order, which the kernels' witness tie-breaking depends on.
+    """
+    # Sizes first, then one preallocation per column: growing via
+    # parts-lists + concatenate doubles the memory traffic and pays
+    # per-part overhead for every node.
+    vic_offsets = np.zeros(n + 1, dtype=np.int64)
+    member_offsets = np.zeros(n + 1, dtype=np.int64)
+    boundary_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(
+        np.fromiter((len(v.dist) for v in vicinities), np.int64, count=n),
+        out=vic_offsets[1:],
+    )
+    np.cumsum(
+        np.fromiter((len(v.members) for v in vicinities), np.int64, count=n),
+        out=member_offsets[1:],
+    )
+    np.cumsum(
+        np.fromiter((len(v.boundary) for v in vicinities), np.int64, count=n),
+        out=boundary_offsets[1:],
+    )
+    vic_nodes = np.empty(int(vic_offsets[-1]), dtype=np.int64)
+    vic_dists = np.empty(int(vic_offsets[-1]), dtype=dist_dtype)
+    vic_preds = np.empty(int(vic_offsets[-1]), dtype=np.int64)
+    member_nodes = np.empty(int(member_offsets[-1]), dtype=np.int64)
+    boundary_nodes = np.empty(int(boundary_offsets[-1]), dtype=np.int64)
+    radii = np.full(n, np.nan, dtype=np.float64)
+
+    for u in range(n):
+        vic = vicinities[u]
+        if vic.radius is not None:
+            radii[u] = float(vic.radius)
+        lo, hi = vic_offsets[u], vic_offsets[u + 1]
+        keys, values, preds = _sorted_vic_slice(vic, dist_dtype)
+        vic_nodes[lo:hi] = keys
+        vic_dists[lo:hi] = values
+        vic_preds[lo:hi] = preds
+        mlo, mhi = member_offsets[u], member_offsets[u + 1]
+        members = np.fromiter(
+            vic.members, dtype=np.int64, count=int(mhi - mlo)
+        )
+        members.sort()
+        member_nodes[mlo:mhi] = members
+        boundary_nodes[boundary_offsets[u]:boundary_offsets[u + 1]] = vic.boundary
+
+    return {
+        "vic_offsets": vic_offsets,
+        "vic_nodes": vic_nodes,
+        "vic_dists": vic_dists,
+        "vic_preds": vic_preds,
+        "member_offsets": member_offsets,
+        "member_nodes": member_nodes,
+        "boundary_offsets": boundary_offsets,
+        "boundary_nodes": boundary_nodes,
+        "radii": radii,
+    }
+
+
 def flatten_index(index) -> dict[str, np.ndarray]:
     """Flatten a built :class:`~repro.core.index.VicinityIndex` to arrays.
 
-    Returns the offset-indexed arrays in the persistence layout (dict
-    iteration order preserved, nothing re-sorted): ``vic_offsets /
-    vic_nodes / vic_dists / vic_preds``, ``member_offsets /
-    member_nodes``, ``boundary_offsets / boundary_nodes``, ``radii``,
-    ``landmarks``, ``landmark_scale``, ``table_dist / table_parent``.
+    Returns the offset-indexed arrays in the persistence layout (per
+    node, distance-table slices sorted by node id; boundary scan order
+    preserved): ``vic_offsets / vic_nodes / vic_dists / vic_preds``,
+    ``member_offsets / member_nodes``, ``boundary_offsets /
+    boundary_nodes``, ``radii``, ``landmarks``, ``landmark_scale``,
+    ``table_dist / table_parent``.
     :func:`repro.io.oracle_store.save_index` persists exactly this dict;
-    :meth:`FlatIndex.from_store_arrays` derives the probe-ready views.
+    :meth:`FlatIndex.from_store_arrays` derives the probe-ready views
+    (accepting unsorted slices from legacy saved files too).
     """
     graph = index.graph
     n = graph.n
     weighted = graph.is_weighted
-
-    vic_offsets = np.zeros(n + 1, dtype=np.int64)
-    member_offsets = np.zeros(n + 1, dtype=np.int64)
-    boundary_offsets = np.zeros(n + 1, dtype=np.int64)
-    nodes_parts: list[np.ndarray] = []
-    dist_parts: list[np.ndarray] = []
-    pred_parts: list[np.ndarray] = []
-    member_parts: list[np.ndarray] = []
-    boundary_parts: list[np.ndarray] = []
-    radii = np.full(n, np.nan, dtype=np.float64)
-
     dist_dtype = np.float64 if weighted else np.int32
-    for u in range(n):
-        vic = index.vicinities[u]
-        if vic.radius is not None:
-            radii[u] = float(vic.radius)
-        keys = np.fromiter(vic.dist.keys(), dtype=np.int64, count=len(vic.dist))
-        values = np.fromiter(
-            (vic.dist[k] for k in keys.tolist()), dtype=dist_dtype, count=keys.size
-        )
-        preds = np.fromiter(
-            (vic.pred.get(k, -1) for k in keys.tolist()), dtype=np.int64, count=keys.size
-        )
-        nodes_parts.append(keys)
-        dist_parts.append(values)
-        pred_parts.append(preds)
-        vic_offsets[u + 1] = vic_offsets[u] + keys.size
-        members = np.fromiter(vic.members, dtype=np.int64, count=len(vic.members))
-        member_parts.append(np.sort(members))
-        member_offsets[u + 1] = member_offsets[u] + members.size
-        boundary = np.asarray(vic.boundary, dtype=np.int64)
-        boundary_parts.append(boundary)
-        boundary_offsets[u + 1] = boundary_offsets[u] + boundary.size
+    parts = _flatten_records(index.vicinities, n, dist_dtype)
 
     landmark_ids = index.landmarks.ids
     if index.tables:
@@ -118,24 +155,71 @@ def flatten_index(index) -> dict[str, np.ndarray]:
     return {
         "landmarks": landmark_ids,
         "landmark_scale": np.asarray(index.landmarks.scale, dtype=np.float64),
-        "vic_offsets": vic_offsets,
-        "vic_nodes": _concat(nodes_parts, np.int64),
-        "vic_dists": _concat(dist_parts, dist_dtype),
-        "vic_preds": _concat(pred_parts, np.int64),
-        "member_offsets": member_offsets,
-        "member_nodes": _concat(member_parts, np.int64),
-        "boundary_offsets": boundary_offsets,
-        "boundary_nodes": _concat(boundary_parts, np.int64),
-        "radii": radii,
+        **parts,
         "table_dist": table_dist,
         "table_parent": table_parent,
     }
 
 
-def _concat(parts: list[np.ndarray], dtype) -> np.ndarray:
-    if not parts:
-        return np.zeros(0, dtype=dtype)
-    return np.concatenate(parts).astype(dtype, copy=False)
+def flatten_directed_side(
+    vicinities, landmark_ids: np.ndarray, tables: dict, n: int
+) -> "FlatIndex":
+    """Flatten one orientation of a directed oracle into a probe surface.
+
+    ``vicinities`` is the out- or in-vicinity list, ``tables`` the
+    matching orientation's ``{landmark: (dist, parent)}`` map (forward
+    tables for the out side, backward tables for the in side).  The
+    result is a regular :class:`FlatIndex`, so the directed oracle can
+    delegate to the same :class:`~repro.core.engine.FlatQueryEngine`
+    as the undirected one — just with distinct source/target sides.
+    """
+    ids = np.ascontiguousarray(landmark_ids, dtype=np.int64)
+    data = _flatten_records(vicinities, n, np.int32)
+    data["landmarks"] = ids
+    if tables:
+        data["table_dist"] = np.stack([tables[l][0] for l in ids.tolist()])
+        data["table_parent"] = np.stack([tables[l][1] for l in ids.tolist()])
+    else:
+        data["table_dist"] = np.zeros((0, 0), dtype=np.int32)
+        data["table_parent"] = np.zeros((0, 0), dtype=np.int32)
+    return FlatIndex.from_store_arrays(
+        data, n=n, weighted=False, store_paths=True
+    )
+
+
+def _sorted_vic_slice(vic, dist_dtype) -> tuple:
+    """One vicinity's distance table as node-id-sorted aligned columns.
+
+    The single extraction invariant shared by full flattening and the
+    dynamic oracle's incremental refresh: keys() and values() of one
+    dict are always aligned (no per-key lookups), predecessors come
+    from :func:`_pred_column`, and the slice is sorted here — per node,
+    cache-resident — so no whole-index sort is ever needed.
+    """
+    count = len(vic.dist)
+    keys = np.fromiter(vic.dist.keys(), dtype=np.int64, count=count)
+    values = np.fromiter(vic.dist.values(), dtype=dist_dtype, count=count)
+    preds = _pred_column(vic.pred, keys)
+    order = np.argsort(keys, kind="stable")
+    return keys.take(order), values.take(order), preds.take(order)
+
+
+def _pred_column(pred: dict, keys: np.ndarray) -> np.ndarray:
+    """Predecessors aligned with ``keys``, without per-key lookups.
+
+    Every ball builder inserts ``dist[v]`` and ``pred[v]`` together, so
+    the two dicts normally iterate in the same order — verified with
+    one vectorised compare, then ``values()`` is read straight through.
+    The per-key fallback covers ``store_paths=False`` (empty ``pred``)
+    and any builder that breaks the alignment.
+    """
+    if len(pred) == keys.size:
+        pkeys = np.fromiter(pred.keys(), dtype=np.int64, count=keys.size)
+        if np.array_equal(pkeys, keys):
+            return np.fromiter(pred.values(), dtype=np.int64, count=keys.size)
+    return np.fromiter(
+        (pred.get(k, -1) for k in keys.tolist()), dtype=np.int64, count=keys.size
+    )
 
 
 class FlatIndex:
@@ -178,19 +262,42 @@ class FlatIndex:
         self.has_tables = self.table_dist.size > 0
         self.has_parents = self.table_parent.size > 0
         self._integral = self.vic_dists.dtype.kind == "i"
+        self.member_counts = np.diff(self.member_offsets)
+        self.boundary_counts = np.diff(self.boundary_offsets)
+        self._key_scale = np.int64(max(self.n, 1))
+        # The global (owner, node) keys that make one searchsorted
+        # answer a whole batch of probes are built lazily: only the
+        # single-machine fused batch lanes need them — shard workers
+        # probe per-slice and skip the O(entries) construction.
+        self._member_key_cache: Optional[np.ndarray] = None
+        self._vic_key_cache: Optional[np.ndarray] = None
+        self._member_dists: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod
     def from_index(cls, index) -> "FlatIndex":
-        """Flatten an in-memory :class:`VicinityIndex` into probe arrays."""
-        return cls.from_store_arrays(
+        """Flatten an in-memory :class:`VicinityIndex` into probe arrays.
+
+        The result is cached on the index object: flattening is a full
+        pass over every per-node dict, and one built index is routinely
+        wrapped by many oracles (serving stacks, reference baselines,
+        shard backends), which must not each pay it again.  Mutating
+        consumers (the dynamic oracle) keep the cache fresh through
+        :meth:`refreshed` via ``VicinityOracle.refresh_engine``.
+        """
+        cached = getattr(index, "_flat_index", None)
+        if cached is not None:
+            return cached
+        flat = cls.from_store_arrays(
             flatten_index(index),
             n=index.n,
             weighted=index.graph.is_weighted,
             store_paths=index.config.store_paths,
         )
+        index._flat_index = flat
+        return flat
 
     @classmethod
     def from_store_arrays(
@@ -219,23 +326,32 @@ class FlatIndex:
 
         counts = np.diff(vic_offsets)
         owner = np.repeat(np.arange(n, dtype=np.int64), counts)
-        # Within-node sort: owner is already non-decreasing, so the
-        # lexsort yields globally (owner, node)-sorted entries.
-        order = np.lexsort((vic_nodes, owner))
-        vic_nodes = np.ascontiguousarray(vic_nodes[order])
-        vic_dists = np.ascontiguousarray(vic_dists[order])
-        vic_preds = np.ascontiguousarray(vic_preds[order])
+        # Within-node sort via one combined (owner, node) key: owner is
+        # already non-decreasing, so sorting the key yields globally
+        # (owner, node)-sorted entries.  :func:`_flatten_records` emits
+        # slices already sorted, so the argsort only runs for legacy
+        # saved files whose slices keep dict iteration order.
+        scale = np.int64(max(n, 1))
+        vic_key = owner * scale + vic_nodes
+        if vic_key.size and not np.all(vic_key[1:] >= vic_key[:-1]):
+            order = np.argsort(vic_key, kind="stable")
+            vic_key = vic_key[order]
+            vic_nodes = np.ascontiguousarray(vic_nodes[order])
+            vic_dists = np.ascontiguousarray(vic_dists[order])
+            vic_preds = np.ascontiguousarray(vic_preds[order])
+        else:
+            vic_nodes = np.ascontiguousarray(vic_nodes)
+            vic_dists = np.ascontiguousarray(vic_dists)
+            vic_preds = np.ascontiguousarray(vic_preds)
 
         boundary_offsets = np.ascontiguousarray(
             data["boundary_offsets"], dtype=np.int64
         )
         boundary_nodes = np.ascontiguousarray(data["boundary_nodes"], dtype=np.int64)
-        # Every boundary node is a vicinity member; after the sort the
-        # combined (owner, node) key is globally sorted, so one
-        # searchsorted resolves every boundary distance at once.
+        # Every boundary node is a vicinity member; the combined key is
+        # now globally sorted, so one searchsorted resolves every
+        # boundary distance at once.
         b_owner = np.repeat(np.arange(n, dtype=np.int64), np.diff(boundary_offsets))
-        scale = np.int64(max(n, 1))
-        vic_key = owner * scale + vic_nodes
         pos = np.searchsorted(vic_key, b_owner * scale + boundary_nodes)
         boundary_dists = np.ascontiguousarray(vic_dists[pos])
 
@@ -299,6 +415,15 @@ class FlatIndex:
 
     def vicinity_probe(self, u: int, other: int) -> Tuple[bool, Optional[Distance]]:
         """``(is_member, distance)`` of ``other`` in ``Gamma(u)``."""
+        if self._integral:
+            # Unweighted: the stored distance table is exactly the
+            # member set, so one binary search answers both questions.
+            lo, hi = self._vic_slice(u)
+            nodes = self.vic_nodes[lo:hi]
+            i = nodes.searchsorted(other)
+            if i >= nodes.size or nodes[i] != other:
+                return False, None
+            return True, int(self.vic_dists[lo + i])
         lo, hi = int(self.member_offsets[u]), int(self.member_offsets[u + 1])
         members = self.member_nodes[lo:hi]
         i = int(np.searchsorted(members, other))
@@ -325,6 +450,135 @@ class FlatIndex:
         lo, hi = int(self.boundary_offsets[u]), int(self.boundary_offsets[u + 1])
         return self.boundary_nodes[lo:hi], self.boundary_dists[lo:hi]
 
+    def member_payload(self, u: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Full-vicinity scan payload: member ids and their distances.
+
+        The iteration set of the unoptimised ``full-*`` kernels
+        (ablation A1).  Members are scanned in sorted-id order — the
+        flat layout has no dict iteration order to preserve — so a
+        ``full-*`` witness can differ from the dict path's on distance
+        ties (the distance itself cannot).
+        """
+        lo, hi = int(self.member_offsets[u]), int(self.member_offsets[u + 1])
+        nodes = self.member_nodes[lo:hi]
+        vlo, vhi = self._vic_slice(u)
+        dists = self.vic_dists[vlo:vhi][
+            np.searchsorted(self.vic_nodes[vlo:vhi], nodes)
+        ]
+        return nodes, dists
+
+    @property
+    def _member_key(self) -> np.ndarray:
+        """Global (owner, node) member key, sorted; built on first use."""
+        if self._member_key_cache is None:
+            owners = np.repeat(
+                np.arange(self.n, dtype=np.int64), self.member_counts
+            )
+            self._member_key_cache = owners * self._key_scale + self.member_nodes
+        return self._member_key_cache
+
+    @property
+    def _vic_key(self) -> np.ndarray:
+        """Global (owner, node) distance-table key, sorted; lazy."""
+        if self._vic_key_cache is None:
+            owners = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self.vic_offsets)
+            )
+            self._vic_key_cache = owners * self._key_scale + self.vic_nodes
+        return self._vic_key_cache
+
+    @property
+    def member_dists(self) -> np.ndarray:
+        """Distances aligned with ``member_nodes`` (lazy, full-kernel scans)."""
+        if self._member_dists is None:
+            if self._member_key.size:
+                self._member_dists = self.vic_dists[
+                    np.searchsorted(self._vic_key, self._member_key)
+                ]
+            else:
+                self._member_dists = np.zeros(0, dtype=self.vic_dists.dtype)
+        return self._member_dists
+
+    def member_probe_many(
+        self, owners: np.ndarray, others: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`vicinity_probe` over aligned pair arrays.
+
+        One searchsorted over the global (owner, node) key answers
+        ``others[i] in Gamma(owners[i])`` for every ``i`` at once; a
+        second gathers the stored distances for the hits.  Returns
+        ``(hit_mask, distances)`` with distances meaningful only where
+        the mask is true.
+        """
+        key = owners * self._key_scale + others
+        dists = np.zeros(key.size, dtype=self.vic_dists.dtype)
+        if self._member_key.size == 0 or key.size == 0:
+            return np.zeros(key.size, dtype=bool), dists
+        pos = np.searchsorted(self._member_key, key)
+        np.minimum(pos, self._member_key.size - 1, out=pos)
+        hit = self._member_key[pos] == key
+        if hit.any():
+            vpos = np.searchsorted(self._vic_key, key[hit])
+            dists[hit] = self.vic_dists[vpos]
+        return hit, dists
+
+    def intersect_many(
+        self,
+        scan_offsets: np.ndarray,
+        scan_nodes: np.ndarray,
+        scan_dists: np.ndarray,
+        scan_owner: np.ndarray,
+        probe_owner: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The fused batch intersection kernel.
+
+        For each pair ``i``, scans ``scan_owner[i]``'s slice of the
+        given offset-indexed scan arrays against ``Gamma(probe_owner[i])``
+        *on this index* — one flat join over the whole lane instead of
+        one kernel call per pair.  Per pair the outcome is identical to
+        :meth:`intersect_payload`: same minimal sum, same first-minimum
+        witness in scan order, one probe per scanned node.
+
+        Returns ``(best, witness, probes)`` arrays; ``best`` is
+        ``float64`` with ``inf`` marking no intersection and ``witness``
+        ``-1`` there.
+        """
+        lanes = scan_owner.size
+        lo = scan_offsets[scan_owner]
+        sizes = (scan_offsets[scan_owner + 1] - lo).astype(np.int64)
+        best = np.full(lanes, np.inf, dtype=np.float64)
+        witness = np.full(lanes, -1, dtype=np.int64)
+        total = int(sizes.sum())
+        if total == 0 or self._member_key.size == 0:
+            return best, witness, sizes
+        # CSR gather: element j of the concatenation belongs to pair
+        # seg[j] and sits at global index gidx[j] of the scan arrays
+        # (ascending within each pair, preserving scan order).
+        seg = np.repeat(np.arange(lanes, dtype=np.int64), sizes)
+        prefix = np.cumsum(sizes) - sizes
+        gidx = np.repeat(lo - prefix, sizes) + np.arange(total, dtype=np.int64)
+        nodes = scan_nodes[gidx]
+        key = probe_owner[seg] * self._key_scale + nodes
+        pos = np.searchsorted(self._member_key, key)
+        np.minimum(pos, self._member_key.size - 1, out=pos)
+        hit = self._member_key[pos] == key
+        if not hit.any():
+            return best, witness, sizes
+        hseg = seg[hit]
+        sums = (
+            scan_dists[gidx[hit]].astype(np.float64)
+            + self.vic_dists[np.searchsorted(self._vic_key, key[hit])]
+        )
+        np.minimum.at(best, hseg, sums)
+        # First minimum in scan order == the scalar kernel's witness
+        # (strict `candidate < best` keeps the earliest minimum).
+        is_min = sums == best[hseg]
+        first = np.full(lanes, total, dtype=np.int64)
+        np.minimum.at(first, hseg[is_min], np.flatnonzero(hit)[is_min])
+        found = first < total
+        witness[found] = nodes[first[found]]
+        return best, witness, sizes
+
     def intersect_payload(
         self,
         scan_nodes: np.ndarray,
@@ -340,6 +594,27 @@ class FlatIndex:
         probes = int(scan_nodes.size)
         if probes == 0:
             return None, None, probes
+        if self._integral:
+            # Unweighted fast path: the distance table IS the member
+            # set, so one slice-local search settles membership and
+            # distance together (cache-resident, unlike a global-key
+            # join) and one argmin over the hits elects the witness.
+            lo, hi = self._vic_slice(target)
+            nodes_t = self.vic_nodes[lo:hi]
+            if nodes_t.size == 0:
+                return None, None, probes
+            pos = nodes_t.searchsorted(scan_nodes)
+            np.minimum(pos, nodes_t.size - 1, out=pos)
+            hit_idx = np.flatnonzero(nodes_t.take(pos) == scan_nodes)
+            if hit_idx.size == 0:
+                return None, None, probes
+            sums = self.vic_dists[lo:hi].take(pos.take(hit_idx)) + scan_dists.take(
+                hit_idx
+            )
+            # argmin returns the first minimum in scan order — the same
+            # witness the scalar kernel's strict `candidate < best` keeps.
+            k = int(np.argmin(sums))
+            return int(sums[k]), int(scan_nodes[hit_idx[k]]), probes
         mlo, mhi = int(self.member_offsets[target]), int(self.member_offsets[target + 1])
         members = self.member_nodes[mlo:mhi]
         if members.size == 0:
@@ -353,8 +628,6 @@ class FlatIndex:
         lo, hi = self._vic_slice(target)
         nodes_t = self.vic_nodes[lo:hi]
         sums = scan_dists[hit] + self.vic_dists[lo:hi][np.searchsorted(nodes_t, hit_nodes)]
-        # argmin returns the first minimum in scan order — the same
-        # witness the scalar kernel's strict `candidate < best` keeps.
         k = int(np.argmin(sums))
         best = sums[k]
         return (int(best) if self._integral else float(best)), int(hit_nodes[k]), probes
@@ -380,3 +653,118 @@ class FlatIndex:
             node = int(preds[i])
             path.append(node)
         raise QueryError(f"cyclic predecessor chain walking {start} -> {root}")
+
+    # ------------------------------------------------------------------
+    # incremental refresh (dynamic repair)
+    # ------------------------------------------------------------------
+    def refreshed(self, index, nodes) -> "FlatIndex":
+        """Return a new index with only ``nodes``' slices re-flattened.
+
+        The dynamic oracle repairs a handful of vicinities per edge
+        insertion; re-extracting every per-node dict would dominate the
+        repair cost, so this splices fresh (sorted) slices for exactly
+        the touched nodes into the existing arrays.  Landmark tables are
+        re-stacked wholesale — table repair mutates the dict-side arrays
+        in place and their shapes never change, so that is one cheap
+        copy.  The result equals ``FlatIndex.from_index(index)``
+        (pinned by a test).
+        """
+        touched = sorted({int(u) for u in nodes if 0 <= int(u) < self.n})
+        dist_dtype = self.vic_dists.dtype
+        vic_parts: dict[int, tuple] = {}
+        member_parts: dict[int, np.ndarray] = {}
+        boundary_parts: dict[int, tuple] = {}
+        for u in touched:
+            vic = index.vicinities[u]
+            keys, values, preds = _sorted_vic_slice(vic, dist_dtype)
+            vic_parts[u] = (keys, values, preds)
+            member_parts[u] = np.sort(
+                np.fromiter(vic.members, dtype=np.int64, count=len(vic.members))
+            )
+            boundary = np.asarray(vic.boundary, dtype=np.int64)
+            boundary_parts[u] = (
+                boundary,
+                values.take(np.searchsorted(keys, boundary)),
+            )
+
+        vic_offsets, (vic_nodes, vic_dists, vic_preds) = _splice(
+            self.vic_offsets,
+            (self.vic_nodes, self.vic_dists, self.vic_preds),
+            vic_parts,
+        )
+        member_offsets, (member_nodes,) = _splice(
+            self.member_offsets, (self.member_nodes,),
+            {u: (part,) for u, part in member_parts.items()},
+        )
+        boundary_offsets, (boundary_nodes, boundary_dists) = _splice(
+            self.boundary_offsets,
+            (self.boundary_nodes, self.boundary_dists),
+            boundary_parts,
+        )
+
+        if index.tables:
+            ids = self.landmark_ids.tolist()
+            table_dist = np.stack([index.tables[l].dist for l in ids])
+            parents = [index.tables[l].parent for l in ids]
+            if any(p is None for p in parents):
+                table_parent = np.zeros((0, 0), dtype=np.int32)
+            else:
+                table_parent = np.stack(parents)
+        else:
+            table_dist, table_parent = self.table_dist, self.table_parent
+
+        arrays = {
+            "vic_offsets": vic_offsets,
+            "vic_nodes": vic_nodes,
+            "vic_dists": vic_dists,
+            "vic_preds": vic_preds,
+            "member_offsets": member_offsets,
+            "member_nodes": member_nodes,
+            "boundary_offsets": boundary_offsets,
+            "boundary_nodes": boundary_nodes,
+            "boundary_dists": boundary_dists,
+            "table_dist": table_dist,
+            "table_parent": table_parent,
+            "landmark_ids": self.landmark_ids,
+            "landmark_row": self.landmark_row,
+        }
+        return FlatIndex(
+            arrays, n=self.n, weighted=self.weighted, store_paths=self.store_paths
+        )
+
+
+def _splice(
+    offsets: np.ndarray,
+    arrays: tuple,
+    replacements: dict[int, tuple],
+) -> tuple:
+    """Replace per-node slices of offset-indexed arrays.
+
+    ``replacements`` maps node id to one replacement array per entry of
+    ``arrays``.  Untouched runs are copied in whole blocks, so the cost
+    is one pass over the data regardless of how many nodes changed.
+    Returns ``(new_offsets, new_arrays)``.
+    """
+    n = offsets.size - 1
+    counts = np.diff(offsets).copy()
+    for u, parts in replacements.items():
+        counts[u] = parts[0].size
+    new_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=new_offsets[1:])
+    outs = [np.empty(int(new_offsets[-1]), dtype=a.dtype) for a in arrays]
+    prev = 0  # old-array read position
+    write = 0
+    for u in sorted(replacements):
+        old_lo, old_hi = int(offsets[u]), int(offsets[u + 1])
+        run = old_lo - prev
+        for out, src in zip(outs, arrays):
+            out[write:write + run] = src[prev:old_lo]
+        write += run
+        for out, part in zip(outs, replacements[u]):
+            out[write:write + part.size] = part
+        write += replacements[u][0].size
+        prev = old_hi
+    tail = offsets[-1] - prev
+    for out, src in zip(outs, arrays):
+        out[write:write + tail] = src[prev:]
+    return new_offsets, tuple(outs)

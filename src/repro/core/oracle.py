@@ -20,18 +20,10 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-import numpy as np
-
 from repro.core.config import OracleConfig
 from repro.core.fallback import fallback_distance, fallback_path
 from repro.core.index import VicinityIndex
-from repro.core.intersect import run_kernel
 from repro.core.memory import MemoryReport, memory_report
-from repro.core.paths import (
-    splice_at_witness,
-    walk_parent_array,
-    walk_predecessors,
-)
 from repro.core.stats import IndexStats
 from repro.exceptions import QueryError, UnreachableError
 from repro.graph.csr import CSRGraph
@@ -169,11 +161,21 @@ class VicinityOracle:
     or wrap an existing :class:`VicinityIndex`::
 
         oracle = VicinityOracle(index)
+
+    The read path runs on the flat
+    :class:`~repro.core.engine.FlatQueryEngine` — the index is
+    flattened once (lazily, on the first query) and every probe
+    executes against contiguous arrays.  The per-node dicts of the
+    wrapped :class:`VicinityIndex` remain the mutable build/repair
+    representation (the dynamic oracle edits them, then re-flattens the
+    touched slices via :meth:`refresh_engine`).
     """
 
     def __init__(self, index: VicinityIndex) -> None:
         self.index = index
         self.counters = OracleCounters()
+        self._engine = None
+        self._engine_generation = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -228,6 +230,49 @@ class VicinityOracle:
     def memory(self) -> MemoryReport:
         """Memory accounting for the built index (§3.2 claims)."""
         return memory_report(self.index)
+
+    # ------------------------------------------------------------------
+    # the flat engine
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The flat query engine this oracle's read path runs on.
+
+        Built on first access (one flattening pass over the index,
+        cached on the index object) and reused for every subsequent
+        query.  A generation counter on the index — bumped by
+        :meth:`refresh_engine` after every mutation — makes *every*
+        wrapper of a mutated index rebuild from the refreshed flatten,
+        matching the retired dict path's always-live reads.
+        """
+        generation = getattr(self.index, "_flat_generation", 0)
+        if self._engine is None or self._engine_generation != generation:
+            from repro.core.engine import FlatQueryEngine
+
+            self._engine = FlatQueryEngine.from_index(self.index)
+            self._engine_generation = generation
+        return self._engine
+
+    def refresh_engine(self, nodes=None) -> None:
+        """Re-flatten after an in-place index mutation.
+
+        The dynamic oracle calls this after each repair with exactly
+        the vicinity ids it rebuilt; only those slices (plus the
+        landmark tables, which repair mutates in place) are
+        re-extracted into the index-level flatten cache.  Bumping the
+        index's flatten generation invalidates the engine of every
+        oracle wrapping this index, not just this one.  With
+        ``nodes=None`` the cache is dropped and rebuilt in full,
+        lazily.
+        """
+        index = self.index
+        cached = getattr(index, "_flat_index", None)
+        if nodes is not None and cached is not None:
+            index._flat_index = cached.refreshed(index, nodes)
+        else:
+            index._flat_index = None
+        index._flat_generation = getattr(index, "_flat_generation", 0) + 1
+        self._engine = None
 
     # ------------------------------------------------------------------
     # the online phase
@@ -330,19 +375,12 @@ class VicinityOracle:
 
         Semantically identical to mapping :meth:`query` over ``pairs``
         — same distances, methods and probe counts per pair, counters
-        folded in once per pair — but cheaper in aggregate:
-
-        * endpoints are validated in bulk with one vectorised bounds
-          check instead of two Python calls per pair;
-        * the landmark-flag test of conditions (1)/(2) is evaluated as
-          one numpy gather across the whole batch, so landmark-endpoint
-          pairs jump straight to their table lookup;
-        * trivial ``s == t`` pairs short-circuit without touching the
-          index.
-
-        Only the remaining pairs — the ones that need a vicinity probe
-        or an intersection — run the full Algorithm 1 dispatch.  This is
-        the substrate the serving layer's
+        folded in once per pair — but executed through the engine's
+        fused batch lanes: one vectorised bounds check, one landmark
+        gather per table lane, two global searchsorteds for conditions
+        (3)/(4), and the fused intersection join (sorted by source so
+        repeated sources share one boundary payload) for the rest.
+        This is the substrate the serving layer's
         :class:`~repro.service.batch.BatchExecutor` builds on (adding
         deduplication, symmetry and caching).
 
@@ -353,51 +391,19 @@ class VicinityOracle:
         Returns:
             One :class:`QueryResult` per input pair, in input order.
         """
+        from repro.core.engine import run_query_batch
+
         index = self.index
-        graph = index.graph
-        pair_list = [(int(s), int(t)) for s, t in pairs]
-        if not pair_list:
-            return []
         if with_path and not index.config.store_paths and index.config.fallback == "none":
             raise QueryError("index was built with store_paths=False")
-
-        flat = np.asarray(pair_list, dtype=np.int64)
-        out_of_range = (flat < 0) | (flat >= graph.n)
-        if out_of_range.any():
-            # Delegate to check_node for the canonical error.
-            graph.check_node(int(flat[out_of_range][0]))
-
-        sources, targets = flat[:, 0], flat[:, 1]
-        flags = np.asarray(index.landmarks.is_landmark, dtype=np.uint8)
-        source_is_landmark = flags[sources]
-        target_is_landmark = flags[targets]
-
-        tables = index.tables
-        results: list[Optional[QueryResult]] = [None] * len(pair_list)
-        record = self.counters.record
-        for i, (s, t) in enumerate(pair_list):
-            if s == t:
-                result = QueryResult(
-                    s, t, 0, [s] if with_path else None, "identical", None, 0
-                )
-            # The probe constants below replicate _resolve's incremental
-            # counting for these lanes and must stay in sync with it
-            # (pinned by tests/service/test_batch.py probe-equality).
-            elif source_is_landmark[i] and s in tables:
-                # Condition (1): probes = source flag + table hit.
-                result = self._answer_from_table(
-                    s, t, tables[s], "landmark-source", 2, with_path
-                )
-            elif target_is_landmark[i] and t in tables:
-                # Condition (2): probes = both flags + table hit.
-                result = self._answer_from_table(
-                    s, t, tables[t], "landmark-target", 3, with_path
-                )
-            else:
-                result = self._resolve(s, t, with_path)
-            record(result)
-            results[i] = result
-        return results
+        return run_query_batch(
+            self.engine,
+            pairs,
+            with_path,
+            check_node=index.graph.check_node,
+            fallback=self._fallback if index.config.fallback != "none" else None,
+            record=self.counters.record,
+        )
 
     def distances_from(self, source: int, targets) -> list[Optional[Distance]]:
         """Return distances from ``source`` to each of ``targets``.
@@ -439,97 +445,11 @@ class VicinityOracle:
         if with_path and not index.config.store_paths and index.config.fallback == "none":
             raise QueryError("index was built with store_paths=False")
 
-        result = self._resolve(source, target, with_path)
+        result = self.engine.resolve(int(source), int(target), with_path)
+        if result.method == "miss" and index.config.fallback != "none":
+            result = self._fallback(source, target, result.probes, with_path)
         self.counters.record(result)
         return result
-
-    def _resolve(self, source: int, target: int, with_path: bool) -> QueryResult:
-        index = self.index
-        probes = 0
-
-        if source == target:
-            return QueryResult(
-                source, target, 0, [source] if with_path else None, "identical", None, 0
-            )
-
-        # Conditions (1) and (2): a landmark endpoint with a full table.
-        flags = index.landmarks.is_landmark
-        probes += 1
-        if flags[source]:
-            table = index.tables.get(source)
-            if table is not None:
-                probes += 1
-                return self._answer_from_table(
-                    source, target, table, "landmark-source", probes, with_path
-                )
-        probes += 1
-        if flags[target]:
-            table = index.tables.get(target)
-            if table is not None:
-                probes += 1
-                return self._answer_from_table(
-                    source, target, table, "landmark-target", probes, with_path
-                )
-
-        vic_s = index.vicinities[source]
-        vic_t = index.vicinities[target]
-
-        # Condition (3): t inside Gamma(s).
-        probes += 1
-        if target in vic_s.members:
-            path = None
-            if with_path:
-                path = walk_predecessors(vic_s.pred, target, source)
-            return QueryResult(
-                source, target, vic_s.dist[target], path,
-                "target-in-source-vicinity", None, probes,
-            )
-        # Condition (4): s inside Gamma(t).
-        probes += 1
-        if source in vic_t.members:
-            path = None
-            if with_path:
-                path = walk_predecessors(vic_t.pred, source, target)
-                path.reverse()
-            return QueryResult(
-                source, target, vic_t.dist[source], path,
-                "source-in-target-vicinity", None, probes,
-            )
-
-        # The main loop: boundary-driven vicinity intersection.
-        best, witness, kernel_probes = run_kernel(index.config.kernel, vic_s, vic_t)
-        probes += kernel_probes
-        if best is not None and witness is not None:
-            path = None
-            if with_path:
-                path = splice_at_witness(vic_s.pred, vic_t.pred, source, target, witness)
-            return QueryResult(source, target, best, path, "intersection", witness, probes)
-
-        return self._fallback(source, target, probes, with_path)
-
-    def _answer_from_table(
-        self,
-        source: int,
-        target: int,
-        table,
-        method: str,
-        probes: int,
-        with_path: bool,
-    ) -> QueryResult:
-        other = target if method == "landmark-source" else source
-        distance = table.distance_to(other)
-        if distance is None:
-            return QueryResult(source, target, None, None, "disconnected", None, probes)
-        path = None
-        if with_path:
-            if table.parent is None:
-                raise QueryError("index was built with store_paths=False")
-            if method == "landmark-source":
-                path = walk_parent_array(table.parent, target, source)
-            else:
-                path = walk_parent_array(table.parent, source, target)
-                path.reverse()
-        return QueryResult(source, target, distance, path, method, None, probes)
 
     def _fallback(
         self, source: int, target: int, probes: int, with_path: bool

@@ -1,0 +1,285 @@
+"""The retired dict probe paths, preserved as the parity baseline.
+
+Before PR 3, :class:`~repro.core.oracle.VicinityOracle` and
+:class:`~repro.core.directed.DirectedVicinityOracle` resolved queries by
+probing the per-node dict records directly; the flat
+:class:`~repro.core.engine.FlatQueryEngine` is now the canonical read
+path and the dict resolvers were deleted from the serving surface.
+They live on here, verbatim, for two purposes only:
+
+* the dict↔flat **parity suite** (``tests/core/test_engine.py``) pins
+  every :class:`QueryResult` field of the engine against this
+  implementation across random graphs, kernels, directed mode and
+  post-insertion dynamic repair;
+* ``benchmarks/bench_service.py`` races the fused flat ``query_batch``
+  against this dict ``query_batch`` to keep the headline speedup
+  honest (the acceptance bar is >= 2x).
+
+Nothing in the serving stack may import this module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.fallback import fallback_distance, fallback_path
+from repro.core.intersect import run_kernel, scan_and_probe
+from repro.core.oracle import QueryResult
+from repro.core.paths import (
+    splice_at_witness,
+    walk_parent_array,
+    walk_predecessors,
+)
+from repro.exceptions import QueryError
+
+
+class DictReferenceOracle:
+    """Algorithm 1 over the per-node dict records (the PR 2 read path).
+
+    Mirrors the pre-engine ``VicinityOracle`` byte for byte — same
+    resolution order, probe counting, witness tie-breaking and path
+    splicing — minus the lifetime counters (parity tests compare
+    per-query results, not aggregates).
+    """
+
+    def __init__(self, index) -> None:
+        self.index = index
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
+        index = self.index
+        index.graph.check_node(source)
+        index.graph.check_node(target)
+        if with_path and not index.config.store_paths and index.config.fallback == "none":
+            raise QueryError("index was built with store_paths=False")
+        return self._resolve(source, target, with_path)
+
+    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+        """The PR 2 dict ``query_batch``: vectorised landmark lanes,
+        per-pair dict dispatch for everything else."""
+        index = self.index
+        graph = index.graph
+        pair_list = [(int(s), int(t)) for s, t in pairs]
+        if not pair_list:
+            return []
+        if with_path and not index.config.store_paths and index.config.fallback == "none":
+            raise QueryError("index was built with store_paths=False")
+
+        flat = np.asarray(pair_list, dtype=np.int64)
+        out_of_range = (flat < 0) | (flat >= graph.n)
+        if out_of_range.any():
+            graph.check_node(int(flat[out_of_range][0]))
+
+        sources, targets = flat[:, 0], flat[:, 1]
+        flags = np.asarray(index.landmarks.is_landmark, dtype=np.uint8)
+        source_is_landmark = flags[sources]
+        target_is_landmark = flags[targets]
+
+        tables = index.tables
+        results: list[Optional[QueryResult]] = [None] * len(pair_list)
+        for i, (s, t) in enumerate(pair_list):
+            if s == t:
+                result = QueryResult(
+                    s, t, 0, [s] if with_path else None, "identical", None, 0
+                )
+            elif source_is_landmark[i] and s in tables:
+                result = self._answer_from_table(
+                    s, t, tables[s], "landmark-source", 2, with_path
+                )
+            elif target_is_landmark[i] and t in tables:
+                result = self._answer_from_table(
+                    s, t, tables[t], "landmark-target", 3, with_path
+                )
+            else:
+                result = self._resolve(s, t, with_path)
+            results[i] = result
+        return results
+
+    # ------------------------------------------------------------------
+    # the dict resolution chain (formerly VicinityOracle._resolve)
+    # ------------------------------------------------------------------
+    def _resolve(self, source: int, target: int, with_path: bool) -> QueryResult:
+        index = self.index
+        probes = 0
+
+        if source == target:
+            return QueryResult(
+                source, target, 0, [source] if with_path else None, "identical", None, 0
+            )
+
+        flags = index.landmarks.is_landmark
+        probes += 1
+        if flags[source]:
+            table = index.tables.get(source)
+            if table is not None:
+                probes += 1
+                return self._answer_from_table(
+                    source, target, table, "landmark-source", probes, with_path
+                )
+        probes += 1
+        if flags[target]:
+            table = index.tables.get(target)
+            if table is not None:
+                probes += 1
+                return self._answer_from_table(
+                    source, target, table, "landmark-target", probes, with_path
+                )
+
+        vic_s = index.vicinities[source]
+        vic_t = index.vicinities[target]
+
+        probes += 1
+        if target in vic_s.members:
+            path = None
+            if with_path:
+                path = walk_predecessors(vic_s.pred, target, source)
+            return QueryResult(
+                source, target, vic_s.dist[target], path,
+                "target-in-source-vicinity", None, probes,
+            )
+        probes += 1
+        if source in vic_t.members:
+            path = None
+            if with_path:
+                path = walk_predecessors(vic_t.pred, source, target)
+                path.reverse()
+            return QueryResult(
+                source, target, vic_t.dist[source], path,
+                "source-in-target-vicinity", None, probes,
+            )
+
+        best, witness, kernel_probes = run_kernel(index.config.kernel, vic_s, vic_t)
+        probes += kernel_probes
+        if best is not None and witness is not None:
+            path = None
+            if with_path:
+                path = splice_at_witness(vic_s.pred, vic_t.pred, source, target, witness)
+            return QueryResult(source, target, best, path, "intersection", witness, probes)
+
+        return self._fallback(source, target, probes, with_path)
+
+    def _answer_from_table(
+        self, source, target, table, method, probes, with_path
+    ) -> QueryResult:
+        other = target if method == "landmark-source" else source
+        distance = table.distance_to(other)
+        if distance is None:
+            return QueryResult(source, target, None, None, "disconnected", None, probes)
+        path = None
+        if with_path:
+            if table.parent is None:
+                raise QueryError("index was built with store_paths=False")
+            if method == "landmark-source":
+                path = walk_parent_array(table.parent, target, source)
+            else:
+                path = walk_parent_array(table.parent, source, target)
+                path.reverse()
+        return QueryResult(source, target, distance, path, method, None, probes)
+
+    def _fallback(
+        self, source: int, target: int, probes: int, with_path: bool
+    ) -> QueryResult:
+        if self.index.config.fallback == "none":
+            return QueryResult(source, target, None, None, "miss", None, probes)
+        graph = self.index.graph
+        if with_path:
+            distance, path = fallback_path(graph, source, target)
+        else:
+            distance, path = fallback_distance(graph, source, target), None
+        if distance is None:
+            return QueryResult(source, target, None, None, "disconnected", None, probes)
+        return QueryResult(source, target, distance, path, "fallback", None, probes)
+
+
+def directed_reference_resolve(oracle, source: int, target: int, with_path: bool = False):
+    """The pre-engine ``DirectedVicinityOracle._resolve``, preserved.
+
+    Reads the directed oracle's dict structures (out/in vicinities,
+    forward/backward tables) exactly as PR 2 did, including the
+    boundary-smaller scan choice and reversed-orientation path walks.
+    Fallback is reported as a plain ``miss`` — the caller owns fallback
+    conversion, matching the engine-backed oracle's split.
+    """
+    from repro.core.directed import DirectedQueryResult
+
+    probes = 0
+    if source == target:
+        return DirectedQueryResult(
+            source, target, 0, [source] if with_path else None, "identical", None, 0
+        )
+    probes += 1
+    if oracle.is_landmark[source]:
+        dist, parent = oracle.forward_tables[source]
+        probes += 1
+        d = int(dist[target])
+        if d < 0:
+            return DirectedQueryResult(
+                source, target, None, None, "disconnected", None, probes
+            )
+        path = walk_parent_array(parent, target, source) if with_path else None
+        return DirectedQueryResult(
+            source, target, d, path, "landmark-source", None, probes
+        )
+    probes += 1
+    if oracle.is_landmark[target]:
+        dist, parent = oracle.backward_tables[target]
+        probes += 1
+        d = int(dist[source])
+        if d < 0:
+            return DirectedQueryResult(
+                source, target, None, None, "disconnected", None, probes
+            )
+        path = None
+        if with_path:
+            path = walk_parent_array(parent, source, target)
+            path.reverse()
+        return DirectedQueryResult(
+            source, target, d, path, "landmark-target", None, probes
+        )
+
+    vic_out = oracle.out_vicinities[source]
+    vic_in = oracle.in_vicinities[target]
+    probes += 1
+    if target in vic_out.members:
+        path = (
+            walk_predecessors(vic_out.pred, target, source) if with_path else None
+        )
+        return DirectedQueryResult(
+            source, target, vic_out.dist[target], path,
+            "target-in-source-vicinity", None, probes,
+        )
+    probes += 1
+    if source in vic_in.members:
+        path = None
+        if with_path:
+            path = walk_predecessors(vic_in.pred, source, target)
+            path.reverse()
+        return DirectedQueryResult(
+            source, target, vic_in.dist[source], path,
+            "source-in-target-vicinity", None, probes,
+        )
+
+    if len(vic_out.boundary) <= len(vic_in.boundary):
+        best, witness, kernel_probes = scan_and_probe(
+            vic_out.boundary, vic_out.dist, vic_in.members, vic_in.dist
+        )
+    else:
+        best, witness, kernel_probes = scan_and_probe(
+            vic_in.boundary, vic_in.dist, vic_out.members, vic_out.dist
+        )
+    probes += kernel_probes
+    if best is not None and witness is not None:
+        path = None
+        if with_path:
+            first = walk_predecessors(vic_out.pred, witness, source)
+            second = walk_predecessors(vic_in.pred, witness, target)
+            second.reverse()
+            path = first + second[1:]
+        return DirectedQueryResult(
+            source, target, best, path, "intersection", witness, probes
+        )
+    return DirectedQueryResult(source, target, None, None, "miss", None, probes)

@@ -118,6 +118,26 @@ def load_flat_arrays(
     return arrays, meta
 
 
+def load_flat_index(path: PathLike):
+    """Load a saved index straight into a probe-ready ``FlatIndex``.
+
+    The dict-free loading path of the serving layer: the shard
+    backends' ``from_saved`` constructors and any
+    :class:`~repro.core.engine.FlatQueryEngine` consumer go through
+    this instead of :func:`load_index`, skipping per-node dict
+    materialisation entirely.
+    """
+    from repro.core.flat import FlatIndex
+
+    arrays, meta = load_flat_arrays(path)
+    return FlatIndex.from_store_arrays(
+        arrays,
+        n=meta["n"],
+        weighted=meta["weighted"],
+        store_paths=meta["store_paths"],
+    )
+
+
 def load_index(path: PathLike) -> VicinityIndex:
     """Load an index saved by :func:`save_index`.
 

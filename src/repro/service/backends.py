@@ -11,11 +11,14 @@ Two interchangeable executors implement the §5 partitioned scheme:
   a process-spawn startup and one IPC exchange per worker per batch,
   and in return actually executes batches in parallel.
 
-Both present the :class:`ShardBackend` surface, answer with identical
-:class:`~repro.core.oracle.QueryResult`\\ s, and keep the same
-:class:`~repro.core.parallel.MessageLog` accounting, so
+Both run the same :class:`~repro.core.engine.ShardQueryEngine` over the
+same :class:`~repro.core.flat.FlatIndex` arrays (only the execution
+substrate differs), present the :class:`ShardBackend` surface, answer
+with identical :class:`~repro.core.oracle.QueryResult`\\ s, and keep
+the same :class:`~repro.core.parallel.MessageLog` accounting, so
 :class:`~repro.service.batch.BatchExecutor`, the server front end and
-the CLI treat them as one thing.
+the CLI treat them as one thing.  Both also build dict-free from a
+saved index via their ``from_saved`` constructors.
 """
 
 from __future__ import annotations
@@ -72,8 +75,8 @@ def create_shard_backend(
     """Build the named shard backend over a built index.
 
     Extra keyword arguments are forwarded to the backend constructor
-    (e.g. ``start_method=`` for ``procpool``, ``dispatchers=`` for
-    ``threads``).
+    (e.g. ``start_method=`` or ``worker_cache_size=`` for
+    ``procpool``).
     """
     if backend == "threads":
         return ShardedService(

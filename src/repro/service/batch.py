@@ -9,13 +9,16 @@ single pair:
 2. deduplicate the batch, answering each distinct pair once;
 3. consult the landmark-aware LRU cache
    (:class:`~repro.service.cache.ResultCache`);
-4. send only the residual pairs to the backend's ``query_batch`` —
-   :meth:`repro.core.oracle.VicinityOracle.query_batch` or a
-   :class:`~repro.service.sharded.ShardedService`;
-5. fan results back out to the original order and orientation.
+4. send only the residual pairs to the backend's ``query_batch``.
 
-The executor itself exposes ``query_batch``, so executors compose (for
-example a cache in front of a sharded service).
+The backend is anything satisfying the
+:class:`~repro.core.engine.QueryEngine` protocol — a
+:class:`~repro.core.oracle.VicinityOracle` (whose read path runs on
+the flat engine's fused batch lanes), a bare
+:class:`~repro.core.engine.FlatQueryEngine`, either shard backend, or
+another executor — and results fan back out to the original order and
+orientation.  The executor itself exposes ``query_batch``, so
+executors compose (for example a cache in front of a sharded service).
 """
 
 from __future__ import annotations
@@ -31,7 +34,11 @@ from repro.service.telemetry import Telemetry
 
 
 class QueryBackend(Protocol):
-    """Anything able to answer a list of pairs in order."""
+    """Anything able to answer a list of pairs in order.
+
+    A structural subset of :class:`repro.core.engine.QueryEngine`
+    (``query`` is optional for a batch backend).
+    """
 
     def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
         ...

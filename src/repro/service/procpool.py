@@ -5,24 +5,33 @@
 GIL — no speed (every worker interleaves on one core).  This module
 promotes the same scheme to worker *processes*:
 
-* the index is flattened once into the offset-indexed arrays the
-  persistence layer already defines, copied into one
-  ``multiprocessing.shared_memory`` segment, and mapped zero-copy by
+* the flattened offset-indexed arrays are copied into one
+  ``multiprocessing.shared_memory`` segment and mapped zero-copy by
   every worker (no per-worker index load, no pickling);
 * each worker process serves the queries *homed* on its shard — the
-  §5 coordinator role for ``shard(s)`` — running Algorithm 1 against
-  the shared arrays via :class:`repro.core.flat.FlatIndex`;
+  §5 coordinator role for ``shard(s)`` — running the same
+  :class:`~repro.core.engine.ShardQueryEngine` the thread backend's
+  workers run, over the shared arrays;
 * a batch is partitioned by home shard, shipped to the workers in one
   message each, and reassembled in input order — so IPC cost is per
   *batch*, not per shard touch, while the wire *accounting* still
   models the per-query exchanges §5 prescribes: workers return each
   round trip's payload byte count and the coordinator records them in
   the same :class:`~repro.core.parallel.MessageLog` the thread backend
-  and the simulation use.
+  and the simulation use;
+* optionally (``worker_cache_size > 0``) each worker keeps its own
+  :class:`~repro.service.cache.ResultCache` over its homed pairs, so a
+  repeated expensive pair is served from worker memory — skipping the
+  kernel, the numpy crossings *and* the modelled round trip.  Hit
+  counts ride back on every reply and fold into the coordinator's
+  telemetry snapshot.
 
-Results are identical to the thread backend — distance, method,
-witness, probes, path, and MessageLog totals — which a parity test
-pins across both backends from the same saved index.
+With the worker cache off (the default), results are identical to the
+thread backend — distance, method, witness, probes, path, and
+MessageLog totals — which a parity test pins across both backends from
+the same saved index.  With it on, repeated pairs reuse their first
+resolution (same answer object, original probe count) and the wire log
+records only the work actually re-done.
 """
 
 from __future__ import annotations
@@ -31,136 +40,18 @@ import multiprocessing
 import threading
 from typing import Optional
 
-import numpy as np
-
+from repro.core.engine import ShardQueryEngine
 from repro.core.flat import FlatIndex
 from repro.core.oracle import QueryResult
-from repro.core.parallel import (
-    BYTES_PER_WIRE_ENTRY,
-    MessageLog,
-    ShardReport,
-    balance_summary_from_reports,
-    shard_assignment,
-)
-from repro.exceptions import NodeNotFoundError, QueryError
+from repro.exceptions import QueryError
 from repro.io.shm import SharedArrayBundle
-
-
-class _FlatShardEngine:
-    """Algorithm 1 under §5 routing, over a shared :class:`FlatIndex`.
-
-    Runs inside each worker process.  The step order, probe counts and
-    wire-byte modelling replicate :meth:`ShardedService.query` exactly;
-    ``answer`` returns the query result plus the payload byte count of
-    every cross-shard round trip the query would have cost.
-    """
-
-    __slots__ = ("flat", "assign", "replicate_tables")
-
-    def __init__(
-        self, flat: FlatIndex, assign: np.ndarray, replicate_tables: bool
-    ) -> None:
-        self.flat = flat
-        self.assign = assign
-        self.replicate_tables = replicate_tables
-
-    def answer(self, source: int, target: int, with_path: bool):
-        """Answer one pair; returns ``(result, round_trip_payload_bytes)``."""
-        flat = self.flat
-        same_shard = self.assign[source] == self.assign[target]
-        trips: list[int] = []
-        probes = 0
-
-        if source == target:
-            path = [source] if with_path else None
-            return QueryResult(source, target, 0, path, "identical", None, 0), trips
-
-        # Condition (1): the source's table lives on the home shard.
-        probes += 1
-        if flat.has_table(source):
-            probes += 1
-            d = flat.table_distance(source, target)
-            method = "landmark-source" if d is not None else "disconnected"
-            path = (
-                flat.parent_chain(source, target)
-                if with_path and d is not None
-                else None
-            )
-            return QueryResult(source, target, d, path, method, None, probes), trips
-        # Condition (2): the target's table costs one round trip unless
-        # replicated.
-        probes += 1
-        if flat.has_table(target):
-            probes += 1
-            d = flat.table_distance(target, source)
-            path = None
-            chain_len = 0
-            if with_path and d is not None:
-                chain = flat.parent_chain(target, source)
-                chain_len = len(chain)
-                path = list(reversed(chain))
-            if not same_shard and not self.replicate_tables:
-                trips.append(max(chain_len, 1) * BYTES_PER_WIRE_ENTRY)
-            method = "landmark-target" if d is not None else "disconnected"
-            return QueryResult(source, target, d, path, method, None, probes), trips
-
-        # Condition (3): Gamma(s) is home-shard-local.
-        probes += 1
-        member, d = flat.vicinity_probe(source, target)
-        if member:
-            path = flat.pred_chain(source, target, source) if with_path else None
-            return (
-                QueryResult(
-                    source, target, d, path, "target-in-source-vicinity", None, probes
-                ),
-                trips,
-            )
-        # Conditions (4) + intersection: one round trip to shard(t).
-        probes += 1
-        member, d = flat.vicinity_probe(target, source)
-        if member:
-            path = None
-            chain_len = 0
-            if with_path:
-                chain = flat.pred_chain(target, source, target)
-                chain_len = len(chain)
-                path = list(reversed(chain))
-            if not same_shard:
-                trips.append(max(chain_len, 1) * BYTES_PER_WIRE_ENTRY)
-            return (
-                QueryResult(
-                    source, target, d, path, "source-in-target-vicinity", None, probes
-                ),
-                trips,
-            )
-        scan_nodes, scan_dists = flat.boundary_payload(source)
-        best, witness, kernel_probes = flat.intersect_payload(
-            scan_nodes, scan_dists, target
-        )
-        probes += kernel_probes
-        if best is not None:
-            path = None
-            chain_len = 0
-            if with_path:
-                second = flat.pred_chain(target, witness, target)
-                chain_len = len(second)
-                first = flat.pred_chain(source, witness, source)
-                path = first + list(reversed(second))[1:]
-            if not same_shard:
-                trips.append((len(scan_nodes) + chain_len) * BYTES_PER_WIRE_ENTRY)
-            return (
-                QueryResult(
-                    source, target, best, path, "intersection", witness, probes
-                ),
-                trips,
-            )
-        if not same_shard:
-            trips.append(len(scan_nodes) * BYTES_PER_WIRE_ENTRY)
-        return QueryResult(source, target, None, None, "miss", None, probes), trips
+from repro.service.shardbase import FlatShardedBase
 
 
 def _worker_main(conn, spec: dict, meta: dict) -> None:
     """Worker process entry: attach the shared index, serve sub-batches."""
+    from repro.service.cache import ResultCache
+
     bundle = SharedArrayBundle.attach(spec)
     flat = FlatIndex(
         bundle.arrays,
@@ -168,10 +59,14 @@ def _worker_main(conn, spec: dict, meta: dict) -> None:
         weighted=meta["weighted"],
         store_paths=meta["store_paths"],
     )
-    engine = _FlatShardEngine(
+    engine = ShardQueryEngine(
         flat, bundle.arrays["shard_assign"], meta["replicate_tables"]
     )
-    assign = engine.assign
+    cache = (
+        ResultCache(meta["worker_cache_size"])
+        if meta["worker_cache_size"] > 0
+        else None
+    )
     try:
         while True:
             message = conn.recv()
@@ -179,18 +74,11 @@ def _worker_main(conn, spec: dict, meta: dict) -> None:
                 break
             seq, pairs, with_path = message
             try:
-                results: list[QueryResult] = []
-                trips: list[int] = []
-                local = remote = 0
-                for s, t in pairs:
-                    result, query_trips = engine.answer(s, t, with_path)
-                    results.append(result)
-                    trips.extend(query_trips)
-                    if assign[s] == assign[t]:
-                        local += 1
-                    else:
-                        remote += 1
-                conn.send((seq, "ok", results, local, remote, trips))
+                results, local, remote, trips = engine.answer_batch(
+                    pairs, with_path, cache=cache
+                )
+                cache_stats = None if cache is None else cache.snapshot()
+                conn.send((seq, "ok", results, local, remote, trips, cache_stats))
             except Exception as exc:  # surface worker faults, keep serving
                 conn.send((seq, "error", f"{type(exc).__name__}: {exc}"))
     except (EOFError, KeyboardInterrupt):
@@ -201,7 +89,7 @@ def _worker_main(conn, spec: dict, meta: dict) -> None:
         conn.close()
 
 
-class ProcessShardedService:
+class ProcessShardedService(FlatShardedBase):
     """Serve the §5 scheme from ``num_shards`` worker *processes*.
 
     Same API, same answers and same :class:`MessageLog` accounting as
@@ -225,6 +113,9 @@ class ProcessShardedService:
         start_method: multiprocessing start method; ``"spawn"``
             (default) is safe everywhere, ``"fork"`` starts faster where
             available.
+        worker_cache_size: per-worker :class:`ResultCache` capacity;
+            ``0`` (default) disables worker-side caching, preserving
+            exact wire-log parity with the thread backend.
         flat: a prepared :class:`FlatIndex` (used by :meth:`from_saved`).
     """
 
@@ -236,39 +127,30 @@ class ProcessShardedService:
         placement: str = "hash",
         replicate_tables: bool = False,
         start_method: str = "spawn",
+        worker_cache_size: int = 0,
         flat: Optional[FlatIndex] = None,
     ) -> None:
-        if index is not None:
-            flat = FlatIndex.from_index(index)
-        elif flat is None:
-            raise QueryError("pass a built index or a prepared FlatIndex")
-        if num_shards < 1:
-            raise QueryError("num_shards must be at least 1")
-        self.num_shards = num_shards
-        self.placement = placement
-        self.replicate_tables = replicate_tables
-        self.n = flat.n
-        self.log = MessageLog()
+        super().__init__(
+            index,
+            num_shards,
+            placement=placement,
+            replicate_tables=replicate_tables,
+            flat=flat,
+        )
+        self.worker_cache_size = int(worker_cache_size)
         self._log_lock = threading.Lock()
         self._io_lock = threading.Lock()
-        self._store_paths = flat.store_paths
-        self._assign = shard_assignment(flat.n, num_shards, placement)
         self._flat_meta = {
-            "n": flat.n,
-            "weighted": flat.weighted,
-            "store_paths": flat.store_paths,
+            "n": self.flat.n,
+            "weighted": self.flat.weighted,
+            "store_paths": self.flat.store_paths,
             "replicate_tables": replicate_tables,
+            "worker_cache_size": self.worker_cache_size,
         }
-        # Kept for shard accounting; tiny next to the shared arrays.
-        self._member_counts = np.diff(flat.member_offsets)
-        self._boundary_counts = np.diff(flat.boundary_offsets)
-        self._table_landmarks = (
-            flat.landmark_ids.tolist() if flat.has_tables else []
-        )
-        self._closed = False
+        self._worker_cache_stats: dict[int, dict] = {}
         self._batch_seq = 0
         self._bundle = SharedArrayBundle.create(
-            {**flat.arrays, "shard_assign": self._assign}
+            {**self.flat.arrays, "shard_assign": self._assign}
         )
         context = multiprocessing.get_context(start_method)
         self._conns = []
@@ -290,69 +172,9 @@ class ProcessShardedService:
             self.close()
             raise
 
-    @classmethod
-    def from_saved(cls, path, num_shards: int, **kwargs) -> "ProcessShardedService":
-        """Build straight from a saved index (``save_index`` output).
-
-        Loads only the flattened arrays — no per-node dict
-        materialisation — so startup is dominated by file I/O.
-        """
-        from repro.io.oracle_store import load_flat_arrays
-
-        arrays, meta = load_flat_arrays(path)
-        flat = FlatIndex.from_store_arrays(
-            arrays,
-            n=meta["n"],
-            weighted=meta["weighted"],
-            store_paths=meta["store_paths"],
-        )
-        return cls(None, num_shards, flat=flat, **kwargs)
-
-    # ------------------------------------------------------------------
-    # placement / accounting
-    # ------------------------------------------------------------------
-    def shard_of(self, u: int) -> int:
-        """Return the shard owning node ``u``."""
-        self._check_node(u)
-        return int(self._assign[u])
-
-    def shard_reports(self) -> list[ShardReport]:
-        """Per-shard memory accounting (matches the simulation's)."""
-        nodes = np.bincount(self._assign, minlength=self.num_shards)
-        vic_entries = np.bincount(
-            self._assign, weights=self._member_counts, minlength=self.num_shards
-        )
-        boundary_entries = np.bincount(
-            self._assign, weights=self._boundary_counts, minlength=self.num_shards
-        )
-        reports = [
-            ShardReport(
-                shard_id=k,
-                nodes=int(nodes[k]),
-                vicinity_entries=int(vic_entries[k]),
-                boundary_entries=int(boundary_entries[k]),
-            )
-            for k in range(self.num_shards)
-        ]
-        for landmark in self._table_landmarks:
-            if self.replicate_tables:
-                for report in reports:
-                    report.table_entries += self.n
-            else:
-                reports[int(self._assign[landmark])].table_entries += self.n
-        return reports
-
-    def balance_summary(self) -> dict[str, float]:
-        """Load-balance metrics over shard memory sizes."""
-        return balance_summary_from_reports(self.shard_reports())
-
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
-    def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
-        """Answer one pair on its home shard's worker process."""
-        return self.query_batch([(source, target)], with_path=with_path)[0]
-
     def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
         """Answer a batch, fanned out to the home-shard workers.
 
@@ -361,22 +183,10 @@ class ProcessShardedService:
         order.  Wire accounting lands in :attr:`log` exactly as the
         thread backend records it.
         """
-        if self._closed:
-            raise QueryError("service is closed")
-        pair_list = [(int(s), int(t)) for s, t in pairs]
+        pair_list, homes = self._validate_batch(pairs, with_path)
         if not pair_list:
             return []
-        if with_path and not self._store_paths:
-            raise QueryError("index was built with store_paths=False")
-        flat_pairs = np.asarray(pair_list, dtype=np.int64)
-        out_of_range = (flat_pairs < 0) | (flat_pairs >= self.n)
-        if out_of_range.any():
-            raise NodeNotFoundError(int(flat_pairs[out_of_range][0]), self.n)
-
-        homes = self._assign[flat_pairs[:, 0]]
-        by_shard: dict[int, list[int]] = {}
-        for position, home in enumerate(homes.tolist()):
-            by_shard.setdefault(home, []).append(position)
+        by_shard = self._partition(homes)
 
         results: list[Optional[QueryResult]] = [None] * len(pair_list)
         local = remote = 0
@@ -396,19 +206,20 @@ class ProcessShardedService:
                 if reply[1] == "error":
                     errors.append(f"shard worker {shard_id} failed: {reply[2]}")
                     continue
-                _, _, shard_results, shard_local, shard_remote, shard_trips = reply
+                _, _, shard_results, shard_local, shard_remote, shard_trips, stats = (
+                    reply
+                )
                 for position, result in zip(positions, shard_results):
                     results[position] = result
                 local += shard_local
                 remote += shard_remote
                 trips.extend(shard_trips)
+                if stats is not None:
+                    self._worker_cache_stats[shard_id] = stats
         if errors:
             raise QueryError("; ".join(errors))
         with self._log_lock:
-            self.log.local_queries += local
-            self.log.remote_queries += remote
-            for payload_bytes in trips:
-                self.log.record_round_trip(payload_bytes)
+            self._fold_log(local, remote, trips)
         return results
 
     def _receive(self, shard_id: int, seq: int):
@@ -422,9 +233,35 @@ class ProcessShardedService:
                 return reply
             # A reply from an aborted/foreign exchange: discard it.
 
-    def _check_node(self, u: int) -> None:
-        if not 0 <= u < self.n:
-            raise NodeNotFoundError(u, self.n)
+    # ------------------------------------------------------------------
+    # worker-cache telemetry
+    # ------------------------------------------------------------------
+    def worker_cache_stats(self) -> Optional[dict]:
+        """Aggregate worker-cache statistics, or ``None`` when disabled.
+
+        Each worker reports its cumulative cache snapshot on every
+        reply; this sums the latest per-worker figures so the serving
+        layer can fold them into its telemetry snapshot.
+        """
+        if self.worker_cache_size <= 0:
+            return None
+        totals = {
+            "workers": self.num_shards,
+            "capacity_per_worker": self.worker_cache_size,
+            "size": 0,
+            "lookups": 0,
+            "hits": 0,
+            "misses": 0,
+            "insertions": 0,
+            "evictions": 0,
+        }
+        for stats in self._worker_cache_stats.values():
+            for key in ("size", "lookups", "hits", "misses", "insertions", "evictions"):
+                totals[key] += stats[key]
+        totals["hit_rate"] = (
+            totals["hits"] / totals["lookups"] if totals["lookups"] else 0.0
+        )
+        return totals
 
     # ------------------------------------------------------------------
     # lifecycle

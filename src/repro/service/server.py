@@ -47,14 +47,23 @@ from repro.service.telemetry import Telemetry, render_snapshot
 from repro.service.workload import in_batches, zipf_pairs
 
 
+def _check_worker_cache(worker_cache_size: int, shards: int, backend: str) -> None:
+    """Reject configurations where a requested worker cache cannot exist."""
+    if worker_cache_size and (shards < 1 or backend != "procpool"):
+        raise QueryError(
+            "worker_cache_size requires the procpool backend with shards >= 1"
+        )
+
+
 @dataclass
 class ServiceApp:
     """Everything a running query service consists of.
 
-    ``oracle`` is ``None`` only for a shard-only app assembled by
-    :meth:`from_saved` with the ``procpool`` backend, where the whole
-    point is never materialising the per-node dicts the single-machine
-    oracle needs.
+    ``oracle`` is ``None`` for a shard-only app assembled by
+    :meth:`from_saved` with ``shards > 0`` — both shard backends build
+    dict-free from the saved index's flattened arrays, so no
+    single-machine oracle (and none of its per-node dicts) ever
+    materialises.
     """
 
     oracle: Optional[VicinityOracle]
@@ -79,6 +88,7 @@ class ServiceApp:
         shards: int = 0,
         backend: str = "threads",
         replicate_tables: bool = False,
+        worker_cache_size: int = 0,
     ) -> "ServiceApp":
         """Assemble the serving stack over a built index.
 
@@ -92,14 +102,24 @@ class ServiceApp:
                 threads, instant startup) or ``"procpool"`` (worker
                 processes over a shared-memory index, true parallelism).
             replicate_tables: sharded-mode landmark-table replication.
+            worker_cache_size: ``procpool`` only — per-worker result
+                cache capacity (0 disables).
         """
+        _check_worker_cache(worker_cache_size, shards, backend)
         sharded = None
         if shards > 0:
+            kwargs = {}
+            if worker_cache_size:
+                kwargs["worker_cache_size"] = worker_cache_size
             sharded = create_shard_backend(
-                index, shards, backend=backend, replicate_tables=replicate_tables
+                index, shards, backend=backend,
+                replicate_tables=replicate_tables, **kwargs,
             )
         return cls._assemble(
-            oracle=VicinityOracle(index), sharded=sharded, cache_size=cache_size
+            oracle=VicinityOracle(index),
+            sharded=sharded,
+            cache_size=cache_size,
+            backend_name=backend if shards > 0 else "single",
         )
 
     @classmethod
@@ -111,24 +131,43 @@ class ServiceApp:
         shards: int = 0,
         backend: str = "threads",
         replicate_tables: bool = False,
+        worker_cache_size: int = 0,
     ) -> "ServiceApp":
         """Assemble the serving stack from a saved index file.
 
-        For a ``procpool`` sharded app this skips
+        A sharded app (``shards > 0``) skips
         :func:`~repro.io.oracle_store.load_index`'s per-node dict
-        materialisation entirely — the workers probe the flattened
-        arrays, so only :func:`~repro.io.oracle_store.load_flat_arrays`
-        runs and the app carries no single-machine oracle.  Every other
-        configuration loads the full index and delegates to
-        :meth:`from_index`.
+        materialisation entirely on *both* backends — the workers probe
+        the flattened arrays, so only
+        :func:`~repro.io.oracle_store.load_flat_arrays` runs and the
+        app carries no single-machine oracle.  The unsharded
+        configuration loads the full index (fallback searches need the
+        graph) and delegates to :meth:`from_index`.
         """
-        if shards > 0 and backend == "procpool":
+        _check_worker_cache(worker_cache_size, shards, backend)
+        if shards > 0:
             from repro.service.procpool import ProcessShardedService
+            from repro.service.sharded import ShardedService
 
-            sharded = ProcessShardedService.from_saved(
-                path, shards, replicate_tables=replicate_tables
+            if backend == "procpool":
+                sharded = ProcessShardedService.from_saved(
+                    path, shards,
+                    replicate_tables=replicate_tables,
+                    worker_cache_size=worker_cache_size,
+                )
+            elif backend == "threads":
+                sharded = ShardedService.from_saved(
+                    path, shards, replicate_tables=replicate_tables
+                )
+            else:
+                raise QueryError(
+                    f"unknown shard backend {backend!r}; choose from "
+                    "('threads', 'procpool')"
+                )
+            return cls._assemble(
+                oracle=None, sharded=sharded, cache_size=cache_size,
+                backend_name=backend,
             )
-            return cls._assemble(oracle=None, sharded=sharded, cache_size=cache_size)
         from repro.io.oracle_store import load_index
 
         return cls.from_index(
@@ -146,9 +185,10 @@ class ServiceApp:
         oracle: Optional[VicinityOracle],
         sharded: Optional[ShardBackend],
         cache_size: Optional[int],
+        backend_name: str = "single",
     ) -> "ServiceApp":
         """The one place the serving stack is wired together."""
-        telemetry = Telemetry()
+        telemetry = Telemetry(engine="flat", backend=backend_name)
         cache = ResultCache(cache_size) if cache_size else None
         executor = BatchExecutor(
             sharded if sharded is not None else oracle,
@@ -166,9 +206,13 @@ class ServiceApp:
 
     def snapshot(self) -> dict:
         """Full service snapshot: telemetry + cache + batch + shard stats."""
+        worker_cache = None
+        if self.sharded is not None and hasattr(self.sharded, "worker_cache_stats"):
+            worker_cache = self.sharded.worker_cache_stats()
         snap = self.telemetry.snapshot(
             cache=self.cache,
             message_log=self.sharded.log if self.sharded is not None else None,
+            worker_cache=worker_cache,
         )
         snap["batching"] = self.executor.stats.snapshot()
         return snap
@@ -295,6 +339,8 @@ def run_bench(
     if queries < 1:
         raise QueryError("queries must be at least 1")
     pairs = zipf_pairs(app.n, queries, exponent=exponent, pool=pool, seed=seed)
+    if app.oracle is not None:
+        app.oracle.engine  # flatten at startup, not inside the first timed batch
 
     started = time.perf_counter()
     answered = 0

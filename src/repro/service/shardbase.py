@@ -1,0 +1,155 @@
+"""Shared state and accounting of the flat-index shard backends.
+
+Both §5 executors — the thread-backed
+:class:`~repro.service.sharded.ShardedService` and the process-backed
+:class:`~repro.service.procpool.ProcessShardedService` — now serve the
+same flattened arrays through the same
+:class:`~repro.core.engine.ShardQueryEngine`; what differs is only
+*where* the shard workers run.  Everything representation-dependent
+lives here once: placement, per-shard memory accounting, batch
+validation/partitioning and the dict-free ``from_saved`` constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.flat import FlatIndex
+from repro.core.parallel import (
+    MessageLog,
+    ShardReport,
+    balance_summary_from_reports,
+    shard_assignment,
+)
+from repro.exceptions import NodeNotFoundError, QueryError
+
+
+class FlatShardedBase:
+    """Coordinator-side state shared by the shard backends.
+
+    Args:
+        index: a built :class:`~repro.core.index.VicinityIndex`, or
+            ``None`` when ``flat`` is given.
+        num_shards: worker/shard count.
+        placement: ``"hash"`` or ``"range"`` node placement.
+        replicate_tables: model landmark tables as replicated on every
+            shard (no round trip for landmark-target hits).
+        flat: a prepared :class:`FlatIndex` (used by :meth:`from_saved`).
+    """
+
+    def __init__(
+        self,
+        index,
+        num_shards: int,
+        *,
+        placement: str = "hash",
+        replicate_tables: bool = False,
+        flat: Optional[FlatIndex] = None,
+    ) -> None:
+        if index is not None:
+            flat = FlatIndex.from_index(index)
+        elif flat is None:
+            raise QueryError("pass a built index or a prepared FlatIndex")
+        if num_shards < 1:
+            raise QueryError("num_shards must be at least 1")
+        self.flat = flat
+        self.num_shards = num_shards
+        self.placement = placement
+        self.replicate_tables = replicate_tables
+        self.n = flat.n
+        self.log = MessageLog()
+        self._store_paths = flat.store_paths
+        self._assign = shard_assignment(flat.n, num_shards, placement)
+        self._table_landmarks = flat.landmark_ids.tolist() if flat.has_tables else []
+        self._closed = False
+
+    @classmethod
+    def from_saved(cls, path, num_shards: int, **kwargs):
+        """Build straight from a saved index (``save_index`` output).
+
+        Loads only the flattened arrays — no per-node dict
+        materialisation — so startup is dominated by file I/O.
+        """
+        from repro.io.oracle_store import load_flat_index
+
+        return cls(None, num_shards, flat=load_flat_index(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    # placement / accounting
+    # ------------------------------------------------------------------
+    def shard_of(self, u: int) -> int:
+        """Return the shard owning node ``u``."""
+        self._check_node(u)
+        return int(self._assign[u])
+
+    def shard_reports(self) -> list[ShardReport]:
+        """Per-shard memory accounting (matches the simulation's)."""
+        nodes = np.bincount(self._assign, minlength=self.num_shards)
+        vic_entries = np.bincount(
+            self._assign, weights=self.flat.member_counts, minlength=self.num_shards
+        )
+        boundary_entries = np.bincount(
+            self._assign, weights=self.flat.boundary_counts, minlength=self.num_shards
+        )
+        reports = [
+            ShardReport(
+                shard_id=k,
+                nodes=int(nodes[k]),
+                vicinity_entries=int(vic_entries[k]),
+                boundary_entries=int(boundary_entries[k]),
+            )
+            for k in range(self.num_shards)
+        ]
+        for landmark in self._table_landmarks:
+            if self.replicate_tables:
+                for report in reports:
+                    report.table_entries += self.n
+            else:
+                reports[int(self._assign[landmark])].table_entries += self.n
+        return reports
+
+    def balance_summary(self) -> dict[str, float]:
+        """Load-balance metrics over shard memory sizes."""
+        return balance_summary_from_reports(self.shard_reports())
+
+    # ------------------------------------------------------------------
+    # batch plumbing
+    # ------------------------------------------------------------------
+    def _validate_batch(self, pairs, with_path: bool):
+        """Normalise and validate a batch; returns ``(pair_list, homes)``."""
+        if self._closed:
+            raise QueryError("service is closed")
+        pair_list = [(int(s), int(t)) for s, t in pairs]
+        if not pair_list:
+            return [], None
+        if with_path and not self._store_paths:
+            raise QueryError("index was built with store_paths=False")
+        flat_pairs = np.asarray(pair_list, dtype=np.int64)
+        out_of_range = (flat_pairs < 0) | (flat_pairs >= self.n)
+        if out_of_range.any():
+            raise NodeNotFoundError(int(flat_pairs[out_of_range][0]), self.n)
+        return pair_list, self._assign[flat_pairs[:, 0]]
+
+    @staticmethod
+    def _partition(homes) -> dict[int, list[int]]:
+        """Group batch positions by home shard, preserving input order."""
+        by_shard: dict[int, list[int]] = {}
+        for position, home in enumerate(homes.tolist()):
+            by_shard.setdefault(home, []).append(position)
+        return by_shard
+
+    def _fold_log(self, local: int, remote: int, trips) -> None:
+        self.log.local_queries += local
+        self.log.remote_queries += remote
+        for payload_bytes in trips:
+            self.log.record_round_trip(payload_bytes)
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.n:
+            raise NodeNotFoundError(u, self.n)
+
+    def query(self, source: int, target: int, *, with_path: bool = False):
+        """Answer one pair on its home shard's worker."""
+        return self.query_batch([(source, target)], with_path=with_path)[0]

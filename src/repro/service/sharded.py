@@ -1,132 +1,44 @@
-"""In-process execution of the §5 partitioned serving scheme.
+"""Thread-backed execution of the §5 partitioned serving scheme.
 
 :class:`~repro.core.parallel.PartitionedOracle` *simulates* the paper's
 sharding challenge: it counts the messages a deployment would send but
-answers every query from the whole index.  This module promotes that
-routing scheme to an actual executor:
+answers every query from the whole index.  This module executes that
+routing scheme on real per-shard worker threads:
 
-* the index is physically partitioned — each shard holds only the
-  vicinities of its resident nodes and the tables of its resident
-  landmarks (optionally replicated);
-* each shard is served by exactly one worker thread, so shard state is
-  thread-confined the way per-machine state is process-confined;
-* a query runs its coordinator logic on the calling thread and touches
-  shard state only through that shard's worker (the in-process stand-in
-  for an RPC), with every cross-shard exchange recorded in the same
+* the index is flattened once into the offset-indexed arrays of
+  :class:`~repro.core.flat.FlatIndex` (or loaded dict-free from a saved
+  index via :meth:`ShardedService.from_saved`) and shared read-only by
+  every shard worker — threads share an address space, so this is the
+  in-process analogue of the process backend's shared-memory segment;
+* each shard is served by exactly one worker thread running the same
+  :class:`~repro.core.engine.ShardQueryEngine` the process backend's
+  workers run — one engine implementation, two execution substrates;
+* a batch is partitioned by home shard, executed on each involved
+  worker, and reassembled in input order, with every modelled
+  cross-shard exchange recorded in the same
   :class:`~repro.core.parallel.MessageLog` the simulation uses.
 
-Shard workers never call other shards — remote handlers are pure local
-reads — which is both the paper's single-round-trip property and what
-makes the executor deadlock-free.
-
-Placement, per-shard memory accounting and wire-size modelling are
-reused from :mod:`repro.core.parallel` rather than duplicated.
+Under the GIL the worker threads interleave on one core, so this
+backend buys routing fidelity and zero startup cost rather than speed;
+:class:`~repro.service.procpool.ProcessShardedService` runs the
+identical engine on worker processes when throughput matters.  Results
+and MessageLog totals are identical across the two backends (pinned by
+parity tests and the CI smoke run).
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.index import VicinityIndex
-from repro.core.intersect import scan_and_probe
+from repro.core.engine import ShardQueryEngine
 from repro.core.oracle import QueryResult
-from repro.core.parallel import (
-    BYTES_PER_WIRE_ENTRY,
-    MessageLog,
-    PartitionedOracle,
-    ShardReport,
-)
-from repro.core.paths import walk_parent_array, walk_predecessors
-from repro.exceptions import QueryError
+from repro.service.shardbase import FlatShardedBase
 
 
-@dataclass
-class _ShardState:
-    """What one shard physically holds (plus its serving thread)."""
-
-    shard_id: int
-    vicinities: dict = field(default_factory=dict)
-    tables: dict = field(default_factory=dict)
-    executor: Optional[ThreadPoolExecutor] = None
-
-    def call(self, fn, *args):
-        """Run ``fn(*args)`` on this shard's worker thread (the "RPC")."""
-        return self.executor.submit(fn, *args).result()
-
-    # ---- remote handlers: local reads only, never cross-shard ----
-    def table_distance(self, landmark: int, node: int, want_chain: bool = False):
-        """``(distance, chain)`` from the landmark's table.
-
-        ``chain`` is the parent walk ``[landmark .. node]`` when
-        requested and reachable (the wire payload a path query ships),
-        else ``None``.
-        """
-        table = self.tables.get(landmark)
-        if table is None:
-            raise QueryError(
-                f"shard {self.shard_id} does not hold the table for landmark {landmark}"
-            )
-        d = table.distance_to(node)
-        chain = None
-        if want_chain and d is not None:
-            if table.parent is None:
-                raise QueryError("index was built with store_paths=False")
-            chain = walk_parent_array(table.parent, node, landmark)
-        return d, chain
-
-    def vicinity_probe(self, node: int, other: int):
-        """Return ``(is_member, distance)`` of ``other`` in Gamma(node)."""
-        vic = self.vicinities[node]
-        if other in vic.members:
-            return True, vic.dist[other]
-        return False, None
-
-    def vicinity_chain(self, node: int, member: int):
-        """The stored predecessor walk ``[node .. member]``."""
-        return walk_predecessors(self.vicinities[node].pred, member, node)
-
-    def boundary_payload(self, node: int):
-        """The wire payload for an intersection: boundary ids + distances."""
-        vic = self.vicinities[node]
-        return [(w, vic.dist[w]) for w in vic.boundary]
-
-    def resolve_remote(self, source: int, payload, target: int, want_chain: bool = False):
-        """Conditions (4) + intersection in one exchange, as §5 prescribes.
-
-        The coordinator ships ``source``'s boundary once; this shard
-        first probes ``source in Gamma(target)`` and only on a miss
-        scans the shipped payload against the local vicinity — so a
-        query never needs a second round trip.  With ``want_chain`` the
-        response additionally carries this side's predecessor walk (to
-        ``source`` on a member hit, to the witness on an intersection),
-        which is what lets the coordinator splice a full path without a
-        second exchange.
-
-        Returns:
-            ``("member", distance, chain)`` when condition (4) resolves,
-            else ``("intersection", best, witness, probes, chain)``.
-        """
-        vic = self.vicinities[target]
-        if source in vic.members:
-            chain = (
-                walk_predecessors(vic.pred, source, target) if want_chain else None
-            )
-            return ("member", vic.dist[source], chain)
-        scan_dist = dict(payload)
-        best, witness, probes = scan_and_probe(
-            [w for w, _ in payload], scan_dist, vic.members, vic.dist
-        )
-        chain = None
-        if want_chain and witness is not None:
-            chain = walk_predecessors(vic.pred, witness, target)
-        return ("intersection", best, witness, probes, chain)
-
-
-class ShardedService:
-    """Serve Algorithm 1 from ``num_shards`` single-threaded shard workers.
+class ShardedService(FlatShardedBase):
+    """Serve the §5 scheme from ``num_shards`` single-threaded shard workers.
 
     Results (distance, method, probes) are identical to
     :class:`~repro.core.parallel.PartitionedOracle`.  Distances and
@@ -140,212 +52,87 @@ class ShardedService:
     is smaller.
 
     Args:
-        index: a built :class:`~repro.core.index.VicinityIndex`.
+        index: a built :class:`~repro.core.index.VicinityIndex`, or
+            ``None`` with ``flat=`` (see :meth:`from_saved`).
         num_shards: worker/shard count.
-        placement: ``"hash"`` or ``"range"`` (see
-            :meth:`~repro.core.parallel.PartitionedOracle.shard_of`).
+        placement: ``"hash"`` or ``"range"`` node placement.
         replicate_tables: copy every landmark table onto every shard,
             trading memory for one round trip on landmark-target hits.
-        dispatchers: thread count of the batch dispatcher pool
-            (defaults to ``num_shards``).
+        flat: a prepared :class:`~repro.core.flat.FlatIndex`.
     """
 
     def __init__(
         self,
-        index: VicinityIndex,
+        index,
         num_shards: int,
         *,
         placement: str = "hash",
         replicate_tables: bool = False,
-        dispatchers: Optional[int] = None,
+        flat=None,
     ) -> None:
-        # Reuse the simulation for placement and memory accounting.
-        self._router = PartitionedOracle(
-            index, num_shards,
-            placement=placement, replicate_tables=replicate_tables,
+        super().__init__(
+            index,
+            num_shards,
+            placement=placement,
+            replicate_tables=replicate_tables,
+            flat=flat,
         )
-        self.index = index
-        self.n = index.n
-        self.num_shards = num_shards
-        self.replicate_tables = replicate_tables
-        self.log = MessageLog()
         self._log_lock = threading.Lock()
-        self._closed = False
-
-        self._shards = [
-            _ShardState(
-                shard_id=k,
-                executor=ThreadPoolExecutor(
-                    max_workers=1, thread_name_prefix=f"repro-shard-{k}"
-                ),
-            )
+        self._engine = ShardQueryEngine(self.flat, self._assign, replicate_tables)
+        self._workers = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"repro-shard-{k}")
             for k in range(num_shards)
         ]
-        for u in range(index.n):
-            self._shards[self.shard_of(u)].vicinities[u] = index.vicinities[u]
-        for landmark, table in index.tables.items():
-            if replicate_tables:
-                for shard in self._shards:
-                    shard.tables[landmark] = table
-            else:
-                self._shards[self.shard_of(landmark)].tables[landmark] = table
-        # Coordinator-side routing metadata (which landmarks have tables).
-        self._table_landmarks = frozenset(index.tables)
-        self._dispatch = ThreadPoolExecutor(
-            max_workers=dispatchers or num_shards,
-            thread_name_prefix="repro-dispatch",
-        )
-
-    # ------------------------------------------------------------------
-    # placement / accounting (delegated to the simulation)
-    # ------------------------------------------------------------------
-    def shard_of(self, u: int) -> int:
-        """Return the shard owning node ``u``."""
-        return self._router.shard_of(u)
-
-    def shard_reports(self) -> list[ShardReport]:
-        """Per-shard memory accounting."""
-        return self._router.shard_reports()
-
-    def balance_summary(self) -> dict[str, float]:
-        """Load-balance metrics over shard memory sizes."""
-        return self._router.balance_summary()
 
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
-    def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
-        """Answer one pair, executing each step on its owning shard.
-
-        With ``with_path`` every cross-shard response additionally
-        carries the answering side's predecessor chain (the witness-side
-        walk on an intersection), so the coordinator can splice a full
-        path without extra round trips — only the response payload
-        grows, and the wire accounting reflects that.
-        """
-        if self._closed:
-            raise QueryError("service is closed")
-        index = self.index
-        index.graph.check_node(source)
-        index.graph.check_node(target)
-        if with_path and not index.config.store_paths:
-            raise QueryError("index was built with store_paths=False")
-        shard_s = self._shards[self.shard_of(source)]
-        shard_t = self._shards[self.shard_of(target)]
-        same_shard = shard_s.shard_id == shard_t.shard_id
-        with self._log_lock:
-            if same_shard:
-                self.log.local_queries += 1
-            else:
-                self.log.remote_queries += 1
-        probes = 0
-
-        if source == target:
-            path = [source] if with_path else None
-            return QueryResult(source, target, 0, path, "identical", None, 0)
-
-        flags = index.landmarks.is_landmark
-        # Condition (1): the source's table lives on the coordinator.
-        probes += 1
-        if flags[source] and source in self._table_landmarks:
-            probes += 1
-            d, chain = shard_s.call(shard_s.table_distance, source, target, with_path)
-            method = "landmark-source" if d is not None else "disconnected"
-            return QueryResult(source, target, d, chain, method, None, probes)
-        # Condition (2): the target's table needs one round trip unless
-        # replicated (then the coordinator's local copy answers).
-        probes += 1
-        if flags[target] and target in self._table_landmarks:
-            probes += 1
-            owner = shard_s if self.replicate_tables else shard_t
-            d, chain = owner.call(owner.table_distance, target, source, with_path)
-            path = list(reversed(chain)) if chain else None
-            if not same_shard and not self.replicate_tables:
-                entries = len(chain) if chain else 1
-                self._record_round_trip(entries * BYTES_PER_WIRE_ENTRY)
-            method = "landmark-target" if d is not None else "disconnected"
-            return QueryResult(source, target, d, path, method, None, probes)
-
-        # Condition (3): Gamma(s) is coordinator-local.
-        probes += 1
-        member, d = shard_s.call(shard_s.vicinity_probe, source, target)
-        if member:
-            path = (
-                shard_s.call(shard_s.vicinity_chain, source, target)
-                if with_path
-                else None
-            )
-            return QueryResult(
-                source, target, d, path, "target-in-source-vicinity", None, probes
-            )
-        # Conditions (4) + intersection: one round trip to shard(t),
-        # shipping s's boundary; shard(t) probes s in Gamma(t) first and
-        # intersects on a miss.  The member-hit response is modelled at
-        # one wire entry (or the shipped chain for a path query),
-        # exactly as in the simulation's accounting.
-        probes += 1
-        payload = shard_s.call(shard_s.boundary_payload, source)
-        outcome = shard_t.call(
-            shard_t.resolve_remote, source, payload, target, with_path
-        )
-        if outcome[0] == "member":
-            _, d, chain = outcome
-            if not same_shard:
-                entries = len(chain) if chain else 1
-                self._record_round_trip(entries * BYTES_PER_WIRE_ENTRY)
-            path = list(reversed(chain)) if chain else None
-            return QueryResult(
-                source, target, d, path, "source-in-target-vicinity", None, probes
-            )
-        _, best, witness, kernel_probes, chain = outcome
-        if not same_shard:
-            entries = len(payload) + (len(chain) if chain else 0)
-            self._record_round_trip(entries * BYTES_PER_WIRE_ENTRY)
-        probes += kernel_probes
-        if best is not None:
-            path = None
-            if with_path:
-                # Splice: the coordinator-local half [source .. witness]
-                # plus the shipped witness-side chain [target .. witness]
-                # reversed.
-                first = shard_s.call(shard_s.vicinity_chain, source, witness)
-                path = first + list(reversed(chain))[1:]
-            return QueryResult(
-                source, target, best, path, "intersection", witness, probes
-            )
-        return QueryResult(source, target, None, None, "miss", None, probes)
-
     def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
-        """Answer a batch, dispatching coordinator work across threads.
+        """Answer a batch, fanned out to the home-shard worker threads.
 
-        Pairs are fanned out to the dispatcher pool (coordinators), each
-        of which touches shard state only through the owning shard's
-        worker; results come back in input order.
+        The batch is split by ``shard_of(source)``, each sub-batch runs
+        the fused worker loop on its shard's own thread, and results
+        come back in input order.  Wire accounting lands in :attr:`log`
+        exactly as the simulation and the process backend record it.
         """
-        pair_list = [(int(s), int(t)) for s, t in pairs]
+        pair_list, homes = self._validate_batch(pairs, with_path)
         if not pair_list:
             return []
-        return list(
-            self._dispatch.map(
-                lambda p: self.query(*p, with_path=with_path), pair_list
+        by_shard = self._partition(homes)
+        futures = {
+            shard_id: self._workers[shard_id].submit(
+                self._engine.answer_batch,
+                [pair_list[i] for i in positions],
+                with_path,
             )
-        )
-
-    def _record_round_trip(self, payload_bytes: int) -> None:
+            for shard_id, positions in by_shard.items()
+        }
+        results: list[Optional[QueryResult]] = [None] * len(pair_list)
+        local = remote = 0
+        trips: list[int] = []
+        for shard_id, positions in by_shard.items():
+            shard_results, shard_local, shard_remote, shard_trips = futures[
+                shard_id
+            ].result()
+            for position, result in zip(positions, shard_results):
+                results[position] = result
+            local += shard_local
+            remote += shard_remote
+            trips.extend(shard_trips)
         with self._log_lock:
-            self.log.record_round_trip(payload_bytes)
+            self._fold_log(local, remote, trips)
+        return results
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the shard workers and the dispatcher pool."""
+        """Shut down the shard worker threads."""
         if self._closed:
             return
         self._closed = True
-        self._dispatch.shutdown(wait=True)
-        for shard in self._shards:
-            shard.executor.shutdown(wait=True)
+        for worker in self._workers:
+            worker.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedService":
         return self

@@ -107,7 +107,13 @@ class Telemetry:
     threads simultaneously.
     """
 
-    def __init__(self, reservoir: int = 8192) -> None:
+    def __init__(
+        self,
+        reservoir: int = 8192,
+        *,
+        engine: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self._lock = threading.Lock()
         self.query_latency = LatencyHistogram(reservoir)
         self.batch_latency = LatencyHistogram(reservoir)
@@ -115,7 +121,25 @@ class Telemetry:
         self.queries = 0
         self.batches = 0
         self.unanswered = 0
+        self.engine = engine
+        self.backend = backend
         self.started = time.perf_counter()
+
+    def set_context(
+        self, *, engine: Optional[str] = None, backend: Optional[str] = None
+    ) -> None:
+        """Label this telemetry stream with its serving configuration.
+
+        ``engine`` names the resolver representation (``"flat"`` for
+        the canonical array engine, ``"dict"`` for the reference path
+        in benchmarks) and ``backend`` the execution substrate
+        (``"single"``, ``"threads"``, ``"procpool"``).  Snapshots embed
+        both, so exported benchmark results are self-describing.
+        """
+        if engine is not None:
+            self.engine = engine
+        if backend is not None:
+            self.backend = backend
 
     # ------------------------------------------------------------------
     # recording
@@ -166,7 +190,7 @@ class Telemetry:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def snapshot(self, *, cache=None, message_log=None) -> dict:
+    def snapshot(self, *, cache=None, message_log=None, worker_cache=None) -> dict:
         """One JSON-serialisable dict describing the service so far.
 
         Args:
@@ -175,10 +199,14 @@ class Telemetry:
             message_log: optional
                 :class:`~repro.core.parallel.MessageLog` from a sharded
                 deployment.
+            worker_cache: optional aggregated worker-cache statistics
+                (:meth:`ProcessShardedService.worker_cache_stats`).
         """
         with self._lock:
             elapsed = time.perf_counter() - self.started
             snap = {
+                "engine": self.engine,
+                "backend": self.backend,
                 "uptime_s": elapsed,
                 "queries": self.queries,
                 "batches": self.batches,
@@ -190,6 +218,8 @@ class Telemetry:
             }
         if cache is not None:
             snap["cache"] = cache.snapshot()
+        if worker_cache is not None:
+            snap["worker_cache"] = worker_cache
         if message_log is not None:
             total = message_log.local_queries + message_log.remote_queries
             snap["shards"] = {
@@ -217,7 +247,13 @@ class Telemetry:
 
 def render_snapshot(snapshot: dict) -> str:
     """Human-readable multi-line view of :meth:`Telemetry.snapshot`."""
-    lines = [
+    lines = []
+    if snapshot.get("engine") or snapshot.get("backend"):
+        lines.append(
+            f"serving          : engine={snapshot.get('engine') or '?'} "
+            f"backend={snapshot.get('backend') or '?'}"
+        )
+    lines += [
         f"queries          : {snapshot['queries']:,}"
         + (f"  ({snapshot['batches']:,} batches)" if snapshot.get("batches") else ""),
         f"throughput       : {snapshot['throughput_qps']:,.0f} q/s",
@@ -233,6 +269,12 @@ def render_snapshot(snapshot: dict) -> str:
         lines.append(
             f"cache            : {cache['hits']:,} hits / {cache['lookups']:,} lookups "
             f"({cache['hit_rate']:.1%}), {cache['size']:,}/{cache['capacity']:,} entries"
+        )
+    if "worker_cache" in snapshot:
+        wc = snapshot["worker_cache"]
+        lines.append(
+            f"worker caches    : {wc['hits']:,} hits / {wc['lookups']:,} lookups "
+            f"({wc['hit_rate']:.1%}) across {wc['workers']} workers"
         )
     if "shards" in snapshot:
         shards = snapshot["shards"]

@@ -217,12 +217,76 @@ class TestComposition:
         finally:
             app.close()
 
-    def test_service_app_from_saved_threads_keeps_oracle(self, saved_index):
+    def test_service_app_from_saved_threads_is_dict_free_too(self, saved_index, index):
         from repro.service import ServiceApp
 
         app = ServiceApp.from_saved(saved_index, shards=2, backend="threads")
         try:
-            assert app.oracle is not None
+            assert app.oracle is None  # both backends serve dict-free
             assert app.sharded is not None
+            assert app.n == index.n
+            reference = VicinityOracle(index)
+            got = app.executor.query(0, 5)
+            expected = reference.query(0, 5)
+            if expected.method != "fallback":
+                assert got.distance == expected.distance
+        finally:
+            app.close()
+
+
+class TestWorkerCache:
+    def test_cached_answers_identical_and_trips_saved(self, index, pairs):
+        """A worker-side cache must not change a single answer, and a
+        repeated batch must stop paying modelled round trips."""
+        repeated = pairs[:80] + pairs[:80]
+        with ProcessShardedService(index, 2) as plain:
+            expected = plain.query_batch(repeated)
+        with ProcessShardedService(index, 2, worker_cache_size=4096) as cached:
+            first = cached.query_batch(pairs[:80])
+            bytes_after_first = cached.log.bytes
+            second = cached.query_batch(pairs[:80])
+            bytes_delta = cached.log.bytes - bytes_after_first
+            stats = cached.worker_cache_stats()
+        # Value-identical answers; a cache hit may report probes=0
+        # (mirrored orientation), exactly like the coordinator cache.
+        for got, want in zip(first + second, expected):
+            assert (got.source, got.target, got.distance, got.method) == (
+                want.source, want.target, want.distance, want.method
+            )
+            assert got.path == want.path
+            assert got.probes in (want.probes, 0)
+        assert stats is not None and stats["hits"] > 0
+        # The second pass re-pays only cheap-method lookups, never the
+        # expensive cached tail.
+        assert bytes_delta < bytes_after_first
+
+    def test_stats_disabled_without_cache(self, procpool):
+        assert procpool.worker_cache_stats() is None
+
+    def test_worker_cache_rejected_off_procpool(self, index, saved_index):
+        from repro.service import ServiceApp
+
+        with pytest.raises(QueryError, match="procpool"):
+            ServiceApp.from_index(
+                index, shards=2, backend="threads", worker_cache_size=64
+            )
+        with pytest.raises(QueryError, match="procpool"):
+            ServiceApp.from_saved(saved_index, worker_cache_size=64)
+
+    def test_snapshot_embeds_worker_cache(self, index, pairs):
+        from repro.service import ServiceApp
+
+        app = ServiceApp.from_index(
+            index, cache_size=0, shards=2, backend="procpool",
+            worker_cache_size=1024,
+        )
+        try:
+            app.executor.run(pairs[:50])
+            app.executor.run(pairs[:50])
+            snap = app.snapshot()
+            assert snap["worker_cache"]["workers"] == 2
+            assert snap["worker_cache"]["lookups"] > 0
+            assert snap["engine"] == "flat"
+            assert snap["backend"] == "procpool"
         finally:
             app.close()

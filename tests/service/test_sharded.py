@@ -60,30 +60,33 @@ class TestEquivalence:
 class TestPartitioning:
     def test_each_node_on_exactly_one_shard(self, index):
         with ShardedService(index, 5) as service:
-            held = sorted(
-                node for shard in service._shards for node in shard.vicinities
-            )
-            assert held == list(range(index.n))
+            owners = [service.shard_of(u) for u in range(index.n)]
+            assert all(0 <= shard < 5 for shard in owners)
+            reports = service.shard_reports()
+            assert sum(r.nodes for r in reports) == index.n
+            # Flat accounting must match the dict index exactly.
+            per_shard = [0] * 5
+            for u, vic in enumerate(index.vicinities):
+                per_shard[owners[u]] += vic.size
+            assert [r.vicinity_entries for r in reports] == per_shard
 
     def test_tables_on_owner_shard_only(self, index):
         with ShardedService(index, 5) as service:
+            expected = [0] * 5
             for landmark in index.tables:
-                owners = [
-                    shard.shard_id for shard in service._shards
-                    if landmark in shard.tables
-                ]
-                assert owners == [service.shard_of(landmark)]
+                expected[service.shard_of(landmark)] += index.n
+            assert [r.table_entries for r in service.shard_reports()] == expected
 
     def test_replication_puts_tables_everywhere(self, index):
         with ShardedService(index, 3, replicate_tables=True) as service:
-            for shard in service._shards:
-                assert set(shard.tables) == set(index.tables)
+            for report in service.shard_reports():
+                assert report.table_entries == len(index.tables) * index.n
 
-    def test_reports_delegate_to_simulation(self, index):
+    def test_reports_match_simulation(self, index):
+        simulation = PartitionedOracle(index, 4)
         with ShardedService(index, 4) as service:
-            reports = service.shard_reports()
-            assert sum(r.nodes for r in reports) == index.n
-            assert service.balance_summary()["shards"] == 4.0
+            assert service.shard_reports() == simulation.shard_reports()
+            assert service.balance_summary() == simulation.balance_summary()
 
 
 class TestTraffic:

@@ -112,6 +112,26 @@ class TestTelemetry:
         assert snap["queries"] == 0
         assert snap["by_method"] == {}
 
+    def test_engine_and_backend_labels(self):
+        """Snapshots are self-describing: engine + backend ride along."""
+        telemetry = Telemetry(engine="flat", backend="procpool")
+        snap = telemetry.snapshot()
+        assert snap["engine"] == "flat"
+        assert snap["backend"] == "procpool"
+        telemetry.set_context(backend="threads")
+        assert telemetry.snapshot()["backend"] == "threads"
+        telemetry.reset()  # labels describe the config, not the epoch
+        assert telemetry.snapshot()["engine"] == "flat"
+        text = render_snapshot(telemetry.snapshot())
+        assert "engine=flat" in text and "backend=threads" in text
+
+    def test_snapshot_embeds_worker_cache(self):
+        telemetry = Telemetry()
+        stats = {"workers": 2, "hits": 5, "lookups": 8, "hit_rate": 0.625}
+        snap = telemetry.snapshot(worker_cache=stats)
+        assert snap["worker_cache"] == stats
+        assert "worker caches" in render_snapshot(snap)
+
     def test_thread_safety_under_contention(self):
         telemetry = Telemetry()
 
