@@ -34,7 +34,7 @@ from repro.core.oracle import (
 from repro.core.memory import MemoryReport, memory_report
 from repro.core.stats import IndexStats
 from repro.core.directed import DirectedQueryResult, DirectedVicinityOracle
-from repro.core.parallel import PartitionedOracle, ShardReport
+from repro.core.parallel import PartitionedOracle, ShardReport, build_flat_store
 from repro.core.dynamic import DynamicVicinityOracle
 from repro.core.flat import FlatIndex, flatten_index
 from repro.core.engine import FlatQueryEngine, QueryEngine, ShardQueryEngine
@@ -60,6 +60,7 @@ __all__ = [
     "DirectedQueryResult",
     "PartitionedOracle",
     "ShardReport",
+    "build_flat_store",
     "DynamicVicinityOracle",
     "FlatIndex",
     "flatten_index",

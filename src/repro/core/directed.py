@@ -33,6 +33,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.landmarks import flag_bytes
 from repro.core.oracle import OracleCounters, QueryResult
 from repro.exceptions import IndexBuildError, QueryError, UnreachableError
 from repro.graph.digraph import DiGraph
@@ -117,6 +118,16 @@ def _truncated_directed_ball(
     return radius, dist, pred, gamma
 
 
+def _side_table_map(store, ids: np.ndarray) -> dict:
+    """``{landmark: (dist_row, parent_row)}`` views over stacked tables."""
+    if not store["table_dist"].size:
+        return {}
+    return {
+        landmark: (store["table_dist"][row], store["table_parent"][row])
+        for row, landmark in enumerate(ids.tolist())
+    }
+
+
 def _directed_boundary(
     gamma: Sequence[int], member_set: frozenset[int], adj: list[list[int]]
 ) -> list[int]:
@@ -161,6 +172,9 @@ class DirectedVicinityOracle:
         self.fallback = fallback
         self.counters = OracleCounters()
         self._engine = None
+        #: Store-layout side arrays when built flat-natively or loaded
+        #: from disk (``None`` for dict builds until first flatten).
+        self._flat_sides = None
 
     # ------------------------------------------------------------------
     # offline phase
@@ -175,12 +189,18 @@ class DirectedVicinityOracle:
         probability_scale="auto",
         fallback: str = "bidirectional",
         vicinity_floor: float = 0.0,
+        representation: str = "dict",
     ) -> "DirectedVicinityOracle":
         """Run the directed offline phase.
 
         ``probability_scale="auto"`` calibrates the landmark-sampling
         scale so that mean out-vicinity size meets ``alpha * sqrt(n)``,
-        mirroring the undirected oracle.
+        mirroring the undirected oracle.  ``representation="flat"``
+        runs both orientations through the batched flat-native pipeline
+        (:func:`repro.core.parallel.build_directed_side_store`): the
+        engine's two sides come straight out of the build, so the first
+        query pays no flattening pass and no per-node record is ever
+        materialised.
 
         Raises:
             IndexBuildError: for empty or weighted digraphs (the
@@ -191,6 +211,11 @@ class DirectedVicinityOracle:
             raise IndexBuildError("cannot build an index over an empty digraph")
         if graph.is_weighted:
             raise IndexBuildError("the directed extension supports unweighted digraphs")
+        if representation not in ("dict", "flat"):
+            raise IndexBuildError(
+                f"unknown representation {representation!r}; "
+                "choose from ('dict', 'flat')"
+            )
         rng = ensure_rng(seed)
         total = graph.total_degrees().astype(np.float64)
         if probability_scale == "auto":
@@ -202,13 +227,15 @@ class DirectedVicinityOracle:
         if not sampled.any():
             sampled[int(np.argmax(total))] = True
         ids = np.flatnonzero(sampled).astype(np.int64)
-        flags = bytearray(graph.n)
-        for u in ids.tolist():
-            flags[u] = 1
+        flags = flag_bytes(graph.n, ids)
 
         min_size = None
         if vicinity_floor > 0:
             min_size = int(vicinity_floor * alpha * np.sqrt(graph.n))
+
+        if representation == "flat":
+            return cls._build_flat(graph, alpha, ids, flags, min_size, fallback)
+
         out_adj = graph.out_adjacency()
         in_adj = graph.in_adjacency()
         out_vicinities = cls._build_side(out_adj, flags, graph.n, min_size)
@@ -227,6 +254,50 @@ class DirectedVicinityOracle:
             graph, alpha, ids, flags, out_vicinities, in_vicinities,
             forward_tables, backward_tables, fallback,
         )
+
+    @classmethod
+    def _build_flat(cls, graph, alpha, ids, flags, min_size, fallback):
+        """Flat-native directed build: both sides straight to arrays."""
+        from repro.core.parallel import build_directed_side_store
+
+        flags_u8 = np.frombuffer(flags, dtype=np.uint8)
+        out_store = build_directed_side_store(
+            graph.out_indptr, graph.out_indices, graph.n, flags_u8, ids,
+            min_size=min_size,
+        )
+        in_store = build_directed_side_store(
+            graph.in_indptr, graph.in_indices, graph.n, flags_u8, ids,
+            min_size=min_size,
+        )
+        oracle = cls.from_side_stores(
+            graph, alpha, ids, flags, out_store, in_store, fallback
+        )
+        return oracle
+
+    @classmethod
+    def from_side_stores(
+        cls, graph, alpha, ids, flags, out_store, in_store, fallback
+    ) -> "DirectedVicinityOracle":
+        """Assemble an oracle from two store-layout side dicts.
+
+        Used by the flat-native builder and the persistence layer
+        (:func:`repro.io.oracle_store.load_directed_oracle`).  The
+        record API stays available through lazy per-node views; the
+        tables map exposes stacked-row views so diagnostics keep
+        working dict-free.
+        """
+        from repro.core.index import FlatVicinityList
+
+        out_vicinities = FlatVicinityList(out_store, graph.n, weighted=False)
+        in_vicinities = FlatVicinityList(in_store, graph.n, weighted=False)
+        forward_tables = _side_table_map(out_store, ids)
+        backward_tables = _side_table_map(in_store, ids)
+        oracle = cls(
+            graph, alpha, ids, flags, out_vicinities, in_vicinities,
+            forward_tables, backward_tables, fallback,
+        )
+        oracle._flat_sides = (out_store, in_store)
+        return oracle
 
     @staticmethod
     def _calibrate(
@@ -250,9 +321,7 @@ class DirectedVicinityOracle:
             flags_array = rng.random(n) < probabilities
             if not flags_array.any():
                 flags_array[int(np.argmax(total))] = True
-            flags = bytearray(n)
-            for u in np.flatnonzero(flags_array).tolist():
-                flags[u] = 1
+            flags = bytearray(flags_array.astype(np.uint8))
             probes = rng.choice(candidates, size=min(24, candidates.size), replace=False)
             sizes = []
             for u in probes.tolist():
@@ -294,31 +363,51 @@ class DirectedVicinityOracle:
     # ------------------------------------------------------------------
     # online phase
     # ------------------------------------------------------------------
+    def flat_side_stores(self) -> tuple[dict, dict]:
+        """Both orientations as persistence-layout arrays (cached).
+
+        A flat-built or disk-loaded oracle already holds them; a
+        dict-built oracle pays one flattening pass on first use (then
+        never again — this is also what the engine builds its sides
+        from, and what :func:`repro.io.oracle_store.save_directed_oracle`
+        persists).
+        """
+        if self._flat_sides is None:
+            from repro.core.flat import directed_side_store_arrays
+
+            self._flat_sides = (
+                directed_side_store_arrays(
+                    self.out_vicinities, self.landmark_ids,
+                    self.forward_tables, self.graph.n,
+                ),
+                directed_side_store_arrays(
+                    self.in_vicinities, self.landmark_ids,
+                    self.backward_tables, self.graph.n,
+                ),
+            )
+        return self._flat_sides
+
     @property
     def engine(self):
         """The two-sided flat engine the directed read path runs on.
 
-        The out-vicinities and forward tables flatten into the engine's
-        *source* side, the in-vicinities and backward tables into its
+        The out-vicinities and forward tables form the engine's
+        *source* side, the in-vicinities and backward tables its
         *target* side; the shared
         :class:`~repro.core.engine.FlatQueryEngine` then runs the exact
         directed analogue of Algorithm 1 (boundary-smaller scan over
-        the two orientations).  Built lazily on the first query.
+        the two orientations).  Built on the first query; flat-built
+        and disk-loaded oracles reuse their stored arrays directly, so
+        only a dict-built oracle ever pays a flattening pass here.
         """
         if self._engine is None:
             from repro.core.engine import FlatQueryEngine
-            from repro.core.flat import flatten_directed_side
+            from repro.core.flat import directed_side_flat_index
 
-            out_side = flatten_directed_side(
-                self.out_vicinities, self.landmark_ids,
-                self.forward_tables, self.graph.n,
-            )
-            in_side = flatten_directed_side(
-                self.in_vicinities, self.landmark_ids,
-                self.backward_tables, self.graph.n,
-            )
+            out_store, in_store = self.flat_side_stores()
             self._engine = FlatQueryEngine(
-                out_side, in_side,
+                directed_side_flat_index(out_store, self.graph.n),
+                directed_side_flat_index(in_store, self.graph.n),
                 kernel="boundary-smaller",
                 result_cls=DirectedQueryResult,
             )

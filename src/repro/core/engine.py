@@ -46,7 +46,7 @@ from typing import Optional, Protocol, Type, runtime_checkable
 
 import numpy as np
 
-from repro.core.flat import FlatIndex
+from repro.core.flat import JOIN_MAX_SCAN, FlatIndex
 from repro.core.oracle import QueryResult
 from repro.core.parallel import BYTES_PER_WIRE_ENTRY
 from repro.exceptions import NodeNotFoundError, QueryError
@@ -56,11 +56,11 @@ from repro.exceptions import NodeNotFoundError, QueryError
 #: bit-for-bit identical.  ``full-*`` kernels scan sorted member ids.
 ORDER_EXACT_KERNELS = ("boundary-source", "boundary-target", "boundary-smaller")
 
-#: Mean scan size below which the fused intersection lane uses the
-#: all-pairs flat join of :meth:`FlatIndex.intersect_many`; above it,
-#: slice-local per-pair kernels win (the probe slice stays in cache,
-#: where the join's global-key binary search does not).
-JOIN_MAX_SCAN = 64
+# The join/slice-local crossover lives with :class:`FlatIndex` now:
+# every index carries a ``join_max_scan`` calibrated from its measured
+# boundary-size distribution (floored at the re-exported
+# :data:`~repro.core.flat.JOIN_MAX_SCAN` constant), and the fused
+# intersection lane below reads the scan side's calibrated value.
 
 
 @runtime_checkable
@@ -467,7 +467,7 @@ class FlatQueryEngine:
                 offsets = scan_flat.boundary_offsets
                 nodes, dists = scan_flat.boundary_nodes, scan_flat.boundary_dists
             sizes = offsets[scan_owner + 1] - offsets[scan_owner]
-            if sizes.size and sizes.mean() <= JOIN_MAX_SCAN:
+            if sizes.size and sizes.mean() <= scan_flat.join_max_scan:
                 # Thin scans: per-pair call overhead would dominate the
                 # handful of comparisons, so run the whole sublane as
                 # one flat join.

@@ -54,6 +54,47 @@ FLAT_ARRAYS = (
     "landmark_row",
 )
 
+#: Default mean-scan-size crossover between the fused all-pairs join
+#: and the per-pair slice-local intersection kernels (see
+#: :func:`calibrate_join_max_scan`); also the floor of the per-index
+#: calibrated value.
+JOIN_MAX_SCAN = 64
+
+
+#: The ``log2(total boundary entries) - log2(median boundary)`` gap of
+#: the index geometry :data:`JOIN_MAX_SCAN` was originally tuned on
+#: (the PR 3 livejournal smoke profile).  The calibration below scales
+#: the crossover inversely with this gap.
+_JOIN_ANCHOR_GAP = 13.3
+
+
+def calibrate_join_max_scan(boundary_counts: np.ndarray) -> int:
+    """Pick the join/slice-local crossover from the boundary-size distribution.
+
+    The fused intersection join of :meth:`FlatIndex.intersect_many`
+    amortises per-pair Python overhead but pays a binary search over
+    the *global* member key per scanned node — ``log2(total boundary
+    entries)`` work — where the slice-local kernels pay a fixed
+    per-pair overhead plus ``log2(median slice)`` per node.  Equating
+    the two puts the crossover at ``constant x anchor_gap / gap`` with
+    ``gap = log2(total) - log2(median)``: indices shaped like the one
+    the constant was tuned on calibrate back to (about) the constant —
+    which racing both directions confirmed is where the optimum sits,
+    moving the threshold by 4x either way costs ~1.2x — while very
+    large indices, whose global join search genuinely deepens relative
+    to their slices, tighten log-wise.  ``bench_offline --smoke``
+    races the calibrated value against the constant and asserts it is
+    never slower on the serving workload.
+    """
+    populated = boundary_counts[boundary_counts > 0]
+    if populated.size == 0:
+        return JOIN_MAX_SCAN
+    total = float(populated.sum())
+    median = float(np.percentile(populated, 50))
+    gap = np.log2(max(total, 2.0)) - np.log2(max(median, 2.0))
+    calibrated = JOIN_MAX_SCAN * _JOIN_ANCHOR_GAP / max(gap, 1.0)
+    return int(np.clip(calibrated, 8, 4 * JOIN_MAX_SCAN))
+
 
 def _flatten_records(vicinities, n: int, dist_dtype) -> dict[str, np.ndarray]:
     """Flatten any sequence of vicinity-shaped records to offset arrays.
@@ -133,7 +174,16 @@ def flatten_index(index) -> dict[str, np.ndarray]:
     :func:`repro.io.oracle_store.save_index` persists exactly this dict;
     :meth:`FlatIndex.from_store_arrays` derives the probe-ready views
     (accepting unsorted slices from legacy saved files too).
+
+    A flat-built index (``representation="flat"``) already holds these
+    arrays — they are returned as-is, so persistence never materialises
+    the per-node records.  The dynamic oracle drops the stored copy on
+    every mutation (``VicinityOracle.refresh_engine``), which routes
+    the next flatten through the record extraction below.
     """
+    stored = getattr(index, "_flat_store", None)
+    if stored is not None:
+        return stored
     graph = index.graph
     n = graph.n
     weighted = graph.is_weighted
@@ -161,17 +211,18 @@ def flatten_index(index) -> dict[str, np.ndarray]:
     }
 
 
-def flatten_directed_side(
+def directed_side_store_arrays(
     vicinities, landmark_ids: np.ndarray, tables: dict, n: int
-) -> "FlatIndex":
-    """Flatten one orientation of a directed oracle into a probe surface.
+) -> dict[str, np.ndarray]:
+    """One directed orientation's records as persistence-layout arrays.
 
     ``vicinities`` is the out- or in-vicinity list, ``tables`` the
     matching orientation's ``{landmark: (dist, parent)}`` map (forward
-    tables for the out side, backward tables for the in side).  The
-    result is a regular :class:`FlatIndex`, so the directed oracle can
-    delegate to the same :class:`~repro.core.engine.FlatQueryEngine`
-    as the undirected one — just with distinct source/target sides.
+    tables for the out side, backward tables for the in side).  This is
+    the layout :func:`repro.io.oracle_store.save_directed_oracle`
+    persists per side, and what the flat-native directed builder
+    (:func:`repro.core.parallel.build_directed_side_store`) emits
+    without materialising the records at all.
     """
     ids = np.ascontiguousarray(landmark_ids, dtype=np.int64)
     data = _flatten_records(vicinities, n, np.int32)
@@ -182,8 +233,25 @@ def flatten_directed_side(
     else:
         data["table_dist"] = np.zeros((0, 0), dtype=np.int32)
         data["table_parent"] = np.zeros((0, 0), dtype=np.int32)
-    return FlatIndex.from_store_arrays(
-        data, n=n, weighted=False, store_paths=True
+    return data
+
+
+def directed_side_flat_index(data: Mapping[str, np.ndarray], n: int) -> "FlatIndex":
+    """Probe surface over one directed side's store-layout arrays."""
+    return FlatIndex.from_store_arrays(data, n=n, weighted=False, store_paths=True)
+
+
+def flatten_directed_side(
+    vicinities, landmark_ids: np.ndarray, tables: dict, n: int
+) -> "FlatIndex":
+    """Flatten one orientation of a directed oracle into a probe surface.
+
+    The result is a regular :class:`FlatIndex`, so the directed oracle
+    can delegate to the same :class:`~repro.core.engine.FlatQueryEngine`
+    as the undirected one — just with distinct source/target sides.
+    """
+    return directed_side_flat_index(
+        directed_side_store_arrays(vicinities, landmark_ids, tables, n), n
     )
 
 
@@ -264,6 +332,9 @@ class FlatIndex:
         self._integral = self.vic_dists.dtype.kind == "i"
         self.member_counts = np.diff(self.member_offsets)
         self.boundary_counts = np.diff(self.boundary_offsets)
+        #: Per-index join/slice-local crossover, calibrated from the
+        #: measured boundary-size distribution at flatten time.
+        self.join_max_scan = calibrate_join_max_scan(self.boundary_counts)
         self._key_scale = np.int64(max(self.n, 1))
         # The global (owner, node) keys that make one searchsorted
         # answer a whole batch of probes are built lazily: only the

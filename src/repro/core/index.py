@@ -19,7 +19,7 @@ the memory/accuracy trade-off is measured in ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,88 @@ from repro.graph.traversal.vectorized import bfs_tree_vectorized
 
 #: Optional progress callback: (stage, done, total).
 ProgressCallback = Callable[[str, int, int], None]
+
+#: Offline-build representations: ``"dict"`` materialises per-node
+#: :class:`~repro.core.vicinity.Vicinity` records (the mutable
+#: build/repair representation the dynamic oracle edits); ``"flat"``
+#: writes the contiguous :class:`~repro.core.flat.FlatIndex` arrays
+#: directly through the batched pipeline in :mod:`repro.core.parallel`
+#: — field-identical output, no per-node dicts on the hot path.
+REPRESENTATIONS = ("dict", "flat")
+
+
+class FlatVicinityList(Sequence):
+    """Per-node :class:`Vicinity` records materialised lazily from flat arrays.
+
+    A flat-built index stores only the contiguous arrays; consumers of
+    the record API (stats, memory accounting, the partitioned
+    simulation, dynamic repair) still index ``index.vicinities[u]``, so
+    this view reconstructs — and caches — exactly the records they
+    touch, the same extraction :func:`repro.io.oracle_store.load_index`
+    performs for every node up front.  Assignment is supported because
+    the dynamic oracle replaces repaired records in place; overridden
+    slots shadow the stored arrays from then on.
+
+    Like the persistence round trip, materialised ``dist`` dicts
+    iterate in sorted-node order rather than the builder's discovery
+    order — equivalent everywhere except the documented ``full-*``
+    witness tie-break.
+    """
+
+    def __init__(self, store: Mapping[str, np.ndarray], n: int, weighted: bool) -> None:
+        self._store = store
+        self._n = int(n)
+        self._weighted = bool(weighted)
+        self._records: dict[int, Vicinity] = {}
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self):
+        return (self[u] for u in range(self._n))
+
+    def __setitem__(self, u: int, record: Vicinity) -> None:
+        self._records[int(u)] = record
+
+    def __getitem__(self, u: int) -> Vicinity:
+        u = int(u)
+        if u < 0:
+            u += self._n
+        if not 0 <= u < self._n:
+            raise IndexError(u)
+        record = self._records.get(u)
+        if record is None:
+            record = self._materialise(u)
+            self._records[u] = record
+        return record
+
+    def _materialise(self, u: int) -> Vicinity:
+        store = self._store
+        lo, hi = int(store["vic_offsets"][u]), int(store["vic_offsets"][u + 1])
+        keys = store["vic_nodes"][lo:hi].tolist()
+        values = store["vic_dists"][lo:hi].tolist()
+        preds = store["vic_preds"][lo:hi].tolist()
+        mlo, mhi = (
+            int(store["member_offsets"][u]),
+            int(store["member_offsets"][u + 1]),
+        )
+        blo, bhi = (
+            int(store["boundary_offsets"][u]),
+            int(store["boundary_offsets"][u + 1]),
+        )
+        radius = store["radii"][u]
+        if np.isnan(radius):
+            radius = None
+        else:
+            radius = float(radius) if self._weighted else int(radius)
+        return Vicinity(
+            node=u,
+            radius=radius,
+            dist=dict(zip(keys, values)),
+            pred={k: p for k, p in zip(keys, preds) if p >= 0},
+            members=frozenset(store["member_nodes"][mlo:mhi].tolist()),
+            boundary=store["boundary_nodes"][blo:bhi].tolist(),
+        )
 
 
 @dataclass
@@ -95,6 +177,8 @@ class VicinityIndex:
         config: Optional[OracleConfig] = None,
         *,
         progress: Optional[ProgressCallback] = None,
+        representation: str = "dict",
+        workers: int = 1,
     ) -> "VicinityIndex":
         """Run the complete offline phase.
 
@@ -105,6 +189,14 @@ class VicinityIndex:
             progress: optional callback invoked as
                 ``progress(stage, done, total)`` during the two long
                 stages (``"vicinities"`` and ``"landmark-tables"``).
+            representation: one of :data:`REPRESENTATIONS` — ``"flat"``
+                builds the contiguous arrays directly (the fast path;
+                field-identical to flattening the dict build), ``"dict"``
+                materialises per-node records (the mutable
+                representation the dynamic oracle repairs against).
+            workers: worker processes for the flat pipeline (sources
+                partitioned over a shared-memory CSR); only valid with
+                ``representation="flat"``.
 
         Raises:
             IndexBuildError: for an empty graph or invalid settings.
@@ -127,7 +219,14 @@ class VicinityIndex:
             per_component=config.landmark_per_component,
             max_landmarks=config.max_landmarks,
         )
-        return cls.from_landmarks(graph, config, landmarks, progress=progress)
+        return cls.from_landmarks(
+            graph,
+            config,
+            landmarks,
+            progress=progress,
+            representation=representation,
+            workers=workers,
+        )
 
     @classmethod
     def from_landmarks(
@@ -137,15 +236,74 @@ class VicinityIndex:
         landmarks: LandmarkSet,
         *,
         progress: Optional[ProgressCallback] = None,
+        representation: str = "dict",
+        workers: int = 1,
     ) -> "VicinityIndex":
         """Build the index for an explicit landmark set.
 
         Split out from :meth:`build` so persistence and the dynamic
-        oracle can rebuild against a frozen ``L``.
+        oracle can rebuild against a frozen ``L``, and so the parity
+        suite can pin both representations on one landmark set.
         """
+        if representation not in REPRESENTATIONS:
+            raise IndexBuildError(
+                f"unknown representation {representation!r}; "
+                f"choose from {REPRESENTATIONS}"
+            )
+        if representation == "flat":
+            # Local import: parallel wraps this class for the §5
+            # simulation, so the build backend is imported lazily.
+            from repro.core.parallel import build_flat_store
+
+            store = build_flat_store(
+                graph, config, landmarks, workers=workers, progress=progress
+            )
+            return cls.from_flat_store(graph, config, landmarks, store)
+        if workers != 1:
+            raise IndexBuildError("workers > 1 requires representation='flat'")
         vicinities = cls._build_vicinities(graph, config, landmarks, progress)
         tables = cls._build_tables(graph, config, landmarks, progress)
         return cls(graph, config, landmarks, vicinities, tables)
+
+    @classmethod
+    def from_flat_store(
+        cls,
+        graph: CSRGraph,
+        config: OracleConfig,
+        landmarks: LandmarkSet,
+        store: dict,
+    ) -> "VicinityIndex":
+        """Wrap flat-native build output as a fully functional index.
+
+        ``store`` holds the persistence-layout arrays
+        (:data:`repro.io.oracle_store.FLAT_STORE_ARRAYS`).  The probe
+        surface (:class:`~repro.core.flat.FlatIndex`) is derived
+        eagerly — it is what every read path runs on — while the
+        record API materialises per-node :class:`Vicinity` views only
+        on demand.  ``save_index`` persists the stored arrays without
+        any re-flattening.
+        """
+        from repro.core.flat import FlatIndex
+
+        vicinities = FlatVicinityList(store, graph.n, graph.is_weighted)
+        tables: dict[int, LandmarkTable] = {}
+        if store["table_dist"].size:
+            has_parents = store["table_parent"].size > 0
+            for row, landmark in enumerate(landmarks.ids.tolist()):
+                tables[landmark] = LandmarkTable(
+                    landmark=landmark,
+                    dist=store["table_dist"][row],
+                    parent=store["table_parent"][row] if has_parents else None,
+                )
+        index = cls(graph, config, landmarks, vicinities, tables)
+        index._flat_store = store
+        index._flat_index = FlatIndex.from_store_arrays(
+            store,
+            n=graph.n,
+            weighted=graph.is_weighted,
+            store_paths=config.store_paths,
+        )
+        return index
 
     @staticmethod
     def _build_vicinities(

@@ -70,6 +70,19 @@ class LandmarkSet:
         return float(self.probabilities.sum())
 
 
+def flag_bytes(n: int, ids: np.ndarray) -> bytearray:
+    """Per-node membership flags as a ``bytearray``, via one numpy scatter.
+
+    The scalar traversal loops index the flags per neighbour, where a
+    ``bytearray`` iterates unboxed; building it element-by-element in
+    Python, however, costs a loop over ``|L|`` — one ``uint8`` scatter
+    plus a buffer copy replaces it.
+    """
+    flags = np.zeros(n, dtype=np.uint8)
+    flags[np.asarray(ids, dtype=np.int64)] = 1
+    return bytearray(flags)
+
+
 def sampling_probabilities(
     graph: CSRGraph, alpha: float, *, scale: float = 1.0
 ) -> np.ndarray:
@@ -153,12 +166,9 @@ def sample_landmarks(
         keep = max(max_landmarks, len(forced))
         ids = np.asarray(sorted(order[:keep]), dtype=np.int64)
 
-    flags = bytearray(graph.n)
-    for u in ids.tolist():
-        flags[u] = 1
     return LandmarkSet(
         ids=ids,
-        is_landmark=flags,
+        is_landmark=flag_bytes(graph.n, ids),
         probabilities=probabilities,
         alpha=float(alpha),
         forced=np.asarray(sorted(forced), dtype=np.int64),
@@ -219,9 +229,7 @@ def calibrate_scale(
         flags_array = generator.random(graph.n) < probabilities
         if not flags_array.any():
             flags_array[int(np.argmax(degrees))] = True
-        flags = bytearray(graph.n)
-        for u in np.flatnonzero(flags_array).tolist():
-            flags[u] = 1
+        flags = bytearray(flags_array.astype(np.uint8))
         probes = generator.choice(candidates, size=min(sample_nodes, candidates.size), replace=False)
         sizes = []
         for u in probes.tolist():
@@ -251,12 +259,9 @@ def landmark_set_from_ids(graph: CSRGraph, ids: Sequence[int], alpha: float) -> 
     arr = np.asarray(sorted(set(int(u) for u in ids)), dtype=np.int64)
     if arr.size and (arr.min() < 0 or arr.max() >= graph.n):
         raise IndexBuildError("landmark ids reference unknown nodes")
-    flags = bytearray(graph.n)
-    for u in arr.tolist():
-        flags[u] = 1
     return LandmarkSet(
         ids=arr,
-        is_landmark=flags,
+        is_landmark=flag_bytes(graph.n, arr),
         probabilities=sampling_probabilities(graph, alpha),
         alpha=float(alpha),
         forced=np.zeros(0, dtype=np.int64),

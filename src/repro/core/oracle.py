@@ -189,6 +189,8 @@ class VicinityOracle:
         seed: Optional[int] = None,
         config: Optional[OracleConfig] = None,
         progress=None,
+        representation: str = "dict",
+        workers: int = 1,
         **config_overrides,
     ) -> "VicinityOracle":
         """Run the offline phase and return a ready oracle.
@@ -202,13 +204,25 @@ class VicinityOracle:
             config: fully explicit configuration; overrides the
                 shorthand arguments.
             progress: optional build progress callback.
+            representation: offline-build representation
+                (:data:`repro.core.index.REPRESENTATIONS`); ``"flat"``
+                is the fast, dict-free pipeline.
+            workers: worker processes for the flat pipeline.
             **config_overrides: any other :class:`OracleConfig` field.
         """
         if config is None:
             config = OracleConfig(alpha=alpha, seed=seed, **config_overrides)
         elif config_overrides:
             raise QueryError("pass either config or keyword overrides, not both")
-        return cls(VicinityIndex.build(graph, config, progress=progress))
+        return cls(
+            VicinityIndex.build(
+                graph,
+                config,
+                progress=progress,
+                representation=representation,
+                workers=workers,
+            )
+        )
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -271,6 +285,10 @@ class VicinityOracle:
             index._flat_index = cached.refreshed(index, nodes)
         else:
             index._flat_index = None
+        # A flat-built index keeps its store-layout arrays for dict-free
+        # persistence; any mutation invalidates them (the next flatten
+        # re-extracts from the live records).
+        index._flat_store = None
         index._flat_generation = getattr(index, "_flat_generation", 0) + 1
         self._engine = None
 

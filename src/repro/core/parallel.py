@@ -1,4 +1,4 @@
-"""Partitioned serving simulation (§5, research challenge 3).
+"""Partitioned serving simulation (§5) and the flat-native build backend.
 
 The paper asks whether vicinity intersection can be parallelised without
 replicating the data structure on every machine.  The structure
@@ -18,12 +18,28 @@ intersection by shipping the *boundary* of ``Gamma(s)`` — the same
 small set Lemma 1 licenses probing — to ``shard(t)``.  The simulation
 counts messages and bytes per query and reports per-shard memory, which
 is what a deployment needs to size machines.
+
+The second half of this module is the offline counterpart of the
+serving-side process pool: :func:`build_flat_store` runs the whole
+§2.2/§3.1 precomputation *flat-natively* — batched truncated BFS
+(:mod:`repro.graph.traversal.batched`), vectorised boundary extraction
+(:func:`repro.core.vicinity.boundary_mask_packed`) and direct packing
+into the persistence layout — optionally partitioned across worker
+processes that share the CSR through one
+:class:`~repro.io.shm.SharedArrayBundle` segment and return packed
+per-source slices the coordinator concatenates straight into
+:class:`~repro.core.flat.FlatIndex` arrays.  No per-node dict record is
+ever materialised on this path; the dict builder in
+:class:`~repro.core.index.VicinityIndex` survives as the parity
+baseline (pinned field-identical in ``tests/core/test_flatbuild.py``).
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -31,7 +47,10 @@ from repro.core.index import VicinityIndex
 from repro.core.intersect import scan_and_probe
 from repro.core.memory import BYTES_PER_ENTRY_WITH_PATHS
 from repro.core.oracle import QueryResult
-from repro.exceptions import QueryError
+from repro.core.vicinity import boundary_mask_packed
+from repro.exceptions import IndexBuildError, QueryError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal.batched import NO_RADIUS, grow_balls
 
 #: Modelled wire size of one (node id, distance) pair.
 BYTES_PER_WIRE_ENTRY = 8
@@ -245,3 +264,476 @@ class PartitionedOracle:
     def balance_summary(self) -> dict[str, float]:
         """Load-balance metrics over shard memory sizes."""
         return balance_summary_from_reports(self.shard_reports())
+
+
+# ======================================================================
+# flat-native offline build (vicinities + tables, dict-free)
+# ======================================================================
+
+#: Sources per vicinity work unit.  Small enough for load balance and
+#: progress granularity, large enough that per-chunk overhead (one
+#: pool round trip, a few array concatenations) stays negligible.
+BUILD_CHUNK_SOURCES = 4096
+
+#: Landmark tables per work unit in the table stage.
+BUILD_CHUNK_TABLES = 16
+
+#: Worker-side state for the build pool (set by the initializer).
+_BUILD_STATE: dict = {}
+
+
+def build_flat_store(
+    graph: CSRGraph,
+    config,
+    landmarks,
+    *,
+    workers: int = 1,
+    progress: Optional[Callable[[str, int, int], None]] = None,
+    timings: Optional[dict] = None,
+) -> dict[str, np.ndarray]:
+    """Run the offline phase straight into the flat persistence layout.
+
+    The dict-free counterpart of
+    :meth:`repro.core.index.VicinityIndex.from_landmarks`: every array
+    of :data:`repro.io.oracle_store.FLAT_STORE_ARRAYS` is produced
+    directly — batched truncated BFS for the vicinities (per-node
+    scalar Dijkstra on weighted graphs), vectorised boundary
+    extraction, stacked single-source sweeps for the landmark tables —
+    with no per-node ``Vicinity`` record in between.  The output is
+    field-identical to ``flatten_index(VicinityIndex.from_landmarks(...))``
+    for the same ``(graph, config, landmarks)``.
+
+    Args:
+        graph: the network (undirected CSR; weighted or not).
+        config: the :class:`~repro.core.config.OracleConfig` in effect.
+        landmarks: the frozen :class:`~repro.core.landmarks.LandmarkSet`.
+        workers: worker processes sharing the CSR through shared
+            memory; ``1`` builds in-process.  Results are identical for
+            any worker count (pinned by a test).
+        progress: optional ``(stage, done, total)`` callback, matching
+            the dict builder's stages.
+        timings: optional dict that receives per-stage wall-clock
+            seconds (``"vicinities"``, ``"landmark-tables"``).
+
+    Raises:
+        IndexBuildError: empty graph, or ``vicinity_floor`` on a
+            weighted graph (mirrors the dict builder).
+    """
+    if graph.n == 0:
+        raise IndexBuildError("cannot build an index over an empty graph")
+    if workers < 1:
+        raise IndexBuildError("workers must be at least 1")
+    weighted = graph.is_weighted
+    min_size: Optional[int] = None
+    if config.vicinity_floor > 0:
+        if weighted:
+            raise IndexBuildError(
+                "vicinity_floor requires an unweighted graph "
+                "(per-node radii are only provably exact there)"
+            )
+        min_size = int(config.vicinity_floor * config.alpha * np.sqrt(graph.n))
+    flags = np.frombuffer(landmarks.is_landmark, dtype=np.uint8)
+    table_ids = landmarks.ids if config.landmark_tables != "none" else None
+    meta = {
+        "min_size": min_size,
+        "store_paths": bool(config.store_paths),
+        "weighted": weighted,
+    }
+
+    vic_bounds = _chunk_bounds(graph.n, BUILD_CHUNK_SOURCES)
+    started = time.perf_counter()
+    if workers == 1:
+        state = {"graph": graph, "flags": flags, **meta}
+        vic_chunks = []
+        for lo, hi in vic_bounds:
+            vic_chunks.append(_vicinity_chunk(state, lo, hi))
+            if progress is not None:
+                progress("vicinities", hi, graph.n)
+        if timings is not None:
+            timings["vicinities"] = time.perf_counter() - started
+        table_chunks, table_elapsed = _run_table_stage(
+            table_ids,
+            progress,
+            lambda id_chunks: (_tables_chunk(state, ids) for ids in id_chunks),
+        )
+    else:
+        import multiprocessing
+
+        from repro.io.shm import SharedArrayBundle
+
+        shared = {
+            "indptr": graph.indptr,
+            "indices": graph.indices,
+            "flags": flags,
+        }
+        if weighted:
+            shared["weights"] = graph.weights
+        context = multiprocessing.get_context("spawn")
+        with SharedArrayBundle.create(shared) as bundle:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_build_worker_init,
+                initargs=(bundle.spec, graph.n, meta),
+            ) as pool:
+                vic_chunks = []
+                for (lo, hi), chunk in zip(
+                    vic_bounds, pool.map(_build_worker_vicinities, vic_bounds)
+                ):
+                    vic_chunks.append(chunk)
+                    if progress is not None:
+                        progress("vicinities", hi, graph.n)
+                if timings is not None:
+                    timings["vicinities"] = time.perf_counter() - started
+                table_chunks, table_elapsed = _run_table_stage(
+                    table_ids,
+                    progress,
+                    lambda id_chunks: pool.map(_build_worker_tables, id_chunks),
+                )
+    if timings is not None:
+        timings["landmark-tables"] = table_elapsed
+
+    return _assemble_store(
+        vic_chunks, table_chunks, graph.n, weighted, landmarks
+    )
+
+
+def _chunk_bounds(total: int, step: int) -> list[tuple[int, int]]:
+    return [(lo, min(lo + step, total)) for lo in range(0, total, step)]
+
+
+def _run_table_stage(table_ids, progress, run_chunks):
+    """Time and drive the landmark-table stage over chunked id ranges.
+
+    ``run_chunks`` maps a list of landmark-id arrays to an in-order
+    iterable of table chunk results (inline generator or pool map).
+    """
+    if table_ids is None or table_ids.size == 0:
+        return [], 0.0
+    started = time.perf_counter()
+    bounds = _chunk_bounds(table_ids.size, BUILD_CHUNK_TABLES)
+    id_chunks = [table_ids[lo:hi] for lo, hi in bounds]
+    chunks = []
+    for (lo, hi), chunk in zip(bounds, run_chunks(id_chunks)):
+        chunks.append(chunk)
+        if progress is not None:
+            progress("landmark-tables", hi, int(table_ids.size))
+    return chunks, time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# per-chunk work (shared between the inline path and pool workers)
+# ----------------------------------------------------------------------
+def _build_worker_init(spec, n, meta) -> None:
+    """Pool initializer: map the shared CSR and stash worker state."""
+    from repro.io.shm import SharedArrayBundle
+
+    bundle = SharedArrayBundle.attach(spec)
+    arrays = bundle.arrays
+    graph = CSRGraph(
+        n, arrays["indptr"], arrays["indices"], arrays.get("weights")
+    )
+    _BUILD_STATE.clear()
+    _BUILD_STATE.update(
+        {"bundle": bundle, "graph": graph, "flags": arrays["flags"], **meta}
+    )
+
+
+def _build_worker_vicinities(bounds):
+    lo, hi = bounds
+    return _vicinity_chunk(_BUILD_STATE, lo, hi)
+
+
+def _build_worker_tables(ids):
+    return _tables_chunk(None, ids)
+
+
+def _vicinity_chunk(state: dict, lo: int, hi: int) -> dict[str, np.ndarray]:
+    """Build the packed store slices of every node in ``[lo, hi)``.
+
+    Returns per-chunk counts plus concatenated entry columns; landmark
+    nodes contribute empty slices and radius 0 exactly as Definition 1
+    (and the dict builder) dictate.
+    """
+    graph: CSRGraph = state["graph"]
+    flags: np.ndarray = state["flags"]
+    span = hi - lo
+    is_lm = flags[lo:hi].astype(bool)
+    sources = np.arange(lo, hi, dtype=np.int64)[~is_lm]
+    radii = np.zeros(span, dtype=np.float64)
+
+    if state["weighted"]:
+        packed = _weighted_sources_packed(graph, flags, sources, state["store_paths"])
+        (vic_counts, vic_nodes, vic_dists, vic_preds,
+         member_counts, member_nodes, boundary_counts, boundary_nodes,
+         source_radii) = packed
+    else:
+        balls = grow_balls(
+            graph.indptr, graph.indices, graph.n, sources, flags,
+            min_size=state["min_size"],
+        )
+        ball_counts = np.diff(balls.offsets)
+        local_owner = np.repeat(
+            np.arange(sources.size, dtype=np.int64), ball_counts
+        )
+        # Within-slice sort by node id (the flat probe layout); the
+        # boundary keeps the packed discovery order — Lemma 1's scan
+        # order, which the kernels' witness tie-breaking depends on.
+        key = local_owner * np.int64(graph.n) + balls.nodes
+        order = np.argsort(key, kind="stable")
+        vic_counts = member_counts = ball_counts
+        vic_nodes = member_nodes = balls.nodes[order]
+        vic_dists = balls.dists[order].astype(np.int32, copy=False)
+        if state["store_paths"]:
+            vic_preds = balls.preds[order]
+        else:
+            vic_preds = np.full(balls.preds.size, -1, dtype=np.int64)
+        bmask = balls.boundary_mask
+        boundary_nodes = balls.nodes[bmask]
+        boundary_counts = np.bincount(
+            local_owner[bmask], minlength=sources.size
+        ).astype(np.int64)
+        source_radii = np.where(
+            balls.radii == NO_RADIUS, np.nan, balls.radii.astype(np.float64)
+        )
+
+    radii[~is_lm] = source_radii
+    counts_full = np.zeros(span, dtype=np.int64)
+    counts_full[~is_lm] = vic_counts
+    member_full = np.zeros(span, dtype=np.int64)
+    member_full[~is_lm] = member_counts
+    boundary_full = np.zeros(span, dtype=np.int64)
+    boundary_full[~is_lm] = boundary_counts
+    return {
+        "vic_counts": counts_full,
+        "vic_nodes": vic_nodes,
+        "vic_dists": vic_dists,
+        "vic_preds": vic_preds,
+        "member_counts": member_full,
+        "member_nodes": member_nodes,
+        "boundary_counts": boundary_full,
+        "boundary_nodes": boundary_nodes,
+        "radii": radii,
+    }
+
+
+def _weighted_sources_packed(
+    graph: CSRGraph, flags: np.ndarray, sources: np.ndarray, store_paths: bool
+):
+    """Weighted chunk: per-source scalar Dijkstra, packed dict-free.
+
+    Weighted balls stay per-node (a batched Dijkstra would need a
+    mergeable frontier heap), but the packing — sorted distance-table
+    slices, sorted member arrays, vectorised boundary masks — runs on
+    arrays, so the coordinator still never sees a ``Vicinity`` record.
+    """
+    from repro.core.flat import _sorted_vic_slice
+    from repro.graph.traversal.bounded import truncated_dijkstra_ball
+
+    # The scalar loop indexes the flags per neighbour; a bytearray
+    # iterates unboxed where a numpy scalar would dominate the loop.
+    flag_bytes = bytearray(flags.tobytes())
+    vic_counts = np.zeros(sources.size, dtype=np.int64)
+    member_counts = np.zeros(sources.size, dtype=np.int64)
+    boundary_counts = np.zeros(sources.size, dtype=np.int64)
+    radii = np.full(sources.size, np.nan, dtype=np.float64)
+    vic_nodes_parts, vic_dists_parts, vic_preds_parts = [], [], []
+    member_parts, boundary_parts = [], []
+    single_offset = np.zeros(2, dtype=np.int64)
+    for i, u in enumerate(sources.tolist()):
+        result = truncated_dijkstra_ball(graph, u, flag_bytes)
+        keys, values, preds = _sorted_vic_slice(result, np.float64)
+        if not store_paths:
+            preds = np.full(keys.size, -1, dtype=np.int64)
+        gamma = np.asarray(result.gamma, dtype=np.int64)
+        members = np.sort(gamma)
+        single_offset[1] = gamma.size
+        bmask = boundary_mask_packed(
+            single_offset, gamma, members, graph.indptr, graph.indices, graph.n
+        )
+        vic_counts[i] = keys.size
+        member_counts[i] = members.size
+        vic_nodes_parts.append(keys)
+        vic_dists_parts.append(values)
+        vic_preds_parts.append(preds)
+        member_parts.append(members)
+        boundary = gamma[bmask]
+        boundary_counts[i] = boundary.size
+        boundary_parts.append(boundary)
+        if result.radius is not None:
+            radii[i] = float(result.radius)
+    empty = np.zeros(0, dtype=np.int64)
+    return (
+        vic_counts,
+        np.concatenate(vic_nodes_parts) if vic_nodes_parts else empty,
+        (
+            np.concatenate(vic_dists_parts)
+            if vic_dists_parts
+            else np.zeros(0, dtype=np.float64)
+        ),
+        np.concatenate(vic_preds_parts) if vic_preds_parts else empty,
+        member_counts,
+        np.concatenate(member_parts) if member_parts else empty,
+        boundary_counts,
+        np.concatenate(boundary_parts) if boundary_parts else empty,
+        radii,
+    )
+
+
+def _tables_chunk(state, ids: np.ndarray) -> dict[str, np.ndarray]:
+    """Single-source sweeps for a chunk of landmarks, stacked."""
+    if state is None:
+        state = _BUILD_STATE
+    graph: CSRGraph = state["graph"]
+    store_paths: bool = state["store_paths"]
+    dist_rows, parent_rows = [], []
+    if state["weighted"]:
+        from repro.graph.traversal.dijkstra import dijkstra_tree
+
+        for landmark in ids.tolist():
+            dist, parent = dijkstra_tree(graph, landmark)
+            dist_rows.append(dist)
+            parent_rows.append(parent.astype(np.int32))
+    else:
+        from repro.graph.traversal.vectorized import bfs_tree_vectorized
+
+        for landmark in ids.tolist():
+            dist, parent = bfs_tree_vectorized(graph, landmark)
+            dist_rows.append(dist)
+            parent_rows.append(parent)
+    out = {"dist": np.stack(dist_rows)}
+    out["parent"] = (
+        np.stack(parent_rows)
+        if store_paths
+        else np.zeros((0, 0), dtype=np.int32)
+    )
+    return out
+
+
+def _assemble_store(
+    vic_chunks, table_chunks, n: int, weighted: bool, landmarks
+) -> dict[str, np.ndarray]:
+    """Concatenate packed chunks into the persistence layout."""
+    dist_dtype = np.float64 if weighted else np.int32
+    store = _assemble_vicinity_parts(vic_chunks, n, dist_dtype)
+    table_dist, table_parent = _assemble_tables(table_chunks, dist_dtype)
+    store.update(
+        {
+            "landmarks": landmarks.ids,
+            "landmark_scale": np.asarray(landmarks.scale, dtype=np.float64),
+            "table_dist": table_dist,
+            "table_parent": table_parent,
+        }
+    )
+    return store
+
+
+def _assemble_vicinity_parts(vic_chunks, n: int, dist_dtype) -> dict[str, np.ndarray]:
+    def offsets_of(count_key: str) -> np.ndarray:
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.concatenate([c[count_key] for c in vic_chunks]), out=offsets[1:]
+        )
+        return offsets
+
+    def column(key: str, dtype) -> np.ndarray:
+        parts = [c[key] for c in vic_chunks if c[key].size]
+        if not parts:
+            return np.zeros(0, dtype=dtype)
+        return np.ascontiguousarray(np.concatenate(parts), dtype=dtype)
+
+    return {
+        "vic_offsets": offsets_of("vic_counts"),
+        "vic_nodes": column("vic_nodes", np.int64),
+        "vic_dists": column("vic_dists", dist_dtype),
+        "vic_preds": column("vic_preds", np.int64),
+        "member_offsets": offsets_of("member_counts"),
+        "member_nodes": column("member_nodes", np.int64),
+        "boundary_offsets": offsets_of("boundary_counts"),
+        "boundary_nodes": column("boundary_nodes", np.int64),
+        "radii": np.concatenate([c["radii"] for c in vic_chunks]),
+    }
+
+
+def _assemble_tables(table_chunks, dist_dtype):
+    if table_chunks:
+        table_dist = np.vstack([c["dist"] for c in table_chunks])
+        parent_parts = [c["parent"] for c in table_chunks if c["parent"].size]
+        table_parent = (
+            np.vstack(parent_parts)
+            if parent_parts
+            else np.zeros((0, 0), dtype=np.int32)
+        )
+    else:
+        table_dist = np.zeros((0, 0), dtype=dist_dtype)
+        table_parent = np.zeros((0, 0), dtype=np.int32)
+    return table_dist, table_parent
+
+
+class _RawCSR:
+    """Minimal CSR view the unweighted chunk builder can traverse.
+
+    The directed builder hands one *orientation* of a digraph to
+    :func:`_vicinity_chunk`, which only touches ``n``/``indptr``/
+    ``indices`` on the unweighted path — no :class:`CSRGraph` invariants
+    (symmetry) apply to a single orientation.
+    """
+
+    __slots__ = ("n", "indptr", "indices")
+    is_weighted = False
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, n: int) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.n = int(n)
+
+
+def build_directed_side_store(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    flags: np.ndarray,
+    landmark_ids: np.ndarray,
+    *,
+    min_size: Optional[int] = None,
+    tables: bool = True,
+) -> dict[str, np.ndarray]:
+    """Flat-native offline build of one directed orientation.
+
+    The directed analogue of :func:`build_flat_store` for a single
+    side: batched truncated BFS over the orientation's CSR, vectorised
+    boundary extraction, plus that orientation's stacked landmark
+    tables (forward tables for the out side when given
+    ``(out_indptr, out_indices)``, backward for the in side).  The
+    output layout matches
+    :func:`repro.core.flat.directed_side_store_arrays` on the dict
+    builder's records, field for field.
+    """
+    from repro.graph.traversal.vectorized import digraph_bfs_tree_vectorized
+
+    state = {
+        "graph": _RawCSR(indptr, indices, n),
+        "flags": np.asarray(flags, dtype=np.uint8),
+        "weighted": False,
+        "store_paths": True,
+        "min_size": min_size,
+    }
+    chunks = [
+        _vicinity_chunk(state, lo, hi)
+        for lo, hi in _chunk_bounds(n, BUILD_CHUNK_SOURCES)
+    ]
+    store = _assemble_vicinity_parts(chunks, n, np.int32)
+    ids = np.ascontiguousarray(landmark_ids, dtype=np.int64)
+    store["landmarks"] = ids
+    if tables and ids.size:
+        dist_rows, parent_rows = [], []
+        for landmark in ids.tolist():
+            dist, parent = digraph_bfs_tree_vectorized(indptr, indices, n, landmark)
+            dist_rows.append(dist)
+            parent_rows.append(parent)
+        store["table_dist"] = np.stack(dist_rows)
+        store["table_parent"] = np.stack(parent_rows)
+    else:
+        store["table_dist"] = np.zeros((0, 0), dtype=np.int32)
+        store["table_parent"] = np.zeros((0, 0), dtype=np.int32)
+    return store

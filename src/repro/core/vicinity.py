@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+import numpy as np
+
 Distance = Union[int, float]
 
 
@@ -80,6 +82,54 @@ def compute_boundary(
                 boundary.append(v)
                 break
     return boundary
+
+
+def boundary_mask_packed(
+    offsets: np.ndarray,
+    nodes: np.ndarray,
+    member_key_sorted: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    scale: int,
+) -> np.ndarray:
+    """Vectorised :func:`compute_boundary` over packed vicinities.
+
+    ``nodes`` holds many vicinities' members concatenated in their scan
+    order (``offsets`` delimits each vicinity's slice), and
+    ``member_key_sorted`` is the globally sorted ``owner * scale + node``
+    membership key of the same vicinities.  One CSR gather enumerates
+    every member's neighbours, one ``searchsorted`` settles all the
+    membership tests at once, and a prefix-sum count per neighbour
+    segment answers "has any neighbour outside" — the exact boundary
+    predicate of Lemma 1, with the flat-native builder's per-entry
+    boolean mask preserving the stored scan order.
+
+    Returns the boolean mask over ``nodes`` marking boundary members.
+    """
+    # Local import: the traversal package owns the CSR gather; this
+    # module is imported by it nowhere, so the edge stays acyclic.
+    from repro.graph.traversal.batched import gather_csr_rows
+
+    if nodes.size == 0:
+        return np.zeros(0, dtype=bool)
+    owner = np.repeat(
+        np.arange(offsets.size - 1, dtype=np.int64), np.diff(offsets)
+    )
+    neighbours, degs = gather_csr_rows(indptr, indices, nodes)
+    if neighbours.size == 0:
+        return np.zeros(nodes.size, dtype=bool)
+    if member_key_sorted.size == 0:
+        return degs > 0
+    key = np.repeat(owner, degs) * np.int64(scale) + neighbours
+    pos = np.searchsorted(member_key_sorted, key)
+    np.minimum(pos, member_key_sorted.size - 1, out=pos)
+    outside = member_key_sorted[pos] != key
+    # Per-member "any neighbour outside" without reduceat's empty-
+    # segment pitfall: a running count differenced at slice bounds.
+    cum = np.zeros(neighbours.size + 1, dtype=np.int64)
+    np.cumsum(outside, out=cum[1:])
+    ends = np.cumsum(degs)
+    return cum[ends] > cum[ends - degs]
 
 
 def build_vicinity(

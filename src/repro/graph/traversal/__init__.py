@@ -9,7 +9,10 @@ Four families, mirroring what the paper needs:
   comparator [4] of Table 3;
 * truncated traversals (:mod:`.bounded`) — the "modified shortest path
   algorithm [16]" of §2.2 that grows a ball until the nearest landmark
-  and one extra frontier ring.
+  and one extra frontier ring;
+* batched truncated traversals (:mod:`.batched`) — the offline-phase
+  engine that grows whole batches of balls per numpy wave, with
+  boundary extraction riding along against the dense visited bitmap.
 """
 
 from repro.graph.traversal.bfs import (
@@ -36,6 +39,7 @@ from repro.graph.traversal.bounded import (
     truncated_bfs_ball,
     truncated_dijkstra_ball,
 )
+from repro.graph.traversal.batched import PackedBalls, grow_balls
 from repro.graph.traversal.astar import astar_distance, astar_path
 
 __all__ = [
@@ -55,6 +59,8 @@ __all__ = [
     "BallResult",
     "truncated_bfs_ball",
     "truncated_dijkstra_ball",
+    "PackedBalls",
+    "grow_balls",
     "astar_distance",
     "astar_path",
 ]

@@ -1,0 +1,352 @@
+"""Batched truncated traversals: grow many balls per wave (§2.2, offline).
+
+:func:`repro.graph.traversal.bounded.truncated_bfs_ball` grows one ball
+with a per-node Python queue loop — fine for one query-time fallback,
+but the offline phase runs it once per node, which makes *construction*
+the scalability bottleneck after PR 3 moved every read path onto flat
+arrays.  This module is the batched counterpart: a level-synchronous
+engine that advances the frontiers of a whole batch of sources in one
+numpy wave over the raw CSR ``indptr/indices`` arrays, with per-source
+stopping (each ball freezes at its own radius) and the same ``min_size``
+vicinity floor the scalar engine supports.
+
+Parity contract (pinned by ``tests/core/test_flatbuild.py``): for every
+source the packed slice equals the scalar traversal exactly — same
+members, same hop distances, same predecessor choices, in the same
+discovery order.  The predecessor equality holds because each wave's
+candidate list enumerates ``(frontier node, CSR neighbour)`` pairs in
+exactly the scalar loop's iteration order and keeps the *first*
+discovery of each node (a reversed scatter, not a sort), and the wave's
+new nodes re-enter the next frontier in that same discovery order.
+
+Boundary extraction rides along wave-side because two facts make it
+nearly free there and expensive anywhere else:
+
+* in the BFS metric a member with ``d(u, v) < r`` has every neighbour
+  within ``r`` — only *rim* members (``d == r``) can be on the
+  boundary, and a ball no landmark bounded has no boundary at all
+  (its vicinity is a whole closed component);
+* while the batch's dense visited bitmap is alive, each membership
+  test is one gather, and a slot-wise sweep that retires a member at
+  its first outside neighbour reproduces the scalar loop's early exit
+  — the average rim member settles in one or two slots.
+
+The engine works on raw CSR arrays rather than a graph object so the
+undirected builder, the directed builder (either orientation) and
+shared-memory worker processes can all drive it without materialising
+adjacency lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Soft cap on the per-batch working set (visited bitmap + first-seen
+#: slots, ~5 bytes per (ball, node) pair); batches shrink on large
+#: graphs so memory stays flat.  The cap of 128 balls per wave is
+#: empirical: beyond it the bitmap outgrows cache and the random
+#: membership gathers dominate, costing more than the saved per-wave
+#: fixed overhead.
+_BATCH_BUDGET = 64 << 20
+
+#: ``radii`` sentinel for a ball no landmark bounded (the scalar
+#: engine's ``radius=None`` — the vicinity degenerated to the whole
+#: reachable set).
+NO_RADIUS = -1
+
+
+@dataclass
+class PackedBalls:
+    """Truncated-traversal results for a batch of sources, packed.
+
+    Attributes:
+        sources: the ball centres, in input order.
+        offsets: ``int64`` array of length ``len(sources) + 1``; ball
+            ``i``'s entries occupy ``[offsets[i], offsets[i + 1])`` of
+            the entry arrays.
+        nodes: member ids per ball, in discovery order (the scalar
+            engine's dict-insertion order) — ``nodes[offsets[i]]`` is
+            always ``sources[i]`` itself.
+        dists: ``int32`` hop counts aligned with ``nodes``.
+        preds: ``int64`` predecessor toward the source aligned with
+            ``nodes`` (``pred == source`` at the source).
+        radii: ``int32`` effective radius per ball; :data:`NO_RADIUS`
+            where no landmark bounded the traversal.
+        boundary_mask: boolean per entry — whether the member has at
+            least one neighbour outside its ball (Lemma 1's boundary
+            predicate, in the stored scan order).
+    """
+
+    sources: np.ndarray
+    offsets: np.ndarray
+    nodes: np.ndarray
+    dists: np.ndarray
+    preds: np.ndarray
+    radii: np.ndarray
+    boundary_mask: np.ndarray
+
+
+def default_batch_size(n: int) -> int:
+    """Sources per wave batch keeping the working set in budget."""
+    return int(max(16, min(128, _BATCH_BUDGET // (5 * max(n, 1)))))
+
+
+def grow_balls(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    sources: np.ndarray,
+    landmark_flags: np.ndarray,
+    *,
+    min_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
+) -> PackedBalls:
+    """Grow a truncated ball from every source, many balls per wave.
+
+    Args:
+        indptr / indices: the CSR adjacency to traverse (undirected
+            rows, or one orientation of a digraph).
+        n: number of nodes.
+        sources: ball centres; must not be landmarks (landmark balls
+            are empty by Definition 1 — the builders emit their empty
+            slices directly).
+        landmark_flags: per-node ``uint8`` flags of the landmark set.
+        min_size: optional vicinity floor — keep absorbing whole levels
+            past the nearest landmark until the ball holds this many
+            nodes (the scalar engine's ``min_size``).
+        batch_size: balls grown concurrently; defaults to a size that
+            keeps the per-batch visited bitmap and dedup slots around
+            64 MB.
+
+    Returns:
+        The :class:`PackedBalls`, slice ``i`` matching
+        ``truncated_bfs_ball(graph, sources[i], flags)`` field for
+        field (``gamma`` in discovery order, distances, predecessors,
+        radius, boundary membership).
+    """
+    sources = np.ascontiguousarray(sources, dtype=np.int64)
+    indptr = np.asarray(indptr)
+    indices = np.asarray(indices)
+    flags = np.asarray(landmark_flags, dtype=np.uint8)
+    if batch_size is None:
+        batch_size = default_batch_size(n)
+
+    counts = np.zeros(sources.size, dtype=np.int64)
+    radii = np.full(sources.size, NO_RADIUS, dtype=np.int32)
+    node_parts: list[np.ndarray] = []
+    dist_parts: list[np.ndarray] = []
+    pred_parts: list[np.ndarray] = []
+    boundary_parts: list[np.ndarray] = []
+
+    for lo in range(0, sources.size, batch_size):
+        batch = sources[lo:lo + batch_size]
+        b_nodes, b_dists, b_preds, b_boundary, b_counts, b_radii = _grow_batch(
+            indptr, indices, n, batch, flags, min_size
+        )
+        node_parts.append(b_nodes)
+        dist_parts.append(b_dists)
+        pred_parts.append(b_preds)
+        boundary_parts.append(b_boundary)
+        counts[lo:lo + batch.size] = b_counts
+        radii[lo:lo + batch.size] = b_radii
+
+    offsets = np.zeros(sources.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    empty = np.zeros(0, dtype=np.int64)
+    return PackedBalls(
+        sources=sources,
+        offsets=offsets,
+        nodes=np.concatenate(node_parts) if node_parts else empty,
+        dists=(
+            np.concatenate(dist_parts)
+            if dist_parts
+            else np.zeros(0, dtype=np.int32)
+        ),
+        preds=np.concatenate(pred_parts) if pred_parts else empty,
+        radii=radii,
+        boundary_mask=(
+            np.concatenate(boundary_parts)
+            if boundary_parts
+            else np.zeros(0, dtype=bool)
+        ),
+    )
+
+
+def gather_csr_rows(indptr, indices, rows):
+    """Concatenated CSR slices of ``rows`` plus per-row sizes.
+
+    The vectorised multi-row gather shared by the wave engine and
+    :func:`repro.core.vicinity.boundary_mask_packed`: element order is
+    row order × within-row order, exactly the scalar loops' visit
+    order.
+    """
+    starts = indptr[rows]
+    degs = indptr[rows + 1] - starts
+    total = int(degs.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), degs
+    prefix = np.cumsum(degs) - degs
+    gidx = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(prefix, degs)
+        + np.repeat(starts, degs)
+    )
+    return indices[gidx].astype(np.int64, copy=False), degs
+
+
+def _grow_batch(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    batch: np.ndarray,
+    flags: np.ndarray,
+    min_size: Optional[int],
+):
+    """One batch of balls to completion; returns per-ball packed parts."""
+    size = batch.size
+    n64 = np.int64(n)
+    # Flat (ball, node) visited bitmap plus a first-seen slot array for
+    # the in-wave dedup; both are reused across waves (a key can only
+    # be fresh in one wave, so stale slots are never consulted).  The
+    # bitmap is the only randomly-indexed memory in the engine, which
+    # is why the default batch size keeps it small enough to cache.
+    visited = np.zeros(size * n, dtype=bool)
+    first_seen = np.empty(size * n, dtype=np.int32)
+    ball_ids = np.arange(size, dtype=np.int64)
+    visited[ball_ids * n64 + batch] = True
+
+    # Wave records: (ball, node, pred) triples plus the wave's level.
+    rec_balls = [ball_ids]
+    rec_nodes = [batch]
+    rec_preds = [batch]
+    rec_levels = [0]
+
+    counts = np.ones(size, dtype=np.int64)
+    radii = np.full(size, NO_RADIUS, dtype=np.int32)
+    landmark_seen = np.zeros(size, dtype=bool)
+    frontier_b = ball_ids
+    frontier_n = batch
+    level = 0
+
+    while frontier_b.size:
+        level += 1
+        cand_n, degs = gather_csr_rows(indptr, indices, frontier_n)
+        if cand_n.size == 0:
+            break
+        cand_b = np.repeat(frontier_b, degs)
+        key = cand_b * n64 + cand_n
+        fresh = ~visited[key]
+        if not fresh.any():
+            break
+        key = key[fresh]
+        cand_b = cand_b[fresh]
+        cand_n = cand_n[fresh]
+        cand_p = np.repeat(frontier_n, degs)[fresh]
+        # Keep each (ball, node)'s first discovery without sorting: a
+        # reversed scatter leaves the first occurrence's index in the
+        # slot, and comparing each candidate against its slot elects
+        # the winners in candidate order — the scalar engine's
+        # predecessor choice and dict-insertion order in O(wave).
+        idx = np.arange(key.size, dtype=np.int32)
+        first_seen[key[::-1]] = idx[::-1]
+        winners = first_seen[key] == idx
+        new_b = cand_b[winners]
+        new_n = cand_n[winners]
+        new_p = cand_p[winners]
+
+        visited[key[winners]] = True
+        rec_balls.append(new_b)
+        rec_nodes.append(new_n)
+        rec_preds.append(new_p)
+        rec_levels.append(level)
+        grew = np.bincount(new_b, minlength=size)
+        counts += grew
+        hit = flags[new_n].view(bool)
+        if hit.any():
+            landmark_seen[new_b[hit]] = True
+
+        # Per-source stopping: a ball that absorbed this level freezes
+        # once it has seen a landmark (and met the floor); a ball whose
+        # frontier produced nothing simply leaves the wave (no landmark
+        # bounded it — the scalar engine's radius=None outcome).
+        stop = (grew > 0) & landmark_seen
+        if min_size is not None:
+            stop &= counts >= min_size
+        radii[stop] = level
+        keep = ~stop[new_b]
+        frontier_b = new_b[keep]
+        frontier_n = new_n[keep]
+
+    balls = np.concatenate(rec_balls)
+    nodes = np.concatenate(rec_nodes)
+    preds = np.concatenate(rec_preds)
+    dists = np.concatenate(
+        [
+            np.full(part.size, lvl, dtype=np.int32)
+            for part, lvl in zip(rec_nodes, rec_levels)
+        ]
+    )
+    # Group per ball; the stable sort preserves wave order (and within
+    # a wave, discovery order) inside each ball's run.
+    order = np.argsort(balls, kind="stable")
+    balls = balls[order]
+    nodes = nodes[order]
+    dists = dists[order]
+    boundary = _boundary_against_visited(
+        indptr, indices, visited, n64, balls, nodes, dists, radii
+    )
+    return nodes, dists, preds[order], boundary, counts, radii
+
+
+def _boundary_against_visited(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    visited: np.ndarray,
+    n64: np.int64,
+    balls: np.ndarray,
+    nodes: np.ndarray,
+    dists: np.ndarray,
+    radii: np.ndarray,
+) -> np.ndarray:
+    """Per-entry boundary mask while the visited bitmap is still dense.
+
+    Only rim members (``d == radius``) are candidates — an interior
+    member's neighbours all sit within the radius, and a radius-less
+    ball covers its whole (closed) component.  Candidates are swept
+    slot by slot with compression: each sweep tests every still-
+    undecided member's next neighbour in one gather, members retire at
+    their first outside neighbour, and the handful whose neighbourhood
+    is entirely inside fall off when their slots run out — the scalar
+    loop's early exit, vectorised.
+    """
+    boundary = np.zeros(nodes.size, dtype=bool)
+    undecided = np.flatnonzero(dists == radii[balls])
+    if undecided.size == 0:
+        return boundary
+    base = balls[undecided] * n64
+    cursor = indptr[nodes[undecided]].copy()
+    ends = indptr[nodes[undecided] + 1]
+    # Degree-zero members can slip in only as isolated sources.
+    alive = cursor < ends
+    if not alive.all():
+        undecided, base, cursor, ends = (
+            undecided[alive], base[alive], cursor[alive], ends[alive]
+        )
+    while undecided.size:
+        outside = ~visited[base + indices[cursor]]
+        if outside.any():
+            boundary[undecided[outside]] = True
+        cursor += 1
+        # One fused compression: members that found an outside
+        # neighbour retire decided, members out of slots retire
+        # interior; everyone else advances to the next slot.
+        keep = ~outside & (cursor < ends)
+        if not keep.all():
+            undecided = undecided[keep]
+            base = base[keep]
+            cursor = cursor[keep]
+            ends = ends[keep]
+    return boundary

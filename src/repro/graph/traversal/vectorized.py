@@ -21,6 +21,21 @@ from repro.graph.csr import CSRGraph
 UNREACHED = -1
 
 
+def _next_frontier(dist: np.ndarray, new_nodes: np.ndarray, level: int) -> np.ndarray:
+    """Deduplicated next frontier, avoiding a sort on dense waves.
+
+    ``np.unique(new_nodes)`` and ``np.flatnonzero(dist == level)`` are
+    the same (sorted, unique) array once ``dist[new_nodes] = level`` is
+    in — but the label scan is branch-free and sort-free, which makes
+    it several times faster on the dense waves of a social graph.  The
+    scan is linear in ``n`` per level, so narrow waves (high-diameter
+    graphs, sparse tails) keep the ``unique`` path.
+    """
+    if new_nodes.size >= dist.size >> 5:
+        return np.flatnonzero(dist == level)
+    return np.unique(new_nodes).astype(np.int64, copy=False)
+
+
 def _gather_neighbors(
     indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -71,7 +86,7 @@ def bfs_tree_vectorized(
         # parent sits at the previous level, so last-write-wins is valid.
         dist[new_nodes] = level
         parent[new_nodes] = sources[fresh]
-        frontier = np.unique(new_nodes).astype(np.int64)
+        frontier = _next_frontier(dist, new_nodes, level)
     return dist, parent
 
 
@@ -108,7 +123,7 @@ def multi_source_bfs_vectorized(
         if fresh.size == 0:
             break
         dist[fresh] = level
-        frontier = np.unique(fresh).astype(np.int64)
+        frontier = _next_frontier(dist, fresh, level)
     return dist
 
 
@@ -139,5 +154,5 @@ def digraph_bfs_tree_vectorized(
         new_nodes = neighbors[fresh]
         dist[new_nodes] = level
         parent[new_nodes] = sources[fresh]
-        frontier = np.unique(new_nodes).astype(np.int64)
+        frontier = _next_frontier(dist, new_nodes, level)
     return dist, parent

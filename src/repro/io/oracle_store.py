@@ -40,6 +40,23 @@ from repro.graph.csr import CSRGraph
 PathLike = Union[str, Path]
 
 _MAGIC = "repro-oracle-v1"
+_DIRECTED_MAGIC = "repro-directed-oracle-v1"
+
+#: Per-orientation arrays persisted by :func:`save_directed_oracle`
+#: (stored twice, prefixed ``out_`` / ``in_``).
+DIRECTED_SIDE_ARRAYS = (
+    "vic_offsets",
+    "vic_nodes",
+    "vic_dists",
+    "vic_preds",
+    "member_offsets",
+    "member_nodes",
+    "boundary_offsets",
+    "boundary_nodes",
+    "radii",
+    "table_dist",
+    "table_parent",
+)
 
 #: Index arrays persisted by :func:`save_index` (the flattened layout,
 #: produced by :func:`repro.core.flat.flatten_index`).
@@ -135,6 +152,81 @@ def load_flat_index(path: PathLike):
         n=meta["n"],
         weighted=meta["weighted"],
         store_paths=meta["store_paths"],
+    )
+
+
+def save_directed_oracle(oracle, path: PathLike) -> None:
+    """Serialise a :class:`~repro.core.directed.DirectedVicinityOracle`.
+
+    Persists the digraph CSR (both orientations) plus each side's flat
+    arrays in the same offset-indexed layout :func:`save_index` uses —
+    the PR 3 follow-up that lets a loaded directed oracle serve its
+    first query with no flattening pass at all.  A flat-built oracle
+    saves the arrays it already holds; a dict-built one flattens once
+    (cached on the oracle).
+    """
+    graph = oracle.graph
+    out_store, in_store = oracle.flat_side_stores()
+    meta = {"alpha": float(oracle.alpha), "fallback": oracle.fallback}
+    payload = {
+        "magic": np.asarray(_DIRECTED_MAGIC),
+        "meta": np.asarray(json.dumps(meta)),
+        "graph_n": np.asarray(graph.n, dtype=np.int64),
+        "out_indptr": graph.out_indptr,
+        "out_indices": graph.out_indices,
+        "in_indptr": graph.in_indptr,
+        "in_indices": graph.in_indices,
+        "landmarks": oracle.landmark_ids,
+    }
+    for prefix, store in (("out", out_store), ("in", in_store)):
+        for name in DIRECTED_SIDE_ARRAYS:
+            payload[f"{prefix}_{name}"] = store[name]
+    np.savez_compressed(path, **payload)
+
+
+def load_directed_oracle(path: PathLike):
+    """Load a directed oracle saved by :func:`save_directed_oracle`.
+
+    Dict-free: both engine sides come straight from the stored arrays
+    (per-node records materialise lazily only if the record API is
+    touched), so queries are served immediately without re-flattening
+    either orientation.
+
+    Raises:
+        SerializationError: on unknown or corrupt files.
+    """
+    from repro.core.directed import DirectedVicinityOracle
+    from repro.core.landmarks import flag_bytes
+    from repro.graph.digraph import DiGraph
+
+    with np.load(path, allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _DIRECTED_MAGIC:
+            raise SerializationError(f"{path} is not a {_DIRECTED_MAGIC} snapshot")
+        meta = json.loads(str(data["meta"]))
+        n = int(data["graph_n"])
+        graph = DiGraph(
+            n,
+            data["out_indptr"],
+            data["out_indices"],
+            data["in_indptr"],
+            data["in_indices"],
+        )
+        ids = np.ascontiguousarray(data["landmarks"], dtype=np.int64)
+        sides = []
+        for prefix in ("out", "in"):
+            store = {
+                name: data[f"{prefix}_{name}"] for name in DIRECTED_SIDE_ARRAYS
+            }
+            store["landmarks"] = ids
+            sides.append(store)
+    return DirectedVicinityOracle.from_side_stores(
+        graph,
+        float(meta["alpha"]),
+        ids,
+        flag_bytes(n, ids),
+        sides[0],
+        sides[1],
+        meta["fallback"],
     )
 
 
