@@ -300,12 +300,26 @@ def run_smoke(
         )
     )
     print(f"wrote {path}")
+    pool_stats = report.get("pool_reuse")
+    if pool_stats:
+        print(
+            f"pool reuse: first build {pool_stats['first_seconds']:.2f}s vs "
+            f"reused {pool_stats['reused_seconds']:.2f}s "
+            f"({pool_stats['reuse_speedup']:.2f}x; fresh spawn pool "
+            f"{pool_stats['fresh_pool_seconds']:.2f}s for context)"
+        )
+    sizes = report.get("store_bytes")
+    if sizes:
+        print(
+            f"store output: compact {sizes['compact'] / 1e6:.1f} MB vs "
+            f"int64 {sizes['int64'] / 1e6:.1f} MB ({sizes['ratio']:.2f}x smaller)"
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
         return 1
     print(
-        "ok: field-identical arrays across builders and worker counts, "
+        "ok: field-identical arrays across builders, worker counts and pools, "
         f"flat-native build {report['speedup_flat_vs_dict']:.2f}x over the dict path, "
         f"calibrated join crossover {report['join_max_scan']['ratio']:.2f}x "
         "of the constant's time"
@@ -382,6 +396,55 @@ def _smoke_phases(
     ]
     if mismatched:
         failures.append(f"{workers}-worker arrays differ: {mismatched}")
+
+    # --- persistent build pool: rebuilds skip spawn cost --------------
+    from repro.core.parallel import create_build_pool
+
+    pool = create_build_pool(workers)
+    try:
+        started = time.perf_counter()
+        pooled = build_flat_store(graph, config, landmarks, pool=pool)
+        pool_first_s = time.perf_counter() - started
+        started = time.perf_counter()
+        reused = build_flat_store(graph, config, landmarks, pool=pool)
+        pool_reuse_s = time.perf_counter() - started
+    finally:
+        pool.shutdown()
+    stages[f"flat-pool-{workers}w"] = {
+        "seconds": pool_reuse_s,
+        "nodes_per_second": graph.n / pool_reuse_s,
+        "detail": f"reused pool (first build {pool_first_s:.2f}s)",
+    }
+    report["pool_reuse"] = {
+        "workers": workers,
+        # Context only: the fresh pool uses spawn while create_build_pool
+        # prefers fork, so a cross-pool ratio would conflate start-method
+        # gains with reuse.  The tracked figure compares the same pool's
+        # first build (pays worker startup + attach) against its second.
+        "fresh_pool_seconds": multi_s,
+        "first_seconds": pool_first_s,
+        "reused_seconds": pool_reuse_s,
+        "reuse_speedup": pool_first_s / pool_reuse_s if pool_reuse_s else 0.0,
+    }
+    for build_name, build_store in (("pooled", pooled), ("pool-reused", reused)):
+        mismatched = [
+            name
+            for name in FLAT_STORE_ARRAYS
+            if not np.array_equal(got[name], build_store[name], equal_nan=True)
+        ]
+        if mismatched:
+            failures.append(f"{build_name} arrays differ: {mismatched}")
+
+    # --- compact vs int64 output sizes --------------------------------
+    from repro.core.flat import store_nbytes, widen_store
+
+    compact_bytes = store_nbytes(got)
+    int64_bytes = store_nbytes(widen_store(got))
+    report["store_bytes"] = {
+        "compact": compact_bytes,
+        "int64": int64_bytes,
+        "ratio": int64_bytes / compact_bytes if compact_bytes else 0.0,
+    }
 
     # --- calibrated join crossover vs the PR 3 constant ---------------
     pairs = zipf_pairs(graph.n, queries, exponent=1.0, seed=11)

@@ -336,6 +336,169 @@ def test_procpool_doubles_thread_shard_throughput(benchmark, oracles, graphs):
 # ----------------------------------------------------------------------
 # script mode: the CI smoke run
 # ----------------------------------------------------------------------
+def _fields(results):
+    return [(r.distance, r.method, r.witness, r.probes, r.path) for r in results]
+
+
+def _time_cold_start(path, shards, *, mmap, start_method, probe_pair) -> float:
+    """Seconds from ``from_saved`` to the first answered batch."""
+    from repro.service.procpool import ProcessShardedService
+
+    started = time.perf_counter()
+    service = ProcessShardedService.from_saved(
+        path, shards, mmap=mmap, start_method=start_method
+    )
+    try:
+        service.query_batch([probe_pair])
+    finally:
+        service.close()
+    return time.perf_counter() - started
+
+
+def _mmap_phase(index, pairs, shards, failures, report) -> None:
+    """The compact/mmap acceptance block of the smoke run.
+
+    * compact store >= 1.8x smaller than the int64 layout it replaced;
+    * mmap-loaded index answers byte-identical ``query`` /
+      ``query_batch`` / ``with_path`` results vs in-memory, on the
+      engine and on both shard backends;
+    * ``from_saved(mmap=True)`` cold start (to first answer) >= 5x
+      faster than the copy path — loading the legacy archive and
+      copying it into a shared-memory segment, which is exactly what
+      serving did before the single-file layout.
+    """
+    import multiprocessing
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.flat import flatten_index, store_nbytes, widen_store
+    from repro.io.oracle_store import load_flat_index, save_index
+    from repro.service.procpool import ProcessShardedService
+    from repro.service.sharded import ShardedService
+
+    store = flatten_index(index)
+    compact_bytes = store_nbytes(store)
+    int64_bytes = store_nbytes(widen_store(store))
+    size_ratio = int64_bytes / compact_bytes
+    block = {
+        "compact_bytes": compact_bytes,
+        "int64_bytes": int64_bytes,
+        "size_ratio": size_ratio,
+    }
+    report["mmap"] = block
+    if size_ratio < 1.8:
+        failures.append(
+            f"compact store only {size_ratio:.2f}x smaller than int64 (< 1.8x)"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-mmap-smoke-") as tmp:
+        flat_path = Path(tmp) / "oracle.bin"
+        npz_path = Path(tmp) / "oracle.npz"
+        save_index(index, flat_path)
+        save_index(index, npz_path, format="npz")
+        block["store_file_bytes"] = flat_path.stat().st_size
+
+        # --- engine parity: mmap vs in-memory, all three surfaces ----
+        engine = FlatQueryEngine.from_index(index)
+        mapped = FlatQueryEngine(
+            load_flat_index(flat_path, mmap=True), kernel=index.config.kernel
+        )
+        if _fields(mapped.query_batch(pairs)) != _fields(engine.query_batch(pairs)):
+            failures.append("mmap engine query_batch differs from in-memory")
+        sample = pairs[:128]
+        if _fields([mapped.query(s, t) for s, t in sample]) != _fields(
+            [engine.query(s, t) for s, t in sample]
+        ):
+            failures.append("mmap engine query differs from in-memory")
+        if _fields(mapped.query_batch(sample, with_path=True)) != _fields(
+            engine.query_batch(sample, with_path=True)
+        ):
+            failures.append("mmap engine with_path differs from in-memory")
+
+        # --- both shard backends: mmap vs copy, byte-identical -------
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+        for name, cls, kwargs in (
+            ("threads", ShardedService, {}),
+            ("procpool", ProcessShardedService, {"start_method": start_method}),
+        ):
+            with cls.from_saved(flat_path, shards, **kwargs) as copy_svc:
+                want = copy_svc.query_batch(pairs, with_path=True)
+            with cls.from_saved(flat_path, shards, mmap=True, **kwargs) as mm_svc:
+                got = mm_svc.query_batch(pairs, with_path=True)
+            if got != want:
+                failures.append(f"{name} backend: mmap results differ from copy")
+
+        # --- cold start: mmap vs the legacy copy path -----------------
+        probe = pairs[0]
+        copy_s = min(
+            _time_cold_start(
+                npz_path, shards, mmap=False,
+                start_method=start_method, probe_pair=probe,
+            )
+            for _ in range(2)
+        )
+        mmap_s = min(
+            _time_cold_start(
+                flat_path, shards, mmap=True,
+                start_method=start_method, probe_pair=probe,
+            )
+            for _ in range(2)
+        )
+        speedup = copy_s / mmap_s if mmap_s > 0 else float("inf")
+        block["cold_start"] = {
+            "copy_seconds": copy_s,
+            "mmap_seconds": mmap_s,
+            "speedup": speedup,
+            "start_method": start_method,
+            "shards": shards,
+        }
+        if start_method == "fork" and speedup < 5.0:
+            failures.append(
+                f"mmap cold start only {speedup:.2f}x over the copy path (< 5x)"
+            )
+        # Without fork, worker interpreter spawn dominates both sides
+        # identically; the ratio is recorded but not asserted.
+
+
+def _cache_race_phase(index, pairs, report, capacities=(16, 64, 256)) -> None:
+    """Race plain-LRU against 2Q admission on the Zipf workload.
+
+    Both caches replay the same stream against the same resolved
+    answers; what differs is only admission.  Per-capacity hit rates
+    land in ``BENCH_service.json`` (the ROADMAP cache-tuning
+    evaluation).  The sweep spans capacity regimes deliberately: under
+    hard eviction pressure probation protects the repeated tail from
+    one-hit wonders (2Q wins), with ample capacity the stages converge.
+    """
+    from repro.service.cache import ResultCache
+
+    engine = FlatQueryEngine.from_index(index)
+    keys = list(dict.fromkeys(ResultCache.canonical(s, t) for s, t in pairs))
+    answers = dict(zip(keys, engine.query_batch(keys)))
+    race = {"distinct_pairs": len(keys), "capacities": {}}
+    for capacity in capacities:
+        row = {}
+        for admission in ("lru", "2q"):
+            cache = ResultCache(capacity, admission=admission)
+            for s, t in pairs:
+                if cache.get(s, t) is None:
+                    cache.put(answers[ResultCache.canonical(s, t)])
+            snap = cache.snapshot()
+            row[admission] = {
+                "hit_rate": snap["hit_rate"],
+                "hits": snap["hits"],
+                "evictions": snap["evictions"],
+                **(
+                    {"promotions": snap["promotions"]}
+                    if "promotions" in snap
+                    else {}
+                ),
+            }
+        race["capacities"][str(capacity)] = row
+    report["cache_race"] = race
+
+
 def _percentiles_ms(per_query_seconds) -> dict:
     p50, p95, p99 = np.percentile(np.asarray(per_query_seconds), [50, 95, 99])
     return {"p50_ms": p50 * 1e3, "p95_ms": p95 * 1e3, "p99_ms": p99 * 1e3}
@@ -371,6 +534,7 @@ def run_smoke(
     batches = list(in_batches(pairs, batch_size))
     failures: list[str] = []
     grid: dict[str, dict] = {}
+    extra: dict = {}
     speedup = None
 
     def record(engine_name, backend_name, seconds, per_query):
@@ -395,6 +559,7 @@ def run_smoke(
             },
             "grid": grid,
             "speedup_flat_vs_dict_batch": speedup,
+            **extra,
             "ok": not failures,
             "failures": failures,
         }
@@ -404,6 +569,8 @@ def run_smoke(
         speedup = _smoke_phases(
             index, pairs, batches, shards, failures, record
         )
+        _mmap_phase(index, pairs, shards, failures, extra)
+        _cache_race_phase(index, pairs, extra)
     except Exception as exc:
         # A crash (dead worker, QueryError) is when the diagnostics
         # matter most — persist the partial grid before propagating.
@@ -427,13 +594,28 @@ def run_smoke(
             ),
         )
     )
+    mmap_block = extra.get("mmap", {})
+    cold = mmap_block.get("cold_start", {})
+    race = extra.get("cache_race", {})
+    if mmap_block:
+        print(
+            f"compact store {mmap_block['size_ratio']:.2f}x smaller than int64; "
+            f"mmap cold start {cold.get('speedup', float('nan')):.1f}x over the "
+            f"copy path ({cold.get('start_method', '?')} workers)"
+        )
+    if race:
+        sweep = ", ".join(
+            f"@{cap}: lru {row['lru']['hit_rate']:.3f} / 2q {row['2q']['hit_rate']:.3f}"
+            for cap, row in race["capacities"].items()
+        )
+        print(f"cache admission race (hit rates) {sweep}")
     print(f"wrote {path}")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
         return 1
     print(
-        "ok: identical results across engines and backends, "
+        "ok: identical results across engines and backends (mmap included), "
         f"flat query_batch {speedup:.2f}x over the dict path"
     )
     return 0

@@ -1,0 +1,139 @@
+"""Diff fresh ``BENCH_*.json`` artifacts against committed baselines.
+
+The smoke runs write machine-readable perf reports
+(``benchmarks/_artifacts/BENCH_service.json``,
+``BENCH_offline.json``); this script compares them against the
+baselines committed under ``benchmarks/baselines/`` and warns on any
+throughput/latency metric that regressed by more than the threshold
+(default 20%) — the first piece of the ROADMAP regression dashboard.
+
+CI boxes are noisy and heterogeneous, so regressions **warn** by
+default (exit 0); pass ``--strict`` to turn warnings into a non-zero
+exit for environments stable enough to gate on.  Improvements and
+in-band metrics are summarised, never fatal.
+
+Usage::
+
+    python benchmarks/compare_bench.py            # default dirs
+    python benchmarks/compare_bench.py --strict --threshold 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Metric leaf names worth tracking, with their good direction.
+#: Anything not listed is context (workload shape, byte counts, flags).
+HIGHER_IS_BETTER = {
+    "qps",
+    "nodes_per_second",
+    "speedup",
+    "speedup_flat_vs_dict",
+    "speedup_flat_vs_dict_batch",
+    "reuse_speedup",
+    "hit_rate",
+    "size_ratio",
+}
+LOWER_IS_BETTER = {"p50_ms", "p95_ms", "p99_ms"}
+
+
+def collect_metrics(node, prefix: str = "") -> dict[str, float]:
+    """Flatten a report to ``dotted.path -> value`` for tracked leaves."""
+    metrics: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                metrics.update(collect_metrics(value, path))
+            elif (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and key in (HIGHER_IS_BETTER | LOWER_IS_BETTER)
+            ):
+                metrics[path] = float(value)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            metrics.update(collect_metrics(value, f"{prefix}[{i}]"))
+    return metrics
+
+
+def compare_report(baseline: dict, fresh: dict, threshold: float):
+    """Returns ``(regressions, improvements, stable_count)`` line lists."""
+    base_metrics = collect_metrics(baseline)
+    fresh_metrics = collect_metrics(fresh)
+    regressions: list[str] = []
+    improvements: list[str] = []
+    stable = 0
+    for path, base in sorted(base_metrics.items()):
+        got = fresh_metrics.get(path)
+        if got is None or base == 0:
+            continue
+        leaf = path.rsplit(".", 1)[-1]
+        change = got / base - 1.0
+        worse = -change if leaf in HIGHER_IS_BETTER else change
+        line = f"{path}: {base:.4g} -> {got:.4g} ({change:+.1%})"
+        if worse > threshold:
+            regressions.append(line)
+        elif worse < -threshold:
+            improvements.append(line)
+        else:
+            stable += 1
+    return regressions, improvements, stable
+
+
+def main(argv=None) -> int:
+    here = Path(__file__).parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--artifacts", type=Path, default=here / "_artifacts",
+        help="directory holding fresh BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=here / "baselines",
+        help="directory holding committed baseline reports",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="relative change treated as a regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any metric regressed past the threshold",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {args.baselines}; nothing to compare")
+        return 0
+    total_regressions = 0
+    for base_path in baselines:
+        fresh_path = args.artifacts / base_path.name
+        if not fresh_path.exists():
+            print(f"{base_path.name}: no fresh artifact at {fresh_path}, skipped")
+            continue
+        baseline = json.loads(base_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        regressions, improvements, stable = compare_report(
+            baseline, fresh, args.threshold
+        )
+        total_regressions += len(regressions)
+        print(
+            f"{base_path.name}: {stable} stable, "
+            f"{len(improvements)} improved, {len(regressions)} regressed "
+            f"(threshold {args.threshold:.0%})"
+        )
+        for line in improvements:
+            print(f"  better: {line}")
+        for line in regressions:
+            print(f"  WARNING regressed: {line}")
+    if total_regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

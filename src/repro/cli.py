@@ -62,10 +62,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="flat pipeline: worker processes sharing the CSR via "
         "shared memory (1 = in-process)",
     )
-    build.add_argument("--out", required=True, help="oracle .npz output path")
+    build.add_argument(
+        "--out", required=True,
+        help="oracle store output path (single-file flat binary, mmap-able)",
+    )
 
     query = sub.add_parser("query", help="answer one query from a stored oracle")
-    query.add_argument("oracle", help="oracle .npz path")
+    query.add_argument("oracle", help="oracle store path (flat binary or legacy .npz)")
     query.add_argument("source", type=int)
     query.add_argument("target", type=int)
     query.add_argument("--path", action="store_true", help="also print the path")
@@ -74,7 +77,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     serve = sub.add_parser("serve", help="run the query service from a stored oracle")
-    serve.add_argument("oracle", help="oracle .npz path (from `build`)")
+    serve.add_argument(
+        "oracle", help="oracle store path from `build` (flat binary or legacy .npz)"
+    )
     serve.add_argument(
         "--cache-size", type=int, default=65536,
         help="LRU result-cache capacity; 0 disables caching",
@@ -91,6 +96,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--replicate-tables", action="store_true",
         help="sharded mode: copy landmark tables onto every shard",
+    )
+    serve.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the stored arrays instead of loading them "
+        "(flat-format stores): zero-copy startup, pages shared across "
+        "every worker and process serving the same file; fallback "
+        "searches are unavailable (the graph stays on disk)",
     )
     serve.add_argument(
         "--worker-cache", type=int, default=0,
@@ -221,6 +233,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         replicate_tables=args.replicate_tables,
         worker_cache_size=args.worker_cache,
+        mmap=args.mmap,
     )
     try:
         if args.bench:

@@ -68,6 +68,155 @@ JOIN_MAX_SCAN = 64
 _JOIN_ANCHOR_GAP = 13.3
 
 
+# ----------------------------------------------------------------------
+# compact dtype policy
+# ----------------------------------------------------------------------
+def id_dtype_for(n: int) -> np.dtype:
+    """Narrowest dtype holding every node id of an ``n``-node graph.
+
+    The all-ones bit pattern is reserved as the missing-predecessor
+    sentinel (it is what ``-1`` wraps to), so a dtype serves graphs up
+    to its max value, not max + 1: ``uint16`` covers ``n <= 65535``
+    (ids ``0..65534``), ``uint32`` covers every graph this codebase
+    can index, and ``int64`` survives as the escape hatch.
+    """
+    if n <= np.iinfo(np.uint16).max:
+        return np.dtype(np.uint16)
+    if n <= np.iinfo(np.uint32).max:
+        return np.dtype(np.uint32)
+    return np.dtype(np.int64)
+
+
+def offset_dtype_for(total: int) -> np.dtype:
+    """Narrowest offset dtype for a CSR column of ``total`` entries."""
+    if total <= np.iinfo(np.uint32).max:
+        return np.dtype(np.uint32)
+    return np.dtype(np.int64)
+
+
+def pred_sentinel(dtype) -> int:
+    """The missing-predecessor marker for an id dtype.
+
+    For signed dtypes it is the dict path's ``-1``; for unsigned ones
+    the all-ones max value — exactly what ``-1`` wraps to under
+    numpy's array-level casts, so ``int64`` arrays carrying ``-1`` can
+    be narrowed with one ``astype`` and no fix-up pass.
+    """
+    dtype = np.dtype(dtype)
+    return int(np.iinfo(dtype).max) if dtype.kind == "u" else -1
+
+
+def float32_exact(*arrays: np.ndarray) -> bool:
+    """Whether every value survives a float32 round trip bit-exactly.
+
+    ``inf`` (the weighted tables' unreachable marker) round-trips;
+    weighted distances that are sums of dyadic weights do too, which
+    is the common synthetic-benchmark case.  One lossy value anywhere
+    keeps the whole store at float64 — exactness is the oracle's
+    contract, not a tunable.
+    """
+    for arr in arrays:
+        if arr.size == 0:
+            continue
+        wide = arr.astype(np.float64, copy=False)
+        if not np.array_equal(wide.astype(np.float32).astype(np.float64), wide):
+            return False
+    return True
+
+
+def _cast(arr: np.ndarray, dtype) -> np.ndarray:
+    """Contiguous view/copy of ``arr`` as ``dtype`` (no-op when already so)."""
+    if arr.dtype == dtype:
+        return np.ascontiguousarray(arr)
+    return np.ascontiguousarray(arr.astype(dtype, copy=False))
+
+
+def compact_store_arrays(
+    store: Mapping[str, np.ndarray], n: int, *, weighted: Optional[bool] = None
+) -> dict[str, np.ndarray]:
+    """Narrow a persistence-layout store to the compact dtype policy.
+
+    * node ids, predecessors and table parents: :func:`id_dtype_for`
+      (``-1`` markers wrap to the all-ones sentinel);
+    * per-node offsets: :func:`offset_dtype_for` of each column total;
+    * distances: ``int32`` unweighted; weighted stay ``float64`` unless
+      every vicinity *and* table distance is float32-exact (the kernels
+      sum hit subsets in float64 either way, so a float32 store changes
+      no answer — pinned by the dtype-boundary parity suite).
+
+    Idempotent and copy-free on an already-compact store; extra keys
+    (``radii``, ``landmarks``, graph arrays) pass through untouched.
+    """
+    if weighted is None:
+        weighted = store["vic_dists"].dtype.kind == "f"
+    ids = id_dtype_for(n)
+    out = dict(store)
+    for name in ("vic_nodes", "member_nodes", "boundary_nodes"):
+        out[name] = _cast(store[name], ids)
+    out["vic_preds"] = _cast(store["vic_preds"], ids)
+    out["table_parent"] = _cast(store["table_parent"], ids)
+    for name in ("vic_offsets", "member_offsets", "boundary_offsets"):
+        arr = np.asarray(store[name])
+        total = int(arr[-1]) if arr.size else 0
+        out[name] = _cast(arr, offset_dtype_for(total))
+    if weighted:
+        dist_dtype = (
+            np.dtype(np.float32)
+            if float32_exact(store["vic_dists"], store["table_dist"])
+            else np.dtype(np.float64)
+        )
+    else:
+        dist_dtype = np.dtype(np.int32)
+    out["vic_dists"] = _cast(store["vic_dists"], dist_dtype)
+    out["table_dist"] = _cast(store["table_dist"], dist_dtype)
+    if "boundary_dists" in store:
+        out["boundary_dists"] = _cast(store["boundary_dists"], dist_dtype)
+    return out
+
+
+def widen_store(store: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """The PR 4 int64 layout of a compact store (tests and size ratios).
+
+    Ids/preds/offsets/parents back to ``int64``/``int32`` with ``-1``
+    markers restored, distances to ``int32``/``float64`` — the exact
+    arrays the pre-compaction code paths produced, so parity suites can
+    pin the compact layout field-equal against its wide ancestor.
+    """
+    out = dict(store)
+    for name in ("vic_nodes", "member_nodes", "boundary_nodes"):
+        out[name] = store[name].astype(np.int64)
+    for name in ("vic_offsets", "member_offsets", "boundary_offsets"):
+        out[name] = store[name].astype(np.int64)
+    out["vic_preds"] = _widen_marked(store["vic_preds"])
+    out["table_parent"] = _widen_marked(store["table_parent"]).astype(
+        np.int32, copy=False
+    )
+    if store["vic_dists"].dtype.kind == "f":
+        out["vic_dists"] = store["vic_dists"].astype(np.float64)
+        out["table_dist"] = store["table_dist"].astype(np.float64)
+    else:
+        out["vic_dists"] = store["vic_dists"].astype(np.int32)
+        out["table_dist"] = store["table_dist"].astype(np.int32)
+    if "boundary_dists" in store:
+        out["boundary_dists"] = store["boundary_dists"].astype(
+            out["vic_dists"].dtype
+        )
+    return out
+
+
+def _widen_marked(arr: np.ndarray) -> np.ndarray:
+    """Signed copy of an id array with the sentinel mapped back to -1."""
+    wide = arr.astype(np.int64)
+    if arr.dtype.kind == "u":
+        wide[arr == pred_sentinel(arr.dtype)] = -1
+    return wide
+
+
+def store_nbytes(store: Mapping[str, np.ndarray]) -> int:
+    """Total array bytes of a store dict (the resident-memory figure)."""
+    return int(sum(np.asarray(a).nbytes for a in store.values()))
+
+
 def calibrate_join_max_scan(boundary_counts: np.ndarray) -> int:
     """Pick the join/slice-local crossover from the boundary-size distribution.
 
@@ -125,11 +274,17 @@ def _flatten_records(vicinities, n: int, dist_dtype) -> dict[str, np.ndarray]:
         np.fromiter((len(v.boundary) for v in vicinities), np.int64, count=n),
         out=boundary_offsets[1:],
     )
-    vic_nodes = np.empty(int(vic_offsets[-1]), dtype=np.int64)
+    # Entry columns are allocated at their compact widths up front, so
+    # even this dict-extraction path never materialises an int64 copy
+    # of the index; the per-slice int64 scratch below is one node's
+    # worth.  Assigning an int64 slice that carries ``-1`` into an
+    # unsigned column wraps it to the all-ones :func:`pred_sentinel`.
+    ids = id_dtype_for(n)
+    vic_nodes = np.empty(int(vic_offsets[-1]), dtype=ids)
     vic_dists = np.empty(int(vic_offsets[-1]), dtype=dist_dtype)
-    vic_preds = np.empty(int(vic_offsets[-1]), dtype=np.int64)
-    member_nodes = np.empty(int(member_offsets[-1]), dtype=np.int64)
-    boundary_nodes = np.empty(int(boundary_offsets[-1]), dtype=np.int64)
+    vic_preds = np.empty(int(vic_offsets[-1]), dtype=ids)
+    member_nodes = np.empty(int(member_offsets[-1]), dtype=ids)
+    boundary_nodes = np.empty(int(boundary_offsets[-1]), dtype=ids)
     radii = np.full(n, np.nan, dtype=np.float64)
 
     for u in range(n):
@@ -202,13 +357,17 @@ def flatten_index(index) -> dict[str, np.ndarray]:
         table_dist = np.zeros((0, 0), dtype=dist_dtype)
         table_parent = np.zeros((0, 0), dtype=np.int32)
 
-    return {
-        "landmarks": landmark_ids,
-        "landmark_scale": np.asarray(index.landmarks.scale, dtype=np.float64),
-        **parts,
-        "table_dist": table_dist,
-        "table_parent": table_parent,
-    }
+    return compact_store_arrays(
+        {
+            "landmarks": landmark_ids,
+            "landmark_scale": np.asarray(index.landmarks.scale, dtype=np.float64),
+            **parts,
+            "table_dist": table_dist,
+            "table_parent": table_parent,
+        },
+        n,
+        weighted=weighted,
+    )
 
 
 def directed_side_store_arrays(
@@ -233,11 +392,21 @@ def directed_side_store_arrays(
     else:
         data["table_dist"] = np.zeros((0, 0), dtype=np.int32)
         data["table_parent"] = np.zeros((0, 0), dtype=np.int32)
-    return data
+    return compact_store_arrays(data, n, weighted=False)
 
 
 def directed_side_flat_index(data: Mapping[str, np.ndarray], n: int) -> "FlatIndex":
-    """Probe surface over one directed side's store-layout arrays."""
+    """Probe surface over one directed side's store-layout arrays.
+
+    A side loaded from the single-file container already carries the
+    probe-ready extras (``boundary_dists``, ``landmark_row``) and skips
+    every derivation pass — which is what keeps a memory-mapped
+    directed oracle's startup O(1) in the entry count.
+    """
+    if "boundary_dists" in data and "landmark_row" in data:
+        return FlatIndex.from_probe_arrays(
+            data, n=n, weighted=False, store_paths=True
+        )
     return FlatIndex.from_store_arrays(data, n=n, weighted=False, store_paths=True)
 
 
@@ -330,6 +499,10 @@ class FlatIndex:
         self.has_tables = self.table_dist.size > 0
         self.has_parents = self.table_parent.size > 0
         self._integral = self.vic_dists.dtype.kind == "i"
+        #: The store's node-id width (uint16/uint32 compact, int64
+        #: legacy).  Predecessor columns share it, with missing entries
+        #: at :func:`pred_sentinel` — any value outside ``[0, n)``.
+        self.id_dtype = self.vic_nodes.dtype
         self.member_counts = np.diff(self.member_offsets)
         self.boundary_counts = np.diff(self.boundary_offsets)
         #: Per-index join/slice-local crossover, calibrated from the
@@ -371,6 +544,28 @@ class FlatIndex:
         return flat
 
     @classmethod
+    def from_probe_arrays(
+        cls,
+        store: Mapping[str, np.ndarray],
+        *,
+        n: int,
+        weighted: bool,
+        store_paths: bool = True,
+    ) -> "FlatIndex":
+        """Wrap a probe-ready store (the single-file layout) directly.
+
+        The store must already be compact, per-slice sorted, and carry
+        ``boundary_dists`` + ``landmark_row`` — which is exactly what
+        :mod:`repro.io.oracle_store` persists — so construction does no
+        O(entries) work at all: ideal for memory-mapped views, where a
+        derivation pass would fault in every page the mapping was
+        supposed to defer.
+        """
+        arrays = {name: store[name] for name in FLAT_ARRAYS if name in store}
+        arrays["landmark_ids"] = np.asarray(store["landmarks"])
+        return cls(arrays, n=n, weighted=weighted, store_paths=store_paths)
+
+    @classmethod
     def from_store_arrays(
         cls,
         data: Mapping[str, np.ndarray],
@@ -381,19 +576,25 @@ class FlatIndex:
     ) -> "FlatIndex":
         """Derive probe-ready arrays from the persistence layout.
 
-        Sorts each node's ``vic_*`` slice by node id (binary-search
-        probes), precomputes per-boundary-node distances, and builds the
-        landmark row map.  ``data`` uses the store's names (``landmarks``
-        for the id array); unspecified ``n``/``weighted`` are inferred.
+        Narrows every array to the compact dtype policy (a no-op for
+        stores that are already compact — notably memory-mapped views,
+        which must stay zero-copy), sorts each node's ``vic_*`` slice
+        by node id (binary-search probes), precomputes per-boundary-node
+        distances, and builds the landmark row map.  A store that
+        already carries ``boundary_dists`` / ``landmark_row`` (the
+        probe-ready single-file layout) skips those derivations.
+        ``data`` uses the store's names (``landmarks`` for the id
+        array); unspecified ``n``/``weighted`` are inferred.
         """
-        vic_offsets = np.ascontiguousarray(data["vic_offsets"], dtype=np.int64)
         if n is None:
-            n = vic_offsets.size - 1
-        vic_nodes = np.asarray(data["vic_nodes"], dtype=np.int64)
-        vic_dists = np.asarray(data["vic_dists"])
-        vic_preds = np.asarray(data["vic_preds"], dtype=np.int64)
+            n = int(np.asarray(data["vic_offsets"]).size - 1)
         if weighted is None:
-            weighted = vic_dists.dtype.kind == "f"
+            weighted = np.asarray(data["vic_dists"]).dtype.kind == "f"
+        store = compact_store_arrays(data, n, weighted=weighted)
+        vic_offsets = store["vic_offsets"]
+        vic_nodes = store["vic_nodes"]
+        vic_dists = store["vic_dists"]
+        vic_preds = store["vic_preds"]
 
         counts = np.diff(vic_offsets)
         owner = np.repeat(np.arange(n, dtype=np.int64), counts)
@@ -410,40 +611,42 @@ class FlatIndex:
             vic_nodes = np.ascontiguousarray(vic_nodes[order])
             vic_dists = np.ascontiguousarray(vic_dists[order])
             vic_preds = np.ascontiguousarray(vic_preds[order])
-        else:
-            vic_nodes = np.ascontiguousarray(vic_nodes)
-            vic_dists = np.ascontiguousarray(vic_dists)
-            vic_preds = np.ascontiguousarray(vic_preds)
 
-        boundary_offsets = np.ascontiguousarray(
-            data["boundary_offsets"], dtype=np.int64
-        )
-        boundary_nodes = np.ascontiguousarray(data["boundary_nodes"], dtype=np.int64)
-        # Every boundary node is a vicinity member; the combined key is
-        # now globally sorted, so one searchsorted resolves every
-        # boundary distance at once.
-        b_owner = np.repeat(np.arange(n, dtype=np.int64), np.diff(boundary_offsets))
-        pos = np.searchsorted(vic_key, b_owner * scale + boundary_nodes)
-        boundary_dists = np.ascontiguousarray(vic_dists[pos])
+        boundary_offsets = store["boundary_offsets"]
+        boundary_nodes = store["boundary_nodes"]
+        if "boundary_dists" in store:
+            boundary_dists = store["boundary_dists"]
+        else:
+            # Every boundary node is a vicinity member; the combined key
+            # is now globally sorted, so one searchsorted resolves every
+            # boundary distance at once.
+            b_owner = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(boundary_offsets)
+            )
+            pos = np.searchsorted(vic_key, b_owner * scale + boundary_nodes)
+            boundary_dists = np.ascontiguousarray(vic_dists[pos])
 
         landmark_ids = np.ascontiguousarray(data["landmarks"], dtype=np.int64)
-        landmark_row = np.full(n, -1, dtype=np.int64)
-        landmark_row[landmark_ids] = np.arange(landmark_ids.size, dtype=np.int64)
+        if "landmark_row" in data:
+            landmark_row = np.ascontiguousarray(data["landmark_row"])
+        else:
+            landmark_row = np.full(n, -1, dtype=np.int32)
+            landmark_row[landmark_ids] = np.arange(
+                landmark_ids.size, dtype=np.int32
+            )
 
         arrays = {
             "vic_offsets": vic_offsets,
             "vic_nodes": vic_nodes,
             "vic_dists": vic_dists,
             "vic_preds": vic_preds,
-            "member_offsets": np.ascontiguousarray(
-                data["member_offsets"], dtype=np.int64
-            ),
-            "member_nodes": np.ascontiguousarray(data["member_nodes"], dtype=np.int64),
+            "member_offsets": store["member_offsets"],
+            "member_nodes": store["member_nodes"],
             "boundary_offsets": boundary_offsets,
             "boundary_nodes": boundary_nodes,
             "boundary_dists": boundary_dists,
-            "table_dist": np.ascontiguousarray(data["table_dist"]),
-            "table_parent": np.ascontiguousarray(data["table_parent"]),
+            "table_dist": store["table_dist"],
+            "table_parent": store["table_parent"],
             "landmark_ids": landmark_ids,
             "landmark_row": landmark_row,
         }
@@ -698,7 +901,13 @@ class FlatIndex:
         hit_nodes = scan_nodes[hit]
         lo, hi = self._vic_slice(target)
         nodes_t = self.vic_nodes[lo:hi]
-        sums = scan_dists[hit] + self.vic_dists[lo:hi][np.searchsorted(nodes_t, hit_nodes)]
+        # Hit subsets are tiny; summing them in float64 keeps a
+        # float32-stored index's answers bit-identical to the float64
+        # layout (the stored values are float32-exact by construction,
+        # so only the *sum's* rounding could ever diverge).
+        sums = scan_dists[hit].astype(np.float64) + self.vic_dists[lo:hi][
+            np.searchsorted(nodes_t, hit_nodes)
+        ].astype(np.float64)
         k = int(np.argmin(sums))
         best = sums[k]
         return (int(best) if self._integral else float(best)), int(hit_nodes[k]), probes
@@ -719,9 +928,14 @@ class FlatIndex:
                 path.reverse()
                 return path
             i = int(np.searchsorted(nodes, node))
-            if i >= nodes.size or nodes[i] != node or preds[i] < 0:
+            if i >= nodes.size or nodes[i] != node:
                 raise QueryError(f"broken predecessor chain at node {node}")
+            # Missing predecessors sit outside [0, n): -1 in legacy
+            # signed stores, the wrapped all-ones sentinel in compact
+            # unsigned ones — one range check covers both.
             node = int(preds[i])
+            if not 0 <= node < self.n:
+                raise QueryError(f"broken predecessor chain at node {path[-1]}")
             path.append(node)
         raise QueryError(f"cyclic predecessor chain walking {start} -> {root}")
 
@@ -742,19 +956,24 @@ class FlatIndex:
         """
         touched = sorted({int(u) for u in nodes if 0 <= int(u) < self.n})
         dist_dtype = self.vic_dists.dtype
+        ids = self.id_dtype
         vic_parts: dict[int, tuple] = {}
         member_parts: dict[int, np.ndarray] = {}
         boundary_parts: dict[int, tuple] = {}
         for u in touched:
             vic = index.vicinities[u]
             keys, values, preds = _sorted_vic_slice(vic, dist_dtype)
-            vic_parts[u] = (keys, values, preds)
+            # Replacement slices are narrowed to the store's compact
+            # widths here (the -1 markers wrap to the sentinel), so a
+            # repaired index keeps the dtypes a fresh flatten would
+            # choose — pinned by the refreshed-equals-from_index test.
+            vic_parts[u] = (keys.astype(ids), values, preds.astype(ids))
             member_parts[u] = np.sort(
                 np.fromiter(vic.members, dtype=np.int64, count=len(vic.members))
-            )
+            ).astype(ids)
             boundary = np.asarray(vic.boundary, dtype=np.int64)
             boundary_parts[u] = (
-                boundary,
+                boundary.astype(ids),
                 values.take(np.searchsorted(keys, boundary)),
             )
 
@@ -772,15 +991,31 @@ class FlatIndex:
             (self.boundary_nodes, self.boundary_dists),
             boundary_parts,
         )
+        # _splice accumulates offsets in int64; settle them back to the
+        # width a fresh flatten would choose for the new totals.
+        vic_offsets = vic_offsets.astype(
+            offset_dtype_for(int(vic_offsets[-1])), copy=False
+        )
+        member_offsets = member_offsets.astype(
+            offset_dtype_for(int(member_offsets[-1])), copy=False
+        )
+        boundary_offsets = boundary_offsets.astype(
+            offset_dtype_for(int(boundary_offsets[-1])), copy=False
+        )
 
         if index.tables:
-            ids = self.landmark_ids.tolist()
-            table_dist = np.stack([index.tables[l].dist for l in ids])
-            parents = [index.tables[l].parent for l in ids]
+            landmark_list = self.landmark_ids.tolist()
+            table_dist = np.stack(
+                [index.tables[l].dist for l in landmark_list]
+            ).astype(self.table_dist.dtype, copy=False)
+            parents = [index.tables[l].parent for l in landmark_list]
             if any(p is None for p in parents):
-                table_parent = np.zeros((0, 0), dtype=np.int32)
+                table_parent = np.zeros((0, 0), dtype=ids)
             else:
-                table_parent = np.stack(parents)
+                # astype wraps any -1 markers to the unsigned sentinel.
+                table_parent = np.stack(parents).astype(
+                    self.table_parent.dtype, copy=False
+                )
         else:
             table_dist, table_parent = self.table_dist, self.table_parent
 
@@ -817,7 +1052,7 @@ def _splice(
     Returns ``(new_offsets, new_arrays)``.
     """
     n = offsets.size - 1
-    counts = np.diff(offsets).copy()
+    counts = np.diff(offsets).astype(np.int64)
     for u, parts in replacements.items():
         counts[u] = parts[0].size
     new_offsets = np.zeros(n + 1, dtype=np.int64)

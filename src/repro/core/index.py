@@ -113,7 +113,9 @@ class FlatVicinityList(Sequence):
             node=u,
             radius=radius,
             dist=dict(zip(keys, values)),
-            pred={k: p for k, p in zip(keys, preds) if p >= 0},
+            # Missing predecessors sit outside [0, n): -1 in legacy
+            # signed stores, the all-ones sentinel in compact ones.
+            pred={k: p for k, p in zip(keys, preds) if 0 <= p < self._n},
             members=frozenset(store["member_nodes"][mlo:mhi].tolist()),
             boundary=store["boundary_nodes"][blo:bhi].tolist(),
         )

@@ -43,6 +43,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.flat import compact_store_arrays, id_dtype_for, pred_sentinel
 from repro.core.index import VicinityIndex
 from repro.core.intersect import scan_and_probe
 from repro.core.memory import BYTES_PER_ENTRY_WITH_PATHS
@@ -278,8 +279,35 @@ BUILD_CHUNK_SOURCES = 4096
 #: Landmark tables per work unit in the table stage.
 BUILD_CHUNK_TABLES = 16
 
-#: Worker-side state for the build pool (set by the initializer).
+#: Worker-side state for the build pool, keyed by the shared segment
+#: name — workers re-attach lazily when a task references a different
+#: build's segment, which is what lets one pool serve many rebuilds.
 _BUILD_STATE: dict = {}
+
+
+def create_build_pool(workers: int, *, start_method: Optional[str] = None):
+    """A reusable :class:`ProcessPoolExecutor` for repeated flat builds.
+
+    Spawn cost dominates multi-worker builds at small scale (each spawn
+    worker re-imports numpy); a persistent pool pays it once across
+    every rebuild passed via ``build_flat_store(..., pool=...)``.
+    Prefers the ``fork`` start method where the platform offers it —
+    forked workers skip the re-import entirely — and falls back to
+    ``spawn``.  Callers own the pool's lifetime (``pool.shutdown()``).
+
+    Memory note: each worker keeps the *last* build's shared-CSR
+    mapping attached until the next build's first task replaces it (or
+    the pool shuts down), so an idle pool pins roughly one graph's CSR
+    in ``/dev/shm``.  Shut the pool down between builds of very large
+    graphs if that residency matters more than the spawn saving.
+    """
+    import multiprocessing
+
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    context = multiprocessing.get_context(start_method)
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
 
 def build_flat_store(
@@ -288,6 +316,7 @@ def build_flat_store(
     landmarks,
     *,
     workers: int = 1,
+    pool: Optional[ProcessPoolExecutor] = None,
     progress: Optional[Callable[[str, int, int], None]] = None,
     timings: Optional[dict] = None,
 ) -> dict[str, np.ndarray]:
@@ -310,6 +339,12 @@ def build_flat_store(
         workers: worker processes sharing the CSR through shared
             memory; ``1`` builds in-process.  Results are identical for
             any worker count (pinned by a test).
+        pool: a reusable executor from :func:`create_build_pool` —
+            repeated rebuilds then skip per-build process spawn (the
+            PR 4 follow-up).  Workers receive each build's shared-CSR
+            spec with their tasks and re-attach only when it changes,
+            so one pool serves any sequence of graphs.  Overrides
+            ``workers``.
         progress: optional ``(stage, done, total)`` callback, matching
             the dict builder's stages.
         timings: optional dict that receives per-stage wall-clock
@@ -342,7 +377,7 @@ def build_flat_store(
 
     vic_bounds = _chunk_bounds(graph.n, BUILD_CHUNK_SOURCES)
     started = time.perf_counter()
-    if workers == 1:
+    if pool is None and workers == 1:
         state = {"graph": graph, "flags": flags, **meta}
         vic_chunks = []
         for lo, hi in vic_bounds:
@@ -357,8 +392,6 @@ def build_flat_store(
             lambda id_chunks: (_tables_chunk(state, ids) for ids in id_chunks),
         )
     else:
-        import multiprocessing
-
         from repro.io.shm import SharedArrayBundle
 
         shared = {
@@ -368,17 +401,16 @@ def build_flat_store(
         }
         if weighted:
             shared["weights"] = graph.weights
-        context = multiprocessing.get_context("spawn")
-        with SharedArrayBundle.create(shared) as bundle:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=context,
-                initializer=_build_worker_init,
-                initargs=(bundle.spec, graph.n, meta),
-            ) as pool:
+        owns_pool = pool is None
+        if owns_pool:
+            pool = create_build_pool(workers, start_method="spawn")
+        try:
+            with SharedArrayBundle.create(shared) as bundle:
+                build = (bundle.spec, graph.n, meta)
                 vic_chunks = []
+                vic_tasks = [(*build, bounds) for bounds in vic_bounds]
                 for (lo, hi), chunk in zip(
-                    vic_bounds, pool.map(_build_worker_vicinities, vic_bounds)
+                    vic_bounds, pool.map(_build_worker_vicinities, vic_tasks)
                 ):
                     vic_chunks.append(chunk)
                     if progress is not None:
@@ -388,8 +420,14 @@ def build_flat_store(
                 table_chunks, table_elapsed = _run_table_stage(
                     table_ids,
                     progress,
-                    lambda id_chunks: pool.map(_build_worker_tables, id_chunks),
+                    lambda id_chunks: pool.map(
+                        _build_worker_tables,
+                        [(*build, ids) for ids in id_chunks],
+                    ),
                 )
+        finally:
+            if owns_pool:
+                pool.shutdown()
     if timings is not None:
         timings["landmark-tables"] = table_elapsed
 
@@ -424,28 +462,48 @@ def _run_table_stage(table_ids, progress, run_chunks):
 # ----------------------------------------------------------------------
 # per-chunk work (shared between the inline path and pool workers)
 # ----------------------------------------------------------------------
-def _build_worker_init(spec, n, meta) -> None:
-    """Pool initializer: map the shared CSR and stash worker state."""
+def _build_worker_state(spec, n: int, meta: dict) -> dict:
+    """The worker-side state for one build, (re-)attached on demand.
+
+    Every task carries its build's ``(spec, n, meta)``, and the worker
+    keeps one attachment cached by segment name — so a long-lived pool
+    (:func:`create_build_pool`) maps each build's shared CSR exactly
+    once per worker, and a different build's first task transparently
+    swaps the mapping.
+    """
     from repro.io.shm import SharedArrayBundle
 
-    bundle = SharedArrayBundle.attach(spec)
-    arrays = bundle.arrays
-    graph = CSRGraph(
-        n, arrays["indptr"], arrays["indices"], arrays.get("weights")
-    )
-    _BUILD_STATE.clear()
-    _BUILD_STATE.update(
-        {"bundle": bundle, "graph": graph, "flags": arrays["flags"], **meta}
-    )
+    state = _BUILD_STATE
+    if state.get("segment") != spec["segment"]:
+        stale = state.get("bundle")
+        if stale is not None:
+            stale.close()
+        bundle = SharedArrayBundle.attach(spec)
+        arrays = bundle.arrays
+        graph = CSRGraph(
+            n, arrays["indptr"], arrays["indices"], arrays.get("weights")
+        )
+        state.clear()
+        state.update(
+            {
+                "segment": spec["segment"],
+                "bundle": bundle,
+                "graph": graph,
+                "flags": arrays["flags"],
+            }
+        )
+    state.update(meta)
+    return state
 
 
-def _build_worker_vicinities(bounds):
-    lo, hi = bounds
-    return _vicinity_chunk(_BUILD_STATE, lo, hi)
+def _build_worker_vicinities(task):
+    spec, n, meta, (lo, hi) = task
+    return _vicinity_chunk(_build_worker_state(spec, n, meta), lo, hi)
 
 
-def _build_worker_tables(ids):
-    return _tables_chunk(None, ids)
+def _build_worker_tables(task):
+    spec, n, meta, ids = task
+    return _tables_chunk(_build_worker_state(spec, n, meta), ids)
 
 
 def _vicinity_chunk(state: dict, lo: int, hi: int) -> dict[str, np.ndarray]:
@@ -457,6 +515,7 @@ def _vicinity_chunk(state: dict, lo: int, hi: int) -> dict[str, np.ndarray]:
     """
     graph: CSRGraph = state["graph"]
     flags: np.ndarray = state["flags"]
+    ids = id_dtype_for(graph.n)
     span = hi - lo
     is_lm = flags[lo:hi].astype(bool)
     sources = np.arange(lo, hi, dtype=np.int64)[~is_lm]
@@ -470,7 +529,7 @@ def _vicinity_chunk(state: dict, lo: int, hi: int) -> dict[str, np.ndarray]:
     else:
         balls = grow_balls(
             graph.indptr, graph.indices, graph.n, sources, flags,
-            min_size=state["min_size"],
+            min_size=state["min_size"], id_dtype=ids,
         )
         ball_counts = np.diff(balls.offsets)
         local_owner = np.repeat(
@@ -487,7 +546,9 @@ def _vicinity_chunk(state: dict, lo: int, hi: int) -> dict[str, np.ndarray]:
         if state["store_paths"]:
             vic_preds = balls.preds[order]
         else:
-            vic_preds = np.full(balls.preds.size, -1, dtype=np.int64)
+            vic_preds = np.full(
+                balls.preds.size, pred_sentinel(ids), dtype=ids
+            )
         bmask = balls.boundary_mask
         boundary_nodes = balls.nodes[bmask]
         boundary_counts = np.bincount(
@@ -530,6 +591,8 @@ def _weighted_sources_packed(
     from repro.core.flat import _sorted_vic_slice
     from repro.graph.traversal.bounded import truncated_dijkstra_ball
 
+    ids = id_dtype_for(graph.n)
+    sentinel = pred_sentinel(ids)
     # The scalar loop indexes the flags per neighbour; a bytearray
     # iterates unboxed where a numpy scalar would dominate the loop.
     flag_bytes = bytearray(flags.tobytes())
@@ -543,8 +606,10 @@ def _weighted_sources_packed(
     for i, u in enumerate(sources.tolist()):
         result = truncated_dijkstra_ball(graph, u, flag_bytes)
         keys, values, preds = _sorted_vic_slice(result, np.float64)
-        if not store_paths:
-            preds = np.full(keys.size, -1, dtype=np.int64)
+        if store_paths:
+            preds = preds.astype(ids)  # -1 wraps to the sentinel
+        else:
+            preds = np.full(keys.size, sentinel, dtype=ids)
         gamma = np.asarray(result.gamma, dtype=np.int64)
         members = np.sort(gamma)
         single_offset[1] = gamma.size
@@ -553,16 +618,16 @@ def _weighted_sources_packed(
         )
         vic_counts[i] = keys.size
         member_counts[i] = members.size
-        vic_nodes_parts.append(keys)
+        vic_nodes_parts.append(keys.astype(ids))
         vic_dists_parts.append(values)
         vic_preds_parts.append(preds)
-        member_parts.append(members)
+        member_parts.append(members.astype(ids))
         boundary = gamma[bmask]
         boundary_counts[i] = boundary.size
-        boundary_parts.append(boundary)
+        boundary_parts.append(boundary.astype(ids))
         if result.radius is not None:
             radii[i] = float(result.radius)
-    empty = np.zeros(0, dtype=np.int64)
+    empty = np.zeros(0, dtype=ids)
     return (
         vic_counts,
         np.concatenate(vic_nodes_parts) if vic_nodes_parts else empty,
@@ -582,8 +647,6 @@ def _weighted_sources_packed(
 
 def _tables_chunk(state, ids: np.ndarray) -> dict[str, np.ndarray]:
     """Single-source sweeps for a chunk of landmarks, stacked."""
-    if state is None:
-        state = _BUILD_STATE
     graph: CSRGraph = state["graph"]
     store_paths: bool = state["store_paths"]
     dist_rows, parent_rows = [], []
@@ -625,10 +688,15 @@ def _assemble_store(
             "table_parent": table_parent,
         }
     )
-    return store
+    # The entry columns arrive compact from the chunks; this settles
+    # offsets, table parents and the weighted float32-exactness
+    # decision, so build output and dict flatten share one dtype policy.
+    return compact_store_arrays(store, n, weighted=weighted)
 
 
 def _assemble_vicinity_parts(vic_chunks, n: int, dist_dtype) -> dict[str, np.ndarray]:
+    ids = id_dtype_for(n)
+
     def offsets_of(count_key: str) -> np.ndarray:
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(
@@ -644,13 +712,13 @@ def _assemble_vicinity_parts(vic_chunks, n: int, dist_dtype) -> dict[str, np.nda
 
     return {
         "vic_offsets": offsets_of("vic_counts"),
-        "vic_nodes": column("vic_nodes", np.int64),
+        "vic_nodes": column("vic_nodes", ids),
         "vic_dists": column("vic_dists", dist_dtype),
-        "vic_preds": column("vic_preds", np.int64),
+        "vic_preds": column("vic_preds", ids),
         "member_offsets": offsets_of("member_counts"),
-        "member_nodes": column("member_nodes", np.int64),
+        "member_nodes": column("member_nodes", ids),
         "boundary_offsets": offsets_of("boundary_counts"),
-        "boundary_nodes": column("boundary_nodes", np.int64),
+        "boundary_nodes": column("boundary_nodes", ids),
         "radii": np.concatenate([c["radii"] for c in vic_chunks]),
     }
 
@@ -736,4 +804,4 @@ def build_directed_side_store(
     else:
         store["table_dist"] = np.zeros((0, 0), dtype=np.int32)
         store["table_parent"] = np.zeros((0, 0), dtype=np.int32)
-    return store
+    return compact_store_arrays(store, n, weighted=False)

@@ -45,12 +45,16 @@ def walk_parent_array(parent: Sequence[int], start: int, root: int) -> list[int]
     """
     path = [start]
     node = start
-    for _hop in range(len(parent) + 1):
+    n = len(parent)
+    for _hop in range(n + 1):
         if node == root:
             path.reverse()
             return path
         nxt = int(parent[node])
-        if nxt < 0:
+        # Unreachable markers sit outside [0, n): -1 in the signed
+        # tables, the wrapped all-ones sentinel in compact unsigned
+        # ones — one range check covers both.
+        if not 0 <= nxt < n:
             raise QueryError(f"broken parent chain at node {node}")
         node = nxt
         path.append(node)

@@ -69,10 +69,12 @@ class PackedBalls:
             the entry arrays.
         nodes: member ids per ball, in discovery order (the scalar
             engine's dict-insertion order) — ``nodes[offsets[i]]`` is
-            always ``sources[i]`` itself.
+            always ``sources[i]`` itself.  Emitted at the requested
+            ``id_dtype`` (``int64`` by default).
         dists: ``int32`` hop counts aligned with ``nodes``.
-        preds: ``int64`` predecessor toward the source aligned with
-            ``nodes`` (``pred == source`` at the source).
+        preds: predecessor toward the source aligned with ``nodes``
+            (``pred == source`` at the source), same dtype as
+            ``nodes``.
         radii: ``int32`` effective radius per ball; :data:`NO_RADIUS`
             where no landmark bounded the traversal.
         boundary_mask: boolean per entry — whether the member has at
@@ -103,6 +105,7 @@ def grow_balls(
     *,
     min_size: Optional[int] = None,
     batch_size: Optional[int] = None,
+    id_dtype=None,
 ) -> PackedBalls:
     """Grow a truncated ball from every source, many balls per wave.
 
@@ -120,6 +123,12 @@ def grow_balls(
         batch_size: balls grown concurrently; defaults to a size that
             keeps the per-batch visited bitmap and dedup slots around
             64 MB.
+        id_dtype: dtype of the packed ``nodes``/``preds`` columns
+            (default ``int64``).  The flat-native builder passes the
+            index's compact id width so the offline pipeline never
+            holds an int64 copy of the entry columns — only the
+            per-batch wave scratch (bounded by ``batch_size`` balls)
+            stays at int64 for the combined-key arithmetic.
 
     Returns:
         The :class:`PackedBalls`, slice ``i`` matching
@@ -133,6 +142,9 @@ def grow_balls(
     flags = np.asarray(landmark_flags, dtype=np.uint8)
     if batch_size is None:
         batch_size = default_batch_size(n)
+    if id_dtype is None:
+        id_dtype = np.int64
+    id_dtype = np.dtype(id_dtype)
 
     counts = np.zeros(sources.size, dtype=np.int64)
     radii = np.full(sources.size, NO_RADIUS, dtype=np.int32)
@@ -146,16 +158,16 @@ def grow_balls(
         b_nodes, b_dists, b_preds, b_boundary, b_counts, b_radii = _grow_batch(
             indptr, indices, n, batch, flags, min_size
         )
-        node_parts.append(b_nodes)
+        node_parts.append(b_nodes.astype(id_dtype, copy=False))
         dist_parts.append(b_dists)
-        pred_parts.append(b_preds)
+        pred_parts.append(b_preds.astype(id_dtype, copy=False))
         boundary_parts.append(b_boundary)
         counts[lo:lo + batch.size] = b_counts
         radii[lo:lo + batch.size] = b_radii
 
     offsets = np.zeros(sources.size + 1, dtype=np.int64)
     np.cumsum(counts, out=offsets[1:])
-    empty = np.zeros(0, dtype=np.int64)
+    empty = np.zeros(0, dtype=id_dtype)
     return PackedBalls(
         sources=sources,
         offsets=offsets,

@@ -1,0 +1,175 @@
+"""The versioned single-file binary container for flat array stores.
+
+``.npz`` (PR 2-4's container) decompresses every array into fresh heap
+memory on load — fine for archival, fatal for startup latency once the
+store outgrows cache.  This module is the mmap-first replacement, the
+same direction :mod:`repro.io.binary` takes for edge lists:
+
+* a fixed prefix — magic, format version, header length;
+* a JSON header carrying caller metadata plus an array table of
+  ``name -> (offset, shape, dtype)``;
+* the raw array bytes, each 64-byte aligned, uncompressed.
+
+``read_flat_file(path, mmap=True)`` maps the file once (``mode="r"``)
+and returns zero-copy read-only views: nothing is faulted in until a
+query touches it, every process mapping the same file shares pages
+through the OS page cache, and startup cost is the header parse.  With
+``mmap=False`` the arrays are read eagerly into private memory (the
+portable load for callers that will mutate or outlive the file).
+
+The container is deliberately dumb: what the arrays *mean* (the oracle
+store schema, dtype policy, sortedness guarantees) is the caller's
+header contract — see :mod:`repro.io.oracle_store`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+PathLike = Union[str, Path]
+
+#: First bytes of every flat container file.
+FLAT_MAGIC = b"REPROFLT"
+#: Bump on any layout change; readers reject newer versions loudly.
+FLAT_FORMAT_VERSION = 1
+
+#: Per-array byte alignment inside the payload (cache-line sized, and a
+#: multiple of every numpy itemsize, so views are always aligned).
+_ALIGN = 64
+#: magic + uint32 version + uint64 header length.
+_PREFIX = struct.Struct("<8sIQ")
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def is_flat_file(path: PathLike) -> bool:
+    """Whether ``path`` starts with the flat-container magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(FLAT_MAGIC)) == FLAT_MAGIC
+    except OSError:
+        return False
+
+
+def write_flat_file(
+    path: PathLike,
+    arrays: Mapping[str, np.ndarray],
+    meta: dict,
+    *,
+    kind: str,
+) -> None:
+    """Write ``arrays`` + ``meta`` as one aligned binary container.
+
+    ``kind`` namespaces the schema (e.g. ``"vicinity-oracle"``) so a
+    reader can reject a structurally valid file of the wrong flavour.
+    Array offsets in the header are relative to the payload base, which
+    itself is 64-byte aligned — so every array is absolutely aligned
+    and directly mmap-viewable.
+    """
+    table: dict[str, list] = {}
+    payload: dict[str, np.ndarray] = {}
+    offset = 0
+    for name, array in arrays.items():
+        array = np.asarray(array)
+        shape = list(array.shape)  # ascontiguousarray promotes 0-d to 1-d
+        array = np.ascontiguousarray(array)
+        payload[name] = array
+        table[name] = [offset, shape, array.dtype.str]
+        offset = _aligned(offset + array.nbytes)
+    header = json.dumps(
+        {"kind": kind, "meta": meta, "arrays": table},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    base = _aligned(_PREFIX.size + len(header))
+    with open(path, "wb") as fh:
+        fh.write(_PREFIX.pack(FLAT_MAGIC, FLAT_FORMAT_VERSION, len(header)))
+        fh.write(header)
+        fh.write(b"\0" * (base - _PREFIX.size - len(header)))
+        position = 0
+        for name, array in payload.items():
+            start = table[name][0]
+            fh.write(b"\0" * (start - position))
+            # tofile streams the contiguous buffer — no transient
+            # bytes copy of a possibly multi-GB array.
+            array.tofile(fh)
+            position = start + array.nbytes
+
+
+def read_flat_header(path: PathLike) -> tuple[dict, int]:
+    """Parse the container header; returns ``(header_dict, payload_base)``.
+
+    Raises:
+        SerializationError: not a flat container, or a newer format
+            version than this reader understands.
+    """
+    with open(path, "rb") as fh:
+        prefix = fh.read(_PREFIX.size)
+        if len(prefix) < _PREFIX.size or prefix[:8] != FLAT_MAGIC:
+            raise SerializationError(f"{path} is not a flat array container")
+        _, version, header_len = _PREFIX.unpack(prefix)
+        if version > FLAT_FORMAT_VERSION:
+            raise SerializationError(
+                f"{path} is flat-container format v{version}; this build "
+                f"reads up to v{FLAT_FORMAT_VERSION}"
+            )
+        try:
+            header = json.loads(fh.read(header_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"{path} has a corrupt header: {exc}")
+    return header, _aligned(_PREFIX.size + int(header_len))
+
+
+def read_flat_file(
+    path: PathLike, *, mmap: bool = False, expect_kind: str = None
+) -> tuple[dict[str, np.ndarray], dict, str]:
+    """Load a container; returns ``(arrays, meta, kind)``.
+
+    With ``mmap=True`` the arrays are read-only views over one shared
+    ``np.memmap`` of the whole file — zero-copy, page-cache-backed, and
+    kept alive by each view's ``base`` chain, so the bundle needs no
+    explicit lifetime management.  With ``mmap=False`` each array is
+    read eagerly into fresh private memory.
+
+    Raises:
+        SerializationError: wrong magic/version/kind or a truncated
+            payload.
+    """
+    header, base = read_flat_header(path)
+    kind = header.get("kind", "")
+    if expect_kind is not None and kind != expect_kind:
+        raise SerializationError(
+            f"{path} holds a {kind!r} store, expected {expect_kind!r}"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    if mmap:
+        buf = np.memmap(path, dtype=np.uint8, mode="r")
+        for name, (offset, shape, dtype_str) in header["arrays"].items():
+            dtype = np.dtype(dtype_str)
+            end = base + offset + int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            if end > buf.size:
+                raise SerializationError(f"{path} is truncated at array {name!r}")
+            arrays[name] = np.ndarray(
+                tuple(shape), dtype=dtype, buffer=buf, offset=base + offset
+            )
+    else:
+        with open(path, "rb") as fh:
+            for name, (offset, shape, dtype_str) in header["arrays"].items():
+                dtype = np.dtype(dtype_str)
+                count = int(np.prod(shape, dtype=np.int64))
+                fh.seek(base + offset)
+                flat = np.fromfile(fh, dtype=dtype, count=count)
+                if flat.size != count:
+                    raise SerializationError(
+                        f"{path} is truncated at array {name!r}"
+                    )
+                arrays[name] = flat.reshape(tuple(shape))
+    return arrays, header.get("meta", {}), kind

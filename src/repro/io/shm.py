@@ -1,10 +1,22 @@
-"""One shared-memory segment holding many named numpy arrays.
+"""Worker-shared numpy arrays: one shm segment, or one mapped file.
 
-The process-pool shard backend loads (or flattens) the index once,
-copies every array into a single ``multiprocessing.shared_memory``
-segment, and hands workers a small picklable *spec* — segment name plus
-per-array ``(offset, shape, dtype)`` — from which they rebuild zero-copy
-read-only views.  No worker ever pickles or re-loads the index.
+The process-pool shard backend shares its index arrays with workers in
+one of two ways, both addressed by a small picklable *spec*:
+
+* :class:`SharedArrayBundle` — the index is **copied** once into a
+  single ``multiprocessing.shared_memory`` segment; workers rebuild
+  zero-copy read-only views from the spec's segment name plus
+  per-array ``(offset, shape, dtype)``.  The right tool when the index
+  exists only in memory (built this run, or loaded from a legacy
+  archive).
+* :class:`MappedArrayBundle` — the index already lives in a flat
+  binary store file (:mod:`repro.io.flatfile`), so nothing is copied
+  anywhere: every worker maps the file read-only and the OS page cache
+  is the shared memory.  Startup is O(header) per worker and pages are
+  shared machine-wide, including with unrelated serving processes.
+
+:func:`attach_bundle` dispatches a spec to the right class, which is
+all a worker entry point needs to know.
 
 Lifecycle: exactly one :class:`SharedArrayBundle` owns the segment (the
 one returned by :meth:`SharedArrayBundle.create`); its ``close()``
@@ -12,7 +24,8 @@ unlinks the segment.  Attached bundles (:meth:`SharedArrayBundle.attach`)
 only drop their mapping.  If the owning process is SIGKILLed the segment
 can outlive it under ``/dev/shm`` until the OS reclaims it — the
 ``repro-paths serve`` front end closes the backend in a ``finally`` for
-exactly this reason.
+exactly this reason.  Mapped bundles have no such hazard: dropping the
+views releases the mapping, and the file persists by design.
 """
 
 from __future__ import annotations
@@ -120,6 +133,53 @@ class SharedArrayBundle:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class MappedArrayBundle:
+    """Read-only views over one memory-mapped flat store file.
+
+    The zero-copy counterpart of :class:`SharedArrayBundle`: instead of
+    copying arrays into a segment, every attacher maps the store file
+    (``np.memmap(..., mode="r")``) and the page cache shares the bytes
+    across processes.  ``meta``/``kind`` carry the file header's
+    context so workers need no side channel.
+    """
+
+    def __init__(self, path, arrays: dict[str, np.ndarray], meta: dict, kind: str) -> None:
+        self.path = str(path)
+        self.arrays = arrays
+        self.meta = meta
+        self.kind = kind
+        self.spec = {"mmap_path": self.path}
+
+    @classmethod
+    def open(cls, path) -> "MappedArrayBundle":
+        """Map a flat store file; arrays fault in lazily on first touch."""
+        from repro.io.flatfile import read_flat_file
+
+        arrays, meta, kind = read_flat_file(path, mmap=True)
+        return cls(path, arrays, meta, kind)
+
+    def close(self) -> None:
+        """Drop the views; the mapping dies with the last reference."""
+        self.arrays = {}
+
+    def __enter__(self) -> "MappedArrayBundle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_bundle(spec: Mapping):
+    """Rebuild worker-side views from any bundle spec.
+
+    ``{"mmap_path": ...}`` maps the store file; ``{"segment": ...,
+    "layout": ...}`` attaches the shared-memory segment.
+    """
+    if "mmap_path" in spec:
+        return MappedArrayBundle.open(spec["mmap_path"])
+    return SharedArrayBundle.attach(spec)
 
 
 def _view(shm: shared_memory.SharedMemory, offset: int, shape, dtype) -> np.ndarray:

@@ -28,6 +28,7 @@ Microseconds"* (arXiv:1309.0874):
 from repro.service.backends import (
     SHARD_BACKENDS,
     ShardBackend,
+    backend_from_saved,
     create_shard_backend,
 )
 from repro.service.batch import BatchExecutor, BatchStats
@@ -54,6 +55,7 @@ __all__ = [
     "ShardBackend",
     "SHARD_BACKENDS",
     "create_shard_backend",
+    "backend_from_saved",
     "Telemetry",
     "LatencyHistogram",
     "render_snapshot",

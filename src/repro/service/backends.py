@@ -35,6 +35,21 @@ from repro.service.sharded import ShardedService
 #: Valid ``backend=`` names, in preference order for docs/CLI.
 SHARD_BACKENDS = ("threads", "procpool")
 
+#: The one name -> class registry both construction paths dispatch on.
+_BACKEND_CLASSES = {
+    "threads": ShardedService,
+    "procpool": ProcessShardedService,
+}
+
+
+def _backend_class(backend: str):
+    try:
+        return _BACKEND_CLASSES[backend]
+    except KeyError:
+        raise QueryError(
+            f"unknown shard backend {backend!r}; choose from {SHARD_BACKENDS}"
+        ) from None
+
 
 @runtime_checkable
 class ShardBackend(Protocol):
@@ -78,22 +93,32 @@ def create_shard_backend(
     (e.g. ``start_method=`` or ``worker_cache_size=`` for
     ``procpool``).
     """
-    if backend == "threads":
-        return ShardedService(
-            index,
-            num_shards,
-            placement=placement,
-            replicate_tables=replicate_tables,
-            **kwargs,
-        )
-    if backend == "procpool":
-        return ProcessShardedService(
-            index,
-            num_shards,
-            placement=placement,
-            replicate_tables=replicate_tables,
-            **kwargs,
-        )
-    raise QueryError(
-        f"unknown shard backend {backend!r}; choose from {SHARD_BACKENDS}"
+    return _backend_class(backend)(
+        index,
+        num_shards,
+        placement=placement,
+        replicate_tables=replicate_tables,
+        **kwargs,
+    )
+
+
+def backend_from_saved(
+    path,
+    num_shards: int,
+    *,
+    backend: str = "threads",
+    mmap: bool = False,
+    **kwargs,
+) -> ShardBackend:
+    """Build the named shard backend dict-free from a saved index.
+
+    Both backends load only the flattened arrays.  With ``mmap=True``
+    (flat-container stores) startup is zero-copy: the thread backend's
+    single shared :class:`~repro.core.flat.FlatIndex` is memory-mapped,
+    and the procpool backend skips its shared-memory segment entirely —
+    each worker maps the store file and the OS page cache shares the
+    bytes across every process serving it.
+    """
+    return _backend_class(backend).from_saved(
+        path, num_shards, mmap=mmap, **kwargs
     )

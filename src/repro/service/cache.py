@@ -41,6 +41,14 @@ class ResultCache:
             undirected oracle).  Pass ``False`` when caching for a
             directed backend, where ``d(s, t) != d(t, s)``; keys are
             then stored and looked up orientation-exact.
+        admission: ``"lru"`` (default) admits every cacheable result
+            straight into the LRU.  ``"2q"`` adds a 2Q-style probation
+            stage: a first-seen pair lands in a small FIFO (a quarter
+            of the budget) and is promoted into the protected LRU only
+            when it is touched *again* while still on probation — so a
+            stream of one-hit-wonder pairs churns the FIFO instead of
+            evicting the proven repeated tail.  Both stages answer
+            ``get``; a probation hit promotes.
     """
 
     def __init__(
@@ -49,13 +57,29 @@ class ResultCache:
         *,
         cacheable: Iterable[str] = EXPENSIVE_METHODS,
         symmetric: bool = True,
+        admission: str = "lru",
     ) -> None:
         if capacity < 1:
             raise QueryError("cache capacity must be at least 1")
+        if admission not in ("lru", "2q"):
+            raise QueryError(
+                f"unknown admission policy {admission!r}; choose 'lru' or '2q'"
+            )
         self.capacity = capacity
         self.cacheable = frozenset(cacheable)
         self.symmetric = symmetric
+        self.admission = admission
         self._entries: "OrderedDict[tuple[int, int], QueryResult]" = OrderedDict()
+        self._probation: "Optional[OrderedDict[tuple[int, int], QueryResult]]" = None
+        self.probation_capacity = 0
+        self.protected_capacity = capacity
+        if admission == "2q" and capacity >= 2:
+            # Probation and the protected LRU split one budget; at
+            # capacity 1 there is nothing to split, so 2Q degrades to
+            # plain LRU rather than quietly holding a second entry.
+            self.probation_capacity = max(1, capacity // 4)
+            self.protected_capacity = capacity - self.probation_capacity
+            self._probation = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -64,6 +88,7 @@ class ResultCache:
         self.rejected = 0
         self.invalidated = 0
         self.path_preserved = 0
+        self.promotions = 0
 
     @staticmethod
     def canonical(source: int, target: int) -> tuple[int, int]:
@@ -94,14 +119,39 @@ class ResultCache:
         key = self._key(source, target)
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None or (need_path and entry.path is None):
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
+            if entry is not None:
+                if need_path and entry.path is None:
+                    self.misses += 1
+                    return None
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                if self._probation is not None:
+                    probed = self._probation.get(key)
+                    if probed is not None and not (
+                        need_path and probed.path is None
+                    ):
+                        # Second touch while on probation: promote into
+                        # the protected LRU.
+                        del self._probation[key]
+                        self._promote(key, probed)
+                        entry = probed
+                if entry is None:
+                    self.misses += 1
+                    return None
+                self.hits += 1
         if entry.source == source and entry.target == target:
             return entry
         return entry.mirrored()
+
+    def _promote(self, key: tuple[int, int], entry: QueryResult) -> None:
+        """Move a probation entry into the protected LRU (lock held)."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.promotions += 1
+        if len(self._entries) > self.protected_capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
 
     # ------------------------------------------------------------------
     # inserts
@@ -127,22 +177,45 @@ class ResultCache:
         entry = result if (result.source, result.target) == key else result.mirrored()
         with self._lock:
             known = self._entries.get(key)
-            if (
-                known is not None
-                and known.path is not None
-                and entry.path is None
-                and known.distance == entry.distance
-            ):
+            if known is not None:
+                if (
+                    known.path is not None
+                    and entry.path is None
+                    and known.distance == entry.distance
+                ):
+                    self._entries.move_to_end(key)
+                    self.path_preserved += 1
+                    return True
+                self._entries[key] = entry
                 self._entries.move_to_end(key)
-                self.path_preserved += 1
+                return True
+            if self._probation is not None:
+                probed = self._probation.get(key)
+                if probed is not None:
+                    # Second offer while on probation: promote, keeping
+                    # the richer stored entry on equal distances.
+                    if (
+                        probed.path is not None
+                        and entry.path is None
+                        and probed.distance == entry.distance
+                    ):
+                        entry = probed
+                        self.path_preserved += 1
+                    del self._probation[key]
+                    self._promote(key, entry)
+                    return True
+                self._probation[key] = entry
+                self.insertions += 1
+                if len(self._probation) > self.probation_capacity:
+                    self._probation.popitem(last=False)
+                    self.evictions += 1
                 return True
             self._entries[key] = entry
             self._entries.move_to_end(key)
-            if known is None:
-                self.insertions += 1
-                if len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
-                    self.evictions += 1
+            self.insertions += 1
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return True
 
     # ------------------------------------------------------------------
@@ -152,9 +225,12 @@ class ResultCache:
         """Drop the entry for one pair (either orientation); True if held."""
         key = self._key(source, target)
         with self._lock:
-            if key not in self._entries:
+            if key in self._entries:
+                del self._entries[key]
+            elif self._probation is not None and key in self._probation:
+                del self._probation[key]
+            else:
                 return False
-            del self._entries[key]
             self.invalidated += 1
         return True
 
@@ -174,6 +250,8 @@ class ResultCache:
         """
         with self._lock:
             snapshot = list(self._entries.items())
+            if self._probation is not None:
+                snapshot.extend(self._probation.items())
         stale_keys = [key for key, entry in snapshot if stale(entry)]
         if not stale_keys:
             return 0
@@ -183,6 +261,9 @@ class ResultCache:
                 if key in self._entries:
                     del self._entries[key]
                     evicted += 1
+                elif self._probation is not None and key in self._probation:
+                    del self._probation[key]
+                    evicted += 1
             self.invalidated += evicted
         return evicted
 
@@ -190,18 +271,24 @@ class ResultCache:
     # maintenance / reporting
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        probation = len(self._probation) if self._probation is not None else 0
+        return len(self._entries) + probation
 
     def __contains__(self, pair: tuple[int, int]) -> bool:
-        return self._key(*pair) in self._entries
+        key = self._key(*pair)
+        if key in self._entries:
+            return True
+        return self._probation is not None and key in self._probation
 
     def clear(self) -> None:
         """Drop every entry and zero the counters."""
         with self._lock:
             self._entries.clear()
+            if self._probation is not None:
+                self._probation.clear()
             self.hits = self.misses = 0
             self.insertions = self.evictions = self.rejected = 0
-            self.invalidated = self.path_preserved = 0
+            self.invalidated = self.path_preserved = self.promotions = 0
 
     @property
     def lookups(self) -> int:
@@ -216,9 +303,10 @@ class ResultCache:
 
     def snapshot(self) -> dict:
         """JSON-serialisable statistics for telemetry embedding."""
-        return {
-            "size": len(self._entries),
+        snap = {
+            "size": len(self),
             "capacity": self.capacity,
+            "admission": self.admission,
             "lookups": self.lookups,
             "hits": self.hits,
             "misses": self.misses,
@@ -229,3 +317,7 @@ class ResultCache:
             "invalidated": self.invalidated,
             "path_preserved": self.path_preserved,
         }
+        if self._probation is not None:
+            snap["probation_size"] = len(self._probation)
+            snap["promotions"] = self.promotions
+        return snap

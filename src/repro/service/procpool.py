@@ -49,19 +49,37 @@ from repro.service.shardbase import FlatShardedBase
 
 
 def _worker_main(conn, spec: dict, meta: dict) -> None:
-    """Worker process entry: attach the shared index, serve sub-batches."""
+    """Worker process entry: attach the shared index, serve sub-batches.
+
+    ``spec`` addresses either sharing substrate: a shared-memory
+    segment (the copy path) or the store file itself (the mmap path,
+    where this worker maps the file read-only and computes its own
+    shard assignment — both are cheaper than shipping them).
+    """
+    from repro.core.parallel import shard_assignment
+    from repro.io.shm import MappedArrayBundle, attach_bundle
     from repro.service.cache import ResultCache
 
-    bundle = SharedArrayBundle.attach(spec)
-    flat = FlatIndex(
-        bundle.arrays,
-        n=meta["n"],
-        weighted=meta["weighted"],
-        store_paths=meta["store_paths"],
-    )
-    engine = ShardQueryEngine(
-        flat, bundle.arrays["shard_assign"], meta["replicate_tables"]
-    )
+    bundle = attach_bundle(spec)
+    if isinstance(bundle, MappedArrayBundle):
+        flat = FlatIndex.from_probe_arrays(
+            bundle.arrays,
+            n=meta["n"],
+            weighted=meta["weighted"],
+            store_paths=meta["store_paths"],
+        )
+        assign = shard_assignment(
+            meta["n"], meta["num_shards"], meta["placement"]
+        )
+    else:
+        flat = FlatIndex(
+            bundle.arrays,
+            n=meta["n"],
+            weighted=meta["weighted"],
+            store_paths=meta["store_paths"],
+        )
+        assign = bundle.arrays["shard_assign"]
+    engine = ShardQueryEngine(flat, assign, meta["replicate_tables"])
     cache = (
         ResultCache(meta["worker_cache_size"])
         if meta["worker_cache_size"] > 0
@@ -117,6 +135,13 @@ class ProcessShardedService(FlatShardedBase):
             ``0`` (default) disables worker-side caching, preserving
             exact wire-log parity with the thread backend.
         flat: a prepared :class:`FlatIndex` (used by :meth:`from_saved`).
+        mmap_path: a flat-container store file to share with workers by
+            memory mapping (``from_saved(..., mmap=True)`` sets this).
+            No shared-memory segment is created and nothing is copied
+            at startup: each worker maps the file read-only, pages are
+            shared through the OS page cache, and the per-worker shard
+            assignment is recomputed (O(n), deterministic) instead of
+            shipped.
     """
 
     def __init__(
@@ -129,6 +154,7 @@ class ProcessShardedService(FlatShardedBase):
         start_method: str = "spawn",
         worker_cache_size: int = 0,
         flat: Optional[FlatIndex] = None,
+        mmap_path: Optional[str] = None,
     ) -> None:
         super().__init__(
             index,
@@ -146,12 +172,20 @@ class ProcessShardedService(FlatShardedBase):
             "store_paths": self.flat.store_paths,
             "replicate_tables": replicate_tables,
             "worker_cache_size": self.worker_cache_size,
+            "num_shards": num_shards,
+            "placement": placement,
         }
         self._worker_cache_stats: dict[int, dict] = {}
         self._batch_seq = 0
-        self._bundle = SharedArrayBundle.create(
-            {**self.flat.arrays, "shard_assign": self._assign}
-        )
+        if mmap_path is not None:
+            # Zero-copy startup: workers map the store file themselves.
+            self._bundle = None
+            spec = {"mmap_path": str(mmap_path)}
+        else:
+            self._bundle = SharedArrayBundle.create(
+                {**self.flat.arrays, "shard_assign": self._assign}
+            )
+            spec = self._bundle.spec
         context = multiprocessing.get_context(start_method)
         self._conns = []
         self._procs = []
@@ -160,7 +194,7 @@ class ProcessShardedService(FlatShardedBase):
                 parent_conn, child_conn = context.Pipe()
                 proc = context.Process(
                     target=_worker_main,
-                    args=(child_conn, self._bundle.spec, self._flat_meta),
+                    args=(child_conn, spec, self._flat_meta),
                     name=f"repro-procshard-{shard_id}",
                     daemon=True,
                 )
@@ -171,6 +205,27 @@ class ProcessShardedService(FlatShardedBase):
         except Exception:
             self.close()
             raise
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_saved(cls, path, num_shards: int, *, mmap: bool = False, **kwargs):
+        """Build from a saved index; ``mmap=True`` is the zero-copy path.
+
+        The copy path loads the flat arrays and duplicates them into a
+        shared-memory segment before the first query; the mmap path
+        (flat-container stores) skips both — the coordinator and every
+        worker map the store file read-only and share its pages through
+        the OS page cache, so cold start is independent of index size.
+        """
+        from repro.io.oracle_store import load_flat_index
+
+        if mmap:
+            kwargs.setdefault("mmap_path", str(path))
+        return cls(
+            None, num_shards, flat=load_flat_index(path, mmap=mmap), **kwargs
+        )
 
     # ------------------------------------------------------------------
     # serving
@@ -283,7 +338,8 @@ class ProcessShardedService(FlatShardedBase):
                 proc.join(timeout=1)
         for conn in self._conns:
             conn.close()
-        self._bundle.close()
+        if self._bundle is not None:
+            self._bundle.close()
 
     def __enter__(self) -> "ProcessShardedService":
         return self

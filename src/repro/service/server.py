@@ -63,7 +63,10 @@ class ServiceApp:
     :meth:`from_saved` with ``shards > 0`` — both shard backends build
     dict-free from the saved index's flattened arrays, so no
     single-machine oracle (and none of its per-node dicts) ever
-    materialises.
+    materialises.  An unsharded ``mmap=True`` app is oracle-free too:
+    ``engine`` holds the memory-mapped
+    :class:`~repro.core.engine.FlatQueryEngine` the executor runs on
+    (graph-free, so fallback searches are unavailable, as in §5).
     """
 
     oracle: Optional[VicinityOracle]
@@ -71,13 +74,16 @@ class ServiceApp:
     telemetry: Telemetry
     cache: Optional[ResultCache] = None
     sharded: Optional[ShardBackend] = None
+    engine: Optional[object] = None
 
     @property
     def n(self) -> int:
         """Node count of the served index."""
         if self.oracle is not None:
             return self.oracle.graph.n
-        return self.sharded.n
+        if self.sharded is not None:
+            return self.sharded.n
+        return self.engine.n
 
     @classmethod
     def from_index(
@@ -132,6 +138,8 @@ class ServiceApp:
         backend: str = "threads",
         replicate_tables: bool = False,
         worker_cache_size: int = 0,
+        mmap: bool = False,
+        **backend_kwargs,
     ) -> "ServiceApp":
         """Assemble the serving stack from a saved index file.
 
@@ -140,33 +148,45 @@ class ServiceApp:
         materialisation entirely on *both* backends — the workers probe
         the flattened arrays, so only
         :func:`~repro.io.oracle_store.load_flat_arrays` runs and the
-        app carries no single-machine oracle.  The unsharded
-        configuration loads the full index (fallback searches need the
-        graph) and delegates to :meth:`from_index`.
+        app carries no single-machine oracle.  ``mmap=True`` goes
+        further on flat-container stores: every array is a read-only
+        memory-mapped view, startup does no O(entries) work and copies
+        nothing (the procpool workers map the file instead of a
+        shared-memory segment), and pages are shared machine-wide
+        through the OS page cache.  Unsharded ``mmap`` serving runs a
+        graph-free :class:`~repro.core.engine.FlatQueryEngine` (no
+        fallback searches, as in §5); the unsharded copy path loads the
+        full index (fallback needs the graph) and delegates to
+        :meth:`from_index`.
         """
         _check_worker_cache(worker_cache_size, shards, backend)
         if shards > 0:
-            from repro.service.procpool import ProcessShardedService
-            from repro.service.sharded import ShardedService
+            from repro.service.backends import backend_from_saved
 
-            if backend == "procpool":
-                sharded = ProcessShardedService.from_saved(
-                    path, shards,
-                    replicate_tables=replicate_tables,
-                    worker_cache_size=worker_cache_size,
-                )
-            elif backend == "threads":
-                sharded = ShardedService.from_saved(
-                    path, shards, replicate_tables=replicate_tables
-                )
-            else:
-                raise QueryError(
-                    f"unknown shard backend {backend!r}; choose from "
-                    "('threads', 'procpool')"
-                )
+            if worker_cache_size:
+                backend_kwargs["worker_cache_size"] = worker_cache_size
+            sharded = backend_from_saved(
+                path, shards, backend=backend, mmap=mmap,
+                replicate_tables=replicate_tables, **backend_kwargs,
+            )
             return cls._assemble(
                 oracle=None, sharded=sharded, cache_size=cache_size,
                 backend_name=backend,
+            )
+        if backend_kwargs:
+            # Unsharded apps have no backend to forward these to; a
+            # silent drop would read as the option having taken effect.
+            raise QueryError(
+                f"backend options {sorted(backend_kwargs)} require shards >= 1"
+            )
+        if mmap:
+            from repro.io.oracle_store import load_query_engine
+
+            return cls._assemble(
+                oracle=None,
+                sharded=None,
+                engine=load_query_engine(path, mmap=True),
+                cache_size=cache_size,
             )
         from repro.io.oracle_store import load_index
 
@@ -186,12 +206,14 @@ class ServiceApp:
         sharded: Optional[ShardBackend],
         cache_size: Optional[int],
         backend_name: str = "single",
+        engine=None,
     ) -> "ServiceApp":
         """The one place the serving stack is wired together."""
         telemetry = Telemetry(engine="flat", backend=backend_name)
         cache = ResultCache(cache_size) if cache_size else None
+        resolver = sharded if sharded is not None else (oracle or engine)
         executor = BatchExecutor(
-            sharded if sharded is not None else oracle,
+            resolver,
             cache=cache,
             telemetry=telemetry,
             symmetry=True,
@@ -202,6 +224,7 @@ class ServiceApp:
             telemetry=telemetry,
             cache=cache,
             sharded=sharded,
+            engine=engine,
         )
 
     def snapshot(self) -> dict:
@@ -368,8 +391,10 @@ def run_bench(
     if baseline:
         if app.sharded is not None:
             query, mode = app.sharded.query, "sharded-loop"
-        else:
+        elif app.oracle is not None:
             query, mode = app.oracle.query, "oracle-loop"
+        else:
+            query, mode = app.engine.query, "engine-loop"
         started = time.perf_counter()
         for s, t in pairs:
             query(s, t)

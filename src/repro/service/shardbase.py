@@ -66,15 +66,19 @@ class FlatShardedBase:
         self._closed = False
 
     @classmethod
-    def from_saved(cls, path, num_shards: int, **kwargs):
+    def from_saved(cls, path, num_shards: int, *, mmap: bool = False, **kwargs):
         """Build straight from a saved index (``save_index`` output).
 
         Loads only the flattened arrays — no per-node dict
-        materialisation — so startup is dominated by file I/O.
+        materialisation — so startup is dominated by file I/O.  With
+        ``mmap=True`` (flat-container stores) even that disappears:
+        the arrays are read-only memory-mapped views, startup is O(n)
+        in the offset diffs, and every process serving the same file
+        shares pages through the OS page cache.
         """
         from repro.io.oracle_store import load_flat_index
 
-        return cls(None, num_shards, flat=load_flat_index(path), **kwargs)
+        return cls(None, num_shards, flat=load_flat_index(path, mmap=mmap), **kwargs)
 
     # ------------------------------------------------------------------
     # placement / accounting

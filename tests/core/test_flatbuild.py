@@ -208,13 +208,17 @@ class TestFlatBuiltIndexBehaviour:
             assert got.boundary == want.boundary  # scan order preserved
 
     def test_save_index_identical_and_dict_free(self, pair, tmp_path):
+        from repro.io.oracle_store import load_flat_arrays
+
         dict_index, flat_index = pair
-        a, b = tmp_path / "dict.npz", tmp_path / "flat.npz"
+        a, b = tmp_path / "dict.bin", tmp_path / "flat.bin"
         save_index(dict_index, a)
         save_index(flat_index, b)
-        with np.load(a) as da, np.load(b) as db:
-            for name in FLAT_STORE_ARRAYS:
-                assert np.array_equal(da[name], db[name], equal_nan=True), name
+        da, _ = load_flat_arrays(a)
+        db, _ = load_flat_arrays(b)
+        for name in FLAT_STORE_ARRAYS:
+            assert da[name].dtype == db[name].dtype, name
+            assert np.array_equal(da[name], db[name], equal_nan=True), name
         loaded = load_flat_index(b)
         assert np.array_equal(
             loaded.vic_nodes, flat_index._flat_index.vic_nodes

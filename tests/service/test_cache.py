@@ -192,3 +192,82 @@ class TestSnapshot:
         assert snap["hits"] == 1 and snap["misses"] == 1
         assert snap["hit_rate"] == 0.5
         assert (1, 2) in cache and (2, 1) in cache
+
+
+class Test2QAdmission:
+    def test_admission_validation(self):
+        with pytest.raises(QueryError):
+            ResultCache(8, admission="lfu")
+
+    def test_first_touch_lands_on_probation(self):
+        cache = ResultCache(8, admission="2q")
+        cache.put(_result(1, 2, 3))
+        assert (1, 2) in cache
+        assert len(cache) == 1
+        snap = cache.snapshot()
+        assert snap["probation_size"] == 1
+        assert snap["promotions"] == 0
+
+    def test_second_put_promotes(self):
+        cache = ResultCache(8, admission="2q")
+        cache.put(_result(1, 2, 3))
+        cache.put(_result(1, 2, 3))
+        snap = cache.snapshot()
+        assert snap["probation_size"] == 0
+        assert snap["promotions"] == 1
+        assert cache.get(1, 2).distance == 3
+
+    def test_probation_hit_promotes(self):
+        cache = ResultCache(8, admission="2q")
+        cache.put(_result(1, 2, 3))
+        assert cache.get(1, 2).distance == 3  # promote on touch
+        assert cache.snapshot()["promotions"] == 1
+        # One-hit wonders can now flood the FIFO without evicting it.
+        for k in range(100):
+            cache.put(_result(10 + k, 500 + k, 7))
+        assert cache.get(1, 2) is not None
+
+    def test_one_hit_wonders_never_reach_protected(self):
+        cache = ResultCache(16, admission="2q")
+        for k in range(64):
+            cache.put(_result(k, 1000 + k, 5))
+        snap = cache.snapshot()
+        assert snap["promotions"] == 0
+        assert snap["probation_size"] <= cache.probation_capacity
+
+    def test_probation_promotion_keeps_richer_path(self):
+        cache = ResultCache(8, admission="2q")
+        cache.put(_result(1, 2, 3, path=[1, 5, 2]))
+        cache.put(_result(1, 2, 3))  # path-less second offer promotes
+        hit = cache.get(1, 2, need_path=True)
+        assert hit is not None and hit.path == [1, 5, 2]
+        assert cache.path_preserved == 1
+
+    def test_invalidate_covers_probation(self):
+        cache = ResultCache(8, admission="2q")
+        cache.put(_result(1, 2, 3))
+        assert cache.invalidate(2, 1)
+        assert (1, 2) not in cache
+
+    def test_invalidate_where_covers_probation(self):
+        cache = ResultCache(8, admission="2q")
+        cache.put(_result(1, 2, 3))
+        cache.put(_result(3, 4, 9))
+        cache.put(_result(3, 4, 9))  # promoted
+        evicted = cache.invalidate_where(lambda r: r.distance == 3)
+        assert evicted == 1
+        assert (3, 4) in cache and (1, 2) not in cache
+
+    def test_mirrored_orientation_promotes(self):
+        cache = ResultCache(8, admission="2q")
+        cache.put(_result(2, 1, 3))
+        hit = cache.get(1, 2)
+        assert hit is not None and (hit.source, hit.target) == (1, 2)
+
+    def test_clear_resets_probation(self):
+        cache = ResultCache(8, admission="2q")
+        cache.put(_result(1, 2, 3))
+        cache.put(_result(1, 2, 3))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.snapshot()["promotions"] == 0

@@ -1,0 +1,95 @@
+"""Memory-mapped serving: zero-copy startup, byte-identical answers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OracleConfig
+from repro.core.index import VicinityIndex
+from repro.core.oracle import VicinityOracle
+from repro.io.oracle_store import save_index
+from repro.service import ServiceApp
+from repro.service.procpool import ProcessShardedService
+from repro.service.sharded import ShardedService
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    graph = random_connected_graph(260, 760, seed=73)
+    index = VicinityIndex.build(
+        graph, OracleConfig(alpha=4.0, seed=11, fallback="none")
+    )
+    path = tmp_path_factory.mktemp("mmap") / "oracle.bin"
+    save_index(index, path)
+    rng = np.random.default_rng(5)
+    pairs = [tuple(int(x) for x in rng.integers(0, graph.n, 2)) for _ in range(400)]
+    return index, path, pairs
+
+
+class TestShardBackendsMmap:
+    def test_threads_backend_identical(self, saved):
+        _, path, pairs = saved
+        with ShardedService.from_saved(path, 3) as copy_svc:
+            want = copy_svc.query_batch(pairs, with_path=True)
+            want_log = (copy_svc.log.messages, copy_svc.log.bytes)
+        with ShardedService.from_saved(path, 3, mmap=True) as mmap_svc:
+            got = mmap_svc.query_batch(pairs, with_path=True)
+            got_log = (mmap_svc.log.messages, mmap_svc.log.bytes)
+        assert got == want
+        assert got_log == want_log
+
+    def test_procpool_backend_identical(self, saved):
+        _, path, pairs = saved
+        with ProcessShardedService.from_saved(path, 2) as copy_svc:
+            want = copy_svc.query_batch(pairs, with_path=True)
+            want_log = (copy_svc.log.messages, copy_svc.log.bytes)
+        with ProcessShardedService.from_saved(path, 2, mmap=True) as mmap_svc:
+            assert mmap_svc._bundle is None  # no shared-memory copy made
+            got = mmap_svc.query_batch(pairs, with_path=True)
+            got_log = (mmap_svc.log.messages, mmap_svc.log.bytes)
+        assert got == want
+        assert got_log == want_log
+
+
+class TestServiceAppMmap:
+    def test_unsharded_mmap_app_matches_oracle(self, saved):
+        index, path, pairs = saved
+        app = ServiceApp.from_saved(path, mmap=True)
+        try:
+            assert app.oracle is None and app.sharded is None
+            assert app.engine is not None
+            assert app.n == index.n
+            got = app.executor.run(pairs)
+            reference = VicinityOracle(index)
+            for (s, t), result in zip(pairs, got):
+                assert result.distance == reference.query(s, t).distance
+        finally:
+            app.close()
+
+    def test_sharded_mmap_app_matches_copy_app(self, saved):
+        _, path, pairs = saved
+        apps = [
+            ServiceApp.from_saved(path, shards=2, backend="threads", mmap=m)
+            for m in (False, True)
+        ]
+        try:
+            results = [app.executor.run(pairs) for app in apps]
+            assert results[0] == results[1]
+        finally:
+            for app in apps:
+                app.close()
+
+    def test_cli_serve_mmap_bench(self, saved, capsys):
+        from repro.cli import main
+
+        _, path, _ = saved
+        code = main(
+            [
+                "serve", str(path), "--mmap", "--bench",
+                "--queries", "200", "--batch-size", "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
