@@ -15,7 +15,12 @@ Reproduction targets on a Chung-Lu social graph under a repeated-pair
 * the process-pool shard backend answers batches at least 2x the
   throughput of the GIL-bound thread backend at 4 shards, with
   identical results — the property that makes sharding buy *speed*,
-  not just routing fidelity.
+  not just routing fidelity;
+* the asyncio network front end answers a pipelined multi-client TCP
+  workload at least 2x the throughput of the same workload issued
+  serially per connection — cross-client coalescing into single
+  ``query_batch`` calls is what turns the fused kernels into served
+  throughput — and a hot store reload under that load drops nothing.
 
 Also runnable as a script for CI::
 
@@ -462,14 +467,15 @@ def _mmap_phase(index, pairs, shards, failures, report) -> None:
 
 
 def _cache_race_phase(index, pairs, report, capacities=(16, 64, 256)) -> None:
-    """Race plain-LRU against 2Q admission on the Zipf workload.
+    """Race LRU vs 2Q vs TinyLFU admission on the Zipf workload.
 
-    Both caches replay the same stream against the same resolved
+    All caches replay the same stream against the same resolved
     answers; what differs is only admission.  Per-capacity hit rates
     land in ``BENCH_service.json`` (the ROADMAP cache-tuning
     evaluation).  The sweep spans capacity regimes deliberately: under
-    hard eviction pressure probation protects the repeated tail from
-    one-hit wonders (2Q wins), with ample capacity the stages converge.
+    hard eviction pressure probation (2Q) and the frequency-sketch gate
+    (TinyLFU) protect the repeated tail from one-hit wonders; with
+    ample capacity the policies converge.
     """
     from repro.service.cache import ResultCache
 
@@ -479,7 +485,7 @@ def _cache_race_phase(index, pairs, report, capacities=(16, 64, 256)) -> None:
     race = {"distinct_pairs": len(keys), "capacities": {}}
     for capacity in capacities:
         row = {}
-        for admission in ("lru", "2q"):
+        for admission in ("lru", "2q", "tinylfu"):
             cache = ResultCache(capacity, admission=admission)
             for s, t in pairs:
                 if cache.get(s, t) is None:
@@ -494,9 +500,201 @@ def _cache_race_phase(index, pairs, report, capacities=(16, 64, 256)) -> None:
                     if "promotions" in snap
                     else {}
                 ),
+                **({"denied": snap["denied"]} if "denied" in snap else {}),
             }
         race["capacities"][str(capacity)] = row
     report["cache_race"] = race
+
+
+def _split_round_robin(items, parts):
+    """Deal ``items`` across ``parts`` clients, preserving per-client order."""
+    return [items[i::parts] for i in range(parts)]
+
+
+async def _net_client_serial(host, port, pairs):
+    """One lockstep client: send a query, await its answer, repeat."""
+    import asyncio
+
+    reader, writer = await asyncio.open_connection(host, port)
+    responses = []
+    try:
+        for s, t in pairs:
+            writer.write(json.dumps({"s": int(s), "t": int(t)}).encode() + b"\n")
+            await writer.drain()
+            responses.append(json.loads(await reader.readline()))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+    return responses
+
+
+async def _net_client_pipelined(host, port, pairs):
+    """One pipelined client: concurrent writer and reader tasks.
+
+    Keeping many requests outstanding per connection is what lets the
+    server's coalescer see cross-client batches; the reader runs
+    concurrently so neither side deadlocks on full socket buffers.
+    """
+    import asyncio
+
+    reader, writer = await asyncio.open_connection(host, port)
+
+    async def pump():
+        for i, (s, t) in enumerate(pairs):
+            writer.write(json.dumps({"s": int(s), "t": int(t)}).encode() + b"\n")
+            if i % 128 == 127:
+                await writer.drain()
+        await writer.drain()
+
+    pump_task = asyncio.create_task(pump())
+    responses = []
+    try:
+        for _ in pairs:
+            responses.append(json.loads(await reader.readline()))
+        await pump_task
+    finally:
+        pump_task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+    return responses
+
+
+def _net_phase(index, pairs, failures, report, *, clients=6) -> None:
+    """Race coalesced (pipelined) against per-connection-serial TCP serving.
+
+    The same Zipf workload is dealt across ``clients`` concurrent TCP
+    connections twice: once lockstep (one outstanding request per
+    connection — the coalescer can only fold what happens to collide)
+    and once pipelined (many outstanding — flushes grow toward
+    ``max_batch`` and the fused kernels amortise per-query overhead).
+    The served app runs with ``cache_size=0`` so the measured win is
+    coalescing, not result caching.  Asserts the ISSUE 6 bar —
+    coalesced >= 2x serial — then drills a hot reload under pipelined
+    load and asserts zero dropped or errored responses.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.io.oracle_store import save_index
+    from repro.service.net import NetServer
+
+    engine = FlatQueryEngine.from_index(index)
+    expected = [r.distance for r in engine.query_batch(pairs)]
+    slices = _split_round_robin(pairs, clients)
+    expected_slices = _split_round_robin(expected, clients)
+
+    def check_answers(mode, answers):
+        got = [len(part) for part in answers]
+        want = [len(part) for part in slices]
+        if got != want:
+            failures.append(f"net {mode}: response counts {got} != {want}")
+            return
+        errors = sum(1 for part in answers for r in part if "error" in r)
+        if errors:
+            failures.append(f"net {mode}: {errors} error responses")
+        for part, want_part in zip(answers, expected_slices):
+            if [r.get("distance") for r in part] != want_part:
+                failures.append(
+                    f"net {mode}: distances diverge from the flat engine "
+                    "(per-connection ordering broken?)"
+                )
+                break
+
+    async def run_mode(client):
+        app = ServiceApp.from_index(index, cache_size=0)
+        server = NetServer(app, port=0)
+        host, port = await server.start()
+        try:
+            started = time.perf_counter()
+            answers = await asyncio.gather(
+                *(client(host, port, part) for part in slices)
+            )
+            elapsed = time.perf_counter() - started
+            snap = server.stats.snapshot()
+        finally:
+            await server.drain()
+            app.close()
+        return answers, elapsed, snap
+
+    async def run_reload(tmp):
+        path = os.path.join(tmp, "store.flat")
+        save_index(index, path)
+        app = ServiceApp.from_saved(path, mmap=True, cache_size=0)
+        server = NetServer(app, port=0)
+        host, port = await server.start()
+
+        async def control():
+            # Fire the reload a moment in, while the pipelined clients
+            # are mid-stream — the swap must not drop or fail anything.
+            await asyncio.sleep(0.01)
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                json.dumps({"cmd": "reload", "path": path}).encode() + b"\n"
+            )
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return response
+
+        try:
+            outcome = await asyncio.gather(
+                control(),
+                *(_net_client_pipelined(host, port, part) for part in slices),
+            )
+            reloads = server.stats.reloads
+        finally:
+            await server.drain()
+            server.app.close()  # the reload swapped the app we opened
+        return outcome[0], outcome[1:], reloads
+
+    serial_answers, serial_s, _ = asyncio.run(run_mode(_net_client_serial))
+    coalesced_answers, coalesced_s, snap = asyncio.run(
+        run_mode(_net_client_pipelined)
+    )
+    check_answers("serial", serial_answers)
+    check_answers("coalesced", coalesced_answers)
+    speedup = serial_s / coalesced_s if coalesced_s > 0 else float("inf")
+    if speedup < 2.0:
+        failures.append(f"net coalesce speedup {speedup:.2f}x < 2x")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        control_response, reload_answers, reloads = asyncio.run(run_reload(tmp))
+    check_answers("reload", reload_answers)
+    reload_ok = bool(control_response.get("ok")) and reloads == 1
+    if not reload_ok:
+        failures.append(f"net reload did not complete: {control_response}")
+
+    flushes = snap["flushes"]
+    report["net"] = {
+        "clients": clients,
+        "queries": len(pairs),
+        "serial": {"seconds": serial_s, "qps": len(pairs) / serial_s},
+        "coalesced": {
+            "seconds": coalesced_s,
+            "qps": len(pairs) / coalesced_s,
+            "flushes": flushes["count"],
+            "mean_batch": flushes["mean_batch"],
+            "max_batch": flushes["max_batch"],
+            "cross_client_flushes": flushes["cross_client"],
+        },
+        "coalesce": {"speedup": speedup},
+        "reload": {
+            "queries": len(pairs),
+            "responses": sum(len(part) for part in reload_answers),
+            "errors": sum(
+                1 for part in reload_answers for r in part if "error" in r
+            ),
+            "reloads": reloads,
+            "ok": reload_ok,
+        },
+    }
 
 
 def _percentiles_ms(per_query_seconds) -> dict:
@@ -571,6 +769,7 @@ def run_smoke(
         )
         _mmap_phase(index, pairs, shards, failures, extra)
         _cache_race_phase(index, pairs, extra)
+        _net_phase(index, pairs, failures, extra)
     except Exception as exc:
         # A crash (dead worker, QueryError) is when the diagnostics
         # matter most — persist the partial grid before propagating.
@@ -606,9 +805,23 @@ def run_smoke(
     if race:
         sweep = ", ".join(
             f"@{cap}: lru {row['lru']['hit_rate']:.3f} / 2q {row['2q']['hit_rate']:.3f}"
+            f" / tinylfu {row['tinylfu']['hit_rate']:.3f}"
             for cap, row in race["capacities"].items()
         )
         print(f"cache admission race (hit rates) {sweep}")
+    net = extra.get("net", {})
+    if net:
+        print(
+            f"net serving ({net['clients']} clients): coalesced "
+            f"{net['coalesced']['qps']:,.0f} qps vs serial "
+            f"{net['serial']['qps']:,.0f} qps "
+            f"({net['coalesce']['speedup']:.2f}x, mean batch "
+            f"{net['coalesced']['mean_batch']:.1f}, "
+            f"{net['coalesced']['cross_client_flushes']} cross-client flushes); "
+            f"hot reload under load: {net['reload']['responses']}/"
+            f"{net['reload']['queries']} answered, "
+            f"{net['reload']['errors']} errors"
+        )
     print(f"wrote {path}")
     if failures:
         for failure in failures:

@@ -12,16 +12,25 @@ default (exit 0); pass ``--strict`` to turn warnings into a non-zero
 exit for environments stable enough to gate on.  Improvements and
 in-band metrics are summarised, never fatal.
 
+``--trend`` walks the *git history* of the committed baselines instead:
+every commit that touched ``benchmarks/baselines/BENCH_*.json`` becomes
+a row, so a metric sliding 10% per PR — invisible to the
+baseline-vs-fresh diff — shows up as a column drifting across the
+table.  Needs history (a shallow ``fetch-depth: 1`` clone degrades to
+the single current row).
+
 Usage::
 
     python benchmarks/compare_bench.py            # default dirs
     python benchmarks/compare_bench.py --strict --threshold 0.3
+    python benchmarks/compare_bench.py --trend    # history table
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -84,6 +93,105 @@ def compare_report(baseline: dict, fresh: dict, threshold: float):
     return regressions, improvements, stable
 
 
+def _git(args: list[str], cwd: Path):
+    """Run one git command; ``None`` on any failure (no git, no repo)."""
+    try:
+        proc = subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True, timeout=30
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return proc.stdout if proc.returncode == 0 else None
+
+
+def baseline_history(baseline: Path) -> list[tuple[str, str, dict]]:
+    """Every committed version of one baseline, oldest first.
+
+    Returns ``(short_sha, date, report)`` tuples.  Degrades gracefully
+    to an empty list when git or the history is unavailable (shallow
+    CI clones) — the caller then falls back to the worktree copy.
+    """
+    top = _git(["rev-parse", "--show-toplevel"], baseline.resolve().parent)
+    if top is None:
+        return []
+    root = Path(top.strip())
+    rel = baseline.resolve().relative_to(root).as_posix()
+    log = _git(["log", "--format=%h %ad", "--date=short", "--", rel], root) or ""
+    history = []
+    for line in reversed(log.strip().splitlines()):
+        sha, _, date = line.partition(" ")
+        blob = _git(["show", f"{sha}:{rel}"], root)
+        if blob is None:
+            continue
+        try:
+            report = json.loads(blob)
+        except json.JSONDecodeError:
+            continue
+        history.append((sha, date, report))
+    return history
+
+
+def _short(path: str) -> str:
+    # Three trailing components keep sibling metrics distinguishable
+    # (capacities.16.2q.hit_rate vs capacities.64.2q.hit_rate).
+    parts = path.split(".")
+    return ".".join(parts[-3:]) if len(parts) > 1 else path
+
+
+def render_trend(
+    name: str,
+    history: list[tuple[str, str, dict]],
+    *,
+    select: str = "",
+    max_cols: int = 6,
+) -> str:
+    """One table: baseline commits as rows, tracked metrics as columns."""
+    lines = [f"{name}: {len(history)} committed snapshot(s)"]
+    rows = [(sha, date, collect_metrics(report)) for sha, date, report in history]
+    latest = rows[-1][2]
+    paths = [p for p in sorted(latest) if select in p][:max_cols]
+    if not paths:
+        lines.append("  no tracked metrics match the selection")
+        return "\n".join(lines)
+    headers = ["commit", "date"] + [_short(p) for p in paths]
+    table = [
+        [sha, date] + [f"{m[p]:.4g}" if p in m else "-" for p in paths]
+        for sha, date, m in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in table))
+        for i in range(len(headers))
+    ]
+    lines.append(
+        "  " + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    for row in table:
+        lines.append(
+            "  "
+            + "  ".join(
+                cell.ljust(widths[i]) if i < 2 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def run_trend(baselines_dir: Path, *, select: str = "", max_cols: int = 6) -> int:
+    """Print trend tables over every committed ``BENCH_*.json`` baseline."""
+    baselines = sorted(baselines_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {baselines_dir}; nothing to trend")
+        return 0
+    for path in baselines:
+        history = baseline_history(path)
+        if not history:
+            # Shallow clone / no git: show at least the current snapshot.
+            history = [("worktree", "-", json.loads(path.read_text()))]
+        print(render_trend(path.name, history, select=select, max_cols=max_cols))
+        print()
+    return 0
+
+
 def main(argv=None) -> int:
     here = Path(__file__).parent
     parser = argparse.ArgumentParser(description=__doc__)
@@ -103,7 +211,23 @@ def main(argv=None) -> int:
         "--strict", action="store_true",
         help="exit non-zero when any metric regressed past the threshold",
     )
+    parser.add_argument(
+        "--trend", action="store_true",
+        help="print each baseline's metric history across the commits "
+        "that touched it, instead of diffing fresh artifacts",
+    )
+    parser.add_argument(
+        "--select", default="",
+        help="trend mode: only metric paths containing this substring",
+    )
+    parser.add_argument(
+        "--max-cols", type=int, default=6,
+        help="trend mode: max metric columns per table (default 6)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trend:
+        return run_trend(args.baselines, select=args.select, max_cols=args.max_cols)
 
     baselines = sorted(args.baselines.glob("BENCH_*.json"))
     if not baselines:

@@ -6,8 +6,10 @@ Subcommands mirror the library's workflow:
 * ``stats``      — basic statistics of a stored graph;
 * ``build``      — run the offline phase and persist the oracle;
 * ``query``      — answer one query from a persisted oracle;
-* ``serve``      — run the query service (JSON-lines over stdin, or the
-  ``--bench`` self-driving workload) from a persisted oracle;
+* ``serve``      — run the query service from a persisted oracle:
+  JSON-lines over stdin, the asyncio network front end
+  (``--transport tcp`` / ``http``), or the ``--bench`` self-driving
+  workload;
 * ``experiment`` — regenerate a paper table/figure (table2, figure2,
   table3, memory, tradeoff).
 """
@@ -109,6 +111,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="procpool backend: per-worker result-cache capacity "
         "(0 disables; repeated expensive pairs are then served from "
         "worker memory, skipping the kernel and the modelled round trip)",
+    )
+    serve.add_argument(
+        "--transport", choices=["stdio", "tcp", "http"], default="stdio",
+        help="stdio: the single-client JSON-lines loop; tcp: the asyncio "
+        "multi-client server (same JSON-lines protocol, cross-client "
+        "request coalescing); http: minimal HTTP/1.1 (POST /query, "
+        "GET /stats) on the same coalescing core",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="tcp/http: bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="tcp/http: bind port (0 picks a free port; the chosen "
+        "address is printed to stderr as transport://host:port)",
+    )
+    serve.add_argument(
+        "--coalesce-us", type=float, default=250.0,
+        help="tcp/http: coalescing window in microseconds — requests "
+        "from different connections arriving within it are folded into "
+        "one executor batch (0 flushes every event-loop turn)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=1024,
+        help="tcp/http: max requests folded into one executor call "
+        "(a full window dispatches immediately)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=4096,
+        help="tcp/http: soft admission limit on queued+in-flight "
+        "requests; beyond it requests are answered with "
+        '{"error": "overloaded", "retry_after_ms": ...}',
+    )
+    serve.add_argument(
+        "--hard-pending", type=int, default=0,
+        help="tcp/http: hard limit beyond which the server stops "
+        "reading sockets so TCP pushes back (0 = 4x --max-pending)",
+    )
+    serve.add_argument(
+        "--degrade", action="store_true",
+        help="tcp/http: past the soft limit, answer distance-only "
+        "queries from the landmark triangulation estimate "
+        '(method "estimate", "degraded": true) instead of an overload '
+        "error",
     )
     serve.add_argument(
         "--bench", action="store_true",
@@ -254,16 +300,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if args.shards
                 else "single machine"
             )
-            print(
-                f"serving {app.n:,}-node oracle ({mode}); "
-                'one JSON request per line ({"s": 0, "t": 5}, '
-                '{"pairs": [[0, 5]]}, {"cmd": "stats"}, {"cmd": "quit"})',
-                file=sys.stderr,
-            )
-            serve_stdio(app)
+            if args.transport == "stdio":
+                print(
+                    f"serving {app.n:,}-node oracle ({mode}); "
+                    'one JSON request per line ({"s": 0, "t": 5}, '
+                    '{"pairs": [[0, 5]]}, {"cmd": "stats"}, {"cmd": "quit"})',
+                    file=sys.stderr,
+                )
+                serve_stdio(app)
+            else:
+                _serve_network(app, args, mode)
     finally:
         app.close()
     return 0
+
+
+def _serve_network(app, args: argparse.Namespace, mode: str) -> None:
+    """Run the asyncio front end until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import signal
+    from functools import partial
+
+    from repro.service import NetServer, ServiceApp
+
+    # {"cmd": "reload"} rebuilds with the same serving options; the
+    # fresh store is memory-mapped by default (zero-copy swap) unless
+    # the request says otherwise.
+    factory = partial(
+        ServiceApp.from_saved,
+        cache_size=args.cache_size,
+        shards=args.shards,
+        backend=args.backend,
+        replicate_tables=args.replicate_tables,
+        worker_cache_size=args.worker_cache,
+        mmap=True,
+    )
+
+    async def _amain() -> None:
+        server = NetServer(
+            app,
+            host=args.host,
+            port=args.port,
+            transport=args.transport,
+            coalesce_us=args.coalesce_us,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending,
+            hard_pending=args.hard_pending,
+            degrade=args.degrade,
+            app_factory=factory,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except NotImplementedError:  # platforms without signal support
+                pass
+        # Machine-parseable "listening" line: smoke drivers read the
+        # bound port from it (--port 0 picks a free one).
+        print(
+            f"serving {app.n:,}-node oracle ({mode}) on "
+            f"{server.transport}://{server.host}:{server.port} "
+            f"(coalesce {args.coalesce_us:g} us, max-batch {args.max_batch}, "
+            f"soft {server.coalescer.soft_limit} / hard {server.coalescer.hard_limit})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.serve_forever()
+        if server.app is not app:
+            server.app.close()  # hot reload swapped it; the caller closes `app`
+        print("drained cleanly", file=sys.stderr, flush=True)
+
+    asyncio.run(_amain())
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

@@ -22,7 +22,13 @@ Microseconds"* (arXiv:1309.0874):
   per-method counters, snapshot reporting;
 * :mod:`~repro.service.workload` — Zipf/uniform workload generators;
 * :mod:`~repro.service.server` — the JSON-lines request loop and
-  self-driving benchmark behind ``repro-paths serve``.
+  self-driving benchmark behind ``repro-paths serve``;
+* :mod:`~repro.service.net` — the asyncio network front end
+  (``--transport tcp`` / ``http``): cross-client request coalescing
+  into single executor batches, bounded-queue admission control with
+  TCP backpressure, per-client telemetry, and hot store reload;
+* :mod:`~repro.service.protocol` — the pure wire framings (JSON lines
+  and minimal HTTP/1.1) the network server speaks.
 """
 
 from repro.service.backends import (
@@ -33,9 +39,12 @@ from repro.service.backends import (
 )
 from repro.service.batch import BatchExecutor, BatchStats
 from repro.service.cache import DEFAULT_CAPACITY, ResultCache
+from repro.service.net import Coalescer, NetServer, NetStats, serve_app
 from repro.service.procpool import ProcessShardedService
+from repro.service.protocol import ProtocolError
 from repro.service.server import (
     ServiceApp,
+    encode_result,
     handle_request,
     render_bench_report,
     run_bench,
@@ -62,6 +71,12 @@ __all__ = [
     "ServiceApp",
     "serve_stdio",
     "handle_request",
+    "encode_result",
+    "NetServer",
+    "NetStats",
+    "Coalescer",
+    "ProtocolError",
+    "serve_app",
     "run_bench",
     "render_bench_report",
     "zipf_pairs",

@@ -20,14 +20,60 @@ backends pass ``symmetric=False`` and keys stay orientation-exact.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable, Iterable, Optional
+
+import numpy as np
 
 from repro.core.oracle import EXPENSIVE_METHODS, QueryResult
 from repro.exceptions import QueryError
 
 #: Default maximum number of cached pairs.
 DEFAULT_CAPACITY = 65536
+
+
+class _FrequencySketch:
+    """Count-min sketch of access frequencies (the TinyLFU filter).
+
+    Four rows of 4-bit-style saturating counters (uint8 capped at 15)
+    sized to the cache capacity; when the observed sample reaches
+    ``16 * capacity`` every counter is halved, so frequencies age and
+    yesterday's hot pairs cannot squat the admission gate forever.
+    Tuple hashing over ints is deterministic (independent of
+    ``PYTHONHASHSEED``), so sketch behaviour is reproducible.
+    """
+
+    _ROWS = 4
+    _CAP = 15
+
+    def __init__(self, capacity: int) -> None:
+        width = 64
+        while width < 4 * capacity:
+            width *= 2
+        self._mask = width - 1
+        self._table = np.zeros((self._ROWS, width), dtype=np.uint8)
+        self._samples = 0
+        self._sample_limit = max(256, 16 * capacity)
+
+    def _slots(self, key) -> list[int]:
+        return [hash((row, key)) & self._mask for row in range(self._ROWS)]
+
+    def touch(self, key) -> None:
+        """Record one access to ``key``."""
+        for row, slot in enumerate(self._slots(key)):
+            if self._table[row, slot] < self._CAP:
+                self._table[row, slot] += 1
+        self._samples += 1
+        if self._samples >= self._sample_limit:
+            self._table >>= 1
+            self._samples //= 2
+
+    def estimate(self, key) -> int:
+        """Approximate access count of ``key`` (min over rows)."""
+        return min(
+            int(self._table[row, slot]) for row, slot in enumerate(self._slots(key))
+        )
 
 
 class ResultCache:
@@ -48,7 +94,21 @@ class ResultCache:
             when it is touched *again* while still on probation — so a
             stream of one-hit-wonder pairs churns the FIFO instead of
             evicting the proven repeated tail.  Both stages answer
-            ``get``; a probation hit promotes.
+            ``get``; a probation hit promotes.  ``"tinylfu"`` gates
+            admission on a count-min frequency sketch fed by every
+            lookup: once the cache is full, a new pair displaces the
+            LRU victim only when the sketch says it is accessed *more
+            often* — one-hit wonders are denied outright instead of
+            churning anything (counted as ``denied``).
+        ttl: default time-to-live in seconds for stored entries
+            (``None`` = never expire).  Expiry is lazy: an entry past
+            its deadline is dropped at the next lookup or offer that
+            touches it (counted as ``expired``, answered as a miss).
+        ttls: per-method TTL overrides, e.g. ``{"fallback:bfs": 30.0}``
+            — methods absent from the map fall back to ``ttl``.  Lets
+            a deployment expire fallback answers (sensitive to graph
+            drift) quickly while intersection results live long.
+        clock: monotonic time source for TTLs (injectable for tests).
     """
 
     def __init__(
@@ -58,17 +118,29 @@ class ResultCache:
         cacheable: Iterable[str] = EXPENSIVE_METHODS,
         symmetric: bool = True,
         admission: str = "lru",
+        ttl: Optional[float] = None,
+        ttls: Optional[dict] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if capacity < 1:
             raise QueryError("cache capacity must be at least 1")
-        if admission not in ("lru", "2q"):
+        if admission not in ("lru", "2q", "tinylfu"):
             raise QueryError(
-                f"unknown admission policy {admission!r}; choose 'lru' or '2q'"
+                f"unknown admission policy {admission!r}; "
+                "choose 'lru', '2q' or 'tinylfu'"
             )
+        for life in [ttl, *(ttls or {}).values()]:
+            if life is not None and life <= 0:
+                raise QueryError("ttl values must be positive")
         self.capacity = capacity
         self.cacheable = frozenset(cacheable)
         self.symmetric = symmetric
         self.admission = admission
+        self.ttl = ttl
+        self.ttls = dict(ttls or {})
+        self.clock = clock
+        self._expiry: dict[tuple[int, int], float] = {}
+        self._sketch = _FrequencySketch(capacity) if admission == "tinylfu" else None
         self._entries: "OrderedDict[tuple[int, int], QueryResult]" = OrderedDict()
         self._probation: "Optional[OrderedDict[tuple[int, int], QueryResult]]" = None
         self.probation_capacity = 0
@@ -89,6 +161,8 @@ class ResultCache:
         self.invalidated = 0
         self.path_preserved = 0
         self.promotions = 0
+        self.expired = 0
+        self.denied = 0
 
     @staticmethod
     def canonical(source: int, target: int) -> tuple[int, int]:
@@ -99,6 +173,31 @@ class ResultCache:
         if self.symmetric:
             return self.canonical(source, target)
         return (source, target)
+
+    # ------------------------------------------------------------------
+    # ttl plumbing (all lock-held)
+    # ------------------------------------------------------------------
+    def _ttl_for(self, method: str) -> Optional[float]:
+        return self.ttls.get(method, self.ttl)
+
+    def _stamp(self, key: tuple[int, int], method: str) -> None:
+        """Set (or clear) the expiry deadline for a just-stored entry."""
+        life = self._ttl_for(method)
+        if life is not None:
+            self._expiry[key] = self.clock() + life
+        else:
+            self._expiry.pop(key, None)
+
+    def _drop_if_expired(self, key: tuple[int, int]) -> None:
+        """Lazily expire one key: drop it if its deadline has passed."""
+        deadline = self._expiry.get(key)
+        if deadline is None or self.clock() < deadline:
+            return
+        self._entries.pop(key, None)
+        if self._probation is not None:
+            self._probation.pop(key, None)
+        del self._expiry[key]
+        self.expired += 1
 
     # ------------------------------------------------------------------
     # lookups
@@ -118,6 +217,11 @@ class ResultCache:
         """
         key = self._key(source, target)
         with self._lock:
+            if self._sketch is not None:
+                # Every lookup feeds the frequency sketch — misses too:
+                # admission must see demand, not just what is stored.
+                self._sketch.touch(key)
+            self._drop_if_expired(key)
             entry = self._entries.get(key)
             if entry is not None:
                 if need_path and entry.path is None:
@@ -150,7 +254,8 @@ class ResultCache:
         self._entries.move_to_end(key)
         self.promotions += 1
         if len(self._entries) > self.protected_capacity:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._expiry.pop(evicted_key, None)
             self.evictions += 1
 
     # ------------------------------------------------------------------
@@ -176,6 +281,9 @@ class ResultCache:
         key = self._key(result.source, result.target)
         entry = result if (result.source, result.target) == key else result.mirrored()
         with self._lock:
+            if self._sketch is not None:
+                self._sketch.touch(key)
+            self._drop_if_expired(key)
             known = self._entries.get(key)
             if known is not None:
                 if (
@@ -184,10 +292,12 @@ class ResultCache:
                     and known.distance == entry.distance
                 ):
                     self._entries.move_to_end(key)
+                    self._stamp(key, known.method)
                     self.path_preserved += 1
                     return True
                 self._entries[key] = entry
                 self._entries.move_to_end(key)
+                self._stamp(key, entry.method)
                 return True
             if self._probation is not None:
                 probed = self._probation.get(key)
@@ -203,18 +313,34 @@ class ResultCache:
                         self.path_preserved += 1
                     del self._probation[key]
                     self._promote(key, entry)
+                    self._stamp(key, entry.method)
                     return True
                 self._probation[key] = entry
+                self._stamp(key, entry.method)
                 self.insertions += 1
                 if len(self._probation) > self.probation_capacity:
-                    self._probation.popitem(last=False)
+                    evicted_key, _ = self._probation.popitem(last=False)
+                    self._expiry.pop(evicted_key, None)
                     self.evictions += 1
                 return True
+            if self._sketch is not None and len(self._entries) >= self.capacity:
+                # TinyLFU admission: a newcomer enters a full cache only
+                # by out-counting the LRU victim in the sketch — ties
+                # keep the incumbent, so one-hit wonders bounce off.
+                victim = next(iter(self._entries))
+                if self._sketch.estimate(key) <= self._sketch.estimate(victim):
+                    self.denied += 1
+                    return False
+                del self._entries[victim]
+                self._expiry.pop(victim, None)
+                self.evictions += 1
             self._entries[key] = entry
             self._entries.move_to_end(key)
+            self._stamp(key, entry.method)
             self.insertions += 1
             if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._expiry.pop(evicted_key, None)
                 self.evictions += 1
         return True
 
@@ -231,6 +357,7 @@ class ResultCache:
                 del self._probation[key]
             else:
                 return False
+            self._expiry.pop(key, None)
             self.invalidated += 1
         return True
 
@@ -260,9 +387,11 @@ class ResultCache:
             for key in stale_keys:
                 if key in self._entries:
                     del self._entries[key]
+                    self._expiry.pop(key, None)
                     evicted += 1
                 elif self._probation is not None and key in self._probation:
                     del self._probation[key]
+                    self._expiry.pop(key, None)
                     evicted += 1
             self.invalidated += evicted
         return evicted
@@ -286,9 +415,13 @@ class ResultCache:
             self._entries.clear()
             if self._probation is not None:
                 self._probation.clear()
+            self._expiry.clear()
+            if self._sketch is not None:
+                self._sketch = _FrequencySketch(self.capacity)
             self.hits = self.misses = 0
             self.insertions = self.evictions = self.rejected = 0
             self.invalidated = self.path_preserved = self.promotions = 0
+            self.expired = self.denied = 0
 
     @property
     def lookups(self) -> int:
@@ -316,8 +449,11 @@ class ResultCache:
             "rejected": self.rejected,
             "invalidated": self.invalidated,
             "path_preserved": self.path_preserved,
+            "expired": self.expired,
         }
         if self._probation is not None:
             snap["probation_size"] = len(self._probation)
             snap["promotions"] = self.promotions
+        if self._sketch is not None:
+            snap["denied"] = self.denied
         return snap

@@ -1,0 +1,162 @@
+"""Wire framing for the network front end: JSON lines and HTTP/1.1.
+
+The service speaks one *logical* protocol — the request/response
+objects documented in :mod:`repro.service.server` — over two framings:
+
+* **newline-delimited JSON** (the native framing, shared with
+  ``serve_stdio``): one compact JSON object per ``\\n``-terminated
+  line, responses in request order per connection;
+* **minimal HTTP/1.1**: ``POST /query`` carrying the same JSON object
+  (single pair, batch, or command) as its body, and ``GET /stats``
+  returning the telemetry snapshot.  Keep-alive is honoured, chunked
+  bodies and multipart are deliberately out of scope.
+
+Only *framing* lives here — byte parsing and byte building, pure
+functions with no I/O — so both the asyncio server
+(:mod:`repro.service.net`) and its tests can exercise the exact
+production codec without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError
+
+#: Upper bound on an HTTP request head (request line + headers).
+MAX_HEAD_BYTES = 65536
+#: Upper bound on a request body / JSONL request line.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed frames (bad request line, missing length)."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def json_line(obj) -> bytes:
+    """One response object as a compact ``\\n``-terminated JSON line."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_json_line(line: bytes) -> dict:
+    """Parse one request line; raises :class:`ProtocolError` on bad JSON."""
+    try:
+        request = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from None
+    return request
+
+
+@dataclass
+class HttpRequest:
+    """A parsed HTTP/1.1 request head."""
+
+    method: str
+    target: str
+    version: str
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def content_length(self) -> int:
+        """Declared body length (0 when absent); raises on a bad value."""
+        raw = self.headers.get("content-length")
+        if raw is None:
+            return 0
+        try:
+            length = int(raw)
+        except ValueError:
+            raise ProtocolError(f"bad Content-Length {raw!r}") from None
+        if length < 0:
+            raise ProtocolError(f"bad Content-Length {raw!r}")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} limit",
+                status=413,
+            )
+        return length
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection survives this exchange (RFC 7230 §6.3)."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+def parse_http_head(head: bytes) -> HttpRequest:
+    """Parse a request head (everything through the blank line).
+
+    Accepts the ``CRLF``-separated head as read by
+    ``reader.readuntil(b"\\r\\n\\r\\n")`` — the trailing blank line may
+    be present or already stripped.  Header names are lower-cased;
+    duplicate headers keep the last value (none of the headers the
+    server reads are list-valued).
+    """
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError("request head too large", status=413)
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # latin-1 never fails; belt and braces
+        raise ProtocolError("undecodable request head") from None
+    lines = [line for line in text.split("\r\n") if line]
+    if not lines:
+        raise ProtocolError("empty request")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol version {version!r}")
+    headers = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return HttpRequest(
+        method=method.upper(), target=target, version=version, headers=headers
+    )
+
+
+def http_response(
+    body: dict,
+    *,
+    status: int = 200,
+    keep_alive: bool = True,
+    extra_headers: tuple = (),
+) -> bytes:
+    """Build a complete JSON HTTP/1.1 response frame.
+
+    Args:
+        body: the response object (serialised compactly, like the
+            JSONL framing).
+        status: HTTP status code; the reason phrase is derived.
+        keep_alive: emit ``Connection: keep-alive`` vs ``close``.
+        extra_headers: additional ``(name, value)`` pairs (e.g.
+            ``("Retry-After", "1")`` on an overload response).
+    """
+    payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload

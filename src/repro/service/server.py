@@ -227,8 +227,15 @@ class ServiceApp:
             engine=engine,
         )
 
-    def snapshot(self) -> dict:
-        """Full service snapshot: telemetry + cache + batch + shard stats."""
+    def snapshot(self, *, net: Optional[dict] = None) -> dict:
+        """Full service snapshot: telemetry + cache + batch + shard stats.
+
+        Args:
+            net: optional network front-end block
+                (:meth:`repro.service.net.NetStats.snapshot`) to embed;
+                the network server passes its own — every pre-existing
+                key keeps its meaning and position.
+        """
         worker_cache = None
         if self.sharded is not None and hasattr(self.sharded, "worker_cache_stats"):
             worker_cache = self.sharded.worker_cache_stats()
@@ -236,6 +243,7 @@ class ServiceApp:
             cache=self.cache,
             message_log=self.sharded.log if self.sharded is not None else None,
             worker_cache=worker_cache,
+            net=net,
         )
         snap["batching"] = self.executor.stats.snapshot()
         return snap
@@ -259,7 +267,8 @@ class ServiceApp:
             self.sharded.close()
 
 
-def _encode(result: QueryResult, with_path: bool) -> dict:
+def encode_result(result: QueryResult, with_path: bool) -> dict:
+    """One :class:`QueryResult` as its wire-protocol response object."""
     body = {
         "s": result.source,
         "t": result.target,
@@ -291,13 +300,13 @@ def handle_request(app: ServiceApp, request: dict) -> tuple[dict, bool]:
             pairs = [(int(s), int(t)) for s, t in request["pairs"]]
             with_path = bool(request.get("path", False))
             results = app.executor.run(pairs, with_path=with_path)
-            return {"results": [_encode(r, with_path) for r in results]}, True
+            return {"results": [encode_result(r, with_path) for r in results]}, True
         if "s" in request and "t" in request:
             with_path = bool(request.get("path", False))
             result = app.executor.query(
                 int(request["s"]), int(request["t"]), with_path=with_path
             )
-            return _encode(result, with_path), True
+            return encode_result(result, with_path), True
     except (ReproError, ValueError, TypeError) as exc:
         return {"error": str(exc)}, True
     return {"error": "expected {'s','t'}, {'pairs'} or {'cmd'}"}, True

@@ -190,7 +190,9 @@ class Telemetry:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def snapshot(self, *, cache=None, message_log=None, worker_cache=None) -> dict:
+    def snapshot(
+        self, *, cache=None, message_log=None, worker_cache=None, net=None
+    ) -> dict:
         """One JSON-serialisable dict describing the service so far.
 
         Args:
@@ -201,6 +203,11 @@ class Telemetry:
                 deployment.
             worker_cache: optional aggregated worker-cache statistics
                 (:meth:`ProcessShardedService.worker_cache_stats`).
+            net: optional network front-end block
+                (:meth:`repro.service.net.NetStats.snapshot`) — queue
+                depth, flush mix, per-client counters.  Purely
+                additive: every pre-existing key keeps its shape
+                whether or not a front end is attached.
         """
         with self._lock:
             elapsed = time.perf_counter() - self.started
@@ -220,6 +227,8 @@ class Telemetry:
             snap["cache"] = cache.snapshot()
         if worker_cache is not None:
             snap["worker_cache"] = worker_cache
+        if net is not None:
+            snap["net"] = net
         if message_log is not None:
             total = message_log.local_queries + message_log.remote_queries
             snap["shards"] = {
@@ -282,6 +291,39 @@ def render_snapshot(snapshot: dict) -> str:
             f"shard traffic    : {shards['mean_messages']:.2f} msgs/query, "
             f"{shards['mean_bytes']:.0f} bytes/query"
         )
+    if "net" in snapshot:
+        net = snapshot["net"]
+        queue, requests, flushes = net["queue"], net["requests"], net["flushes"]
+        conns = net["connections"]
+        lines.append(
+            f"net queue        : depth {queue.get('depth', 0):,} "
+            f"(peak {queue.get('peak_depth', 0):,}, "
+            f"soft {queue.get('soft_limit', 0):,} / hard {queue.get('hard_limit', 0):,})"
+        )
+        lines.append(
+            f"net requests     : {requests['accepted']:,} accepted | "
+            f"{requests['overloaded']:,} overloaded | "
+            f"{requests['degraded']:,} degraded | {requests['errors']:,} errors"
+        )
+        lines.append(
+            f"net flushes      : {flushes['count']:,} "
+            f"(mean batch {flushes['mean_batch']:.1f}, max {flushes['max_batch']:,}, "
+            f"{flushes['cross_client']:,} cross-client)"
+        )
+        wait, service = net["queue_wait"], net["service_time"]
+        lines.append(
+            f"net wait/service : p50 {wait['p50_ms']:.3f}/{service['p50_ms']:.3f} ms | "
+            f"p99 {wait['p99_ms']:.3f}/{service['p99_ms']:.3f} ms"
+        )
+        lines.append(
+            f"net clients      : {conns['active']:,} active / {conns['total']:,} total"
+            + (f", {net['reloads']} reloads" if net.get("reloads") else "")
+        )
+        for client in conns.get("clients", [])[:4]:
+            lines.append(
+                f"    {client['peer']:<26s} {client['requests']:>8,} req  "
+                f"{client['pairs']:>8,} pairs  {client['overloads']:>6,} overload"
+            )
     by_method = snapshot.get("by_method", {})
     if by_method:
         total = sum(by_method.values()) or 1

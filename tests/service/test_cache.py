@@ -271,3 +271,156 @@ class Test2QAdmission:
         cache.clear()
         assert len(cache) == 0
         assert cache.snapshot()["promotions"] == 0
+
+
+class TestTTL:
+    def _clocked(self, **kwargs):
+        now = [0.0]
+        cache = ResultCache(8, clock=lambda: now[0], **kwargs)
+        return cache, now
+
+    def test_entry_expires_lazily_at_deadline(self):
+        cache, now = self._clocked(ttl=10.0)
+        cache.put(_result(1, 2, 3))
+        now[0] = 9.99
+        assert cache.get(1, 2) is not None
+        now[0] = 10.0
+        assert cache.get(1, 2) is None
+        assert cache.expired == 1
+        assert cache.snapshot()["expired"] == 1
+        assert len(cache) == 0
+
+    def test_per_method_ttl_overrides_default(self):
+        cache, now = self._clocked(
+            cacheable=("intersection", "fallback:bfs"),
+            ttl=100.0,
+            ttls={"fallback:bfs": 5.0},
+        )
+        cache.put(_result(1, 2, 3, method="fallback:bfs"))
+        cache.put(_result(3, 4, 2, method="intersection"))
+        now[0] = 6.0
+        assert cache.get(1, 2) is None  # short-lived fallback expired
+        assert cache.get(3, 4) is not None  # intersection still live
+        now[0] = 101.0
+        assert cache.get(3, 4) is None
+
+    def test_no_ttl_never_expires(self):
+        cache, now = self._clocked()
+        cache.put(_result(1, 2, 3))
+        now[0] = 1e9
+        assert cache.get(1, 2) is not None
+        assert cache.expired == 0
+
+    def test_reput_restamps_the_deadline(self):
+        cache, now = self._clocked(ttl=10.0)
+        cache.put(_result(1, 2, 3))
+        now[0] = 8.0
+        cache.put(_result(1, 2, 3))  # refresh restarts the clock
+        now[0] = 15.0
+        assert cache.get(1, 2) is not None
+        now[0] = 18.0
+        assert cache.get(1, 2) is None
+
+    def test_expired_slot_accepts_a_fresh_insert(self):
+        cache, now = self._clocked(ttl=10.0)
+        cache.put(_result(1, 2, 3))
+        now[0] = 20.0
+        cache.put(_result(1, 2, 4))
+        assert cache.get(1, 2).distance == 4
+        assert cache.expired == 1
+
+    def test_ttl_covers_probation_stage(self):
+        now = [0.0]
+        cache = ResultCache(8, admission="2q", ttl=10.0, clock=lambda: now[0])
+        cache.put(_result(1, 2, 3))  # lands on probation
+        now[0] = 11.0
+        assert cache.get(1, 2) is None
+        assert cache.expired == 1
+        assert cache.snapshot()["probation_size"] == 0
+
+    def test_invalid_ttl_values_rejected(self):
+        with pytest.raises(QueryError):
+            ResultCache(8, ttl=0.0)
+        with pytest.raises(QueryError):
+            ResultCache(8, ttls={"intersection": -1.0})
+
+    def test_clear_drops_deadlines(self):
+        cache, now = self._clocked(ttl=10.0)
+        cache.put(_result(1, 2, 3))
+        cache.clear()
+        assert len(cache._expiry) == 0
+
+
+class TestTinyLFU:
+    def test_one_hit_wonder_is_denied_at_capacity(self):
+        cache = ResultCache(2, admission="tinylfu")
+        cache.put(_result(1, 2, 3))
+        cache.put(_result(3, 4, 5))
+        for _ in range(3):
+            assert cache.get(1, 2) is not None
+            assert cache.get(3, 4) is not None
+        # A pair seen once cannot out-count either incumbent.
+        assert not cache.put(_result(5, 6, 7))
+        assert cache.denied == 1
+        assert (5, 6) not in cache
+        assert cache.get(1, 2) is not None and cache.get(3, 4) is not None
+        assert cache.snapshot()["denied"] == 1
+
+    def test_frequent_newcomer_displaces_the_lru_victim(self):
+        cache = ResultCache(2, admission="tinylfu")
+        cache.put(_result(1, 2, 3))
+        cache.put(_result(3, 4, 5))
+        cache.get(3, 4)  # (3,4) touched again; (1,2) is the LRU victim
+        for _ in range(4):
+            cache.get(5, 6)  # misses still feed the sketch: demand seen
+        assert cache.put(_result(5, 6, 7))
+        assert (5, 6) in cache and (3, 4) in cache
+        assert (1, 2) not in cache
+        assert cache.denied == 0
+
+    def test_update_of_resident_key_bypasses_the_gate(self):
+        cache = ResultCache(2, admission="tinylfu")
+        cache.put(_result(1, 2, 3))
+        cache.put(_result(3, 4, 5))
+        assert cache.put(_result(1, 2, 9))  # refresh, not admission
+        assert cache.get(1, 2).distance == 9
+        assert cache.denied == 0
+
+    def test_below_capacity_everything_is_admitted(self):
+        cache = ResultCache(8, admission="tinylfu")
+        for i in range(8):
+            assert cache.put(_result(i, i + 100, 1))
+        assert cache.denied == 0 and len(cache) == 8
+
+    def test_sketch_counters_saturate_and_age(self):
+        from repro.service.cache import _FrequencySketch
+
+        sketch = _FrequencySketch(4)
+        for _ in range(100):
+            sketch.touch((1, 2))
+        assert sketch.estimate((1, 2)) == 15  # saturating 4-bit counters
+        before = sketch.estimate((1, 2))
+        for i in range(sketch._sample_limit):
+            sketch.touch((i, i))  # force an aging halving
+        assert sketch.estimate((1, 2)) <= before // 2 + 1
+
+    def test_clear_resets_sketch_and_denied(self):
+        cache = ResultCache(2, admission="tinylfu")
+        cache.put(_result(1, 2, 3))
+        cache.put(_result(3, 4, 5))
+        for _ in range(3):
+            cache.get(1, 2), cache.get(3, 4)
+        cache.put(_result(5, 6, 7))
+        assert cache.denied == 1
+        cache.clear()
+        assert cache.denied == 0
+        # The aged-out sketch no longer remembers the old incumbents.
+        assert cache._sketch.estimate((1, 2)) == 0
+
+    def test_validation_rejects_unknown_admission(self):
+        with pytest.raises(QueryError):
+            ResultCache(8, admission="clock")
+
+    def test_snapshot_omits_denied_for_plain_lru(self):
+        assert "denied" not in ResultCache(8).snapshot()
+        assert "denied" in ResultCache(8, admission="tinylfu").snapshot()

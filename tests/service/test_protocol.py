@@ -1,0 +1,145 @@
+"""Pure wire-framing codecs: JSON lines and minimal HTTP/1.1."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    MAX_HEAD_BYTES,
+    ProtocolError,
+    decode_json_line,
+    http_response,
+    json_line,
+    parse_http_head,
+)
+
+
+class TestJsonLines:
+    def test_round_trip(self):
+        obj = {"s": 3, "t": 17, "path": True}
+        line = json_line(obj)
+        assert line.endswith(b"\n")
+        assert decode_json_line(line) == obj
+
+    def test_compact_encoding(self):
+        assert json_line({"a": 1, "b": 2}) == b'{"a":1,"b":2}\n'
+
+    def test_bad_json_raises_protocol_error(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_json_line(b"{nope\n")
+        assert err.value.status == 400
+
+    def test_undecodable_bytes_raise(self):
+        with pytest.raises(ProtocolError):
+            decode_json_line(b"\xff\xfe\n")
+
+
+class TestParseHttpHead:
+    def test_request_line_and_headers(self):
+        head = (
+            b"POST /query HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Length: 12\r\n\r\n"
+        )
+        request = parse_http_head(head)
+        assert request.method == "POST"
+        assert request.target == "/query"
+        assert request.version == "HTTP/1.1"
+        assert request.headers["host"] == "localhost"
+        assert request.content_length == 12
+
+    def test_header_names_lowercased_values_stripped(self):
+        request = parse_http_head(b"GET /stats HTTP/1.1\r\nX-Custom:  v  \r\n\r\n")
+        assert request.headers["x-custom"] == "v"
+
+    def test_missing_length_means_empty_body(self):
+        assert parse_http_head(b"GET /stats HTTP/1.1\r\n\r\n").content_length == 0
+
+    def test_bad_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse_http_head(b"GET /stats\r\n\r\n")
+
+    def test_unsupported_version(self):
+        with pytest.raises(ProtocolError):
+            parse_http_head(b"GET /stats HTTP/2\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ProtocolError):
+            parse_http_head(b"GET /stats HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_empty_head(self):
+        with pytest.raises(ProtocolError):
+            parse_http_head(b"\r\n\r\n")
+
+    def test_oversized_head_is_413(self):
+        head = b"GET /stats HTTP/1.1\r\nX-Pad: " + b"x" * MAX_HEAD_BYTES
+        with pytest.raises(ProtocolError) as err:
+            parse_http_head(head)
+        assert err.value.status == 413
+
+    def test_bad_content_length_values(self):
+        for raw in ("abc", "-1"):
+            request = parse_http_head(
+                f"POST /query HTTP/1.1\r\nContent-Length: {raw}\r\n\r\n".encode()
+            )
+            with pytest.raises(ProtocolError):
+                request.content_length
+
+    def test_oversized_body_is_413(self):
+        request = parse_http_head(
+            f"POST /query HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(ProtocolError) as err:
+            request.content_length
+        assert err.value.status == 413
+
+
+class TestKeepAlive:
+    def test_http11_defaults_to_keep_alive(self):
+        assert parse_http_head(b"GET /stats HTTP/1.1\r\n\r\n").keep_alive
+
+    def test_http11_close_opts_out(self):
+        head = b"GET /stats HTTP/1.1\r\nConnection: Close\r\n\r\n"
+        assert not parse_http_head(head).keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not parse_http_head(b"GET /stats HTTP/1.0\r\n\r\n").keep_alive
+
+    def test_http10_keep_alive_opts_in(self):
+        head = b"GET /stats HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        assert parse_http_head(head).keep_alive
+
+
+class TestHttpResponse:
+    def test_frame_shape(self):
+        frame = http_response({"ok": True})
+        head, _, payload = frame.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Content-Type: application/json" in lines
+        assert f"Content-Length: {len(payload)}" in lines
+        assert "Connection: keep-alive" in lines
+        assert json.loads(payload) == {"ok": True}
+
+    def test_close_and_extra_headers(self):
+        frame = http_response(
+            {"error": "overloaded"},
+            status=503,
+            keep_alive=False,
+            extra_headers=(("Retry-After", "2"),),
+        )
+        head = frame.partition(b"\r\n\r\n")[0].decode("latin-1")
+        assert head.startswith("HTTP/1.1 503 Service Unavailable")
+        assert "Connection: close" in head
+        assert "Retry-After: 2" in head
+
+    def test_response_parses_back_through_head_parser(self):
+        # A response frame is not a request, but the header block is the
+        # same grammar — the declared length must match the payload.
+        frame = http_response({"distance": 4, "s": 0, "t": 5})
+        head, _, payload = frame.partition(b"\r\n\r\n")
+        headers = dict(
+            line.split(": ", 1) for line in head.decode().split("\r\n")[1:]
+        )
+        assert int(headers["Content-Length"]) == len(payload)
