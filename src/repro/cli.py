@@ -113,6 +113,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "worker memory, skipping the kernel and the modelled round trip)",
     )
     serve.add_argument(
+        "--transport-plane", choices=["pipe", "ring"], default=None,
+        help="procpool backend: how request/response frames move between "
+        "coordinator and shard workers — 'ring' (default): shared-memory "
+        "result rings, no serialisation; 'pipe': one encoded frame per "
+        "pipe message",
+    )
+    serve.add_argument(
+        "--sub-batch", type=int, default=0,
+        help="sharded mode: split each shard's share of a batch into "
+        "request frames of at most this many pairs (0 = one frame per "
+        "shard per batch)",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="sharded mode: interchangeable workers per shard; "
+        "sub-batches are routed to the replica with the least "
+        "outstanding work (helps Zipf-hot shards)",
+    )
+    serve.add_argument(
+        "--pin-workers", action="store_true",
+        help="procpool backend: pin each worker process to one core "
+        "(round-robin over the coordinator's affinity mask; no-op "
+        "where unsupported)",
+    )
+    serve.add_argument(
         "--transport", choices=["stdio", "tcp", "http"], default="stdio",
         help="stdio: the single-client JSON-lines loop; tcp: the asyncio "
         "multi-client server (same JSON-lines protocol, cross-client "
@@ -266,12 +291,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if (args.transport_plane or args.pin_workers) and args.backend != "procpool":
+        print(
+            "error: --transport-plane/--pin-workers require "
+            "--backend procpool (the threads backend is always inline)",
+            file=sys.stderr,
+        )
+        return 2
     # Invalid --worker-cache combinations are rejected by ServiceApp
     # itself (one copy of the rule); the ReproError handler in main()
     # turns that into a clean error line.
     # from_saved skips per-node dict materialisation entirely in
     # sharded mode (the workers probe the flattened arrays on both
     # backends).
+    backend_kwargs = _shard_backend_kwargs(args)
     app = ServiceApp.from_saved(
         args.oracle,
         cache_size=args.cache_size,
@@ -280,6 +313,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         replicate_tables=args.replicate_tables,
         worker_cache_size=args.worker_cache,
         mmap=args.mmap,
+        **backend_kwargs,
     )
     try:
         if args.bench:
@@ -315,6 +349,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_backend_kwargs(args: argparse.Namespace) -> dict:
+    """Transport-plane options worth forwarding (non-defaults only).
+
+    Only non-default values are forwarded so an unsharded serve never
+    trips the "backend options require shards >= 1" guard.
+    """
+    kwargs = {}
+    if args.transport_plane:
+        kwargs["transport"] = args.transport_plane
+    if args.sub_batch:
+        kwargs["sub_batch"] = args.sub_batch
+    if args.replicas > 1:
+        kwargs["replicas"] = args.replicas
+    if args.pin_workers:
+        kwargs["pin_workers"] = True
+    return kwargs
+
+
 def _serve_network(app, args: argparse.Namespace, mode: str) -> None:
     """Run the asyncio front end until SIGTERM/SIGINT, then drain."""
     import asyncio
@@ -334,6 +386,7 @@ def _serve_network(app, args: argparse.Namespace, mode: str) -> None:
         replicate_tables=args.replicate_tables,
         worker_cache_size=args.worker_cache,
         mmap=True,
+        **_shard_backend_kwargs(args),
     )
 
     async def _amain() -> None:

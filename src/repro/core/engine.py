@@ -42,12 +42,13 @@ call per pair.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Protocol, Type, runtime_checkable
 
 import numpy as np
 
 from repro.core.flat import JOIN_MAX_SCAN, FlatIndex
-from repro.core.oracle import QueryResult
+from repro.core.oracle import METHOD_CODE, METHODS, QueryResult
 from repro.core.parallel import BYTES_PER_WIRE_ENTRY
 from repro.exceptions import NodeNotFoundError, QueryError
 
@@ -55,6 +56,33 @@ from repro.exceptions import NodeNotFoundError, QueryError
 #: lists keep their Lemma 1 order through flattening), so witnesses are
 #: bit-for-bit identical.  ``full-*`` kernels scan sorted member ids.
 ORDER_EXACT_KERNELS = ("boundary-source", "boundary-target", "boundary-smaller")
+
+# Wire codes for the methods the shard worker's column lane can emit
+# (from the one authoritative table in :mod:`repro.core.oracle`).
+_IDENTICAL = METHOD_CODE["identical"]
+_LM_SOURCE = METHOD_CODE["landmark-source"]
+_LM_TARGET = METHOD_CODE["landmark-target"]
+_T_IN_S = METHOD_CODE["target-in-source-vicinity"]
+_S_IN_T = METHOD_CODE["source-in-target-vicinity"]
+_INTERSECTION = METHOD_CODE["intersection"]
+_MISS = METHOD_CODE["miss"]
+_DISCONNECTED = METHOD_CODE["disconnected"]
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+
+
+def _unique_pairs(arr, n):
+    """``np.unique(arr, axis=0, return_inverse=True)`` over an
+    ``(m, 2)`` pair array, via the scalar key ``s * n + t`` — the
+    axis-0 form sorts through a structured view, several times slower
+    on the small sub-batches the shard workers see.  Node ids are
+    ``< n``, so the key is collision-free and its sort order matches
+    the lexicographic axis-0 order exactly."""
+    keys = arr[:, 0] * n + arr[:, 1]
+    uniq_keys, first, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    return arr[first], inverse
 
 # The join/slice-local crossover lives with :class:`FlatIndex` now:
 # every index carries a ``join_max_scan`` calibrated from its measured
@@ -335,10 +363,10 @@ class FlatQueryEngine:
         # to every occurrence (probes and all — identical to what the
         # per-pair loop would have produced for each duplicate).
         if m > 1:
-            uniq, inverse = np.unique(arr, axis=0, return_inverse=True)
+            uniq, inverse = _unique_pairs(arr, self.n)
             if uniq.shape[0] < m:
                 resolved = self.resolve_many(uniq, with_path)
-                return [resolved[i] for i in inverse.ravel().tolist()]
+                return [resolved[i] for i in inverse.tolist()]
         sources, targets = arr[:, 0], arr[:, 1]
         results: list[Optional[QueryResult]] = [None] * m
 
@@ -633,7 +661,229 @@ class ShardQueryEngine:
         return QueryResult(source, target, None, None, "miss", None, probes), trips
 
     def answer_batch(self, pairs, with_path: bool = False, cache=None):
-        """Answer a home-shard sub-batch with the fused worker loop.
+        """Answer a home-shard sub-batch; returns ``(results, local,
+        remote, trips)``.
+
+        The plain lane (no path reconstruction, no worker cache) runs
+        the column-native fused lanes of :meth:`answer_columns` — the
+        §5 scheme always scans the source boundary, which is exactly
+        the ``boundary-source`` kernel — and derives the modelled
+        round-trip payloads from the result columns afterwards, so the
+        worker costs what the single-machine batch path costs.  Path
+        queries and cache-backed workers take the per-pair loop, whose
+        chain lengths and cache hits are inherently per pair; both
+        lanes produce identical results and wire totals.
+        """
+        if with_path or cache is not None:
+            return self._answer_loop(pairs, with_path, cache)
+        return self._answer_fused(pairs)
+
+    def _answer_fused(self, pairs):
+        """The vectorised no-path lane, as objects for direct callers.
+
+        Runs :meth:`answer_columns` and materialises the columns with
+        the wire decoder's exact typing rules, so a direct
+        ``answer_batch`` call returns the same values a transport
+        round trip would.
+        """
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if arr.shape[0] == 0:
+            return [], 0, 0, []
+        dist, method, witness, probes, local, remote, trips = (
+            self.answer_columns(arr)
+        )
+        integral = self.flat._integral
+        names = METHODS
+        results = []
+        append = results.append
+        for (s, t), d, code, w, p in zip(
+            arr.tolist(), dist.tolist(), method.tolist(),
+            witness.tolist(), probes.tolist(),
+        ):
+            if d != d:  # NaN: miss or disconnected
+                value = None
+            elif code == _IDENTICAL:
+                value = 0
+            else:
+                value = int(d) if integral else float(d)
+            append(QueryResult(
+                s, t, value, None, names[code], None if w < 0 else w, p
+            ))
+        return results, local, remote, trips.tolist()
+
+    # ------------------------------------------------------------------
+    # the column-native lane (what the wire frames carry)
+    # ------------------------------------------------------------------
+    def answer_columns(self, pairs):
+        """Answer a no-path sub-batch straight into frame columns.
+
+        Returns ``(dist, method, witness, probes, local, remote,
+        trips)``: float64 distances (NaN = unanswered), uint8 wire
+        method codes, int64 witnesses (``-1`` = none) and probe counts,
+        the local/remote split, and the modelled §5 round-trip payload
+        bytes (one int64 entry per cross-shard trip).  This is the
+        worker hot path: no ``QueryResult`` is ever constructed, the
+        columns drop into :meth:`ResponseFrame.from_columns` as-is.
+        """
+        arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        dist, method, witness, probes = self._resolve_columns(arr)
+        same = self.assign[arr[:, 0]] == self.assign[arr[:, 1]]
+        local = int(np.count_nonzero(same))
+        remote = arr.shape[0] - local
+        trips = self._trips_from_columns(arr, method, probes, same)
+        return dist, method, witness, probes, local, remote, trips
+
+    def _resolve_columns(self, arr):
+        """Algorithm 1 lanes over columns — the §5 worker always probes
+        source-side first and scans the source boundary (the
+        ``boundary-source`` kernel), mirroring
+        :meth:`FlatQueryEngine.resolve_many` lane for lane."""
+        m = arr.shape[0]
+        if m > 1:
+            # Same batch-level pair fusion as resolve_many: answer each
+            # distinct pair once, fan the columns out by fancy index.
+            uniq, inverse = _unique_pairs(arr, self.flat.n)
+            if uniq.shape[0] < m:
+                d, c, w, p = self._resolve_columns(uniq)
+                return d[inverse], c[inverse], w[inverse], p[inverse]
+        flat = self.flat
+        sources, targets = arr[:, 0], arr[:, 1]
+        dist = np.full(m, np.nan)
+        method = np.zeros(m, dtype=np.uint8)
+        witness = np.full(m, -1, dtype=np.int64)
+        probes = np.zeros(m, dtype=np.int64)
+
+        identical = sources == targets
+        idx = np.flatnonzero(identical)
+        if idx.size:
+            dist[idx] = 0.0
+            method[idx] = _IDENTICAL
+        active = ~identical
+        zeros = np.zeros(m, dtype=bool)
+        src_lm = (
+            active & (flat.landmark_row[sources] >= 0)
+            if flat.has_tables
+            else zeros
+        )
+        tgt_lm = (
+            active & ~src_lm & (flat.landmark_row[targets] >= 0)
+            if flat.has_tables
+            else zeros
+        )
+        idx = np.flatnonzero(src_lm)
+        if idx.size:
+            # Condition (1): probes = source flag + table hit.
+            self._table_columns(
+                idx, flat.table_dist[flat.landmark_row[sources[idx]], targets[idx]],
+                _LM_SOURCE, 2, dist, method, probes,
+            )
+        idx = np.flatnonzero(tgt_lm)
+        if idx.size:
+            # Condition (2): probes = both flags + table hit.
+            self._table_columns(
+                idx, flat.table_dist[flat.landmark_row[targets[idx]], sources[idx]],
+                _LM_TARGET, 3, dist, method, probes,
+            )
+
+        residual = np.flatnonzero(active & ~src_lm & ~tgt_lm)
+        if residual.size:
+            # Condition (3) across the whole lane.
+            hit, d = flat.member_probe_many(sources[residual], targets[residual])
+            sel = residual[hit]
+            dist[sel] = d[hit]
+            method[sel] = _T_IN_S
+            probes[sel] = 3
+            residual = residual[~hit]
+        if residual.size:
+            # Condition (4) across the survivors.
+            hit, d = flat.member_probe_many(targets[residual], sources[residual])
+            sel = residual[hit]
+            dist[sel] = d[hit]
+            method[sel] = _S_IN_T
+            probes[sel] = 4
+            residual = residual[~hit]
+        if residual.size:
+            self._intersect_columns(
+                residual, sources, targets, dist, method, witness, probes
+            )
+        return dist, method, witness, probes
+
+    @staticmethod
+    def _table_columns(idx, dists, code, probe_count, dist, method, probes):
+        unreachable = (dists < 0) | (dists == np.inf)
+        dist[idx] = np.where(unreachable, np.nan, dists)
+        method[idx] = np.where(unreachable, _DISCONNECTED, code)
+        probes[idx] = probe_count
+
+    def _intersect_columns(
+        self, lane, sources, targets, dist, method, witness, probes
+    ):
+        """The boundary-source intersection sublane, column form."""
+        flat = self.flat
+        scan_owner = sources[lane]
+        probe_owner = targets[lane]
+        # Fused-lane sort: repeated scan sources become adjacent, so
+        # their payload slices coalesce (exactly as _intersect_lane).
+        order = np.argsort(scan_owner, kind="stable")
+        pair_idx = lane[order]
+        scan_owner = scan_owner[order]
+        probe_owner = probe_owner[order]
+        offsets = flat.boundary_offsets
+        nodes, dists = flat.boundary_nodes, flat.boundary_dists
+        sizes = offsets[scan_owner + 1] - offsets[scan_owner]
+        if sizes.size and sizes.mean() <= flat.join_max_scan:
+            best, wit, sizes = flat.intersect_many(
+                offsets, nodes, dists, scan_owner, probe_owner
+            )
+            miss = wit < 0
+            dist[pair_idx] = np.where(miss, np.nan, best)
+            method[pair_idx] = np.where(miss, _MISS, _INTERSECTION)
+            witness[pair_idx] = wit
+            probes[pair_idx] = 4 + sizes
+            return
+        last_owner = None
+        payload = None
+        for k, i in enumerate(pair_idx.tolist()):
+            owner = int(scan_owner[k])
+            if owner != last_owner:
+                lo, hi = int(offsets[owner]), int(offsets[owner + 1])
+                payload = (nodes[lo:hi], dists[lo:hi])
+                last_owner = owner
+            best, w, kernel_probes = flat.intersect_payload(
+                payload[0], payload[1], int(probe_owner[k])
+            )
+            probes[i] = 4 + kernel_probes
+            if best is None:
+                method[i] = _MISS  # dist stays NaN, witness stays -1
+                continue
+            dist[i] = best
+            method[i] = _INTERSECTION
+            witness[i] = w
+
+    def _trips_from_columns(self, arr, method, probes, same):
+        """The modelled cross-shard payloads, from the result columns:
+        an intersection/miss ships the source's boundary list, a
+        condition-(4) hit or a non-replicated target-table answer
+        (including its disconnected twin, probes == 3) one entry."""
+        remote_mask = ~same
+        if not remote_mask.any():
+            return _EMPTY_I64
+        scan = (method == _INTERSECTION) | (method == _MISS)
+        single = method == _S_IN_T
+        if not self.replicate_tables:
+            single = single | (method == _LM_TARGET) | (
+                (method == _DISCONNECTED) & (probes == 3)
+            )
+        per = np.zeros(arr.shape[0], dtype=np.int64)
+        per[scan] = (
+            self.flat.boundary_counts[arr[:, 0]][scan].astype(np.int64)
+            * BYTES_PER_WIRE_ENTRY
+        )
+        per[single] = BYTES_PER_WIRE_ENTRY
+        return per[remote_mask & (scan | single)]
+
+    def _answer_loop(self, pairs, with_path: bool, cache):
+        """The per-pair lane: path chains and worker-cache semantics.
 
         Pairs are processed in source-sorted order so consecutive
         repeated sources reuse one boundary payload (results come back
@@ -641,8 +891,6 @@ class ShardQueryEngine:
         ``cache`` (the worker-side :class:`~repro.service.cache.ResultCache`),
         resolved expensive pairs are served from worker memory on
         repeats — skipping both the kernel and the modelled round trip.
-
-        Returns ``(results, local, remote, trips)``.
         """
         results: list[Optional[QueryResult]] = [None] * len(pairs)
         trips: list[int] = []
@@ -671,3 +919,52 @@ class ShardQueryEngine:
             if cache is not None:
                 cache.put(result)
         return results, local, remote, trips
+
+    def run_frame(self, req, cache=None):
+        """Answer one wire-frame sub-batch; returns a ``ResponseFrame``.
+
+        The frame entry point every shard transport shares: decode the
+        pair array, run :meth:`answer_batch`, encode the result columns
+        once.  Errors come back as error frames so transports never
+        have to serialise exceptions themselves.
+        """
+        wire = _wire()
+        try:
+            start = time.perf_counter_ns()
+            if cache is None and not req.with_path:
+                # Column-native hot path: the pair array goes straight
+                # through the fused lanes into frame columns — no
+                # QueryResult, no per-pair Python on the worker.
+                dist, method, witness, probes, local, remote, trips = (
+                    self.answer_columns(req.pairs)
+                )
+                return wire.ResponseFrame.from_columns(
+                    req.seq, dist=dist, method=method, witness=witness,
+                    probes=probes, local=local, remote=remote, trips=trips,
+                    exec_ns=time.perf_counter_ns() - start,
+                )
+            results, local, remote, trips = self.answer_batch(
+                req.pair_list(), req.with_path, cache=cache
+            )
+            exec_ns = time.perf_counter_ns() - start
+            stats = cache.snapshot() if cache is not None else None
+            return wire.ResponseFrame.from_results(
+                req.seq, results, local, remote, trips,
+                cache_stats=stats, exec_ns=exec_ns,
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            return wire.ResponseFrame.error_frame(
+                req.seq, f"{type(exc).__name__}: {exc}"
+            )
+
+
+_WIRE_MODULE = None
+
+
+def _wire():
+    # Imported lazily: repro.service.wire pulls in repro.service's
+    # package __init__, which imports this module.
+    global _WIRE_MODULE
+    if _WIRE_MODULE is None:
+        from repro.service import wire as _WIRE_MODULE  # noqa: PLW0603
+    return _WIRE_MODULE

@@ -499,6 +499,9 @@ class FlatIndex:
         self.has_tables = self.table_dist.size > 0
         self.has_parents = self.table_parent.size > 0
         self._integral = self.vic_dists.dtype.kind == "i"
+        #: Whether distances are integral (unweighted/int stores) — the
+        #: wire decoder needs it to restore exact Python result types.
+        self.integral = self._integral
         #: The store's node-id width (uint16/uint32 compact, int64
         #: legacy).  Predecessor columns share it, with missing entries
         #: at :func:`pred_sentinel` — any value outside ``[0, n)``.

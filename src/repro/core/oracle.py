@@ -46,6 +46,12 @@ METHODS = (
     "disconnected",
 )
 
+#: Method-name <-> uint8 wire codes, derived from the METHODS order.
+#: Shared by the wire frames and the column-native shard worker lane so
+#: the encoder and the engine can never disagree on a code.
+METHOD_CODE = {name: code for code, name in enumerate(METHODS)}
+METHOD_NAME = dict(enumerate(METHODS))
+
 #: Methods that resolve in O(1) table probes — conditions (1)-(4) of
 #: Algorithm 1 plus the trivial same-node case.  Re-answering these is
 #: as cheap as a cache hit, so the serving layer does not cache them.

@@ -37,6 +37,9 @@ from repro.service.backends import (
     backend_from_saved,
     create_shard_backend,
 )
+from repro.service.routing import ReplicaRouter
+from repro.service.shardbase import SHARD_TRANSPORTS, ShardTransport
+from repro.service.wire import RequestFrame, ResponseFrame
 from repro.service.batch import BatchExecutor, BatchStats
 from repro.service.cache import DEFAULT_CAPACITY, ResultCache
 from repro.service.net import Coalescer, NetServer, NetStats, serve_app
@@ -63,6 +66,11 @@ __all__ = [
     "ProcessShardedService",
     "ShardBackend",
     "SHARD_BACKENDS",
+    "SHARD_TRANSPORTS",
+    "ShardTransport",
+    "ReplicaRouter",
+    "RequestFrame",
+    "ResponseFrame",
     "create_shard_backend",
     "backend_from_saved",
     "Telemetry",

@@ -19,6 +19,13 @@ the same :class:`~repro.core.parallel.MessageLog` accounting, so
 :class:`~repro.service.batch.BatchExecutor`, the server front end and
 the CLI treat them as one thing.  Both also build dict-free from a
 saved index via their ``from_saved`` constructors.
+
+Coordinator↔worker traffic is fixed-dtype wire frames over a
+:class:`~repro.service.shardbase.ShardTransport` — inline thread
+dispatch for ``threads``, frame pipes or shared-memory result rings
+(``transport="pipe"|"ring"``) for ``procpool`` — and both backends
+accept ``sub_batch=`` chunking and per-shard ``replicas=`` with
+load-aware routing (:mod:`repro.service.routing`).
 """
 
 from __future__ import annotations
@@ -72,6 +79,9 @@ class ShardBackend(Protocol):
         ...
 
     def balance_summary(self) -> dict[str, float]:
+        ...
+
+    def transport_stats(self) -> dict:
         ...
 
     def close(self) -> None:

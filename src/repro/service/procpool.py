@@ -7,59 +7,161 @@ promotes the same scheme to worker *processes*:
 
 * the flattened offset-indexed arrays are copied into one
   ``multiprocessing.shared_memory`` segment and mapped zero-copy by
-  every worker (no per-worker index load, no pickling);
-* each worker process serves the queries *homed* on its shard — the
-  §5 coordinator role for ``shard(s)`` — running the same
+  every worker (no per-worker index load, no pickling) — or, on the
+  mmap path, every worker maps the store file itself;
+* each shard is served by one worker process per replica — the §5
+  coordinator role for ``shard(s)`` — running the same
   :class:`~repro.core.engine.ShardQueryEngine` the thread backend's
   workers run, over the shared arrays;
-* a batch is partitioned by home shard, shipped to the workers in one
-  message each, and reassembled in input order — so IPC cost is per
-  *batch*, not per shard touch, while the wire *accounting* still
-  models the per-query exchanges §5 prescribes: workers return each
-  round trip's payload byte count and the coordinator records them in
-  the same :class:`~repro.core.parallel.MessageLog` the thread backend
-  and the simulation use;
+* request/response traffic is **frames, not pickles**: the coordinator
+  ships each sub-batch as one fixed-dtype
+  :class:`~repro.service.wire.RequestFrame` and gets the result columns
+  back as one :class:`~repro.service.wire.ResponseFrame`, over either
+  transport plane:
+
+  - ``pipe`` — one ``send_bytes``/``recv_bytes`` of the encoded frame
+    per sub-batch over a ``multiprocessing.Pipe``;
+  - ``ring`` (default) — a shared-memory result ring pair per worker
+    (:class:`~repro.io.shm.RingBuffer`), so frame payloads move through
+    one mapped segment with a sequence-number handshake and **no
+    serialisation machinery at all** — no pickle, no payload copy
+    through the kernel; availability is signalled by a one-byte
+    doorbell pipe per direction, giving the waiter an event-driven
+    wakeup instead of a polling loop (which matters whenever the
+    coordinator and the workers share cores);
+
+* the wire *accounting* still models the per-query exchanges §5
+  prescribes: workers return each round trip's payload byte count
+  inside the response frame and the coordinator records them in the
+  same :class:`~repro.core.parallel.MessageLog` the thread backend and
+  the simulation use;
 * optionally (``worker_cache_size > 0``) each worker keeps its own
   :class:`~repro.service.cache.ResultCache` over its homed pairs, so a
   repeated expensive pair is served from worker memory — skipping the
   kernel, the numpy crossings *and* the modelled round trip.  Hit
-  counts ride back on every reply and fold into the coordinator's
-  telemetry snapshot.
+  counters ride back in every response frame's fixed header slots and
+  fold into the coordinator's telemetry snapshot.
 
 With the worker cache off (the default), results are identical to the
 thread backend — distance, method, witness, probes, path, and
-MessageLog totals — which a parity test pins across both backends from
-the same saved index.  With it on, repeated pairs reuse their first
-resolution (same answer object, original probe count) and the wire log
-records only the work actually re-done.
+MessageLog totals — which the transport parity suite pins across both
+backends and all transport planes from the same saved index.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import threading
+import os
+from multiprocessing import shared_memory
 from typing import Optional
 
-from repro.core.engine import ShardQueryEngine
 from repro.core.flat import FlatIndex
-from repro.core.oracle import QueryResult
 from repro.exceptions import QueryError
-from repro.io.shm import SharedArrayBundle
-from repro.service.shardbase import FlatShardedBase
+from repro.io.shm import RingBuffer, RingDead, SharedArrayBundle, _attach_untracked
+from repro.service.shardbase import FlatShardedBase, FrameStreamTransport
+from repro.service.wire import RequestFrame, ResponseFrame
+
+#: Default byte capacity of each request/response ring.
+DEFAULT_RING_CAPACITY = 1 << 20
 
 
-def _worker_main(conn, spec: dict, meta: dict) -> None:
-    """Worker process entry: attach the shared index, serve sub-batches.
+def _pin_to_core(core: Optional[int]) -> None:
+    """Pin the calling process to one core; silently no-op elsewhere."""
+    if core is None or not hasattr(os, "sched_setaffinity"):
+        return
+    try:
+        os.sched_setaffinity(0, {core})
+    except (OSError, ValueError):
+        pass
 
-    ``spec`` addresses either sharing substrate: a shared-memory
+
+class _PipeEndpoint:
+    """Worker side of the pipe transport: length-delimited frame bytes."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def recv(self) -> bytes:
+        return self._conn.recv_bytes()
+
+    def send(self, buf: bytes) -> None:
+        self._conn.send_bytes(buf)
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class _RingEndpoint:
+    """Worker side of the ring transport: attach the segment, pop/push.
+
+    Frame payloads move through the shared-memory rings; the doorbell
+    connections carry exactly one signal byte per frame, so the waiting
+    side blocks in the kernel (an event-driven wakeup, like a pipe
+    read) instead of burning its single-core timeslice polling the
+    ring head — and a dead peer surfaces as EOF instead of a timeout.
+    """
+
+    def __init__(self, spec: dict) -> None:
+        self._shm = _attach_untracked(spec["segment"])
+        parent = multiprocessing.parent_process()
+        alive = parent.is_alive if parent is not None else None
+        capacity = spec["capacity"]
+        offset = spec["offset"]
+        self._req_signal = spec["req_signal"]
+        self._resp_signal = spec["resp_signal"]
+        self._requests = RingBuffer(
+            self._shm.buf, offset, capacity, peer_alive=alive
+        )
+        self._responses = RingBuffer(
+            self._shm.buf,
+            offset + RingBuffer.region_bytes(capacity),
+            capacity,
+            peer_alive=alive,
+        )
+
+    def recv(self) -> bytes:
+        try:
+            self._req_signal.recv_bytes()
+        except (EOFError, OSError):
+            raise RingDead("coordinator is gone") from None
+        return self._requests.pop()
+
+    def send(self, buf: bytes) -> None:
+        self._responses.push(buf)
+        try:
+            self._resp_signal.send_bytes(b"x")
+        except (BrokenPipeError, OSError):
+            raise RingDead("coordinator is gone") from None
+
+    def close(self) -> None:
+        self._requests = self._responses = None
+        for conn in (self._req_signal, self._resp_signal):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+
+def _worker_main(endpoint_spec, spec: dict, meta: dict, pin_core=None) -> None:
+    """Worker process entry: attach the shared index, serve frames.
+
+    ``spec`` addresses either index-sharing substrate: a shared-memory
     segment (the copy path) or the store file itself (the mmap path,
     where this worker maps the file read-only and computes its own
     shard assignment — both are cheaper than shipping them).
+    ``endpoint_spec`` is a pipe connection or a ring descriptor dict.
+    An empty frame is the shutdown sentinel.
     """
+    from repro.core.engine import ShardQueryEngine
     from repro.core.parallel import shard_assignment
     from repro.io.shm import MappedArrayBundle, attach_bundle
     from repro.service.cache import ResultCache
 
+    _pin_to_core(pin_core)
     bundle = attach_bundle(spec)
     if isinstance(bundle, MappedArrayBundle):
         flat = FlatIndex.from_probe_arrays(
@@ -85,30 +187,246 @@ def _worker_main(conn, spec: dict, meta: dict) -> None:
         if meta["worker_cache_size"] > 0
         else None
     )
+    endpoint = (
+        _RingEndpoint(endpoint_spec)
+        if isinstance(endpoint_spec, dict)
+        else _PipeEndpoint(endpoint_spec)
+    )
     try:
         while True:
-            message = conn.recv()
-            if message is None:
+            buf = endpoint.recv()
+            if not buf:
                 break
-            seq, pairs, with_path = message
-            try:
-                results, local, remote, trips = engine.answer_batch(
-                    pairs, with_path, cache=cache
-                )
-                cache_stats = None if cache is None else cache.snapshot()
-                conn.send((seq, "ok", results, local, remote, trips, cache_stats))
-            except Exception as exc:  # surface worker faults, keep serving
-                conn.send((seq, "error", f"{type(exc).__name__}: {exc}"))
-    except (EOFError, KeyboardInterrupt):
+            # run_frame turns worker faults into error frames itself,
+            # so one bad batch never kills the worker.
+            resp = engine.run_frame(RequestFrame.from_bytes(buf), cache=cache)
+            endpoint.send(resp.to_bytes())
+    except (EOFError, KeyboardInterrupt, RingDead):
         pass
     finally:
         del engine, flat
         bundle.close()
-        conn.close()
+        endpoint.close()
+
+
+class PipeFrameTransport(FrameStreamTransport):
+    """One encoded frame per ``send_bytes`` over per-worker pipes."""
+
+    name = "pipe"
+
+    def __init__(self, conns) -> None:
+        super().__init__(len(conns))
+        self._conns = conns
+
+    def send(self, worker: int, frame: RequestFrame) -> None:
+        try:
+            self._conns[worker].send_bytes(frame.to_bytes())
+        except (BrokenPipeError, OSError):
+            raise QueryError(f"shard worker {worker} died") from None
+
+    def _recv_raw(self, worker: int) -> ResponseFrame:
+        try:
+            return ResponseFrame.from_bytes(self._conns[worker].recv_bytes())
+        except (EOFError, OSError):
+            raise QueryError(f"shard worker {worker} died") from None
+
+    def shutdown_worker(self, worker: int) -> None:
+        try:
+            self._conns[worker].send_bytes(b"")
+        except (BrokenPipeError, OSError):
+            pass
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class RingFrameTransport(FrameStreamTransport):
+    """Per-worker SPSC ring pairs over one shared-memory segment.
+
+    Each worker owns ``2 * (header + capacity)`` bytes of the segment:
+    a request ring the coordinator pushes into and a response ring the
+    worker pushes into.  Frames stream through in place — the only
+    per-frame work on either side is the encode/decode the other
+    transports also pay.  Availability travels out of band: every push
+    is followed by one byte down a per-direction doorbell pipe, so the
+    waiting side blocks in the kernel and is woken by the scheduler
+    the instant the frame lands, instead of spin-polling the ring head
+    (which loses badly when coordinator and workers share cores).  The
+    coordinator's ``send`` drains ready responses into the pending
+    buffer whenever a request ring stalls, so a worker blocked
+    publishing results can never deadlock the coordinator.
+    """
+
+    name = "ring"
+
+    def __init__(
+        self, num_workers: int, *, capacity: int = DEFAULT_RING_CAPACITY
+    ) -> None:
+        super().__init__(num_workers)
+        self.capacity = int(capacity)
+        unit = 2 * RingBuffer.region_bytes(self.capacity)
+        self._unit = unit
+        self._procs: list = []
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=num_workers * unit
+        )
+        self._requests = []
+        self._responses = []
+        # Doorbells: request-signal write ends + response-signal read
+        # ends stay here; the opposite ends travel in the worker spec.
+        self._signal_send = []
+        self._signal_recv = []
+        self._child_req = []
+        self._child_resp = []
+        for worker in range(num_workers):
+            req_r, req_w = multiprocessing.Pipe(duplex=False)
+            resp_r, resp_w = multiprocessing.Pipe(duplex=False)
+            self._signal_send.append(req_w)
+            self._signal_recv.append(resp_r)
+            self._child_req.append(req_r)
+            self._child_resp.append(resp_w)
+            offset = worker * unit
+            alive = self._alive_check(worker)
+            requests = RingBuffer(
+                self._shm.buf, offset, self.capacity, peer_alive=alive
+            )
+            responses = RingBuffer(
+                self._shm.buf,
+                offset + RingBuffer.region_bytes(self.capacity),
+                self.capacity,
+                peer_alive=alive,
+            )
+            requests.reset()
+            responses.reset()
+            self._requests.append(requests)
+            self._responses.append(responses)
+
+    def _alive_check(self, worker: int):
+        def alive() -> bool:
+            procs = self._procs
+            if worker >= len(procs):
+                return True  # still starting up
+            return procs[worker].is_alive()
+
+        return alive
+
+    def bind_procs(self, procs: list) -> None:
+        """Point liveness checks at the spawned worker processes."""
+        self._procs = procs
+
+    def worker_spec(self, worker: int) -> dict:
+        """The ring descriptor a worker attaches from.
+
+        Picklable through ``multiprocessing`` spawn args: the doorbell
+        ends are ``Connection`` objects, which the spawn machinery
+        duplicates into the child.
+        """
+        return {
+            "segment": self._shm.name,
+            "offset": worker * self._unit,
+            "capacity": self.capacity,
+            "req_signal": self._child_req[worker],
+            "resp_signal": self._child_resp[worker],
+        }
+
+    def release_worker_ends(self, worker: int) -> None:
+        """Drop the parent's copies of a spawned worker's doorbell ends.
+
+        Without this the parent keeps the child's write end open and a
+        dead worker never surfaces as EOF on the response doorbell.
+        """
+        self._child_req[worker].close()
+        self._child_resp[worker].close()
+
+    def send(self, worker: int, frame: RequestFrame) -> None:
+        try:
+            self._requests[worker].push(
+                frame.to_bytes(), on_stall=lambda: self._absorb(worker)
+            )
+            self._signal_send[worker].send_bytes(b"x")
+        except (RingDead, BrokenPipeError, OSError):
+            raise QueryError(f"shard worker {worker} died") from None
+
+    def _absorb(self, worker: int) -> None:
+        """Park ready responses while a request ring is full."""
+        ring = self._responses[worker]
+        pending = self._pending[worker]
+        while ring.poll():
+            frame = ResponseFrame.from_bytes(ring.pop(timeout=1.0))
+            pending[frame.seq] = frame
+
+    def _recv_raw(self, worker: int) -> ResponseFrame:
+        # One doorbell byte per response frame.  ``_absorb`` pops frames
+        # without consuming their bytes, so a byte may refer to a frame
+        # already parked in pending — the subsequent ``pop`` then waits
+        # for the next real push, which is exactly the frame this call
+        # is after.
+        try:
+            self._signal_recv[worker].recv_bytes()
+        except (EOFError, OSError):
+            raise QueryError(f"shard worker {worker} died") from None
+        try:
+            return ResponseFrame.from_bytes(self._responses[worker].pop())
+        except RingDead:
+            raise QueryError(f"shard worker {worker} died") from None
+
+    def shutdown_worker(self, worker: int) -> None:
+        ring = self._responses[worker]
+        try:
+            self._requests[worker].push(
+                b"",
+                timeout=0.5,
+                on_stall=lambda: ring.drain(timeout=0.01),
+            )
+            self._signal_send[worker].send_bytes(b"x")
+        except (TimeoutError, RingDead, BrokenPipeError, OSError):
+            pass
+
+    def stats(self) -> dict:
+        return {
+            "ring_capacity": self.capacity,
+            "ring_occupancy": [
+                {
+                    "requests": int(req._head[0]) - int(req._tail[0]),
+                    "responses": int(resp._head[0]) - int(resp._tail[0]),
+                }
+                for req, resp in zip(self._requests, self._responses)
+            ],
+        }
+
+    def close(self) -> None:
+        # Abandon whatever the rings still hold (a dead worker may have
+        # left a frame mid-handshake); then drop the views and unlink.
+        for ring in self._responses:
+            ring.drain(timeout=0.02)
+        self._requests = []
+        self._responses = []
+        for conn in (
+            *self._signal_send,
+            *self._signal_recv,
+            *self._child_req,
+            *self._child_resp,
+        ):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
 
 
 class ProcessShardedService(FlatShardedBase):
-    """Serve the §5 scheme from ``num_shards`` worker *processes*.
+    """Serve the §5 scheme from shard worker *processes*.
 
     Same API, same answers and same :class:`MessageLog` accounting as
     the thread-backed :class:`~repro.service.sharded.ShardedService`,
@@ -124,7 +442,7 @@ class ProcessShardedService(FlatShardedBase):
     Args:
         index: a built :class:`~repro.core.index.VicinityIndex`, or
             ``None`` when ``flat`` is given.
-        num_shards: worker/shard count.
+        num_shards: shard count (workers = ``num_shards * replicas``).
         placement: ``"hash"`` or ``"range"`` node placement.
         replicate_tables: model landmark tables as replicated on every
             shard (no round trip for landmark-target hits).
@@ -137,11 +455,17 @@ class ProcessShardedService(FlatShardedBase):
         flat: a prepared :class:`FlatIndex` (used by :meth:`from_saved`).
         mmap_path: a flat-container store file to share with workers by
             memory mapping (``from_saved(..., mmap=True)`` sets this).
-            No shared-memory segment is created and nothing is copied
-            at startup: each worker maps the file read-only, pages are
-            shared through the OS page cache, and the per-worker shard
-            assignment is recomputed (O(n), deterministic) instead of
-            shipped.
+            No shared-memory segment is created for the index and
+            nothing is copied at startup.
+        transport: ``"ring"`` (default — shared-memory result rings) or
+            ``"pipe"`` (frame pipes).
+        sub_batch: request-frame chunk size (0 = one frame per shard
+            per batch).
+        replicas: worker processes per shard; sub-batches go to the
+            replica with the least outstanding pairs.
+        pin_workers: pin each worker to one core (round-robin over the
+            coordinator's affinity mask; no-op where unsupported).
+        ring_capacity: per-direction ring bytes (ring transport only).
     """
 
     def __init__(
@@ -155,17 +479,28 @@ class ProcessShardedService(FlatShardedBase):
         worker_cache_size: int = 0,
         flat: Optional[FlatIndex] = None,
         mmap_path: Optional[str] = None,
+        transport: str = "ring",
+        sub_batch: int = 0,
+        replicas: int = 1,
+        pin_workers: bool = False,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ) -> None:
+        if transport not in ("pipe", "ring"):
+            raise QueryError(
+                f"unknown transport plane {transport!r}: "
+                f"the process backend offers 'pipe' and 'ring'"
+            )
         super().__init__(
             index,
             num_shards,
             placement=placement,
             replicate_tables=replicate_tables,
             flat=flat,
+            sub_batch=sub_batch,
+            replicas=replicas,
         )
         self.worker_cache_size = int(worker_cache_size)
-        self._log_lock = threading.Lock()
-        self._io_lock = threading.Lock()
+        self.pin_workers = bool(pin_workers)
         self._flat_meta = {
             "n": self.flat.n,
             "weighted": self.flat.weighted,
@@ -176,7 +511,7 @@ class ProcessShardedService(FlatShardedBase):
             "placement": placement,
         }
         self._worker_cache_stats: dict[int, dict] = {}
-        self._batch_seq = 0
+        num_workers = num_shards * self.replicas
         if mmap_path is not None:
             # Zero-copy startup: workers map the store file themselves.
             self._bundle = None
@@ -187,24 +522,55 @@ class ProcessShardedService(FlatShardedBase):
             )
             spec = self._bundle.spec
         context = multiprocessing.get_context(start_method)
-        self._conns = []
-        self._procs = []
+        self._procs: list = []
+        self._conns: list = []
+        pin_cores = (
+            self._pin_plan(num_workers)
+            if self.pin_workers
+            else [None] * num_workers
+        )
         try:
-            for shard_id in range(num_shards):
-                parent_conn, child_conn = context.Pipe()
+            if transport == "ring":
+                self._transport = RingFrameTransport(
+                    num_workers, capacity=ring_capacity
+                )
+                self._transport.bind_procs(self._procs)
+                endpoints = [
+                    self._transport.worker_spec(w) for w in range(num_workers)
+                ]
+            else:
+                endpoints = []
+                for _ in range(num_workers):
+                    parent_conn, child_conn = context.Pipe()
+                    self._conns.append(parent_conn)
+                    endpoints.append(child_conn)
+                self._transport = PipeFrameTransport(self._conns)
+            for worker in range(num_workers):
                 proc = context.Process(
                     target=_worker_main,
-                    args=(child_conn, spec, self._flat_meta),
-                    name=f"repro-procshard-{shard_id}",
+                    args=(endpoints[worker], spec, self._flat_meta, pin_cores[worker]),
+                    name=f"repro-procshard-{worker}",
                     daemon=True,
                 )
                 proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
+                if transport == "pipe":
+                    endpoints[worker].close()
+                else:
+                    self._transport.release_worker_ends(worker)
                 self._procs.append(proc)
         except Exception:
             self.close()
             raise
+
+    @staticmethod
+    def _pin_plan(num_workers: int) -> list:
+        """Round-robin worker→core assignments over our affinity mask."""
+        if not hasattr(os, "sched_getaffinity"):
+            return [None] * num_workers
+        cores = sorted(os.sched_getaffinity(0))
+        if not cores:
+            return [None] * num_workers
+        return [cores[i % len(cores)] for i in range(num_workers)]
 
     # ------------------------------------------------------------------
     # construction
@@ -228,80 +594,22 @@ class ProcessShardedService(FlatShardedBase):
         )
 
     # ------------------------------------------------------------------
-    # serving
-    # ------------------------------------------------------------------
-    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
-        """Answer a batch, fanned out to the home-shard workers.
-
-        The batch is split by ``shard_of(source)``, shipped to each
-        involved worker in a single message, and reassembled in input
-        order.  Wire accounting lands in :attr:`log` exactly as the
-        thread backend records it.
-        """
-        pair_list, homes = self._validate_batch(pairs, with_path)
-        if not pair_list:
-            return []
-        by_shard = self._partition(homes)
-
-        results: list[Optional[QueryResult]] = [None] * len(pair_list)
-        local = remote = 0
-        trips: list[int] = []
-        errors: list[str] = []
-        with self._io_lock:
-            self._batch_seq += 1
-            seq = self._batch_seq
-            for shard_id, positions in by_shard.items():
-                sub = [pair_list[i] for i in positions]
-                self._conns[shard_id].send((seq, sub, with_path))
-            # Every involved worker owes exactly one reply for this seq;
-            # drain all of them even when one reports an error, so a
-            # failed batch never leaves replies queued for the next one.
-            for shard_id, positions in by_shard.items():
-                reply = self._receive(shard_id, seq)
-                if reply[1] == "error":
-                    errors.append(f"shard worker {shard_id} failed: {reply[2]}")
-                    continue
-                _, _, shard_results, shard_local, shard_remote, shard_trips, stats = (
-                    reply
-                )
-                for position, result in zip(positions, shard_results):
-                    results[position] = result
-                local += shard_local
-                remote += shard_remote
-                trips.extend(shard_trips)
-                if stats is not None:
-                    self._worker_cache_stats[shard_id] = stats
-        if errors:
-            raise QueryError("; ".join(errors))
-        with self._log_lock:
-            self._fold_log(local, remote, trips)
-        return results
-
-    def _receive(self, shard_id: int, seq: int):
-        """Read this batch's reply from one worker, skipping stale ones."""
-        while True:
-            try:
-                reply = self._conns[shard_id].recv()
-            except EOFError:
-                raise QueryError(f"shard worker {shard_id} died") from None
-            if reply[0] == seq:
-                return reply
-            # A reply from an aborted/foreign exchange: discard it.
-
-    # ------------------------------------------------------------------
     # worker-cache telemetry
     # ------------------------------------------------------------------
+    def _note_worker_cache(self, worker: int, stats: dict) -> None:
+        self._worker_cache_stats[worker] = stats
+
     def worker_cache_stats(self) -> Optional[dict]:
         """Aggregate worker-cache statistics, or ``None`` when disabled.
 
-        Each worker reports its cumulative cache snapshot on every
-        reply; this sums the latest per-worker figures so the serving
-        layer can fold them into its telemetry snapshot.
+        Each worker reports its cumulative cache counters in every
+        response frame; this sums the latest per-worker figures so the
+        serving layer can fold them into its telemetry snapshot.
         """
         if self.worker_cache_size <= 0:
             return None
         totals = {
-            "workers": self.num_shards,
+            "workers": self.num_shards * self.replicas,
             "capacity_per_worker": self.worker_cache_size,
             "size": 0,
             "lookups": 0,
@@ -322,22 +630,21 @@ class ProcessShardedService(FlatShardedBase):
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers and release the shared-memory segment."""
+        """Stop the workers and release every shared-memory resource."""
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
-            try:
-                conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
+        transport = getattr(self, "_transport", None)
+        if transport is not None:
+            for worker in range(len(self._procs)):
+                transport.shutdown_worker(worker)
         for proc in self._procs:
             proc.join(timeout=5)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1)
-        for conn in self._conns:
-            conn.close()
+        if transport is not None:
+            transport.close()
         if self._bundle is not None:
             self._bundle.close()
 

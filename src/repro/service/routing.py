@@ -1,0 +1,114 @@
+"""Load-aware replica routing for the shard coordinator.
+
+The §5 partition maps every query to exactly one home shard, so a
+Zipf-skewed workload makes hot shards: one worker's queue gates the
+whole batch while its siblings idle.  The classic fix is *replication*
+— run ``replicas`` interchangeable workers per shard (every worker
+holds the full read-only index mapping anyway; only the routing key
+differs) and let the coordinator pick, per sub-batch, the replica with
+the least outstanding work.
+
+:class:`ReplicaRouter` is that picker plus the bookkeeping the
+telemetry snapshot folds in: per-replica outstanding pair depth (the
+routing signal), per-shard dispatched pair/frame-byte totals, and the
+coordinator/worker time split (dispatch vs execute vs collect) that
+:meth:`FlatShardedBase.transport_stats
+<repro.service.shardbase.FlatShardedBase.transport_stats>` exposes.
+
+Depth is measured in *pairs*, not frames — a 1000-pair sub-batch loads
+a replica more than ten 10-pair ones — and ties break round-robin so
+an idle system still spreads work across replicas.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class ReplicaRouter:
+    """Queue-depth-weighted replica choice with per-shard accounting."""
+
+    def __init__(self, num_shards: int, replicas: int) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self.num_shards = num_shards
+        self.replicas = replicas
+        self._lock = threading.Lock()
+        # Outstanding pairs per (shard, replica) — the routing signal.
+        self._depth = [[0] * replicas for _ in range(num_shards)]
+        self._rr = [0] * num_shards
+        # Cumulative per-shard traffic.
+        self._pairs = [0] * num_shards
+        self._sub_batches = [0] * num_shards
+        self._req_bytes = [0] * num_shards
+        self._resp_bytes = [0] * num_shards
+        # Coordinator/worker time split, in seconds (execute is summed
+        # across workers, so it can exceed wall time — that's the point).
+        self._dispatch_s = 0.0
+        self._execute_s = 0.0
+        self._collect_s = 0.0
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def pick(self, shard_id: int) -> int:
+        """Choose the least-loaded replica of ``shard_id``."""
+        with self._lock:
+            depths = self._depth[shard_id]
+            if self.replicas == 1:
+                return 0
+            best = min(depths)
+            start = self._rr[shard_id]
+            for step in range(self.replicas):
+                replica = (start + step) % self.replicas
+                if depths[replica] == best:
+                    self._rr[shard_id] = (replica + 1) % self.replicas
+                    return replica
+            return 0  # unreachable; min() guarantees a match
+
+    def dispatched(
+        self, shard_id: int, replica: int, pairs: int, frame_bytes: int
+    ) -> None:
+        with self._lock:
+            self._depth[shard_id][replica] += pairs
+            self._pairs[shard_id] += pairs
+            self._sub_batches[shard_id] += 1
+            self._req_bytes[shard_id] += frame_bytes
+
+    def completed(
+        self, shard_id: int, replica: int, pairs: int, frame_bytes: int
+    ) -> None:
+        with self._lock:
+            self._depth[shard_id][replica] -= pairs
+            self._resp_bytes[shard_id] += frame_bytes
+
+    def observe_batch(
+        self, dispatch_s: float, execute_s: float, collect_s: float
+    ) -> None:
+        with self._lock:
+            self._dispatch_s += dispatch_s
+            self._execute_s += execute_s
+            self._collect_s += collect_s
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Routing state and time split for the telemetry snapshot."""
+        with self._lock:
+            return {
+                "dispatch_s": self._dispatch_s,
+                "execute_s": self._execute_s,
+                "collect_s": self._collect_s,
+                "per_shard": [
+                    {
+                        "shard": shard_id,
+                        "sub_batches": self._sub_batches[shard_id],
+                        "pairs": self._pairs[shard_id],
+                        "req_frame_bytes": self._req_bytes[shard_id],
+                        "resp_frame_bytes": self._resp_bytes[shard_id],
+                        "depth": list(self._depth[shard_id]),
+                    }
+                    for shard_id in range(self.num_shards)
+                ],
+            }

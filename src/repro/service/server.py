@@ -95,6 +95,7 @@ class ServiceApp:
         backend: str = "threads",
         replicate_tables: bool = False,
         worker_cache_size: int = 0,
+        **backend_kwargs,
     ) -> "ServiceApp":
         """Assemble the serving stack over a built index.
 
@@ -110,11 +111,18 @@ class ServiceApp:
             replicate_tables: sharded-mode landmark-table replication.
             worker_cache_size: ``procpool`` only — per-worker result
                 cache capacity (0 disables).
+            backend_kwargs: forwarded to the shard backend constructor
+                (``transport=``, ``sub_batch=``, ``replicas=``,
+                ``pin_workers=``, ...); requires ``shards >= 1``.
         """
         _check_worker_cache(worker_cache_size, shards, backend)
+        if backend_kwargs and shards < 1:
+            raise QueryError(
+                f"backend options {sorted(backend_kwargs)} require shards >= 1"
+            )
         sharded = None
         if shards > 0:
-            kwargs = {}
+            kwargs = dict(backend_kwargs)
             if worker_cache_size:
                 kwargs["worker_cache_size"] = worker_cache_size
             sharded = create_shard_backend(
@@ -237,13 +245,18 @@ class ServiceApp:
                 key keeps its meaning and position.
         """
         worker_cache = None
-        if self.sharded is not None and hasattr(self.sharded, "worker_cache_stats"):
-            worker_cache = self.sharded.worker_cache_stats()
+        shard_transport = None
+        if self.sharded is not None:
+            if hasattr(self.sharded, "worker_cache_stats"):
+                worker_cache = self.sharded.worker_cache_stats()
+            if hasattr(self.sharded, "transport_stats"):
+                shard_transport = self.sharded.transport_stats()
         snap = self.telemetry.snapshot(
             cache=self.cache,
             message_log=self.sharded.log if self.sharded is not None else None,
             worker_cache=worker_cache,
             net=net,
+            shard_transport=shard_transport,
         )
         snap["batching"] = self.executor.stats.snapshot()
         return snap

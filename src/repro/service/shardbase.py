@@ -1,29 +1,116 @@
-"""Shared state and accounting of the flat-index shard backends.
+"""Shared state, transport plane and accounting of the shard backends.
 
 Both §5 executors — the thread-backed
 :class:`~repro.service.sharded.ShardedService` and the process-backed
-:class:`~repro.service.procpool.ProcessShardedService` — now serve the
-same flattened arrays through the same
+:class:`~repro.service.procpool.ProcessShardedService` — serve the same
+flattened arrays through the same
 :class:`~repro.core.engine.ShardQueryEngine`; what differs is only
-*where* the shard workers run.  Everything representation-dependent
-lives here once: placement, per-shard memory accounting, batch
-validation/partitioning and the dict-free ``from_saved`` constructor.
+*where* the shard workers run and *how* frames reach them.  Everything
+else lives here once:
+
+* placement, per-shard memory accounting, batch validation/partitioning
+  and the dict-free ``from_saved`` constructor (as before);
+* the :class:`ShardTransport` protocol — ``send(worker, RequestFrame)``
+  / ``recv(worker, seq) -> ResponseFrame`` — that each backend
+  implements (inline thread dispatch, frame pipes, shared-memory
+  rings);
+* the **one** coordinator ``query_batch`` loop: validate, partition by
+  home shard, split into ``sub_batch``-sized chunks, route each chunk
+  to the least-loaded replica (:class:`~repro.service.routing.ReplicaRouter`),
+  push request frames, then collect/decode response frames and fold the
+  §5 wire accounting into :attr:`log`.
+
+Because encoding, decoding and accounting are identical for every
+transport, result parity across backends is structural rather than
+re-implemented per backend — the transports move opaque frames.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import itertools
+import threading
+import time
+from contextlib import nullcontext
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.core.flat import FlatIndex
 from repro.core.parallel import (
+    BYTES_PER_CONTROL,
     MessageLog,
     ShardReport,
     balance_summary_from_reports,
     shard_assignment,
 )
 from repro.exceptions import NodeNotFoundError, QueryError
+from repro.service.routing import ReplicaRouter
+from repro.service.wire import RequestFrame, ResponseFrame
+
+#: Transport planes a backend may offer.  The thread backend is always
+#: ``inline``; the process backend chooses between ``pipe`` and
+#: ``ring`` (its default).
+SHARD_TRANSPORTS = ("inline", "pipe", "ring")
+
+
+@runtime_checkable
+class ShardTransport(Protocol):
+    """How request/response frames move between coordinator and workers.
+
+    ``serial`` declares whether the transport multiplexes a byte stream
+    per worker (pipes, rings) — then the coordinator serialises batches
+    over it — or carries frames by reference with per-frame completion
+    (inline), where concurrent batches may interleave freely.
+    """
+
+    name: str
+    serial: bool
+
+    def send(self, worker: int, frame: RequestFrame) -> None: ...
+
+    def recv(self, worker: int, seq: int) -> ResponseFrame: ...
+
+    def stats(self) -> dict: ...
+
+    def close(self) -> None: ...
+
+
+class FrameStreamTransport:
+    """Recv bookkeeping shared by byte-stream transports (pipe, ring).
+
+    Subclasses implement ``_recv_raw(worker) -> ResponseFrame`` (and
+    ``send``); this base matches frames to the sequence number the
+    coordinator is waiting on.  Frames for *later* sequence numbers are
+    parked (possible when several chunks target one worker); frames for
+    unknown/aborted exchanges are discarded, mirroring the stale-reply
+    rule of the pickled protocol this replaces.
+    """
+
+    serial = True
+
+    def __init__(self, num_workers: int) -> None:
+        self._pending: list[dict[int, ResponseFrame]] = [
+            {} for _ in range(num_workers)
+        ]
+
+    def _recv_raw(self, worker: int) -> ResponseFrame:  # pragma: no cover
+        raise NotImplementedError
+
+    def recv(self, worker: int, seq: int) -> ResponseFrame:
+        pending = self._pending[worker]
+        frame = pending.pop(seq, None)
+        if frame is not None:
+            return frame
+        while True:
+            frame = self._recv_raw(worker)
+            if frame.seq == seq:
+                return frame
+            if frame.seq > seq:
+                pending[frame.seq] = frame
+            # else: stale frame from an aborted exchange — discard.
+
+    def stats(self) -> dict:
+        return {}
 
 
 class FlatShardedBase:
@@ -32,11 +119,17 @@ class FlatShardedBase:
     Args:
         index: a built :class:`~repro.core.index.VicinityIndex`, or
             ``None`` when ``flat`` is given.
-        num_shards: worker/shard count.
+        num_shards: shard count (workers = ``num_shards * replicas``).
         placement: ``"hash"`` or ``"range"`` node placement.
         replicate_tables: model landmark tables as replicated on every
             shard (no round trip for landmark-target hits).
         flat: a prepared :class:`FlatIndex` (used by :meth:`from_saved`).
+        sub_batch: split each shard's share of a batch into chunks of at
+            most this many pairs (``0`` = one chunk per shard per
+            batch).  Smaller chunks overlap dispatch with execution and
+            give the replica router something to balance.
+        replicas: interchangeable workers per shard; sub-batches go to
+            the replica with the least outstanding pairs.
     """
 
     def __init__(
@@ -47,6 +140,8 @@ class FlatShardedBase:
         placement: str = "hash",
         replicate_tables: bool = False,
         flat: Optional[FlatIndex] = None,
+        sub_batch: int = 0,
+        replicas: int = 1,
     ) -> None:
         if index is not None:
             flat = FlatIndex.from_index(index)
@@ -54,15 +149,26 @@ class FlatShardedBase:
             raise QueryError("pass a built index or a prepared FlatIndex")
         if num_shards < 1:
             raise QueryError("num_shards must be at least 1")
+        if sub_batch < 0:
+            raise QueryError("sub_batch must be >= 0")
+        if replicas < 1:
+            raise QueryError("replicas must be at least 1")
         self.flat = flat
         self.num_shards = num_shards
         self.placement = placement
         self.replicate_tables = replicate_tables
+        self.sub_batch = int(sub_batch)
+        self.replicas = int(replicas)
         self.n = flat.n
         self.log = MessageLog()
         self._store_paths = flat.store_paths
         self._assign = shard_assignment(flat.n, num_shards, placement)
         self._table_landmarks = flat.landmark_ids.tolist() if flat.has_tables else []
+        self._router = ReplicaRouter(num_shards, self.replicas)
+        self._seq = itertools.count(1)
+        self._log_lock = threading.Lock()
+        self._batch_lock = threading.Lock()
+        self._transport: Optional[ShardTransport] = None
         self._closed = False
 
     @classmethod
@@ -119,36 +225,156 @@ class FlatShardedBase:
         return balance_summary_from_reports(self.shard_reports())
 
     # ------------------------------------------------------------------
+    # the coordinator loop (shared by every backend)
+    # ------------------------------------------------------------------
+    def query_batch(self, pairs, *, with_path: bool = False):
+        """Answer a batch through the transport plane.
+
+        The batch is partitioned by ``shard_of(source)``, each shard's
+        share split into ``sub_batch``-pair request frames routed to its
+        least-loaded replica, and the response frames decoded back into
+        input order.  Wire accounting lands in :attr:`log` exactly as
+        the thread backend and the simulation record it — the modelled
+        §5 round trips ride inside the response frames, so the totals
+        are independent of which transport moved them.
+        """
+        pair_list, homes, flat_pairs = self._validate_batch(pairs, with_path)
+        if not pair_list:
+            return []
+        transport = self._transport
+        by_shard = self._partition(homes)
+        results = [None] * len(pair_list)
+        local = remote = 0
+        trip_count = trip_bytes = 0
+        errors: list[str] = []
+        exec_ns = 0
+        guard = self._batch_lock if transport.serial else nullcontext()
+        with guard:
+            t0 = time.perf_counter()
+            sent = []  # (worker, seq, positions, shard, replica)
+            for shard_id, positions in by_shard.items():
+                for chunk in self._chunks(positions):
+                    replica = self._router.pick(shard_id)
+                    worker = shard_id * self.replicas + replica
+                    seq = next(self._seq)
+                    frame = RequestFrame(seq, flat_pairs[chunk], with_path)
+                    transport.send(worker, frame)
+                    self._router.dispatched(
+                        shard_id, replica, len(chunk), frame.nbytes
+                    )
+                    sent.append((worker, seq, chunk, shard_id, replica))
+            t1 = time.perf_counter()
+            # Every dispatched frame owes exactly one response; drain all
+            # of them even when one reports an error, so a failed batch
+            # never leaves frames queued for the next one.
+            for worker, seq, positions, shard_id, replica in sent:
+                try:
+                    resp = transport.recv(worker, seq)
+                except QueryError as exc:
+                    self._router.completed(shard_id, replica, len(positions), 0)
+                    errors.append(str(exc))
+                    continue
+                self._router.completed(
+                    shard_id, replica, len(positions), resp.nbytes
+                )
+                if not resp.ok:
+                    errors.append(f"shard worker {worker} failed: {resp.error}")
+                    continue
+                decoded = resp.to_results(
+                    flat_pairs[positions].tolist(), integral=self.flat.integral
+                )
+                for position, result in zip(positions.tolist(), decoded):
+                    results[position] = result
+                local += resp.local
+                remote += resp.remote
+                trip_count += resp.trips.shape[0]
+                trip_bytes += int(resp.trips.sum())
+                exec_ns += resp.exec_ns
+                if resp.cache_stats is not None:
+                    self._note_worker_cache(worker, resp.cache_stats)
+            t2 = time.perf_counter()
+        self._router.observe_batch(t1 - t0, exec_ns / 1e9, t2 - t1)
+        if errors:
+            raise QueryError("; ".join(errors))
+        with self._log_lock:
+            self._fold_log(local, remote, trip_count, trip_bytes)
+        return results
+
+    def _chunks(self, positions: list[int]):
+        """Split one shard's batch positions into sub-batch chunks."""
+        size = self.sub_batch
+        if size <= 0 or len(positions) <= size:
+            yield positions
+            return
+        for start in range(0, len(positions), size):
+            yield positions[start:start + size]
+
+    def _note_worker_cache(self, worker: int, stats: dict) -> None:
+        """Hook for backends with worker-side caches (procpool)."""
+
+    def transport_stats(self) -> dict:
+        """Transport-plane telemetry: routing state plus the time split.
+
+        Folded into ``snapshot()["shards"]`` by the serving layer;
+        ``dispatch_s``/``execute_s``/``collect_s`` split coordinator
+        overhead from worker execute time (summed across workers), and
+        ``per_shard`` carries depth, traffic and frame-byte figures per
+        shard.
+        """
+        stats = {
+            "transport": self._transport.name if self._transport else None,
+            "replicas": self.replicas,
+            "sub_batch": self.sub_batch,
+        }
+        stats.update(self._router.snapshot())
+        if self._transport is not None:
+            stats.update(self._transport.stats())
+        return stats
+
+    # ------------------------------------------------------------------
     # batch plumbing
     # ------------------------------------------------------------------
     def _validate_batch(self, pairs, with_path: bool):
-        """Normalise and validate a batch; returns ``(pair_list, homes)``."""
+        """Normalise and validate a batch.
+
+        Returns ``(pair_list, homes, flat_pairs)`` — the int-tuple list,
+        each pair's home shard, and the ``(m, 2)`` int64 array request
+        frames slice from.
+        """
         if self._closed:
             raise QueryError("service is closed")
-        pair_list = [(int(s), int(t)) for s, t in pairs]
-        if not pair_list:
-            return [], None
+        pair_list = pairs if isinstance(pairs, (list, np.ndarray)) else list(pairs)
+        if not len(pair_list):
+            return [], None, None
         if with_path and not self._store_paths:
             raise QueryError("index was built with store_paths=False")
-        flat_pairs = np.asarray(pair_list, dtype=np.int64)
+        flat_pairs = np.asarray(pair_list, dtype=np.int64).reshape(-1, 2)
         out_of_range = (flat_pairs < 0) | (flat_pairs >= self.n)
         if out_of_range.any():
             raise NodeNotFoundError(int(flat_pairs[out_of_range][0]), self.n)
-        return pair_list, self._assign[flat_pairs[:, 0]]
+        return pair_list, self._assign[flat_pairs[:, 0]], flat_pairs
 
     @staticmethod
-    def _partition(homes) -> dict[int, list[int]]:
-        """Group batch positions by home shard, preserving input order."""
-        by_shard: dict[int, list[int]] = {}
-        for position, home in enumerate(homes.tolist()):
-            by_shard.setdefault(home, []).append(position)
-        return by_shard
+    def _partition(homes) -> dict[int, np.ndarray]:
+        """Group batch positions by home shard, preserving input order.
 
-    def _fold_log(self, local: int, remote: int, trips) -> None:
+        One stable argsort instead of a per-position Python loop; the
+        position arrays keep input order within each shard, so frames
+        and result scatter are unchanged.
+        """
+        order = np.argsort(homes, kind="stable")
+        shard_ids, starts = np.unique(homes[order], return_index=True)
+        return dict(zip(shard_ids.tolist(), np.split(order, starts[1:])))
+
+    def _fold_log(
+        self, local: int, remote: int, trip_count: int, trip_bytes: int
+    ) -> None:
+        # Folded arithmetic of MessageLog.record_round_trip over the
+        # whole batch: two messages and two control headers per trip.
         self.log.local_queries += local
         self.log.remote_queries += remote
-        for payload_bytes in trips:
-            self.log.record_round_trip(payload_bytes)
+        self.log.messages += 2 * trip_count
+        self.log.bytes += 2 * BYTES_PER_CONTROL * trip_count + trip_bytes
 
     def _check_node(self, u: int) -> None:
         if not 0 <= u < self.n:

@@ -10,35 +10,75 @@ routing scheme on real per-shard worker threads:
   index via :meth:`ShardedService.from_saved`) and shared read-only by
   every shard worker — threads share an address space, so this is the
   in-process analogue of the process backend's shared-memory segment;
-* each shard is served by exactly one worker thread running the same
-  :class:`~repro.core.engine.ShardQueryEngine` the process backend's
-  workers run — one engine implementation, two execution substrates;
-* a batch is partitioned by home shard, executed on each involved
-  worker, and reassembled in input order, with every modelled
-  cross-shard exchange recorded in the same
-  :class:`~repro.core.parallel.MessageLog` the simulation uses.
+* each shard is served by one worker thread per replica running the
+  same :class:`~repro.core.engine.ShardQueryEngine` the process
+  backend's workers run — one engine implementation, two execution
+  substrates;
+* frames move over the :class:`InlineTransport`: ``send`` submits the
+  worker's ``run_frame`` to that worker's single thread and ``recv``
+  awaits the future — the request/response frames are passed as
+  *objects*, so the pair array the coordinator sliced and the result
+  columns the engine filled are zero-copy views all the way through.
 
 Under the GIL the worker threads interleave on one core, so this
 backend buys routing fidelity and zero startup cost rather than speed;
 :class:`~repro.service.procpool.ProcessShardedService` runs the
 identical engine on worker processes when throughput matters.  Results
-and MessageLog totals are identical across the two backends (pinned by
-parity tests and the CI smoke run).
+and MessageLog totals are identical across the two backends and all
+transports (pinned by parity tests and the CI smoke run).
 """
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
 
 from repro.core.engine import ShardQueryEngine
-from repro.core.oracle import QueryResult
+from repro.exceptions import QueryError
 from repro.service.shardbase import FlatShardedBase
+from repro.service.wire import RequestFrame, ResponseFrame
+
+
+class InlineTransport:
+    """Zero-copy frame transport over per-worker executor threads.
+
+    ``serial`` is False: completion is tracked per frame (futures keyed
+    by worker and sequence number), so concurrent batches interleave at
+    worker granularity exactly as the pre-frame thread backend did.
+    """
+
+    name = "inline"
+    serial = False
+
+    def __init__(self, engine: ShardQueryEngine, num_workers: int) -> None:
+        self._engine = engine
+        self._workers = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"repro-shard-{k}")
+            for k in range(num_workers)
+        ]
+        self._futures: dict[tuple[int, int], object] = {}
+
+    def send(self, worker: int, frame: RequestFrame) -> None:
+        self._futures[(worker, frame.seq)] = self._workers[worker].submit(
+            self._engine.run_frame, frame
+        )
+
+    def recv(self, worker: int, seq: int) -> ResponseFrame:
+        future = self._futures.pop((worker, seq), None)
+        if future is None:
+            raise QueryError(f"no in-flight frame {seq} for worker {worker}")
+        return future.result()
+
+    def stats(self) -> dict:
+        return {}
+
+    def close(self) -> None:
+        for executor in self._workers:
+            executor.shutdown(wait=True)
+        self._futures.clear()
 
 
 class ShardedService(FlatShardedBase):
-    """Serve the §5 scheme from ``num_shards`` single-threaded shard workers.
+    """Serve the §5 scheme from per-shard single-threaded workers.
 
     Results (distance, method, probes) are identical to
     :class:`~repro.core.parallel.PartitionedOracle`.  Distances and
@@ -54,11 +94,16 @@ class ShardedService(FlatShardedBase):
     Args:
         index: a built :class:`~repro.core.index.VicinityIndex`, or
             ``None`` with ``flat=`` (see :meth:`from_saved`).
-        num_shards: worker/shard count.
+        num_shards: shard count (one worker thread per shard replica).
         placement: ``"hash"`` or ``"range"`` node placement.
         replicate_tables: copy every landmark table onto every shard,
             trading memory for one round trip on landmark-target hits.
         flat: a prepared :class:`~repro.core.flat.FlatIndex`.
+        sub_batch: request-frame chunk size (0 = one frame per shard
+            per batch).
+        replicas: worker threads per shard with load-aware routing —
+            under the GIL this buys routing realism, not speed.
+        transport: must be ``"inline"`` (the only thread-backend plane).
     """
 
     def __init__(
@@ -69,59 +114,28 @@ class ShardedService(FlatShardedBase):
         placement: str = "hash",
         replicate_tables: bool = False,
         flat=None,
+        sub_batch: int = 0,
+        replicas: int = 1,
+        transport: str = "inline",
     ) -> None:
+        if transport != "inline":
+            raise QueryError(
+                f"the threads backend only supports the inline transport "
+                f"plane, not {transport!r}"
+            )
         super().__init__(
             index,
             num_shards,
             placement=placement,
             replicate_tables=replicate_tables,
             flat=flat,
+            sub_batch=sub_batch,
+            replicas=replicas,
         )
-        self._log_lock = threading.Lock()
         self._engine = ShardQueryEngine(self.flat, self._assign, replicate_tables)
-        self._workers = [
-            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"repro-shard-{k}")
-            for k in range(num_shards)
-        ]
-
-    # ------------------------------------------------------------------
-    # serving
-    # ------------------------------------------------------------------
-    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
-        """Answer a batch, fanned out to the home-shard worker threads.
-
-        The batch is split by ``shard_of(source)``, each sub-batch runs
-        the fused worker loop on its shard's own thread, and results
-        come back in input order.  Wire accounting lands in :attr:`log`
-        exactly as the simulation and the process backend record it.
-        """
-        pair_list, homes = self._validate_batch(pairs, with_path)
-        if not pair_list:
-            return []
-        by_shard = self._partition(homes)
-        futures = {
-            shard_id: self._workers[shard_id].submit(
-                self._engine.answer_batch,
-                [pair_list[i] for i in positions],
-                with_path,
-            )
-            for shard_id, positions in by_shard.items()
-        }
-        results: list[Optional[QueryResult]] = [None] * len(pair_list)
-        local = remote = 0
-        trips: list[int] = []
-        for shard_id, positions in by_shard.items():
-            shard_results, shard_local, shard_remote, shard_trips = futures[
-                shard_id
-            ].result()
-            for position, result in zip(positions, shard_results):
-                results[position] = result
-            local += shard_local
-            remote += shard_remote
-            trips.extend(shard_trips)
-        with self._log_lock:
-            self._fold_log(local, remote, trips)
-        return results
+        self._transport = InlineTransport(
+            self._engine, num_shards * self.replicas
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -131,8 +145,7 @@ class ShardedService(FlatShardedBase):
         if self._closed:
             return
         self._closed = True
-        for worker in self._workers:
-            worker.shutdown(wait=True)
+        self._transport.close()
 
     def __enter__(self) -> "ShardedService":
         return self

@@ -191,7 +191,13 @@ class Telemetry:
     # reporting
     # ------------------------------------------------------------------
     def snapshot(
-        self, *, cache=None, message_log=None, worker_cache=None, net=None
+        self,
+        *,
+        cache=None,
+        message_log=None,
+        worker_cache=None,
+        net=None,
+        shard_transport=None,
     ) -> dict:
         """One JSON-serialisable dict describing the service so far.
 
@@ -208,6 +214,12 @@ class Telemetry:
                 depth, flush mix, per-client counters.  Purely
                 additive: every pre-existing key keeps its shape
                 whether or not a front end is attached.
+            shard_transport: optional transport-plane block
+                (:meth:`FlatShardedBase.transport_stats
+                <repro.service.shardbase.FlatShardedBase.transport_stats>`)
+                merged *additively* into ``snap["shards"]`` — transport
+                name, replica routing state, per-shard depth and frame
+                bytes, and the dispatch/execute/collect time split.
         """
         with self._lock:
             elapsed = time.perf_counter() - self.started
@@ -239,6 +251,11 @@ class Telemetry:
                 "mean_messages": message_log.mean_messages,
                 "mean_bytes": message_log.bytes / total if total else 0.0,
             }
+            if shard_transport is not None:
+                # Additive: the modelled-§5 keys above keep their shape;
+                # the transport plane contributes the measured side.
+                for key, value in shard_transport.items():
+                    snap["shards"].setdefault(key, value)
         return snap
 
     def reset(self) -> None:
@@ -291,6 +308,15 @@ def render_snapshot(snapshot: dict) -> str:
             f"shard traffic    : {shards['mean_messages']:.2f} msgs/query, "
             f"{shards['mean_bytes']:.0f} bytes/query"
         )
+        if shards.get("transport"):
+            lines.append(
+                f"shard transport  : {shards['transport']} "
+                f"(replicas={shards.get('replicas', 1)}, "
+                f"sub_batch={shards.get('sub_batch', 0) or 'batch'}) | "
+                f"dispatch {shards.get('dispatch_s', 0.0):.3f} s / "
+                f"execute {shards.get('execute_s', 0.0):.3f} s / "
+                f"collect {shards.get('collect_s', 0.0):.3f} s"
+            )
     if "net" in snapshot:
         net = snapshot["net"]
         queue, requests, flushes = net["queue"], net["requests"], net["flushes"]

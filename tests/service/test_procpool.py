@@ -161,15 +161,20 @@ class TestEdgeCases:
         with pytest.raises(QueryError):
             ProcessShardedService(None, 2)
 
-    def test_stale_replies_do_not_misalign_later_batches(self, index, pairs):
-        """Regression: a worker error reply must not leave queued replies
-        that a later batch would mistake for its own answers."""
+    @pytest.mark.parametrize("transport", ["pipe", "ring"])
+    def test_stale_replies_do_not_misalign_later_batches(
+        self, index, pairs, transport
+    ):
+        """Regression: a worker frame from an aborted exchange must not
+        be mistaken for a later batch's answer."""
+        from repro.service.wire import RequestFrame
+
         sample = pairs[:40]
-        with ProcessShardedService(index, 2) as service:
+        with ProcessShardedService(index, 2, transport=transport) as service:
             expected = service.query_batch(sample)
-            # Inject a malformed exchange: the worker answers it with an
-            # error reply tagged with a foreign sequence number.
-            service._conns[0].send((-1, [(0, "boom")], False))
+            # Inject a foreign exchange: the worker answers this frame
+            # with a stale sequence number no batch will ever collect.
+            service._transport.send(0, RequestFrame(-1, [(0, 1)], False))
             assert service.query_batch(sample) == expected
             assert service.query_batch(sample, with_path=True) == service.query_batch(
                 sample, with_path=True
