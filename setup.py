@@ -2,9 +2,40 @@
 
 All metadata lives in ``pyproject.toml``; this file only exists so that
 ``pip install -e .`` works on environments whose setuptools predates
-PEP 660 editable installs (e.g. offline boxes without ``wheel``).
+PEP 660 editable installs (e.g. offline boxes without ``wheel``), and
+to give installs a best-effort compile of the optional C kernel tier
+(``repro.core._native``) — a plain ctypes shared object, no Python.h.
+A missing compiler degrades the install to the numpy tier; it never
+fails it.
 """
 
-from setuptools import setup
+import sys
+from pathlib import Path
 
-setup()
+from setuptools import setup
+from setuptools.command.build_py import build_py
+
+
+class build_py_with_kernels(build_py):
+    """Standard build_py plus a best-effort native kernel compile."""
+
+    def run(self):
+        super().run()
+        src = Path(__file__).parent / "src"
+        sys.path.insert(0, str(src))
+        try:
+            from repro.core._native import build as native_build
+
+            target = native_build.build(verbose=True)
+        except RuntimeError as exc:
+            print(f"native kernels skipped (numpy tier still works): {exc}")
+            return
+        finally:
+            sys.path.remove(str(src))
+        if self.build_lib:  # ship the artifact with the built package
+            dest = Path(self.build_lib) / "repro" / "core" / "_native"
+            if dest.is_dir():
+                self.copy_file(str(target), str(dest / target.name))
+
+
+setup(cmdclass={"build_py": build_py_with_kernels})

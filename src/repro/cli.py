@@ -107,6 +107,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "searches are unavailable (the graph stays on disk)",
     )
     serve.add_argument(
+        "--kernels", choices=["auto", "numpy", "native"], default="auto",
+        help="compute tier for the hot query kernels — 'native': the "
+        "compiled C extension (error if unavailable); 'numpy': the "
+        "vectorised pure-Python tier; 'auto' (default): native when the "
+        "extension is built and the store layout matches, else numpy "
+        "(also via REPRO_KERNELS)",
+    )
+    serve.add_argument(
         "--worker-cache", type=int, default=0,
         help="procpool backend: per-worker result-cache capacity "
         "(0 disables; repeated expensive pairs are then served from "
@@ -313,6 +321,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         replicate_tables=args.replicate_tables,
         worker_cache_size=args.worker_cache,
         mmap=args.mmap,
+        kernels=None if args.kernels == "auto" else args.kernels,
         **backend_kwargs,
     )
     try:
@@ -334,6 +343,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if args.shards
                 else "single machine"
             )
+            mode += f", {app.kernels} kernels"
             if args.transport == "stdio":
                 print(
                     f"serving {app.n:,}-node oracle ({mode}); "
@@ -386,6 +396,7 @@ def _serve_network(app, args: argparse.Namespace, mode: str) -> None:
         replicate_tables=args.replicate_tables,
         worker_cache_size=args.worker_cache,
         mmap=True,
+        kernels=None if args.kernels == "auto" else args.kernels,
         **_shard_backend_kwargs(args),
     )
 

@@ -1,0 +1,114 @@
+"""Compile the C kernels into a ctypes-loadable shared library.
+
+The extension is deliberately *not* a CPython extension module — it is
+a plain shared object with no Python.h or numpy C-API dependency, so
+building it needs nothing beyond a C compiler:
+
+    python -m repro.core._native.build
+
+``setup.py`` runs the same function during ``build_py`` (best-effort:
+a missing compiler degrades the install to pure Python, it never fails
+it), and CI invokes the module form before the native-tier test runs.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+#: Source and output names; the loader globs ``LIB_STEM*`` with the
+#: platform shared-library suffix next to this file.
+SOURCE = "kernels.c"
+LIB_STEM = "_kernels"
+
+
+def lib_suffix() -> str:
+    """The platform's shared-library suffix (``.so``/``.dylib``/``.dll``)."""
+    if sys.platform == "win32":  # pragma: no cover - not a target platform
+        return ".dll"
+    if sys.platform == "darwin":
+        return ".dylib"
+    return ".so"
+
+
+def lib_path(package_dir: Path = HERE) -> Path:
+    """Where :func:`build` puts the compiled library."""
+    return package_dir / f"{LIB_STEM}{lib_suffix()}"
+
+
+def find_compiler() -> str | None:
+    """A usable C compiler: ``$CC``, the interpreter's, or a common name."""
+    candidates = [os.environ.get("CC"), sysconfig.get_config_var("CC")]
+    candidates.extend(["cc", "gcc", "clang"])
+    for candidate in candidates:
+        if not candidate:
+            continue
+        # CC config vars can carry flags ("gcc -pthread"); the command
+        # is the first token.
+        command = candidate.split()[0]
+        if shutil.which(command):
+            return command
+    return None
+
+
+def build(
+    package_dir: Path = HERE, *, force: bool = False, verbose: bool = False
+) -> Path:
+    """Compile ``kernels.c`` into the package directory.
+
+    Returns the library path; raises ``RuntimeError`` when no compiler
+    is available or the compile fails (callers that must degrade
+    gracefully — ``setup.py`` — catch it).
+    """
+    source = package_dir / SOURCE
+    target = lib_path(package_dir)
+    if not source.exists():
+        raise RuntimeError(f"native kernel source not found: {source}")
+    if target.exists() and not force:
+        if target.stat().st_mtime >= source.stat().st_mtime:
+            return target
+    compiler = find_compiler()
+    if compiler is None:
+        raise RuntimeError(
+            "no C compiler found (set $CC or install gcc/clang); "
+            "the numpy kernel tier remains fully functional"
+        )
+    cmd = [
+        compiler, "-O3", "-shared", "-fPIC", "-std=c99",
+        str(source), "-o", str(target), "-lm",
+    ]
+    if verbose:
+        print(" ".join(cmd))
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"native kernel build failed ({compiler}):\n{proc.stderr.strip()}"
+        )
+    return target
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--force", action="store_true", help="rebuild even if up to date"
+    )
+    args = parser.parse_args(argv)
+    try:
+        target = build(force=args.force, verbose=True)
+    except RuntimeError as exc:
+        print(f"native kernel build skipped: {exc}", file=sys.stderr)
+        return 1
+    print(f"built {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

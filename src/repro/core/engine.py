@@ -47,6 +47,7 @@ from typing import Optional, Protocol, Type, runtime_checkable
 
 import numpy as np
 
+from repro.core import _native
 from repro.core.flat import JOIN_MAX_SCAN, FlatIndex
 from repro.core.oracle import METHOD_CODE, METHODS, QueryResult
 from repro.core.parallel import BYTES_PER_WIRE_ENTRY
@@ -178,6 +179,9 @@ class FlatQueryEngine:
             actually needed.
         result_cls: result dataclass to emit (the directed oracle
             passes :class:`~repro.core.directed.DirectedQueryResult`).
+        kernels: kernel tier override (``"numpy"``/``"native"``/
+            ``"auto"``); ``None`` keeps each index's current/lazy
+            resolution (see :meth:`FlatIndex.set_kernels`).
     """
 
     def __init__(
@@ -188,6 +192,7 @@ class FlatQueryEngine:
         kernel: str = "boundary-smaller",
         strict_paths: bool = True,
         result_cls: Type[QueryResult] = QueryResult,
+        kernels: Optional[str] = None,
     ) -> None:
         self.out = source_flat
         self.inn = target_flat if target_flat is not None else source_flat
@@ -198,6 +203,26 @@ class FlatQueryEngine:
         self.strict_paths = strict_paths
         self.result_cls = result_cls
         self._integral = self.out._integral
+        if kernels is not None:
+            self.out.set_kernels(kernels)
+            if self.inn is not self.out:
+                self.inn.set_kernels(kernels)
+        else:
+            # Resolve both sides now (cheap, cached) so the fused scalar
+            # resolver below can bind against settled tiers.
+            self.out._native_tier()
+            self.inn._native_tier()
+        #: Fused single-pair C resolver — ``None`` whenever either side
+        #: runs the numpy tier or the kernel name has no C counterpart;
+        #: :meth:`resolve` then runs the numpy step loop unchanged.
+        self._native_resolve = _native.make_pair_resolver(
+            self.out, self.inn, kernel, result_cls, self._integral
+        )
+
+    @property
+    def kernels(self) -> str:
+        """The active kernel tier (the source side's; sides agree)."""
+        return self.out.kernels
 
     @classmethod
     def from_index(cls, index, **overrides) -> "FlatQueryEngine":
@@ -244,6 +269,13 @@ class FlatQueryEngine:
         +1 per landmark-flag check, +1 per table hit, +1 per vicinity
         membership probe, plus one probe per scanned kernel node.
         """
+        if not with_path and self._native_resolve is not None:
+            # The fused C loop covers every pathless outcome; ``None``
+            # means the store looked inconsistent mid-scan — re-run the
+            # numpy steps so the caller gets the usual QueryError.
+            res = self._native_resolve(source, target)
+            if res is not None:
+                return res
         out, inn = self.out, self.inn
         rc = self.result_cls
         if source == target:
@@ -389,14 +421,14 @@ class FlatQueryEngine:
         idx = np.flatnonzero(src_lm)
         if idx.size:
             # Condition (1): probes = source flag + table hit.
-            dists = out.table_dist[out.landmark_row[sources[idx]], targets[idx]]
+            dists = out.table_lookup_many(sources[idx], targets[idx])
             self._fill_table_lane(
                 idx, sources, targets, dists, "landmark-source", 2, with_path, results
             )
         idx = np.flatnonzero(tgt_lm)
         if idx.size:
             # Condition (2): probes = both flags + table hit.
-            dists = inn.table_dist[inn.landmark_row[targets[idx]], sources[idx]]
+            dists = inn.table_lookup_many(targets[idx], sources[idx])
             self._fill_table_lane(
                 idx, sources, targets, dists, "landmark-target", 3, with_path, results
             )
@@ -550,14 +582,33 @@ class ShardQueryEngine:
     every cross-shard round trip the query would have cost.
     """
 
-    __slots__ = ("flat", "assign", "replicate_tables")
+    __slots__ = ("flat", "assign", "replicate_tables", "_scratch")
 
     def __init__(
-        self, flat: FlatIndex, assign: np.ndarray, replicate_tables: bool
+        self,
+        flat: FlatIndex,
+        assign: np.ndarray,
+        replicate_tables: bool,
+        *,
+        kernels: Optional[str] = None,
+        reuse_scratch: bool = False,
     ) -> None:
         self.flat = flat
         self.assign = assign
         self.replicate_tables = replicate_tables
+        if kernels is not None:
+            flat.set_kernels(kernels)
+        # Preallocated result columns, reused across sub-batches.  Only
+        # safe when this engine is the sole resolver in its process and
+        # each frame is serialised before the next one is answered —
+        # i.e. the process-pool worker loop; the thread backend shares
+        # one engine across workers and must keep fresh columns.
+        self._scratch: Optional[list] = [] if reuse_scratch else None
+
+    @property
+    def kernels(self) -> str:
+        """The active kernel tier of the underlying index."""
+        return self.flat.kernels
 
     def answer(self, source: int, target: int, with_path: bool, payload=None):
         """Answer one pair; returns ``(result, round_trip_payload_bytes)``.
@@ -748,10 +799,7 @@ class ShardQueryEngine:
                 return d[inverse], c[inverse], w[inverse], p[inverse]
         flat = self.flat
         sources, targets = arr[:, 0], arr[:, 1]
-        dist = np.full(m, np.nan)
-        method = np.zeros(m, dtype=np.uint8)
-        witness = np.full(m, -1, dtype=np.int64)
-        probes = np.zeros(m, dtype=np.int64)
+        dist, method, witness, probes = self._result_columns(m)
 
         identical = sources == targets
         idx = np.flatnonzero(identical)
@@ -774,14 +822,14 @@ class ShardQueryEngine:
         if idx.size:
             # Condition (1): probes = source flag + table hit.
             self._table_columns(
-                idx, flat.table_dist[flat.landmark_row[sources[idx]], targets[idx]],
+                idx, flat.table_lookup_many(sources[idx], targets[idx]),
                 _LM_SOURCE, 2, dist, method, probes,
             )
         idx = np.flatnonzero(tgt_lm)
         if idx.size:
             # Condition (2): probes = both flags + table hit.
             self._table_columns(
-                idx, flat.table_dist[flat.landmark_row[targets[idx]], sources[idx]],
+                idx, flat.table_lookup_many(targets[idx], sources[idx]),
                 _LM_TARGET, 3, dist, method, probes,
             )
 
@@ -806,6 +854,34 @@ class ShardQueryEngine:
             self._intersect_columns(
                 residual, sources, targets, dist, method, witness, probes
             )
+        return dist, method, witness, probes
+
+    def _result_columns(self, m):
+        """Result columns for ``m`` pairs: fresh arrays, or (when built
+        with ``reuse_scratch=True``) views over one grow-to-fit buffer
+        refilled with the same initial values — byte-identical frames
+        without a per-frame allocation."""
+        if self._scratch is None:
+            return (
+                np.full(m, np.nan),
+                np.zeros(m, dtype=np.uint8),
+                np.full(m, -1, dtype=np.int64),
+                np.zeros(m, dtype=np.int64),
+            )
+        buf = self._scratch
+        if not buf or buf[0].size < m:
+            cap = max(m, 256)
+            buf[:] = [
+                np.empty(cap, dtype=np.float64),
+                np.empty(cap, dtype=np.uint8),
+                np.empty(cap, dtype=np.int64),
+                np.empty(cap, dtype=np.int64),
+            ]
+        dist, method, witness, probes = (col[:m] for col in buf)
+        dist.fill(np.nan)
+        method.fill(0)
+        witness.fill(-1)
+        probes.fill(0)
         return dist, method, witness, probes
 
     @staticmethod

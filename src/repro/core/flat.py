@@ -28,8 +28,9 @@ from typing import Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core import _native
 from repro.core.paths import walk_parent_array
-from repro.exceptions import QueryError
+from repro.exceptions import KernelError, QueryError
 
 Distance = Union[int, float]
 
@@ -519,6 +520,13 @@ class FlatIndex:
         self._member_key_cache: Optional[np.ndarray] = None
         self._vic_key_cache: Optional[np.ndarray] = None
         self._member_dists: Optional[np.ndarray] = None
+        # Kernel tier: resolved lazily on first kernel call (so env vars
+        # and explicit overrides applied before first use win); the
+        # requested choice is remembered so dynamic repair can carry it
+        # onto the replacement index.
+        self._kernels: Optional[str] = None
+        self._kernel_choice: Optional[str] = None
+        self._native = None
 
     # ------------------------------------------------------------------
     # construction
@@ -744,6 +752,50 @@ class FlatIndex:
         ]
         return nodes, dists
 
+    # ------------------------------------------------------------------
+    # kernel tier
+    # ------------------------------------------------------------------
+    @property
+    def kernels(self) -> str:
+        """The active kernel tier: ``"numpy"`` or ``"native"``."""
+        if self._kernels is None:
+            self.set_kernels(None)
+        return self._kernels
+
+    def set_kernels(self, choice: Optional[str]) -> str:
+        """Select the kernel tier and return the resolved name.
+
+        ``"numpy"`` and ``"native"`` force a tier (forcing ``native``
+        raises :class:`~repro.exceptions.KernelError` when the compiled
+        extension is missing or this index's layout is unsupported);
+        ``None``/``"auto"`` defer to ``REPRO_KERNELS`` and otherwise
+        pick ``native`` exactly when it is usable.
+        """
+        tier = _native.resolve_tier(choice)
+        self._kernel_choice = choice if choice not in (None, "auto") else None
+        if tier == "numpy":
+            self._native = None
+            self._kernels = "numpy"
+            return self._kernels
+        kernels, reason = _native.native_kernels(self)
+        if kernels is None:
+            if tier == "native":
+                raise KernelError(
+                    f"native kernels requested but unavailable: {reason}"
+                )
+            self._native = None
+            self._kernels = "numpy"
+        else:
+            self._native = kernels
+            self._kernels = "native"
+        return self._kernels
+
+    def _native_tier(self):
+        """The resolved native-kernel wrapper, or ``None`` (numpy tier)."""
+        if self._kernels is None:
+            self.set_kernels(None)
+        return self._native
+
     @property
     def _member_key(self) -> np.ndarray:
         """Global (owner, node) member key, sorted; built on first use."""
@@ -787,6 +839,9 @@ class FlatIndex:
         ``(hit_mask, distances)`` with distances meaningful only where
         the mask is true.
         """
+        native = self._native_tier()
+        if native is not None:
+            return native.member_probe_many(owners, others)
         key = owners * self._key_scale + others
         dists = np.zeros(key.size, dtype=self.vic_dists.dtype)
         if self._member_key.size == 0 or key.size == 0:
@@ -798,6 +853,22 @@ class FlatIndex:
             vpos = np.searchsorted(self._vic_key, key[hit])
             dists[hit] = self.vic_dists[vpos]
         return hit, dists
+
+    def table_lookup_many(
+        self, endpoints: np.ndarray, others: np.ndarray
+    ) -> np.ndarray:
+        """Raw landmark-table rows for aligned ``(endpoint, node)`` pairs.
+
+        Every ``endpoints[i]`` must satisfy :meth:`has_table`; returns
+        the stored values as ``float64`` (negative or ``inf`` marks
+        unreachable, exactly as :meth:`table_distance` interprets
+        them) so both kernel tiers hand callers one numeric type.
+        """
+        native = self._native_tier()
+        if native is not None:
+            return native.table_lookup_many(endpoints, others)
+        rows = self.landmark_row[endpoints]
+        return self.table_dist[rows, others].astype(np.float64, copy=False)
 
     def intersect_many(
         self,
@@ -820,6 +891,13 @@ class FlatIndex:
         ``float64`` with ``inf`` marking no intersection and ``witness``
         ``-1`` there.
         """
+        native = self._native_tier()
+        if native is not None:
+            res = native.intersect_many(
+                scan_offsets, scan_nodes, scan_dists, scan_owner, probe_owner
+            )
+            if res is not _native.UNSUPPORTED:
+                return res
         lanes = scan_owner.size
         lo = scan_offsets[scan_owner]
         sizes = (scan_offsets[scan_owner + 1] - lo).astype(np.int64)
@@ -868,6 +946,11 @@ class FlatIndex:
         ``(best, witness, probes)`` — the same first-minimum witness and
         one-probe-per-scanned-node count as the scalar kernel.
         """
+        native = self._native_tier()
+        if native is not None:
+            res = native.intersect_payload(scan_nodes, scan_dists, target)
+            if res is not _native.UNSUPPORTED:
+                return res
         probes = int(scan_nodes.size)
         if probes == 0:
             return None, None, probes
@@ -1037,9 +1120,14 @@ class FlatIndex:
             "landmark_ids": self.landmark_ids,
             "landmark_row": self.landmark_row,
         }
-        return FlatIndex(
+        fresh = FlatIndex(
             arrays, n=self.n, weighted=self.weighted, store_paths=self.store_paths
         )
+        # An explicitly forced tier survives dynamic repair; auto
+        # re-resolves lazily against the replacement arrays.
+        if self._kernel_choice is not None:
+            fresh.set_kernels(self._kernel_choice)
+        return fresh
 
 
 def _splice(

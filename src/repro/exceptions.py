@@ -46,6 +46,11 @@ class UnreachableError(QueryError):
         self.target = target
 
 
+class KernelError(ReproError):
+    """Raised for invalid kernel-tier selection (e.g. forcing ``native``
+    when the compiled extension is unavailable)."""
+
+
 class SerializationError(ReproError):
     """Raised when persisted graphs or oracles cannot be read or written."""
 

@@ -296,7 +296,7 @@ def load_store_config(path: PathLike) -> dict:
         return json.loads(str(data["config"]))
 
 
-def load_query_engine(path: PathLike, *, mmap: bool = False):
+def load_query_engine(path: PathLike, *, mmap: bool = False, kernels: str = None):
     """Load a saved index as a ready single-machine query engine.
 
     The dict-free, graph-free serving path for an unsharded deployment:
@@ -305,6 +305,8 @@ def load_query_engine(path: PathLike, *, mmap: bool = False):
     searches are unavailable (they need the input graph), exactly as in
     sharded serving; misses are reported as such.  With ``mmap=True``
     the arrays are memory-mapped views (see :func:`load_flat_index`).
+    ``kernels`` picks the compute tier (``"numpy"``/``"native"``;
+    default auto-detect).
     """
     from repro.core.engine import FlatQueryEngine
 
@@ -313,6 +315,7 @@ def load_query_engine(path: PathLike, *, mmap: bool = False):
         load_flat_index(path, mmap=mmap),
         kernel=config.get("kernel", "boundary-smaller"),
         strict_paths=True,
+        kernels=kernels,
     )
 
 

@@ -181,7 +181,16 @@ def _worker_main(endpoint_spec, spec: dict, meta: dict, pin_core=None) -> None:
             store_paths=meta["store_paths"],
         )
         assign = bundle.arrays["shard_assign"]
-    engine = ShardQueryEngine(flat, assign, meta["replicate_tables"])
+    # Each worker process owns its engine exclusively and serialises
+    # every response frame before touching the next request, so the
+    # scratch-buffer reuse is safe here (and off in the thread backend).
+    engine = ShardQueryEngine(
+        flat,
+        assign,
+        meta["replicate_tables"],
+        kernels=meta.get("kernels"),
+        reuse_scratch=True,
+    )
     cache = (
         ResultCache(meta["worker_cache_size"])
         if meta["worker_cache_size"] > 0
@@ -466,6 +475,8 @@ class ProcessShardedService(FlatShardedBase):
         pin_workers: pin each worker to one core (round-robin over the
             coordinator's affinity mask; no-op where unsupported).
         ring_capacity: per-direction ring bytes (ring transport only).
+        kernels: kernel tier (``"numpy"``/``"native"``/``None`` = auto);
+            the resolved tier is shipped to every worker process.
     """
 
     def __init__(
@@ -484,6 +495,7 @@ class ProcessShardedService(FlatShardedBase):
         replicas: int = 1,
         pin_workers: bool = False,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
+        kernels: Optional[str] = None,
     ) -> None:
         if transport not in ("pipe", "ring"):
             raise QueryError(
@@ -498,6 +510,7 @@ class ProcessShardedService(FlatShardedBase):
             flat=flat,
             sub_batch=sub_batch,
             replicas=replicas,
+            kernels=kernels,
         )
         self.worker_cache_size = int(worker_cache_size)
         self.pin_workers = bool(pin_workers)
@@ -509,6 +522,10 @@ class ProcessShardedService(FlatShardedBase):
             "worker_cache_size": self.worker_cache_size,
             "num_shards": num_shards,
             "placement": placement,
+            # Ship the *resolved* tier so worker processes land on the
+            # same kernels the coordinator resolved (same machine, same
+            # extension artifact) instead of re-running auto-detection.
+            "kernels": self.kernels,
         }
         self._worker_cache_stats: dict[int, dict] = {}
         num_workers = num_shards * self.replicas

@@ -85,6 +85,15 @@ class ServiceApp:
             return self.sharded.n
         return self.engine.n
 
+    @property
+    def kernels(self) -> str:
+        """The active kernel tier of the serving resolver."""
+        if self.sharded is not None:
+            return self.sharded.kernels
+        if self.engine is not None:
+            return self.engine.kernels
+        return self.oracle.engine.kernels
+
     @classmethod
     def from_index(
         cls,
@@ -95,6 +104,7 @@ class ServiceApp:
         backend: str = "threads",
         replicate_tables: bool = False,
         worker_cache_size: int = 0,
+        kernels: Optional[str] = None,
         **backend_kwargs,
     ) -> "ServiceApp":
         """Assemble the serving stack over a built index.
@@ -111,6 +121,8 @@ class ServiceApp:
             replicate_tables: sharded-mode landmark-table replication.
             worker_cache_size: ``procpool`` only — per-worker result
                 cache capacity (0 disables).
+            kernels: kernel tier for the query engines — ``"numpy"``,
+                ``"native"`` or ``None``/``"auto"``.
             backend_kwargs: forwarded to the shard backend constructor
                 (``transport=``, ``sub_batch=``, ``replicas=``,
                 ``pin_workers=``, ...); requires ``shards >= 1``.
@@ -127,10 +139,18 @@ class ServiceApp:
                 kwargs["worker_cache_size"] = worker_cache_size
             sharded = create_shard_backend(
                 index, shards, backend=backend,
-                replicate_tables=replicate_tables, **kwargs,
+                replicate_tables=replicate_tables, kernels=kernels, **kwargs,
             )
+        oracle = VicinityOracle(index)
+        if kernels is not None:
+            # Settle the tier on the cached flat arrays before the
+            # engine property builds (and binds its scalar resolver)
+            # against them; the choice survives dynamic repairs.
+            from repro.core.flat import FlatIndex
+
+            FlatIndex.from_index(index).set_kernels(kernels)
         return cls._assemble(
-            oracle=VicinityOracle(index),
+            oracle=oracle,
             sharded=sharded,
             cache_size=cache_size,
             backend_name=backend if shards > 0 else "single",
@@ -147,6 +167,7 @@ class ServiceApp:
         replicate_tables: bool = False,
         worker_cache_size: int = 0,
         mmap: bool = False,
+        kernels: Optional[str] = None,
         **backend_kwargs,
     ) -> "ServiceApp":
         """Assemble the serving stack from a saved index file.
@@ -175,7 +196,8 @@ class ServiceApp:
                 backend_kwargs["worker_cache_size"] = worker_cache_size
             sharded = backend_from_saved(
                 path, shards, backend=backend, mmap=mmap,
-                replicate_tables=replicate_tables, **backend_kwargs,
+                replicate_tables=replicate_tables, kernels=kernels,
+                **backend_kwargs,
             )
             return cls._assemble(
                 oracle=None, sharded=sharded, cache_size=cache_size,
@@ -193,7 +215,7 @@ class ServiceApp:
             return cls._assemble(
                 oracle=None,
                 sharded=None,
-                engine=load_query_engine(path, mmap=True),
+                engine=load_query_engine(path, mmap=True, kernels=kernels),
                 cache_size=cache_size,
             )
         from repro.io.oracle_store import load_index
@@ -204,6 +226,7 @@ class ServiceApp:
             shards=shards,
             backend=backend,
             replicate_tables=replicate_tables,
+            kernels=kernels,
         )
 
     @classmethod
@@ -257,6 +280,7 @@ class ServiceApp:
             worker_cache=worker_cache,
             net=net,
             shard_transport=shard_transport,
+            kernels=self.kernels,
         )
         snap["batching"] = self.executor.stats.snapshot()
         return snap

@@ -130,6 +130,9 @@ class FlatShardedBase:
             give the replica router something to balance.
         replicas: interchangeable workers per shard; sub-batches go to
             the replica with the least outstanding pairs.
+        kernels: kernel tier for the shard engines — ``"numpy"``,
+            ``"native"`` or ``None``/``"auto"`` (pick native when the
+            compiled extension is available and the layout matches).
     """
 
     def __init__(
@@ -142,6 +145,7 @@ class FlatShardedBase:
         flat: Optional[FlatIndex] = None,
         sub_batch: int = 0,
         replicas: int = 1,
+        kernels: Optional[str] = None,
     ) -> None:
         if index is not None:
             flat = FlatIndex.from_index(index)
@@ -154,6 +158,7 @@ class FlatShardedBase:
         if replicas < 1:
             raise QueryError("replicas must be at least 1")
         self.flat = flat
+        self.kernels = flat.set_kernels(kernels)
         self.num_shards = num_shards
         self.placement = placement
         self.replicate_tables = replicate_tables
@@ -323,6 +328,7 @@ class FlatShardedBase:
         """
         stats = {
             "transport": self._transport.name if self._transport else None,
+            "kernels": self.kernels,
             "replicas": self.replicas,
             "sub_batch": self.sub_batch,
         }

@@ -104,6 +104,7 @@ class ShardedService(FlatShardedBase):
         replicas: worker threads per shard with load-aware routing —
             under the GIL this buys routing realism, not speed.
         transport: must be ``"inline"`` (the only thread-backend plane).
+        kernels: kernel tier (``"numpy"``/``"native"``/``None`` = auto).
     """
 
     def __init__(
@@ -117,6 +118,7 @@ class ShardedService(FlatShardedBase):
         sub_batch: int = 0,
         replicas: int = 1,
         transport: str = "inline",
+        kernels=None,
     ) -> None:
         if transport != "inline":
             raise QueryError(
@@ -131,7 +133,11 @@ class ShardedService(FlatShardedBase):
             flat=flat,
             sub_batch=sub_batch,
             replicas=replicas,
+            kernels=kernels,
         )
+        # One engine shared by every worker thread, so the per-worker
+        # scratch-buffer reuse stays off here (frames must keep their
+        # own result columns when several threads fill them at once).
         self._engine = ShardQueryEngine(self.flat, self._assign, replicate_tables)
         self._transport = InlineTransport(
             self._engine, num_shards * self.replicas

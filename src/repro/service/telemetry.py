@@ -198,6 +198,7 @@ class Telemetry:
         worker_cache=None,
         net=None,
         shard_transport=None,
+        kernels=None,
     ) -> dict:
         """One JSON-serialisable dict describing the service so far.
 
@@ -220,6 +221,8 @@ class Telemetry:
                 merged *additively* into ``snap["shards"]`` — transport
                 name, replica routing state, per-shard depth and frame
                 bytes, and the dispatch/execute/collect time split.
+            kernels: the active kernel tier (``"numpy"``/``"native"``),
+                embedded as ``snap["kernels"]`` when given.
         """
         with self._lock:
             elapsed = time.perf_counter() - self.started
@@ -235,6 +238,8 @@ class Telemetry:
                 "batch_latency": self.batch_latency.snapshot(),
                 "by_method": {m: self.by_method[m] for m in METHODS if self.by_method[m]},
             }
+            if kernels is not None:
+                snap["kernels"] = kernels
         if cache is not None:
             snap["cache"] = cache.snapshot()
         if worker_cache is not None:
@@ -275,10 +280,13 @@ def render_snapshot(snapshot: dict) -> str:
     """Human-readable multi-line view of :meth:`Telemetry.snapshot`."""
     lines = []
     if snapshot.get("engine") or snapshot.get("backend"):
-        lines.append(
+        serving = (
             f"serving          : engine={snapshot.get('engine') or '?'} "
             f"backend={snapshot.get('backend') or '?'}"
         )
+        if snapshot.get("kernels"):
+            serving += f" kernels={snapshot['kernels']}"
+        lines.append(serving)
     lines += [
         f"queries          : {snapshot['queries']:,}"
         + (f"  ({snapshot['batches']:,} batches)" if snapshot.get("batches") else ""),

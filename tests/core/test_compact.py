@@ -46,6 +46,16 @@ def _pairs(n, count, seed):
     return [tuple(int(x) for x in rng.integers(0, n, 2)) for _ in range(count)]
 
 
+def _tier_params():
+    """Kernel tiers runnable here (native only with the built extension)."""
+    from repro.core import _native
+
+    tiers = ["numpy"]
+    if _native.load_library() is not None:
+        tiers.append("native")
+    return tiers
+
+
 def assert_results_identical(got, want):
     for a, b in zip(got, want):
         assert (a.distance, a.method, a.witness, a.probes, a.path) == (
@@ -103,10 +113,11 @@ class TestCompactVersusInt64:
             assert again[name].dtype == store[name].dtype, name
             assert np.array_equal(again[name], store[name], equal_nan=True), name
 
-    def test_int64_store_answers_identically(self, built):
+    @pytest.mark.parametrize("tier", _tier_params())
+    def test_int64_store_answers_identically(self, built, tier):
         """A FlatIndex loaded from the widened int64 layout (the legacy
         on-disk shape) answers field-identically to the compact one and
-        to the dict reference."""
+        to the dict reference — under either kernel tier."""
         store = flatten_index(built)
         compact = FlatIndex.from_store_arrays(store, n=built.n, weighted=False)
         legacy = FlatIndex.from_store_arrays(
@@ -114,8 +125,12 @@ class TestCompactVersusInt64:
         )
         pairs = _pairs(built.n, 600, seed=3)
         kernel = built.config.kernel
-        a = FlatQueryEngine(compact, kernel=kernel).query_batch(pairs, with_path=True)
-        b = FlatQueryEngine(legacy, kernel=kernel).query_batch(pairs, with_path=True)
+        a = FlatQueryEngine(compact, kernel=kernel, kernels=tier).query_batch(
+            pairs, with_path=True
+        )
+        b = FlatQueryEngine(legacy, kernel=kernel, kernels=tier).query_batch(
+            pairs, with_path=True
+        )
         assert_results_identical(a, b)
         c = DictReferenceOracle(built).query_batch(pairs, with_path=True)
         assert_results_identical(a, c)
@@ -228,15 +243,16 @@ class TestMmapServing:
         assert isinstance(base, (np.memmap, mmap_module.mmap))
         assert not flat.vic_nodes.flags.writeable
 
-    def test_mmap_queries_identical(self, saved):
+    @pytest.mark.parametrize("tier", _tier_params())
+    def test_mmap_queries_identical(self, saved, tier):
         index, path = saved
         pairs = _pairs(index.n, 600, seed=19)
         kernel = index.config.kernel
         want = FlatQueryEngine(
-            load_flat_index(path), kernel=kernel
+            load_flat_index(path), kernel=kernel, kernels=tier
         ).query_batch(pairs, with_path=True)
         got = FlatQueryEngine(
-            load_flat_index(path, mmap=True), kernel=kernel
+            load_flat_index(path, mmap=True), kernel=kernel, kernels=tier
         ).query_batch(pairs, with_path=True)
         assert_results_identical(got, want)
 

@@ -159,6 +159,50 @@ class TestBatchParity:
             engine.query_batch([(0, 1)], with_path=True)
 
 
+class TestKernelTierParity:
+    """The compiled tier must match the dict reference wherever the
+    numpy tier does — same fields, same witness rules per kernel."""
+
+    @pytest.fixture(
+        params=["numpy", "native"], ids=["numpy", "native"]
+    )
+    def tier(self, request):
+        from repro.core import _native
+
+        if request.param == "native" and _native.load_library() is None:
+            pytest.skip("compiled kernel extension not built")
+        return request.param
+
+    @pytest.mark.parametrize(
+        "kernel",
+        ["boundary-source", "boundary-target", "boundary-smaller",
+         "full-source", "full-smaller"],
+    )
+    def test_all_fields_match_reference(self, built, tier, kernel):
+        index = built
+        index.config = index.config.with_updates(kernel=kernel)
+        reference = DictReferenceOracle(index)
+        engine = FlatQueryEngine.from_index(index, kernels=tier)
+        assert engine.kernels == tier
+        exact = kernel in ORDER_EXACT_KERNELS
+        for s, t in random_pairs(index.n, 300, seed=9):
+            got = engine.resolve(s, t, False)
+            want = reference.query(s, t)
+            assert_field_identical(
+                got, want, exact_witness=exact, context=(tier, kernel, s, t)
+            )
+
+    def test_paths_match_reference(self, built, tier):
+        index = built
+        index.config = index.config.with_updates(kernel="boundary-smaller")
+        reference = DictReferenceOracle(index)
+        engine = FlatQueryEngine.from_index(index, kernels=tier)
+        for s, t in random_pairs(index.n, 150, seed=10):
+            got = engine.resolve(s, t, True)
+            want = reference.query(s, t, with_path=True)
+            assert fields(got) == fields(want), (tier, s, t)
+
+
 class TestDirectedParity:
     @pytest.fixture(scope="class")
     def directed_oracle(self):
