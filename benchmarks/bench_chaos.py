@@ -1,0 +1,299 @@
+"""Serving under fire: throughput, tail latency and answer loss amid churn.
+
+The supervision plane (PR 9) claims that worker death is an operational
+event, not a correctness event.  This benchmark prices that claim on
+the process backend with deterministic fault plans
+(:mod:`repro.service.faults`):
+
+* **baseline** — the supervised service with no faults injected: the
+  supervision machinery on the hot path must cost ~nothing when
+  nothing fails;
+* **churn** — one worker per shard (``replicas=2``) SIGKILLs itself
+  every few frames, in every generation, while the workload runs.
+  Acceptance: *zero* unanswered admitted queries and answers
+  bit-identical to the undisturbed run, with the restart/failover
+  counts to prove workers actually died;
+* **breaker drill** — ``replicas=1`` and a shard that stays dark
+  through restarts: queries homed there must come back as
+  ``method="estimate"`` degraded answers (never errors, never hangs),
+  while the healthy shard keeps answering exactly.
+
+Runnable as a script for CI::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke
+
+which writes ``benchmarks/_artifacts/BENCH_chaos.json`` — qps and
+p50/p99 per phase plus ``unanswered_rate``, ``degraded_rate`` and the
+supervisor's restart/retry/failover counters — and exits non-zero on
+any correctness failure.
+"""
+
+import json
+import multiprocessing
+import time
+
+import numpy as np
+
+from repro.core.config import OracleConfig
+from repro.core.oracle import VicinityOracle
+from repro.datasets.social import generate
+from repro.experiments.reporting import render_table
+from repro.service import (
+    ProcessShardedService,
+    SupervisorConfig,
+    in_batches,
+    zipf_pairs,
+)
+
+try:
+    from benchmarks.conftest import write_artifact
+except ImportError:  # script mode from the benchmarks directory
+    from conftest import write_artifact
+
+
+def _percentiles_ms(per_batch_seconds, batch_size) -> dict:
+    per_query = np.asarray(per_batch_seconds) / batch_size
+    p50, p99 = np.percentile(per_query, [50, 99])
+    return {"p50_ms": p50 * 1e3, "p99_ms": p99 * 1e3}
+
+
+def _drive(service, batches):
+    """Run every batch, tolerating per-batch errors; returns results+timing."""
+    results = []
+    per_batch = []
+    errors = 0
+    started = time.perf_counter()
+    for batch in batches:
+        t0 = time.perf_counter()
+        try:
+            results.extend(service.query_batch(batch))
+        except Exception:
+            errors += 1
+            results.extend([None] * len(batch))
+        per_batch.append(time.perf_counter() - t0)
+    return results, time.perf_counter() - started, per_batch, errors
+
+
+def _phase_metrics(results, seconds, per_batch, batch_size):
+    queries = len(results)
+    unanswered = sum(1 for r in results if r is None)
+    degraded = sum(
+        1 for r in results if r is not None and r.method == "estimate"
+    )
+    return {
+        "queries": queries,
+        "seconds": seconds,
+        "qps": queries / seconds if seconds > 0 else float("inf"),
+        "unanswered_rate": unanswered / queries if queries else 0.0,
+        "degraded_rate": degraded / queries if queries else 0.0,
+        **_percentiles_ms(per_batch, batch_size),
+    }
+
+
+def _sup_block(service) -> dict:
+    snap = service.transport_stats()["supervisor"]
+    return {
+        key: snap[key]
+        for key in (
+            "restarts", "retries", "failovers", "timeouts",
+            "worker_deaths", "degraded_pairs", "breaker_opens",
+        )
+    }
+
+
+def run_chaos(
+    shards: int = 2,
+    queries: int = 2000,
+    scale: float = 0.0008,
+    batch_size: int = 128,
+    kill_every: int = 3,
+) -> int:
+    """Drive the three phases and write ``BENCH_chaos.json``."""
+    start_method = (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    graph = generate("livejournal", scale=scale, seed=7)
+    config = OracleConfig(alpha=4.0, seed=7, fallback="none", vicinity_floor=0.75)
+    index = VicinityOracle.build(graph, config=config).index
+    pairs = zipf_pairs(graph.n, queries, exponent=1.0, seed=11)
+    batches = list(in_batches(pairs, batch_size))
+    failures: list[str] = []
+    report: dict = {
+        "workload": {
+            "graph": "livejournal-chung-lu",
+            "nodes": graph.n,
+            "queries": queries,
+            "batch_size": batch_size,
+            "shards": shards,
+            "zipf_exponent": 1.0,
+            "seed": 11,
+            "start_method": start_method,
+            "kill_every_frames": kill_every,
+        },
+    }
+    common = dict(
+        start_method=start_method,
+        sub_batch=max(16, batch_size // (2 * shards)),
+    )
+
+    # --- phase 0: undisturbed supervised baseline ----------------------
+    with ProcessShardedService(
+        index, shards, replicas=2, supervise=True, **common
+    ) as service:
+        service.query_batch(batches[0])  # warm outside the timers
+        results, seconds, per_batch, errors = _drive(service, batches)
+        report["baseline"] = {
+            **_phase_metrics(results, seconds, per_batch, batch_size),
+            "supervisor": _sup_block(service),
+        }
+    expected = results
+    if errors or any(r is None for r in expected):
+        failures.append("baseline run lost queries — cannot judge churn")
+
+    # --- phase 1: sustained churn, one dying worker per shard ----------
+    # Replica 0 of every shard re-kills itself after ``kill_every``
+    # frames in every generation; replica 1 survives.  The supervisor
+    # must hide all of it.
+    churn_faults = {
+        shard * 2: {"kill_after_frames": kill_every, "every_generation": True}
+        for shard in range(shards)
+    }
+    with ProcessShardedService(
+        index, shards, replicas=2,
+        supervise=SupervisorConfig(max_restarts=10_000, backoff_base_s=0.001),
+        faults=churn_faults, **common,
+    ) as service:
+        service.query_batch(batches[0])
+        results, seconds, per_batch, errors = _drive(service, batches)
+        sup = _sup_block(service)
+        report["churn"] = {
+            **_phase_metrics(results, seconds, per_batch, batch_size),
+            "batch_errors": errors,
+            "supervisor": sup,
+        }
+    if errors:
+        failures.append(f"churn: {errors} batches errored")
+    if report["churn"]["unanswered_rate"] > 0:
+        failures.append(
+            f"churn: unanswered_rate {report['churn']['unanswered_rate']:.4f} > 0"
+        )
+    if results != expected:
+        diverged = sum(1 for got, want in zip(results, expected) if got != want)
+        failures.append(
+            f"churn: {diverged} answers diverge from the undisturbed run"
+        )
+    if sup["worker_deaths"] < shards:
+        failures.append(
+            f"churn: only {sup['worker_deaths']} worker deaths observed — "
+            "the drill did not actually bite"
+        )
+    if sup["restarts"] < 1:
+        failures.append("churn: supervisor restarted nothing")
+
+    # --- phase 2: breaker drill — a shard dark through restarts --------
+    with ProcessShardedService(
+        index, shards, replicas=1,
+        supervise=SupervisorConfig(
+            retries=2, max_restarts=1, breaker_failures=1
+        ),
+        faults={0: {"kill_after_frames": 1, "every_generation": True}},
+        **common,
+    ) as service:
+        results, seconds, per_batch, errors = _drive(service, batches)
+        snap = service.transport_stats()["supervisor"]
+        report["breaker"] = {
+            **_phase_metrics(results, seconds, per_batch, batch_size),
+            "batch_errors": errors,
+            "supervisor": _sup_block(service),
+            "breaker_states": [b["state"] for b in snap["breakers"]],
+        }
+    if errors:
+        failures.append(f"breaker drill: {errors} batches errored")
+    if report["breaker"]["unanswered_rate"] > 0:
+        failures.append("breaker drill: admitted queries went unanswered")
+    if report["breaker"]["degraded_rate"] <= 0:
+        failures.append("breaker drill: no degraded answers — breaker never bit")
+    if "open" not in report["breaker"]["breaker_states"]:
+        failures.append("breaker drill: no breaker opened")
+    exact = [
+        (got, want)
+        for got, want in zip(results, expected)
+        if got is not None and got.method != "estimate"
+    ]
+    if any(got != want for got, want in exact):
+        failures.append("breaker drill: healthy-shard answers diverged")
+
+    report["ok"] = not failures
+    report["failures"] = failures
+    path = write_artifact("BENCH_chaos.json", json.dumps(report, indent=2))
+
+    rows = []
+    for phase in ("baseline", "churn", "breaker"):
+        block = report[phase]
+        sup = block["supervisor"]
+        rows.append((
+            phase,
+            int(block["qps"]),
+            f"{block['p50_ms']:.3f}",
+            f"{block['p99_ms']:.3f}",
+            f"{block['unanswered_rate']:.4f}",
+            f"{block['degraded_rate']:.4f}",
+            f"{sup['restarts']}/{sup['failovers']}",
+        ))
+    print(
+        render_table(
+            ["phase", "queries/s", "p50 ms", "p99 ms",
+             "unanswered", "degraded", "restarts/failovers"],
+            rows,
+            title=(
+                f"chaos: {graph.n:,} nodes, {queries:,} Zipf queries, "
+                f"{shards} shards, kill every {kill_every} frames"
+            ),
+        )
+    )
+    print(f"wrote {path}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "ok: churn answers bit-identical with zero loss "
+        f"({report['churn']['supervisor']['restarts']} restarts, "
+        f"{report['churn']['supervisor']['failovers']} failovers); "
+        "dark shard degraded to estimates "
+        f"({report['breaker']['degraded_rate']:.1%} of queries)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the small CI drill (same phases, tiny workload)",
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--batch-size", type=int, default=128)
+    parser.add_argument("--kill-every", type=int, default=3)
+    args = parser.parse_args(argv)
+    queries = args.queries or (2000 if args.smoke else 8000)
+    scale = args.scale or (0.0008 if args.smoke else 0.002)
+    return run_chaos(
+        shards=args.shards,
+        queries=queries,
+        scale=scale,
+        batch_size=args.batch_size,
+        kill_every=args.kill_every,
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

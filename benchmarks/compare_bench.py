@@ -46,7 +46,7 @@ HIGHER_IS_BETTER = {
     "hit_rate",
     "size_ratio",
 }
-LOWER_IS_BETTER = {"p50_ms", "p95_ms", "p99_ms"}
+LOWER_IS_BETTER = {"p50_ms", "p95_ms", "p99_ms", "unanswered_rate"}
 
 
 def collect_metrics(node, prefix: str = "") -> dict[str, float]:

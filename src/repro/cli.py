@@ -146,6 +146,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "where unsupported)",
     )
     serve.add_argument(
+        "--supervise", action="store_true",
+        help="sharded mode: supervise shard workers — sub-batch "
+        "deadlines, retry with backoff, failover to surviving "
+        "replicas, automatic restart of dead workers, and per-shard "
+        "circuit breakers that answer from the landmark estimate "
+        "(method \"estimate\", \"degraded\": true) while a shard is "
+        "fully dark",
+    )
+    serve.add_argument(
+        "--sub-batch-deadline", type=float, default=None, metavar="S",
+        help="sharded mode: per-sub-batch deadline in seconds; with "
+        "--supervise this bounds every wait before retry/failover "
+        "kicks in (default 5), without it a miss raises a typed "
+        "timeout instead of hanging",
+    )
+    serve.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        help="with --supervise: attempts per failed sub-batch before "
+        "the shard's breaker trips (default 3)",
+    )
+    serve.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="with --supervise: worker restarts allowed per sliding "
+        "window before the worker is quarantined (default 5)",
+    )
+    serve.add_argument(
+        "--breaker-failures", type=int, default=None, metavar="N",
+        help="with --supervise: consecutive shard failures that open "
+        "its circuit breaker (default 2)",
+    )
+    serve.add_argument(
+        "--breaker-reset", type=float, default=None, metavar="S",
+        help="with --supervise: seconds an open breaker waits before "
+        "letting one half-open probe through (default 5)",
+    )
+    serve.add_argument(
+        "--inject-faults", default=None, metavar="PLAN",
+        help="procpool backend: deterministic fault-injection plan for "
+        "drills — a preset (churn[:N], kill:W[:N], dark:W[:N], "
+        "stall:W[:N[:S]]) or a JSON object mapping worker ids to rule "
+        "fields (see repro.service.faults)",
+    )
+    serve.add_argument(
         "--transport", choices=["stdio", "tcp", "http"], default="stdio",
         help="stdio: the single-client JSON-lines loop; tcp: the asyncio "
         "multi-client server (same JSON-lines protocol, cross-client "
@@ -306,6 +349,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.inject_faults and args.backend != "procpool":
+        print(
+            "error: --inject-faults requires --backend procpool "
+            "(faults execute inside worker processes)",
+            file=sys.stderr,
+        )
+        return 2
+    supervised_only = {
+        "--retry-budget": args.retry_budget,
+        "--max-restarts": args.max_restarts,
+        "--breaker-failures": args.breaker_failures,
+        "--breaker-reset": args.breaker_reset,
+    }
+    stray = [flag for flag, value in supervised_only.items() if value is not None]
+    if stray and not args.supervise:
+        print(
+            f"error: {'/'.join(stray)} require --supervise",
+            file=sys.stderr,
+        )
+        return 2
     # Invalid --worker-cache combinations are rejected by ServiceApp
     # itself (one copy of the rule); the ReproError handler in main()
     # turns that into a clean error line.
@@ -374,6 +437,29 @@ def _shard_backend_kwargs(args: argparse.Namespace) -> dict:
         kwargs["replicas"] = args.replicas
     if args.pin_workers:
         kwargs["pin_workers"] = True
+    if args.supervise:
+        from repro.service import SupervisorConfig
+
+        overrides = {}
+        if args.sub_batch_deadline is not None:
+            overrides["deadline_s"] = args.sub_batch_deadline
+        if args.retry_budget is not None:
+            overrides["retries"] = args.retry_budget
+        if args.max_restarts is not None:
+            overrides["max_restarts"] = args.max_restarts
+        if args.breaker_failures is not None:
+            overrides["breaker_failures"] = args.breaker_failures
+        if args.breaker_reset is not None:
+            overrides["breaker_reset_s"] = args.breaker_reset
+        kwargs["supervise"] = (
+            SupervisorConfig(**overrides) if overrides else True
+        )
+    elif args.sub_batch_deadline is not None:
+        # Unsupervised: the deadline still bounds every transport wait
+        # (a miss raises a typed WorkerTimeout instead of hanging).
+        kwargs["recv_deadline_s"] = args.sub_batch_deadline
+    if args.inject_faults:
+        kwargs["faults"] = args.inject_faults
     return kwargs
 
 

@@ -58,6 +58,7 @@ _METHOD_NAMES = (
     "fallback",
     "miss",
     "disconnected",
+    "estimate",  # never emitted by the C side; keeps codes aligned
 )
 _M_INTERSECTION = 5
 _M_MISS = 7

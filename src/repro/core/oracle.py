@@ -44,6 +44,13 @@ METHODS = (
     "fallback",
     "miss",
     "disconnected",
+    # Not an Algorithm 1 stage: a degraded answer from the landmark
+    # triangulation upper bound, produced when the serving layer cannot
+    # reach a shard (circuit breaker open) or sheds load.  Lives in the
+    # authoritative tuple so wire codes, caches and telemetry treat it
+    # like any other method; appended last so the codes of the real
+    # resolution stages never move.
+    "estimate",
 )
 
 #: Method-name <-> uint8 wire codes, derived from the METHODS order.

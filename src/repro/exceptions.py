@@ -46,6 +46,37 @@ class UnreachableError(QueryError):
         self.target = target
 
 
+class WorkerFault(QueryError):
+    """A shard worker failed at the transport level (crash, wedge, or a
+    corrupt frame) — as opposed to a deterministic query error the worker
+    reported itself.  Only these faults are eligible for retry/failover:
+    re-dispatching a frame the worker *answered* with an error would just
+    fail again."""
+
+    def __init__(self, worker: int, reason: str) -> None:
+        super().__init__(f"shard worker {worker} {reason}")
+        self.worker = worker
+
+
+class WorkerDied(WorkerFault):
+    """Raised when a shard worker's process or stream is gone (EOF,
+    broken pipe, dead ring peer)."""
+
+    def __init__(self, worker: int, reason: str = "died") -> None:
+        super().__init__(worker, reason)
+
+
+class WorkerTimeout(WorkerFault):
+    """Raised when a shard worker missed the configured sub-batch
+    deadline — alive but wedged, from the coordinator's point of view."""
+
+    def __init__(self, worker: int, deadline_s: float) -> None:
+        super().__init__(
+            worker, f"missed the {deadline_s:g}s sub-batch deadline"
+        )
+        self.deadline_s = deadline_s
+
+
 class KernelError(ReproError):
     """Raised for invalid kernel-tier selection (e.g. forcing ``native``
     when the compiled extension is unavailable)."""

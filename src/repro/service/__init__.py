@@ -28,7 +28,14 @@ Microseconds"* (arXiv:1309.0874):
   into single executor batches, bounded-queue admission control with
   TCP backpressure, per-client telemetry, and hot store reload;
 * :mod:`~repro.service.protocol` — the pure wire framings (JSON lines
-  and minimal HTTP/1.1) the network server speaks.
+  and minimal HTTP/1.1) the network server speaks;
+* :mod:`~repro.service.supervisor` — worker supervision for the shard
+  backends: sub-batch deadlines, retry/failover across replicas,
+  automatic restart of dead workers, and per-shard circuit breakers
+  that degrade to landmark estimates;
+* :mod:`~repro.service.faults` — deterministic, frame-indexed fault
+  injection (kill/stall/slow/corrupt/stale) for chaos tests and the
+  ``bench_chaos`` drill.
 """
 
 from repro.service.backends import (
@@ -37,8 +44,14 @@ from repro.service.backends import (
     backend_from_saved,
     create_shard_backend,
 )
+from repro.service.faults import FaultInjector, FaultPlan, WorkerFaults
 from repro.service.routing import ReplicaRouter
 from repro.service.shardbase import SHARD_TRANSPORTS, ShardTransport
+from repro.service.supervisor import (
+    SupervisorConfig,
+    WorkerSupervisor,
+    shard_estimates,
+)
 from repro.service.wire import RequestFrame, ResponseFrame
 from repro.service.batch import BatchExecutor, BatchStats
 from repro.service.cache import DEFAULT_CAPACITY, ResultCache
@@ -71,6 +84,12 @@ __all__ = [
     "ReplicaRouter",
     "RequestFrame",
     "ResponseFrame",
+    "SupervisorConfig",
+    "WorkerSupervisor",
+    "shard_estimates",
+    "FaultPlan",
+    "WorkerFaults",
+    "FaultInjector",
     "create_shard_backend",
     "backend_from_saved",
     "Telemetry",

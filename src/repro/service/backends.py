@@ -100,7 +100,9 @@ def create_shard_backend(
     """Build the named shard backend over a built index.
 
     Extra keyword arguments are forwarded to the backend constructor
-    (e.g. ``start_method=`` or ``worker_cache_size=`` for
+    (e.g. ``start_method=`` or ``worker_cache_size=`` for ``procpool``;
+    ``supervise=``/``recv_deadline_s=`` for fault tolerance on either
+    backend, ``faults=`` for deterministic fault injection on
     ``procpool``).
     """
     return _backend_class(backend)(

@@ -61,6 +61,14 @@ DEFAULT_MAX_BATCH = 1024
 #: Default soft admission limit (pending + in-flight requests).
 DEFAULT_MAX_PENDING = 4096
 
+#: Floor for the suggested client backoff.  A sub-millisecond coalescing
+#: window or a cold latency EWMA would otherwise suggest 1–2 ms retries,
+#: which under overload is an instruction to stampede: thousands of
+#: clients re-arrive inside the same congestion window that rejected
+#: them.  25 ms is still far below human-visible latency but long
+#: enough for a drained queue to actually drain.
+RETRY_AFTER_FLOOR_MS = 25
+
 #: Sentinel closing a connection's response queue.
 _CONN_DONE = object()
 
@@ -398,12 +406,19 @@ class Coalescer:
         return futures
 
     def retry_after_ms(self) -> int:
-        """Suggested client backoff, from the recent per-item service time."""
+        """Suggested client backoff, from the recent per-item service time.
+
+        Clamped to ``[RETRY_AFTER_FLOOR_MS, 5000]``: the estimate tracks
+        how long the current queue takes to drain, but never tells
+        clients to hammer a rejecting server at millisecond cadence.
+        """
         per_item = self._ewma_item_s
         if per_item <= 0:
             window_ms = (self.window_us or DEFAULT_WINDOW_US) / 1e3
-            return max(1, int(2 * window_ms))
-        return min(5000, max(1, int(self.depth * per_item * 1e3)))
+            return max(RETRY_AFTER_FLOOR_MS, int(2 * window_ms))
+        return min(
+            5000, max(RETRY_AFTER_FLOOR_MS, int(self.depth * per_item * 1e3))
+        )
 
     async def wait_admittable(self) -> None:
         """Block while the queue is past the hard limit (socket backpressure)."""

@@ -52,12 +52,20 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from multiprocessing import shared_memory
 from typing import Optional
 
 from repro.core.flat import FlatIndex
-from repro.exceptions import QueryError
+from repro.exceptions import (
+    QueryError,
+    SerializationError,
+    WorkerDied,
+    WorkerFault,
+    WorkerTimeout,
+)
 from repro.io.shm import RingBuffer, RingDead, SharedArrayBundle, _attach_untracked
+from repro.service.faults import FaultPlan
 from repro.service.shardbase import FlatShardedBase, FrameStreamTransport
 from repro.service.wire import RequestFrame, ResponseFrame
 
@@ -146,7 +154,10 @@ class _RingEndpoint:
             pass
 
 
-def _worker_main(endpoint_spec, spec: dict, meta: dict, pin_core=None) -> None:
+def _worker_main(
+    endpoint_spec, spec: dict, meta: dict, pin_core=None,
+    worker_id: int = 0, generation: int = 0,
+) -> None:
     """Worker process entry: attach the shared index, serve frames.
 
     ``spec`` addresses either index-sharing substrate: a shared-memory
@@ -154,14 +165,21 @@ def _worker_main(endpoint_spec, spec: dict, meta: dict, pin_core=None) -> None:
     where this worker maps the file read-only and computes its own
     shard assignment — both are cheaper than shipping them).
     ``endpoint_spec`` is a pipe connection or a ring descriptor dict.
-    An empty frame is the shutdown sentinel.
+    An empty frame is the shutdown sentinel.  ``generation`` counts
+    restarts of this worker slot: a respawned worker re-attaches the
+    same substrate and, under fault injection, lets once-only rules
+    expire (:mod:`repro.service.faults`).
     """
     from repro.core.engine import ShardQueryEngine
     from repro.core.parallel import shard_assignment
     from repro.io.shm import MappedArrayBundle, attach_bundle
     from repro.service.cache import ResultCache
+    from repro.service.faults import FaultInjector
 
     _pin_to_core(pin_core)
+    injector = FaultInjector.from_spec(
+        meta.get("faults"), worker_id, generation
+    )
     bundle = attach_bundle(spec)
     if isinstance(bundle, MappedArrayBundle):
         flat = FlatIndex.from_probe_arrays(
@@ -202,14 +220,23 @@ def _worker_main(endpoint_spec, spec: dict, meta: dict, pin_core=None) -> None:
         else _PipeEndpoint(endpoint_spec)
     )
     try:
+        frames = 0
         while True:
             buf = endpoint.recv()
             if not buf:
                 break
+            frames += 1
+            if injector is not None:
+                injector.before_frame(frames)
             # run_frame turns worker faults into error frames itself,
             # so one bad batch never kills the worker.
             resp = engine.run_frame(RequestFrame.from_bytes(buf), cache=cache)
-            endpoint.send(resp.to_bytes())
+            payload = resp.to_bytes()
+            if injector is not None:
+                for wire_payload in injector.outgoing(payload, frames):
+                    endpoint.send(wire_payload)
+            else:
+                endpoint.send(payload)
     except (EOFError, KeyboardInterrupt, RingDead):
         pass
     finally:
@@ -218,7 +245,67 @@ def _worker_main(endpoint_spec, spec: dict, meta: dict, pin_core=None) -> None:
         endpoint.close()
 
 
-class PipeFrameTransport(FrameStreamTransport):
+#: Deadline waits re-check worker liveness this often.  With the
+#: ``fork`` start method, sibling workers inherit each other's pipe
+#: write ends, so a SIGKILLed worker's channel may never reach EOF —
+#: the process handle, not the fd, is the truth about liveness.
+LIVENESS_SLICE_S = 0.05
+
+
+def _wait_readable(conn, alive, worker: int, timeout: Optional[float]) -> bool:
+    """Wait for ``conn`` to become readable, watching worker liveness.
+
+    Returns ``True`` when a payload is ready and ``False`` when the
+    deadline expired; raises :class:`WorkerDied` as soon as the worker
+    is observed dead with nothing left buffered — a recv on a dead
+    worker fails in ~:data:`LIVENESS_SLICE_S` instead of burning the
+    whole deadline (or, with no deadline, hanging forever).
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        slice_s = LIVENESS_SLICE_S
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            slice_s = min(slice_s, remaining)
+        try:
+            if conn.poll(slice_s):
+                return True
+        except (EOFError, OSError):
+            raise WorkerDied(worker) from None
+        if not alive():
+            # The worker may have answered and then died: drain wins.
+            try:
+                if conn.poll(0):
+                    return True
+            except (EOFError, OSError):
+                pass
+            raise WorkerDied(worker) from None
+
+
+class _ProcessFrameTransport(FrameStreamTransport):
+    """Frame stream to worker *processes*: adds liveness bookkeeping."""
+
+    def __init__(self, num_workers: int) -> None:
+        super().__init__(num_workers)
+        self._procs: list = []
+
+    def bind_procs(self, procs: list) -> None:
+        """Point liveness checks at the spawned worker processes."""
+        self._procs = procs
+
+    def _alive_check(self, worker: int):
+        def alive() -> bool:
+            procs = self._procs
+            if worker >= len(procs):
+                return True  # still starting up
+            return procs[worker].is_alive()
+
+        return alive
+
+
+class PipeFrameTransport(_ProcessFrameTransport):
     """One encoded frame per ``send_bytes`` over per-worker pipes."""
 
     name = "pipe"
@@ -227,17 +314,46 @@ class PipeFrameTransport(FrameStreamTransport):
         super().__init__(len(conns))
         self._conns = conns
 
-    def send(self, worker: int, frame: RequestFrame) -> None:
+    def send(
+        self, worker: int, frame: RequestFrame, *, timeout: Optional[float] = None
+    ) -> None:
+        # Pipe writes of frame-sized payloads don't meaningfully block;
+        # the deadline is enforced on the recv side.
         try:
             self._conns[worker].send_bytes(frame.to_bytes())
         except (BrokenPipeError, OSError):
-            raise QueryError(f"shard worker {worker} died") from None
+            raise WorkerDied(worker) from None
+        self.note_sent(worker, frame.seq)
 
-    def _recv_raw(self, worker: int) -> ResponseFrame:
+    def _recv_raw(
+        self, worker: int, timeout: Optional[float] = None
+    ) -> ResponseFrame:
+        conn = self._conns[worker]
+        if not _wait_readable(conn, self._alive_check(worker), worker, timeout):
+            raise WorkerTimeout(worker, timeout)
         try:
-            return ResponseFrame.from_bytes(self._conns[worker].recv_bytes())
+            buf = conn.recv_bytes()
         except (EOFError, OSError):
-            raise QueryError(f"shard worker {worker} died") from None
+            raise WorkerDied(worker) from None
+        try:
+            return ResponseFrame.from_bytes(buf)
+        except SerializationError as exc:
+            raise WorkerFault(worker, f"sent an undecodable frame: {exc}") from None
+
+    def reset_worker(self, worker: int):
+        """Replace a dead worker's pipe; returns the fresh child end.
+
+        The caller hands the child end to the respawned worker process
+        (and closes its own copy after the spawn, as at startup).
+        """
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        parent_conn, child_conn = multiprocessing.Pipe()
+        self._conns[worker] = parent_conn
+        self.clear_pending(worker)
+        return child_conn
 
     def shutdown_worker(self, worker: int) -> None:
         try:
@@ -253,7 +369,7 @@ class PipeFrameTransport(FrameStreamTransport):
                 pass
 
 
-class RingFrameTransport(FrameStreamTransport):
+class RingFrameTransport(_ProcessFrameTransport):
     """Per-worker SPSC ring pairs over one shared-memory segment.
 
     Each worker owns ``2 * (header + capacity)`` bytes of the segment:
@@ -279,7 +395,6 @@ class RingFrameTransport(FrameStreamTransport):
         self.capacity = int(capacity)
         unit = 2 * RingBuffer.region_bytes(self.capacity)
         self._unit = unit
-        self._procs: list = []
         self._shm = shared_memory.SharedMemory(
             create=True, size=num_workers * unit
         )
@@ -314,19 +429,6 @@ class RingFrameTransport(FrameStreamTransport):
             self._requests.append(requests)
             self._responses.append(responses)
 
-    def _alive_check(self, worker: int):
-        def alive() -> bool:
-            procs = self._procs
-            if worker >= len(procs):
-                return True  # still starting up
-            return procs[worker].is_alive()
-
-        return alive
-
-    def bind_procs(self, procs: list) -> None:
-        """Point liveness checks at the spawned worker processes."""
-        self._procs = procs
-
     def worker_spec(self, worker: int) -> dict:
         """The ring descriptor a worker attaches from.
 
@@ -351,37 +453,90 @@ class RingFrameTransport(FrameStreamTransport):
         self._child_req[worker].close()
         self._child_resp[worker].close()
 
-    def send(self, worker: int, frame: RequestFrame) -> None:
+    def send(
+        self, worker: int, frame: RequestFrame, *, timeout: Optional[float] = None
+    ) -> None:
         try:
             self._requests[worker].push(
-                frame.to_bytes(), on_stall=lambda: self._absorb(worker)
+                frame.to_bytes(),
+                timeout=timeout,
+                on_stall=lambda: self._absorb(worker),
             )
             self._signal_send[worker].send_bytes(b"x")
+        except TimeoutError:
+            raise WorkerTimeout(worker, timeout) from None
         except (RingDead, BrokenPipeError, OSError):
-            raise QueryError(f"shard worker {worker} died") from None
+            raise WorkerDied(worker) from None
+        self.note_sent(worker, frame.seq)
 
     def _absorb(self, worker: int) -> None:
         """Park ready responses while a request ring is full."""
         ring = self._responses[worker]
         pending = self._pending[worker]
         while ring.poll():
-            frame = ResponseFrame.from_bytes(ring.pop(timeout=1.0))
+            try:
+                frame = ResponseFrame.from_bytes(ring.pop(timeout=1.0))
+            except SerializationError as exc:
+                raise WorkerFault(
+                    worker, f"sent an undecodable frame: {exc}"
+                ) from None
             pending[frame.seq] = frame
 
-    def _recv_raw(self, worker: int) -> ResponseFrame:
+    def _recv_raw(
+        self, worker: int, timeout: Optional[float] = None
+    ) -> ResponseFrame:
         # One doorbell byte per response frame.  ``_absorb`` pops frames
         # without consuming their bytes, so a byte may refer to a frame
         # already parked in pending — the subsequent ``pop`` then waits
         # for the next real push, which is exactly the frame this call
         # is after.
+        conn = self._signal_recv[worker]
+        if not _wait_readable(conn, self._alive_check(worker), worker, timeout):
+            raise WorkerTimeout(worker, timeout)
         try:
-            self._signal_recv[worker].recv_bytes()
+            conn.recv_bytes()
         except (EOFError, OSError):
-            raise QueryError(f"shard worker {worker} died") from None
+            raise WorkerDied(worker) from None
         try:
-            return ResponseFrame.from_bytes(self._responses[worker].pop())
+            buf = self._responses[worker].pop(timeout=timeout)
+        except TimeoutError:
+            raise WorkerTimeout(worker, timeout) from None
         except RingDead:
-            raise QueryError(f"shard worker {worker} died") from None
+            raise WorkerDied(worker) from None
+        try:
+            return ResponseFrame.from_bytes(buf)
+        except SerializationError as exc:
+            raise WorkerFault(worker, f"sent an undecodable frame: {exc}") from None
+
+    def reset_worker(self, worker: int) -> dict:
+        """Re-arm a dead worker's rings and doorbells for a respawn.
+
+        The rings live in the coordinator-owned segment, so a restart
+        just zeroes their counters in place (any half-written frame the
+        dead worker left behind is abandoned with them) and replaces
+        the four doorbell connection ends.  Returns the fresh worker
+        spec for the respawned process.
+        """
+        for conn in (
+            self._signal_send[worker],
+            self._signal_recv[worker],
+            self._child_req[worker],
+            self._child_resp[worker],
+        ):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        req_r, req_w = multiprocessing.Pipe(duplex=False)
+        resp_r, resp_w = multiprocessing.Pipe(duplex=False)
+        self._signal_send[worker] = req_w
+        self._signal_recv[worker] = resp_r
+        self._child_req[worker] = req_r
+        self._child_resp[worker] = resp_w
+        self._requests[worker].reset()
+        self._responses[worker].reset()
+        self.clear_pending(worker)
+        return self.worker_spec(worker)
 
     def shutdown_worker(self, worker: int) -> None:
         ring = self._responses[worker]
@@ -477,6 +632,19 @@ class ProcessShardedService(FlatShardedBase):
         ring_capacity: per-direction ring bytes (ring transport only).
         kernels: kernel tier (``"numpy"``/``"native"``/``None`` = auto);
             the resolved tier is shipped to every worker process.
+        supervise: enable worker supervision — per-sub-batch deadlines,
+            retry with backoff, failover to surviving replicas, restart
+            of dead workers, and per-shard circuit breakers.  ``True``
+            for defaults or a
+            :class:`~repro.service.supervisor.SupervisorConfig`.
+        recv_deadline_s: unsupervised per-sub-batch deadline — bounds
+            every transport wait and raises a typed
+            :class:`~repro.exceptions.WorkerTimeout` instead of
+            hanging, without enabling retries.
+        faults: a deterministic fault-injection plan shipped to the
+            workers — a :class:`~repro.service.faults.FaultPlan`, a
+            mapping of worker ids to rule fields, or a CLI preset
+            string (see :meth:`FaultPlan.parse`).  Test/bench only.
     """
 
     def __init__(
@@ -496,6 +664,9 @@ class ProcessShardedService(FlatShardedBase):
         pin_workers: bool = False,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         kernels: Optional[str] = None,
+        supervise=None,
+        recv_deadline_s: Optional[float] = None,
+        faults=None,
     ) -> None:
         if transport not in ("pipe", "ring"):
             raise QueryError(
@@ -511,9 +682,12 @@ class ProcessShardedService(FlatShardedBase):
             sub_batch=sub_batch,
             replicas=replicas,
             kernels=kernels,
+            supervise=supervise,
+            recv_deadline_s=recv_deadline_s,
         )
         self.worker_cache_size = int(worker_cache_size)
         self.pin_workers = bool(pin_workers)
+        self._faults = FaultPlan.coerce(faults)
         self._flat_meta = {
             "n": self.flat.n,
             "weighted": self.flat.weighted,
@@ -527,6 +701,8 @@ class ProcessShardedService(FlatShardedBase):
             # extension artifact) instead of re-running auto-detection.
             "kernels": self.kernels,
         }
+        if self._faults is not None:
+            self._flat_meta["faults"] = self._faults.spec()
         self._worker_cache_stats: dict[int, dict] = {}
         num_workers = num_shards * self.replicas
         if mmap_path is not None:
@@ -539,13 +715,17 @@ class ProcessShardedService(FlatShardedBase):
             )
             spec = self._bundle.spec
         context = multiprocessing.get_context(start_method)
+        self._context = context
+        self._spec = spec
         self._procs: list = []
         self._conns: list = []
+        self._generation = [0] * num_workers
         pin_cores = (
             self._pin_plan(num_workers)
             if self.pin_workers
             else [None] * num_workers
         )
+        self._pin_cores = pin_cores
         try:
             if transport == "ring":
                 self._transport = RingFrameTransport(
@@ -562,10 +742,14 @@ class ProcessShardedService(FlatShardedBase):
                     self._conns.append(parent_conn)
                     endpoints.append(child_conn)
                 self._transport = PipeFrameTransport(self._conns)
+                self._transport.bind_procs(self._procs)
             for worker in range(num_workers):
                 proc = context.Process(
                     target=_worker_main,
-                    args=(endpoints[worker], spec, self._flat_meta, pin_cores[worker]),
+                    args=(
+                        endpoints[worker], spec, self._flat_meta,
+                        pin_cores[worker], worker, 0,
+                    ),
                     name=f"repro-procshard-{worker}",
                     daemon=True,
                 )
@@ -578,6 +762,7 @@ class ProcessShardedService(FlatShardedBase):
         except Exception:
             self.close()
             raise
+        self._start_supervisor()
 
     @staticmethod
     def _pin_plan(num_workers: int) -> list:
@@ -609,6 +794,49 @@ class ProcessShardedService(FlatShardedBase):
         return cls(
             None, num_shards, flat=load_flat_index(path, mmap=mmap), **kwargs
         )
+
+    # ------------------------------------------------------------------
+    # supervision hooks
+    # ------------------------------------------------------------------
+    def worker_alive(self, worker: int) -> bool:
+        return self._procs[worker].is_alive()
+
+    def kill_worker(self, worker: int) -> None:
+        """Force a worker down (a poisoned worker cannot be trusted).
+
+        After a timeout the worker's frame stream may be desynced
+        mid-frame, so the only safe recovery is kill + restart — a
+        restarted worker re-attaches the shared substrate and its
+        transport lane is reset from a clean slate.
+        """
+        proc = self._procs[worker]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=2)
+
+    def restart_worker(self, worker: int) -> bool:
+        self.kill_worker(worker)
+        self._generation[worker] += 1
+        endpoint = self._transport.reset_worker(worker)
+        proc = self._context.Process(
+            target=_worker_main,
+            args=(
+                endpoint, self._spec, self._flat_meta,
+                self._pin_cores[worker], worker, self._generation[worker],
+            ),
+            name=f"repro-procshard-{worker}",
+            daemon=True,
+        )
+        proc.start()
+        # Replace in place: the ring transport's liveness closures hold
+        # a reference to this list, so they start tracking the new
+        # process the moment the slot is overwritten.
+        self._procs[worker] = proc
+        if self._transport.name == "ring":
+            self._transport.release_worker_ends(worker)
+        else:
+            endpoint.close()
+        return True
 
     # ------------------------------------------------------------------
     # worker-cache telemetry
@@ -651,6 +879,7 @@ class ProcessShardedService(FlatShardedBase):
         if self._closed:
             return
         self._closed = True
+        self._stop_supervisor()
         transport = getattr(self, "_transport", None)
         if transport is not None:
             for worker in range(len(self._procs)):

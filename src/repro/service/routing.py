@@ -51,20 +51,31 @@ class ReplicaRouter:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def pick(self, shard_id: int) -> int:
-        """Choose the least-loaded replica of ``shard_id``."""
+    def pick(self, shard_id: int, *, exclude=()) -> int:
+        """Choose the least-loaded replica of ``shard_id``.
+
+        ``exclude`` names replicas the caller knows to be unusable (dead
+        or quarantined workers, or the replica a failover is escaping);
+        they are skipped unless *every* replica is excluded, in which
+        case depth wins — handing back a known-bad replica is still
+        better than handing back nothing, since the caller's retry
+        budget bounds the damage.
+        """
         with self._lock:
             depths = self._depth[shard_id]
             if self.replicas == 1:
                 return 0
-            best = min(depths)
+            candidates = [
+                r for r in range(self.replicas) if r not in exclude
+            ] or list(range(self.replicas))
+            best = min(depths[r] for r in candidates)
             start = self._rr[shard_id]
             for step in range(self.replicas):
                 replica = (start + step) % self.replicas
-                if depths[replica] == best:
+                if replica in candidates and depths[replica] == best:
                     self._rr[shard_id] = (replica + 1) % self.replicas
                     return replica
-            return 0  # unreachable; min() guarantees a match
+            return candidates[0]  # unreachable; min() guarantees a match
 
     def dispatched(
         self, shard_id: int, replica: int, pairs: int, frame_bytes: int

@@ -313,6 +313,11 @@ def encode_result(result: QueryResult, with_path: bool) -> dict:
         "method": result.method,
         "probes": result.probes,
     }
+    if result.method == "estimate":
+        # A breaker-window answer from the coordinator's landmark
+        # tables: an upper bound, not the exact distance — flagged the
+        # same way the net front end flags its overload estimates.
+        body["degraded"] = True
     if with_path:
         body["path"] = result.path
     return body

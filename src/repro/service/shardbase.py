@@ -43,8 +43,18 @@ from repro.core.parallel import (
     balance_summary_from_reports,
     shard_assignment,
 )
-from repro.exceptions import NodeNotFoundError, QueryError
+from repro.exceptions import (
+    NodeNotFoundError,
+    QueryError,
+    WorkerDied,
+    WorkerFault,
+)
 from repro.service.routing import ReplicaRouter
+from repro.service.supervisor import (
+    SupervisorConfig,
+    WorkerSupervisor,
+    shard_estimates,
+)
 from repro.service.wire import RequestFrame, ResponseFrame
 
 #: Transport planes a backend may offer.  The thread backend is always
@@ -66,9 +76,13 @@ class ShardTransport(Protocol):
     name: str
     serial: bool
 
-    def send(self, worker: int, frame: RequestFrame) -> None: ...
+    def send(
+        self, worker: int, frame: RequestFrame, *, timeout: Optional[float] = None
+    ) -> None: ...
 
-    def recv(self, worker: int, seq: int) -> ResponseFrame: ...
+    def recv(
+        self, worker: int, seq: int, *, timeout: Optional[float] = None
+    ) -> ResponseFrame: ...
 
     def stats(self) -> dict: ...
 
@@ -79,11 +93,14 @@ class FrameStreamTransport:
     """Recv bookkeeping shared by byte-stream transports (pipe, ring).
 
     Subclasses implement ``_recv_raw(worker) -> ResponseFrame`` (and
-    ``send``); this base matches frames to the sequence number the
-    coordinator is waiting on.  Frames for *later* sequence numbers are
-    parked (possible when several chunks target one worker); frames for
-    unknown/aborted exchanges are discarded, mirroring the stale-reply
-    rule of the pickled protocol this replaces.
+    ``send``, which must call :meth:`note_sent`); this base matches
+    frames to the sequence number the coordinator is waiting on.
+    Frames for any *other still-outstanding* exchange on the same
+    worker are parked — a failover recv can legitimately drain a
+    healthy worker's queue out of dispatch order, so "smaller seq"
+    does not mean "stale".  Frames for unknown/aborted exchanges are
+    discarded, mirroring the stale-reply rule of the pickled protocol
+    this replaces.
     """
 
     serial = True
@@ -92,22 +109,42 @@ class FrameStreamTransport:
         self._pending: list[dict[int, ResponseFrame]] = [
             {} for _ in range(num_workers)
         ]
+        self._expected: list[set[int]] = [set() for _ in range(num_workers)]
 
-    def _recv_raw(self, worker: int) -> ResponseFrame:  # pragma: no cover
+    def _recv_raw(
+        self, worker: int, timeout: Optional[float] = None
+    ) -> ResponseFrame:  # pragma: no cover
         raise NotImplementedError
 
-    def recv(self, worker: int, seq: int) -> ResponseFrame:
+    def note_sent(self, worker: int, seq: int) -> None:
+        """Record a dispatched exchange so its answer is parkable."""
+        self._expected[worker].add(seq)
+
+    def recv(
+        self, worker: int, seq: int, *, timeout: Optional[float] = None
+    ) -> ResponseFrame:
         pending = self._pending[worker]
+        expected = self._expected[worker]
         frame = pending.pop(seq, None)
         if frame is not None:
+            expected.discard(seq)
             return frame
         while True:
-            frame = self._recv_raw(worker)
+            frame = self._recv_raw(worker, timeout)
             if frame.seq == seq:
+                expected.discard(seq)
                 return frame
-            if frame.seq > seq:
+            if frame.seq in expected:
                 pending[frame.seq] = frame
             # else: stale frame from an aborted exchange — discard.
+            # Retried sub-batches always carry a fresh seq, so a late
+            # answer to an abandoned exchange lands here and can never
+            # be mistaken for the retry's answer.
+
+    def clear_pending(self, worker: int) -> None:
+        """Forget parked frames for a worker whose stream was reset."""
+        self._pending[worker].clear()
+        self._expected[worker].clear()
 
     def stats(self) -> dict:
         return {}
@@ -133,6 +170,15 @@ class FlatShardedBase:
         kernels: kernel tier for the shard engines — ``"numpy"``,
             ``"native"`` or ``None``/``"auto"`` (pick native when the
             compiled extension is available and the layout matches).
+        supervise: enable the fault-tolerance layer — ``True`` for
+            defaults, or a :class:`~repro.service.supervisor.SupervisorConfig`.
+            Off (``None``/``False``, the default) a worker fault is a
+            terminal :class:`QueryError`, exactly as before.
+        recv_deadline_s: sub-batch send/recv deadline *without*
+            supervision — a wedged worker then raises a typed
+            :class:`~repro.exceptions.WorkerTimeout` instead of hanging
+            the coordinator forever.  Ignored when ``supervise`` is on
+            (the supervisor's ``deadline_s`` governs).
     """
 
     def __init__(
@@ -146,6 +192,8 @@ class FlatShardedBase:
         sub_batch: int = 0,
         replicas: int = 1,
         kernels: Optional[str] = None,
+        supervise=None,
+        recv_deadline_s: Optional[float] = None,
     ) -> None:
         if index is not None:
             flat = FlatIndex.from_index(index)
@@ -175,6 +223,21 @@ class FlatShardedBase:
         self._batch_lock = threading.Lock()
         self._transport: Optional[ShardTransport] = None
         self._closed = False
+        self.recv_deadline_s = recv_deadline_s
+        self.supervisor: Optional[WorkerSupervisor] = None
+        if supervise:
+            config = (
+                supervise
+                if isinstance(supervise, SupervisorConfig)
+                else SupervisorConfig()
+            )
+            self.supervisor = WorkerSupervisor(
+                num_shards, self.replicas, config
+            )
+        # Bumped whenever a worker is put down or restarted; dispatches
+        # record the epoch they were sent under, so the collect loop can
+        # tell that a still-awaited response died with the old worker.
+        self._worker_epoch = [0] * (num_shards * self.replicas)
 
     @classmethod
     def from_saved(cls, path, num_shards: int, *, mmap: bool = False, **kwargs):
@@ -253,35 +316,112 @@ class FlatShardedBase:
         trip_count = trip_bytes = 0
         errors: list[str] = []
         exec_ns = 0
+        sup = self.supervisor
+        deadline = self._deadline_s()
+        degraded: list = []  # position arrays answered by the estimate lane
         guard = self._batch_lock if transport.serial else nullcontext()
         with guard:
             t0 = time.perf_counter()
-            sent = []  # (worker, seq, positions, shard, replica)
+            sent = []  # (worker, seq, positions, shard, replica, epoch, exc)
             for shard_id, positions in by_shard.items():
+                if sup is not None and not sup.admit(shard_id):
+                    # Breaker open: answer from the estimate without
+                    # paying dispatch, deadline or retry for a shard
+                    # known to be dark.
+                    if self._can_degrade():
+                        degraded.append(positions)
+                    else:
+                        errors.append(
+                            f"shard {shard_id} is unavailable "
+                            f"(circuit breaker open)"
+                        )
+                    continue
                 for chunk in self._chunks(positions):
-                    replica = self._router.pick(shard_id)
+                    replica = self._router.pick(
+                        shard_id, exclude=self._quarantined_replicas(shard_id)
+                    )
                     worker = shard_id * self.replicas + replica
                     seq = next(self._seq)
                     frame = RequestFrame(seq, flat_pairs[chunk], with_path)
-                    transport.send(worker, frame)
-                    self._router.dispatched(
-                        shard_id, replica, len(chunk), frame.nbytes
+                    epoch = self._worker_epoch[worker]
+                    send_exc = None
+                    try:
+                        transport.send(worker, frame, timeout=deadline)
+                    except WorkerFault as exc:
+                        if sup is None:
+                            raise
+                        self._fault_worker(worker, exc)
+                        send_exc = exc
+                    else:
+                        self._router.dispatched(
+                            shard_id, replica, len(chunk), frame.nbytes
+                        )
+                    sent.append(
+                        (worker, seq, chunk, shard_id, replica, epoch, send_exc)
                     )
-                    sent.append((worker, seq, chunk, shard_id, replica))
             t1 = time.perf_counter()
             # Every dispatched frame owes exactly one response; drain all
             # of them even when one reports an error, so a failed batch
-            # never leaves frames queued for the next one.
-            for worker, seq, positions, shard_id, replica in sent:
-                try:
-                    resp = transport.recv(worker, seq)
-                except QueryError as exc:
-                    self._router.completed(shard_id, replica, len(positions), 0)
-                    errors.append(str(exc))
+            # never leaves frames queued for the next one.  Failed
+            # sub-batches take the failover path: re-dispatch to a
+            # surviving (or restarted) replica, then fall back to the
+            # breaker + estimate lane.
+            for worker, seq, positions, shard_id, replica, epoch, exc in sent:
+                resp = None
+                failure = exc
+                if failure is None:
+                    if self._worker_epoch[worker] != epoch:
+                        # The worker was put down after this dispatch;
+                        # its stream was reset and this response will
+                        # never arrive — skip straight to failover
+                        # instead of burning a deadline on it.
+                        self._router.completed(
+                            shard_id, replica, len(positions), 0
+                        )
+                        failure = WorkerDied(worker, "was restarted mid-batch")
+                    else:
+                        try:
+                            resp = transport.recv(worker, seq, timeout=deadline)
+                        except WorkerFault as fault:
+                            self._router.completed(
+                                shard_id, replica, len(positions), 0
+                            )
+                            if sup is None:
+                                errors.append(str(fault))
+                                continue
+                            self._fault_worker(worker, fault)
+                            failure = fault
+                        except QueryError as fault:
+                            self._router.completed(
+                                shard_id, replica, len(positions), 0
+                            )
+                            errors.append(str(fault))
+                            continue
+                        else:
+                            self._router.completed(
+                                shard_id, replica, len(positions), resp.nbytes
+                            )
+                            if sup is not None:
+                                sup.note_ok(worker)
+                if resp is None and sup is not None:
+                    resp = self._failover(
+                        shard_id, replica, positions, flat_pairs,
+                        with_path, deadline,
+                    )
+                if resp is None:
+                    if sup is not None:
+                        sup.breaker_failure(shard_id)
+                        if self._can_degrade():
+                            degraded.append(positions)
+                            continue
+                    errors.append(
+                        str(failure)
+                        if failure is not None
+                        else f"shard {shard_id} is unavailable"
+                    )
                     continue
-                self._router.completed(
-                    shard_id, replica, len(positions), resp.nbytes
-                )
+                if sup is not None:
+                    sup.breaker_success(shard_id)
                 if not resp.ok:
                     errors.append(f"shard worker {worker} failed: {resp.error}")
                     continue
@@ -297,13 +437,182 @@ class FlatShardedBase:
                 exec_ns += resp.exec_ns
                 if resp.cache_stats is not None:
                     self._note_worker_cache(worker, resp.cache_stats)
+            for positions in degraded:
+                estimates = shard_estimates(self.flat, flat_pairs[positions])
+                for position, result in zip(positions.tolist(), estimates):
+                    results[position] = result
+                sup.note_degraded(len(positions))
             t2 = time.perf_counter()
+            if sup is not None:
+                self._revive_dead_workers()
         self._router.observe_batch(t1 - t0, exec_ns / 1e9, t2 - t1)
         if errors:
             raise QueryError("; ".join(errors))
         with self._log_lock:
             self._fold_log(local, remote, trip_count, trip_bytes)
         return results
+
+    # ------------------------------------------------------------------
+    # supervision: failover, restart and degrade (see service/supervisor)
+    # ------------------------------------------------------------------
+    def _deadline_s(self) -> Optional[float]:
+        """The effective per-sub-batch deadline (None = wait forever)."""
+        if self.supervisor is not None:
+            return self.supervisor.config.deadline_s
+        return self.recv_deadline_s
+
+    def _can_degrade(self) -> bool:
+        sup = self.supervisor
+        return (
+            sup is not None and sup.config.degrade and self.flat.has_tables
+        )
+
+    def _quarantined_replicas(self, shard_id: int):
+        sup = self.supervisor
+        if sup is None or self.replicas == 1:
+            return ()
+        base = shard_id * self.replicas
+        return {
+            r for r in range(self.replicas) if sup.is_quarantined(base + r)
+        }
+
+    def _failover(
+        self, shard_id, failed_replica, positions, flat_pairs, with_path,
+        deadline,
+    ) -> Optional[ResponseFrame]:
+        """Re-dispatch one failed sub-batch until it answers or the
+        retry budget runs out.
+
+        Each attempt prefers a different surviving replica (fresh
+        sequence number — the abandoned exchange's late answer, if any,
+        is discarded by the stale-frame rule), restarts dead workers
+        when the budget allows, and backs off exponentially between
+        attempts.  Returns the response frame, or ``None`` when the
+        shard stayed dark.
+        """
+        sup = self.supervisor
+        transport = self._transport
+        last_replica = failed_replica
+        for attempt in range(sup.config.retries):
+            backoff = sup.config.backoff_s(attempt)
+            if backoff > 0:
+                time.sleep(backoff)
+            exclude = set(self._quarantined_replicas(shard_id))
+            if self.replicas > 1:
+                exclude.add(last_replica)
+            replica = self._router.pick(shard_id, exclude=exclude)
+            worker = shard_id * self.replicas + replica
+            last_replica = replica
+            if not self._ensure_worker(worker):
+                continue
+            seq = next(self._seq)
+            frame = RequestFrame(seq, flat_pairs[positions], with_path)
+            sup.note_retry()
+            try:
+                transport.send(worker, frame, timeout=deadline)
+            except WorkerFault as exc:
+                self._fault_worker(worker, exc)
+                continue
+            self._router.dispatched(
+                shard_id, replica, len(positions), frame.nbytes
+            )
+            try:
+                resp = transport.recv(worker, seq, timeout=deadline)
+            except WorkerFault as exc:
+                self._router.completed(shard_id, replica, len(positions), 0)
+                self._fault_worker(worker, exc)
+                continue
+            self._router.completed(
+                shard_id, replica, len(positions), resp.nbytes
+            )
+            sup.note_ok(worker)
+            if replica != failed_replica:
+                sup.note_failover()
+            return resp
+        return None
+
+    def _fault_worker(self, worker: int, exc: BaseException) -> None:
+        """After a transport fault: count it and put the worker down.
+
+        A wedged worker's stream can be desynchronised (a ring read may
+        have stopped mid-frame), so the worker is killed outright — the
+        next attempt to route to it restarts it with a reset transport,
+        which is the only state we can trust again.
+        """
+        sup = self.supervisor
+        sup.note_fault(worker, exc)
+        try:
+            self.kill_worker(worker)
+        except Exception:
+            pass
+        self._worker_epoch[worker] += 1
+        transport = self._transport
+        if hasattr(transport, "clear_pending"):
+            transport.clear_pending(worker)
+
+    def _revive_dead_workers(self) -> None:
+        """End-of-batch sweep: restart every faulted worker in budget.
+
+        Failover answers the batch that observed a death from the
+        surviving replicas; this sweep brings the dead worker itself
+        back before the batch returns, so the next batch starts at
+        full replica strength instead of lazily resurrecting workers
+        only when routing happens to land on them.
+        """
+        sup = self.supervisor
+        for worker in range(len(self._worker_epoch)):
+            if sup.is_quarantined(worker) or self.worker_alive(worker):
+                continue
+            self._supervised_restart(worker)
+
+    def _ensure_worker(self, worker: int) -> bool:
+        """Make a worker routable: alive and not quarantined."""
+        sup = self.supervisor
+        if sup.is_quarantined(worker):
+            return False
+        if self.worker_alive(worker):
+            return True
+        return self._supervised_restart(worker)
+
+    def _supervised_restart(self, worker: int) -> bool:
+        """Restart a dead worker within budget, else quarantine it."""
+        sup = self.supervisor
+        if not sup.allow_restart(worker):
+            sup.quarantine(worker)
+            return False
+        try:
+            ok = self.restart_worker(worker)
+        except Exception:
+            ok = False
+        if not ok:
+            sup.quarantine(worker)
+            return False
+        self._worker_epoch[worker] += 1
+        sup.note_restart(worker)
+        return True
+
+    # Backend hooks the supervision layer drives.  The base versions
+    # describe a backend whose workers cannot die (and cannot be
+    # restarted); the thread and process backends override what applies.
+    def worker_alive(self, worker: int) -> bool:
+        """Is the worker's execution substrate still up?"""
+        return True
+
+    def kill_worker(self, worker: int) -> None:
+        """Force a faulted worker down so a restart starts clean."""
+
+    def restart_worker(self, worker: int) -> bool:
+        """Bring a dead worker back; returns False when unsupported."""
+        return False
+
+    def _start_supervisor(self) -> None:
+        """Start the heartbeat monitor once the transport is live."""
+        if self.supervisor is not None:
+            self.supervisor.start_monitor(self)
+
+    def _stop_supervisor(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.stop_monitor()
 
     def _chunks(self, positions: list[int]):
         """Split one shard's batch positions into sub-batch chunks."""
@@ -335,6 +644,8 @@ class FlatShardedBase:
         stats.update(self._router.snapshot())
         if self._transport is not None:
             stats.update(self._transport.stats())
+        if self.supervisor is not None:
+            stats["supervisor"] = self.supervisor.snapshot()
         return stats
 
     # ------------------------------------------------------------------

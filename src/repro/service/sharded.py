@@ -31,9 +31,11 @@ transports (pinned by parity tests and the CI smoke run).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from typing import Optional
 
 from repro.core.engine import ShardQueryEngine
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, WorkerTimeout
 from repro.service.shardbase import FlatShardedBase
 from repro.service.wire import RequestFrame, ResponseFrame
 
@@ -52,21 +54,50 @@ class InlineTransport:
     def __init__(self, engine: ShardQueryEngine, num_workers: int) -> None:
         self._engine = engine
         self._workers = [
-            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"repro-shard-{k}")
-            for k in range(num_workers)
+            self._make_worker(k) for k in range(num_workers)
         ]
         self._futures: dict[tuple[int, int], object] = {}
 
-    def send(self, worker: int, frame: RequestFrame) -> None:
+    @staticmethod
+    def _make_worker(worker: int) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{worker}"
+        )
+
+    def send(
+        self, worker: int, frame: RequestFrame, *, timeout: Optional[float] = None
+    ) -> None:
+        # Submission never blocks, so the deadline applies only to recv.
         self._futures[(worker, frame.seq)] = self._workers[worker].submit(
             self._engine.run_frame, frame
         )
 
-    def recv(self, worker: int, seq: int) -> ResponseFrame:
+    def recv(
+        self, worker: int, seq: int, *, timeout: Optional[float] = None
+    ) -> ResponseFrame:
         future = self._futures.pop((worker, seq), None)
         if future is None:
             raise QueryError(f"no in-flight frame {seq} for worker {worker}")
-        return future.result()
+        try:
+            return future.result(timeout)
+        except _FutureTimeout:
+            # The frame stays abandoned: its result (if the worker ever
+            # finishes) is simply dropped with the future.
+            raise WorkerTimeout(worker, timeout) from None
+
+    def reset_worker(self, worker: int) -> None:
+        """Replace a wedged worker's executor with a fresh one.
+
+        The old executor's thread keeps running whatever it was stuck
+        on, but nothing routes to it anymore; the shard's slot is
+        immediately serviceable again.
+        """
+        old = self._workers[worker]
+        self._workers[worker] = self._make_worker(worker)
+        old.shutdown(wait=False)
+
+    def clear_pending(self, worker: int) -> None:
+        """No per-worker stream state to reset (futures are per-frame)."""
 
     def stats(self) -> dict:
         return {}
@@ -105,6 +136,11 @@ class ShardedService(FlatShardedBase):
             under the GIL this buys routing realism, not speed.
         transport: must be ``"inline"`` (the only thread-backend plane).
         kernels: kernel tier (``"numpy"``/``"native"``/``None`` = auto).
+        supervise: enable deadline/retry/failover supervision (``True``
+            or a :class:`~repro.service.supervisor.SupervisorConfig`).
+            Worker threads cannot crash, but they *can* wedge — a
+            "restart" here swaps the worker's executor for a fresh one.
+        recv_deadline_s: unsupervised per-sub-batch deadline.
     """
 
     def __init__(
@@ -119,6 +155,8 @@ class ShardedService(FlatShardedBase):
         replicas: int = 1,
         transport: str = "inline",
         kernels=None,
+        supervise=None,
+        recv_deadline_s=None,
     ) -> None:
         if transport != "inline":
             raise QueryError(
@@ -134,6 +172,8 @@ class ShardedService(FlatShardedBase):
             sub_batch=sub_batch,
             replicas=replicas,
             kernels=kernels,
+            supervise=supervise,
+            recv_deadline_s=recv_deadline_s,
         )
         # One engine shared by every worker thread, so the per-worker
         # scratch-buffer reuse stays off here (frames must keep their
@@ -142,6 +182,18 @@ class ShardedService(FlatShardedBase):
         self._transport = InlineTransport(
             self._engine, num_shards * self.replicas
         )
+        self._start_supervisor()
+
+    # ------------------------------------------------------------------
+    # supervision hooks (threads cannot die; wedges get fresh executors)
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker: int) -> None:
+        self._transport.reset_worker(worker)
+
+    def restart_worker(self, worker: int) -> bool:
+        # kill_worker already swapped in a fresh executor; the slot is
+        # serviceable again the moment it is re-picked.
+        return True
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -151,6 +203,7 @@ class ShardedService(FlatShardedBase):
         if self._closed:
             return
         self._closed = True
+        self._stop_supervisor()
         self._transport.close()
 
     def __enter__(self) -> "ShardedService":

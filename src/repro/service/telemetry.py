@@ -325,6 +325,17 @@ def render_snapshot(snapshot: dict) -> str:
                 f"execute {shards.get('execute_s', 0.0):.3f} s / "
                 f"collect {shards.get('collect_s', 0.0):.3f} s"
             )
+        if shards.get("supervisor"):
+            sup = shards["supervisor"]
+            open_breakers = sum(
+                1 for b in sup.get("breakers", ()) if b["state"] != "closed"
+            )
+            lines.append(
+                f"shard supervisor : {sup['restarts']:,} restarts | "
+                f"{sup['retries']:,} retries | {sup['failovers']:,} failovers | "
+                f"{sup['degraded_pairs']:,} degraded | "
+                f"{open_breakers} breaker(s) open"
+            )
     if "net" in snapshot:
         net = snapshot["net"]
         queue, requests, flushes = net["queue"], net["requests"], net["flushes"]

@@ -27,6 +27,16 @@ arrays are zero-copy views), as one ``to_bytes()`` blob down a pipe
 is a fixed dtype, so ``to_bytes``/``from_bytes`` are a handful of
 buffer copies regardless of batch size.
 
+Sequence numbers make the frames *retry-safe*: the coordinator draws
+``seq`` from one monotonic counter, so a re-dispatched sub-batch always
+carries a strictly larger sequence number than the exchange it
+replaces.  A late response from an abandoned exchange therefore decodes
+with ``seq`` *below* everything still awaited and is discarded by the
+stream transports' stale-frame rule, while truncated or garbled frames
+fail the size validation in ``from_bytes`` and surface as
+:class:`~repro.exceptions.SerializationError` — both of which the
+supervision layer converts into a retry instead of a wrong answer.
+
 Distances ride as float64 (NaN = unanswered); the decoder restores the
 engine's exact Python types — ``int`` for integral-distance indexes,
 ``float`` otherwise, and the literal ``int 0`` of the ``identical``
@@ -95,8 +105,19 @@ class RequestFrame:
 
     @classmethod
     def from_bytes(cls, buf) -> "RequestFrame":
+        if len(buf) < _REQ_HDR_BYTES:
+            raise SerializationError(
+                f"request frame truncated: {len(buf)} bytes is shorter "
+                f"than the {_REQ_HDR_BYTES}-byte header"
+            )
         header = np.frombuffer(buf, dtype=np.int64, count=_REQ_WORDS)
         m = int(header[1])
+        expected = _REQ_HDR_BYTES + m * 16
+        if m < 0 or len(buf) != expected:
+            raise SerializationError(
+                f"request frame corrupt: header promises {m} pairs "
+                f"({expected} bytes) but the frame is {len(buf)} bytes"
+            )
         pairs = np.frombuffer(
             buf, dtype=np.int64, count=m * 2, offset=_REQ_HDR_BYTES
         ).reshape(m, 2)
@@ -290,10 +311,28 @@ class ResponseFrame:
 
     @classmethod
     def from_bytes(cls, buf) -> "ResponseFrame":
+        # Validate the advertised layout against the actual byte count
+        # before building any column view: a worker that died mid-push,
+        # or a fault-injected garbled frame, must surface as a typed
+        # error the supervisor can act on — never as silently wrong
+        # columns.  The retry path depends on this: only frames that
+        # decode cleanly are trusted, everything else is re-dispatched.
+        if len(buf) < _RESP_HDR_BYTES:
+            raise SerializationError(
+                f"response frame truncated: {len(buf)} bytes is shorter "
+                f"than the {_RESP_HDR_BYTES}-byte header"
+            )
         header = np.frombuffer(buf, dtype=np.int64, count=_RESP_WORDS)
         seq, status = int(header[0]), int(header[1])
         if status != _STATUS_OK:
             size = int(header[6])
+            if status != _STATUS_ERROR or size < 0 or (
+                len(buf) != _RESP_HDR_BYTES + size
+            ):
+                raise SerializationError(
+                    f"response frame corrupt: bad status/size "
+                    f"({status}/{size}) for a {len(buf)}-byte frame"
+                )
             message = bytes(
                 memoryview(buf)[_RESP_HDR_BYTES:_RESP_HDR_BYTES + size]
             ).decode("utf-8", "replace")
@@ -301,6 +340,13 @@ class ResponseFrame:
         m = int(header[2])
         n_trips = int(header[5])
         n_nodes = int(header[6])
+        expected = _RESP_HDR_BYTES + 32 * m + 8 * (n_nodes + n_trips) + m
+        if min(m, n_trips, n_nodes) < 0 or len(buf) != expected:
+            raise SerializationError(
+                f"response frame corrupt: header promises {m} results, "
+                f"{n_nodes} path nodes and {n_trips} trips "
+                f"({expected} bytes) but the frame is {len(buf)} bytes"
+            )
         offset = _RESP_HDR_BYTES
 
         def column(dtype, count):
