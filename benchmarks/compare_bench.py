@@ -38,6 +38,7 @@ from pathlib import Path
 #: Anything not listed is context (workload shape, byte counts, flags).
 HIGHER_IS_BETTER = {
     "qps",
+    "goodput_qps",
     "nodes_per_second",
     "speedup",
     "speedup_flat_vs_dict",
@@ -46,7 +47,14 @@ HIGHER_IS_BETTER = {
     "hit_rate",
     "size_ratio",
 }
-LOWER_IS_BETTER = {"p50_ms", "p95_ms", "p99_ms", "unanswered_rate"}
+LOWER_IS_BETTER = {
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "exact_p50_ms",
+    "exact_p99_ms",
+    "unanswered_rate",
+}
 
 
 def collect_metrics(node, prefix: str = "") -> dict[str, float]:

@@ -233,6 +233,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "error",
     )
     serve.add_argument(
+        "--deadline-ms", "--default-deadline-ms", type=float, default=None,
+        dest="deadline_ms",
+        help="tcp/http: default per-request completion deadline in ms, "
+        "applied to requests that carry no deadline_ms of their own; "
+        "requests predicted or observed to miss it walk the degrade "
+        "ladder instead of answering late",
+    )
+    serve.add_argument(
+        "--slo-p99-ms", type=float, default=None,
+        help="tcp/http: target p99 completion time; with "
+        "--adaptive-limit, completions above it count as congestion "
+        "signals even when the request's own deadline was met",
+    )
+    serve.add_argument(
+        "--degrade-ladder", default="exact,estimate,shed",
+        help="tcp/http: comma-separated degrade ladder for deadline "
+        "misses (must start with 'exact'; 'shed' is the implicit "
+        "terminal rung)",
+    )
+    serve.add_argument(
+        "--adaptive-limit", action="store_true",
+        help="tcp/http: replace the static soft admission limit with "
+        "an AIMD window driven by deadline hits/misses (--hard-pending "
+        "stays the backstop)",
+    )
+    serve.add_argument(
+        "--idle-timeout-s", type=float, default=None,
+        help="tcp/http: close connections that send nothing for this "
+        "long (a clean error frame on tcp, 408 on http)",
+    )
+    serve.add_argument(
         "--bench", action="store_true",
         help="self-drive a Zipf workload instead of reading stdin",
     )
@@ -469,7 +500,7 @@ def _serve_network(app, args: argparse.Namespace, mode: str) -> None:
     import signal
     from functools import partial
 
-    from repro.service import NetServer, ServiceApp
+    from repro.service import NetServer, ServiceApp, SloConfig
 
     # {"cmd": "reload"} rebuilds with the same serving options; the
     # fresh store is memory-mapped by default (zero-copy swap) unless
@@ -497,6 +528,13 @@ def _serve_network(app, args: argparse.Namespace, mode: str) -> None:
             max_pending=args.max_pending,
             hard_pending=args.hard_pending,
             degrade=args.degrade,
+            slo=SloConfig(
+                default_deadline_ms=args.deadline_ms,
+                slo_p99_ms=args.slo_p99_ms,
+                ladder=args.degrade_ladder,
+                adaptive_limit=args.adaptive_limit,
+            ),
+            idle_timeout_s=args.idle_timeout_s,
             app_factory=factory,
         )
         await server.start()

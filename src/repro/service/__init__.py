@@ -34,8 +34,11 @@ Microseconds"* (arXiv:1309.0874):
   automatic restart of dead workers, and per-shard circuit breakers
   that degrade to landmark estimates;
 * :mod:`~repro.service.faults` — deterministic, frame-indexed fault
-  injection (kill/stall/slow/corrupt/stale) for chaos tests and the
-  ``bench_chaos`` drill.
+  injection (kill/stall/slow/corrupt/stale/delay/jitter) for chaos
+  tests and the ``bench_chaos`` drill;
+* :mod:`~repro.service.slo` — end-to-end request deadlines, the
+  SLO-driven degrade ladder (exact → estimate → shed) and the adaptive
+  AIMD admission limiter behind ``--deadline-ms`` / ``--slo-p99-ms``.
 """
 
 from repro.service.backends import (
@@ -67,6 +70,14 @@ from repro.service.server import (
     serve_stdio,
 )
 from repro.service.sharded import ShardedService
+from repro.service.slo import (
+    AIMDLimiter,
+    CompletionPredictor,
+    Deadline,
+    SloConfig,
+    SloController,
+    parse_ladder,
+)
 from repro.service.telemetry import LatencyHistogram, Telemetry, render_snapshot
 from repro.service.workload import in_batches, uniform_pairs, zipf_pairs
 
@@ -103,6 +114,12 @@ __all__ = [
     "NetStats",
     "Coalescer",
     "ProtocolError",
+    "Deadline",
+    "SloConfig",
+    "SloController",
+    "AIMDLimiter",
+    "CompletionPredictor",
+    "parse_ladder",
     "serve_app",
     "run_bench",
     "render_bench_report",

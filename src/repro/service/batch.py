@@ -23,6 +23,7 @@ executors compose (for example a cache in front of a sharded service).
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Protocol
@@ -114,17 +115,29 @@ class BatchExecutor:
         self.telemetry = telemetry
         self.symmetry = symmetry
         self.stats = BatchStats()
+        self._backend_takes_budget = _accepts_budget(
+            getattr(backend, "query_batch", None)
+        )
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+    def run(
+        self, pairs, *, with_path: bool = False, budget_s=None
+    ) -> list[QueryResult]:
         """Answer ``pairs``, returning one result per pair in order.
 
         Results are exact and identical (in distance) to per-pair
         :meth:`~repro.core.oracle.VicinityOracle.query`; mirrored
         answers reuse the canonical orientation's method and witness
         with ``probes == 0``.
+
+        ``budget_s``, when given, is the batch's remaining deadline
+        budget; it is forwarded to backends whose ``query_batch``
+        accepts it (the shard coordinator clamps its waits to it and
+        degrades expired pairs to estimates).  Backends without budget
+        support — a single-machine oracle cannot be preempted mid-scan
+        anyway — are called exactly as before.
         """
         started = time.perf_counter()
         pair_list = [(int(s), int(t)) for s, t in pairs]
@@ -146,7 +159,12 @@ class BatchExecutor:
 
         residual = [key for key in keys if key not in resolved]
         if residual:
-            answers = self.backend.query_batch(residual, with_path=with_path)
+            if budget_s is not None and self._backend_takes_budget:
+                answers = self.backend.query_batch(
+                    residual, with_path=with_path, budget_s=budget_s
+                )
+            else:
+                answers = self.backend.query_batch(residual, with_path=with_path)
             for key, answer in zip(residual, answers):
                 resolved[key] = answer
                 if self.cache is not None:
@@ -172,9 +190,11 @@ class BatchExecutor:
             self.telemetry.observe_batch(results, time.perf_counter() - started)
         return results
 
-    def query_batch(self, pairs, *, with_path: bool = False) -> list[QueryResult]:
+    def query_batch(
+        self, pairs, *, with_path: bool = False, budget_s=None
+    ) -> list[QueryResult]:
         """Alias for :meth:`run`, making executors composable backends."""
-        return self.run(pairs, with_path=with_path)
+        return self.run(pairs, with_path=with_path, budget_s=budget_s)
 
     def query(self, source: int, target: int, *, with_path: bool = False) -> QueryResult:
         """Answer a single pair through the same dedup/cache machinery."""
@@ -191,3 +211,16 @@ class BatchExecutor:
         if self.cache is not None:
             snap["cache"] = self.cache.snapshot()
         return snap
+
+
+def _accepts_budget(func) -> bool:
+    """Does a ``query_batch`` callable take the ``budget_s`` keyword?"""
+    try:
+        parameters = inspect.signature(func).parameters
+    except (TypeError, ValueError):
+        return False
+    if "budget_s" in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )

@@ -17,6 +17,11 @@ Supported fault kinds (per worker, ``"*"`` applies to all):
   sub-batch deadline.
 * ``slow_s`` — added latency on every frame (a slow replica, for
   exercising load-aware routing under asymmetric replicas).
+* ``jitter_s`` — *deterministic* per-frame latency jitter: each frame
+  sleeps ``jitter_s * frac(worker, index)`` where ``frac`` is a hash of
+  the (worker, frame-index) pair — the latency profile of a run is a
+  pure function of the plan and the workload, so an SLO regression
+  reproduces exactly.
 * ``corrupt_at_frame`` — the response frame is truncated on the wire;
   the coordinator's size-validated decode turns it into a typed
   worker fault.
@@ -66,6 +71,7 @@ class WorkerFaults:
     stall_at_frame: Optional[int] = None
     stall_s: float = 0.0
     slow_s: float = 0.0
+    jitter_s: float = 0.0
     corrupt_at_frame: Optional[int] = None
     stale_at_frame: Optional[int] = None
     every_generation: bool = False
@@ -103,6 +109,8 @@ class FaultInjector:
         rule = self.rule
         if rule.slow_s > 0:
             time.sleep(rule.slow_s)
+        if rule.jitter_s > 0:
+            time.sleep(rule.jitter_s * jitter_fraction(self.worker, index))
         if rule.stall_at_frame is not None and index == rule.stall_at_frame:
             if rule.stall_s > 0:
                 time.sleep(rule.stall_s)
@@ -219,6 +227,12 @@ class FaultPlan:
           the worker stays dark through restarts (breaker drills).
         * ``stall:W[:N[:S]]`` — worker W stalls S seconds (default 30)
           before answering frame N (default 1), once.
+        * ``delay:W[:MS]`` — worker W (or ``*`` for all) adds MS
+          milliseconds (default 1) to *every* frame, in every
+          generation: a persistently slow replica for SLO drills.
+        * ``jitter:W[:MS]`` — like ``delay`` but each frame sleeps a
+          deterministic hash-derived fraction of MS (see
+          :func:`jitter_fraction`): a noisy tail, reproducibly.
 
         JSON objects map worker ids (or ``"*"``) to rule fields, e.g.
         ``{"0": {"kill_after_frames": 5}, "*": {"slow_s": 0.001}}``.
@@ -251,12 +265,36 @@ class FaultPlan:
                 return cls({worker: WorkerFaults(
                     stall_at_frame=frames, stall_s=seconds,
                 )})
+            if name in ("delay", "jitter"):
+                worker = args[0] if args[0] == "*" else int(args[0])
+                ms = float(args[1]) if len(args) > 1 else 1.0
+                seconds = ms / 1e3
+                rule = (
+                    WorkerFaults(slow_s=seconds, every_generation=True)
+                    if name == "delay"
+                    else WorkerFaults(jitter_s=seconds, every_generation=True)
+                )
+                return cls({worker: rule})
         except (IndexError, ValueError):
             raise QueryError(f"bad fault-plan spec {text!r}") from None
         raise QueryError(
             f"unknown fault preset {name!r}; "
-            f"use churn/kill/dark/stall or a JSON object"
+            f"use churn/kill/dark/stall/delay/jitter or a JSON object"
         )
+
+
+def jitter_fraction(worker: int, index: int) -> float:
+    """Deterministic uniform-ish fraction in ``[0, 1)`` per (worker, frame).
+
+    A tiny integer hash (SplitMix-style avalanche) over the pair, so
+    two runs of the same plan and workload sleep the same amount on the
+    same frame — randomness without a seed to lose.
+    """
+    h = (index * 0x9E3779B1 + worker * 0x85EBCA77 + 1) & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 0x45D9F3B) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h / 2**32
 
 
 def _with_seq(payload: bytes, seq: int) -> bytes:

@@ -19,6 +19,15 @@ service many concurrent clients can hit, built around three ideas:
   ``"degraded": true`` — so clients get a signal instead of latency.
   Past the *hard* limit the server simply stops reading sockets, and
   TCP itself pushes back on senders.
+* **deadlines + SLO control** (:mod:`repro.service.slo`): a request
+  may carry ``deadline_ms`` (or ``X-Deadline-Ms`` over HTTP); the
+  budget threads through the coalescer (which flushes early rather
+  than let the window blow the tightest deadline), the executor, and
+  the shard coordinator's waits.  A request predicted — or observed —
+  to miss its deadline walks the degrade ladder (``exact`` →
+  ``estimate`` → shed with ``retry_after_ms``) instead of returning
+  late, and an optional AIMD limiter adapts the soft admission limit
+  to the measured deadline hit rate.
 * **graceful drain / hot reload**: ``{"cmd": "reload", "path": ...}``
   builds a fresh app (by default ``ServiceApp.from_saved(path,
   mmap=True)`` — the zero-copy store from PR 5) off the event loop and
@@ -36,6 +45,8 @@ extended with ``{"cmd": "reload"}`` — and a minimal HTTP/1.1 facade
 from __future__ import annotations
 
 import asyncio
+import inspect
+import random
 import time
 from functools import partial
 from typing import Awaitable, Callable, Optional, Union
@@ -50,8 +61,10 @@ from repro.service.protocol import (
     http_response,
     json_line,
     parse_http_head,
+    validate_deadline_ms,
 )
 from repro.service.server import ServiceApp, encode_result
+from repro.service.slo import Deadline, SloConfig, SloController
 from repro.service.telemetry import LatencyHistogram
 
 #: Default coalescing window in microseconds.
@@ -87,18 +100,33 @@ class _BatchError:
         self.exc = exc
 
 
+class _DeadlineMiss:
+    """A request whose deadline expired before its batch dispatched.
+
+    Delivered through the future like :class:`_BatchError`; the server
+    walks the degrade ladder for it (estimate or shed) instead of
+    executing a query that is already too late.
+    """
+
+    __slots__ = ("stage",)
+
+    def __init__(self, stage: str) -> None:
+        self.stage = stage
+
+
 class _Request:
     """One admitted pair waiting in the coalescing queue."""
 
-    __slots__ = ("s", "t", "with_path", "future", "enqueued", "conn")
+    __slots__ = ("s", "t", "with_path", "future", "enqueued", "conn", "deadline")
 
-    def __init__(self, s, t, with_path, future, enqueued, conn) -> None:
+    def __init__(self, s, t, with_path, future, enqueued, conn, deadline) -> None:
         self.s = s
         self.t = t
         self.with_path = with_path
         self.future = future
         self.enqueued = enqueued
         self.conn = conn
+        self.deadline = deadline
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +241,7 @@ class NetStats:
         self.overloaded = 0
         self.degraded = 0
         self.errors = 0
+        self.idle_closed = 0
         self.flushes = 0
         self.flushed_pairs = 0
         self.cross_client_flushes = 0
@@ -284,6 +313,7 @@ class NetStats:
             "connections": {
                 "active": len(self._active),
                 "total": self.connections_total,
+                "idle_closed": self.idle_closed,
                 "closed_totals": dict(self._closed),
                 "clients": [conn.snapshot(now) for conn in clients[:top]],
             },
@@ -295,6 +325,7 @@ class NetStats:
         reservoir = self.queue_wait._samples.maxlen or 8192
         self._closed = dict.fromkeys(_FOLDED, 0)
         self.accepted = self.overloaded = self.degraded = self.errors = 0
+        self.idle_closed = 0
         self.flushes = self.flushed_pairs = 0
         self.cross_client_flushes = self.max_flush = 0
         self.peak_depth = 0
@@ -327,6 +358,14 @@ class Coalescer:
             stop being drained and TCP pushes back.  Defaults to
             ``4 * soft_limit``.
         stats: optional :class:`NetStats` receiving queue/flush metrics.
+        slo: optional :class:`SloController`.  When present, deadlined
+            requests are tracked (the window flushes *early* when the
+            tightest pending deadline could not survive a full window
+            plus the predicted execute tail), per-stage timings feed
+            its predictor, expired requests are peeled off before
+            dispatch, and — when its adaptive limiter is enabled — the
+            soft admission limit follows the AIMD limit instead of the
+            static ``soft_limit``.
         clock: monotonic time source (injectable for tests).
 
     Dispatch runs on a single worker thread (``run_in_executor``), so
@@ -346,6 +385,7 @@ class Coalescer:
         soft_limit: int = DEFAULT_MAX_PENDING,
         hard_limit: int = 0,
         stats: Optional[NetStats] = None,
+        slo: Optional[SloController] = None,
         clock=time.monotonic,
     ) -> None:
         if max_batch < 1:
@@ -360,7 +400,10 @@ class Coalescer:
         self.soft_limit = soft_limit
         self.hard_limit = hard_limit or 4 * soft_limit
         self.stats = stats
+        self.slo = slo
         self.clock = clock
+        self._runner_takes_budget = _accepts_budget(runner)
+        self._tightest: Optional[float] = None
         self._pending: list[_Request] = []
         self._in_flight = 0
         self._lock = asyncio.Lock()
@@ -378,32 +421,59 @@ class Coalescer:
         """Requests admitted but not yet answered (queued + in flight)."""
         return len(self._pending) + self._in_flight
 
-    def offer(self, s: int, t: int, *, with_path: bool = False, conn=None):
+    def offer(
+        self, s: int, t: int, *, with_path: bool = False, conn=None, deadline=None
+    ):
         """Admit one pair; returns its future, or ``None`` when overloaded."""
-        admitted = self.offer_many([(s, t)], with_path=with_path, conn=conn)
+        admitted = self.offer_many(
+            [(s, t)], with_path=with_path, conn=conn, deadline=deadline
+        )
         return admitted[0] if admitted is not None else None
 
-    def offer_many(self, pairs, *, with_path: bool = False, conn=None):
+    def offer_many(
+        self, pairs, *, with_path: bool = False, conn=None, deadline=None
+    ):
         """Admit a client batch atomically; ``None`` when it would overflow.
 
         The whole batch is admitted or rejected as one unit — partial
         admission would hand the client an unordered mix of answers and
-        overload errors for a single request object.
+        overload errors for a single request object.  ``deadline`` (a
+        :class:`~repro.service.slo.Deadline`) rides with every request
+        of the batch into dispatch.
         """
-        if self._closed or self.depth + len(pairs) > self.soft_limit:
+        if self._closed or self.depth + len(pairs) > self.soft_limit_now():
             return None
         loop = asyncio.get_running_loop()
         now = self.clock()
         futures = []
         for s, t in pairs:
             future = loop.create_future()
-            self._pending.append(_Request(s, t, with_path, future, now, conn))
+            self._pending.append(
+                _Request(s, t, with_path, future, now, conn, deadline)
+            )
             futures.append(future)
+        if deadline is not None and (
+            self._tightest is None or deadline.expires_at < self._tightest
+        ):
+            self._tightest = deadline.expires_at
         if self.stats is not None:
             self.stats.observe_depth(self.depth)
         self._update_gate()
         self._schedule_flush()
         return futures
+
+    def soft_limit_now(self) -> int:
+        """The live admission limit: the AIMD limit when adaptive, else static.
+
+        The adaptive limit is clamped into ``[1, hard_limit]`` — the
+        limiter may probe upward past the static soft limit, but never
+        past the point where socket backpressure takes over.
+        """
+        if self.slo is not None:
+            adaptive = self.slo.effective_soft_limit()
+            if adaptive is not None:
+                return min(self.hard_limit, max(1, adaptive))
+        return self.soft_limit
 
     def retry_after_ms(self) -> int:
         """Suggested client backoff, from the recent per-item service time.
@@ -436,13 +506,35 @@ class Coalescer:
     def _schedule_flush(self) -> None:
         if self.window_us is None:
             return  # manual mode: tests call flush() themselves
-        if len(self._pending) >= self.max_batch:
-            self._burst.set()
         if self._flusher is None or self._flusher.done():
             self._burst = asyncio.Event()
-            if len(self._pending) >= self.max_batch:
-                self._burst.set()
             self._flusher = asyncio.create_task(self._window_flush())
+        self._maybe_burst()
+
+    def _maybe_burst(self) -> None:
+        """Fire the burst event when the queue cannot wait out the window."""
+        if self._burst.is_set():
+            return
+        if len(self._pending) >= self.max_batch:
+            self._burst.set()
+        elif self._deadline_burst():
+            self._burst.set()
+            if self.slo is not None:
+                self.slo.note_early_flush()
+
+    def _deadline_burst(self) -> bool:
+        """Would a full coalescing window blow the tightest pending deadline?
+
+        The spare time of the tightest deadline is its remaining budget
+        minus the predicted execute tail; when that spare no longer
+        covers the window, waiting is guaranteed lateness and the batch
+        dispatches with whatever has coalesced so far.
+        """
+        if self._tightest is None:
+            return False
+        window_s = (self.window_us or 0.0) / 1e6
+        tail = self.slo.predictor.execute_tail_s() if self.slo is not None else 0.0
+        return (self._tightest - self.clock()) - tail < window_s
 
     async def _window_flush(self) -> None:
         window_s = (self.window_us or 0.0) / 1e6
@@ -467,6 +559,14 @@ class Coalescer:
                 if not batch:  # lost the race to a concurrent flush
                     break
                 del self._pending[: len(batch)]
+                self._tightest = min(
+                    (
+                        r.deadline.expires_at
+                        for r in self._pending
+                        if r.deadline is not None
+                    ),
+                    default=None,
+                )
                 self._in_flight += len(batch)
                 try:
                     await self._dispatch(batch)
@@ -484,23 +584,56 @@ class Coalescer:
             self._pool = ThreadPoolExecutor(1, thread_name_prefix="repro-dispatch")
         started = self.clock()
         waits = [started - request.enqueued for request in batch]
-        # One executor call per path flavour: BatchExecutor.run takes a
-        # batch-wide with_path, and forcing paths onto every co-batched
-        # distance query would change its cost and its answer shape.
-        for with_path in (False, True):
-            lane = [r for r in batch if r.with_path is with_path]
-            if not lane:
+        slo = self.slo
+        if slo is not None:
+            for wait in waits:
+                slo.observe_stage("queue", wait)
+            if waits:
+                slo.observe_stage("coalesce", max(waits))
+        # A request whose deadline already expired never reaches the
+        # backend: its future resolves to a _DeadlineMiss and the server
+        # walks the degrade ladder instead of computing a late answer.
+        live: list[_Request] = []
+        for request in batch:
+            if request.deadline is not None and request.deadline.remaining() <= 0:
+                if slo is not None:
+                    slo.note_stage_miss("dispatch")
+                if not request.future.done():
+                    request.future.set_result(_DeadlineMiss("dispatch"))
                 continue
+            live.append(request)
+        # One executor call per (path, deadlined) flavour: BatchExecutor
+        # takes a batch-wide with_path, and a deadline budget must not
+        # make co-batched unbounded requests degradable.
+        lanes: dict[tuple[bool, bool], list[_Request]] = {}
+        for request in live:
+            key = (request.with_path, request.deadline is not None)
+            lanes.setdefault(key, []).append(request)
+        for (with_path, bounded), lane in lanes.items():
             pairs = [(r.s, r.t) for r in lane]
-            try:
-                results = await loop.run_in_executor(
-                    self._pool, partial(self.runner, pairs, with_path)
+            call = partial(self.runner, pairs, with_path)
+            if bounded and self._runner_takes_budget:
+                # The lane runs under its tightest member's residual
+                # budget — looser members only ever get *more* time.
+                tightest = min(r.deadline.remaining() for r in lane)
+                call = partial(
+                    self.runner, pairs, with_path, budget_s=max(1e-3, tightest)
                 )
+            t0 = self.clock()
+            if slo is not None:
+                slo.observe_stage("dispatch", t0 - started)
+            try:
+                results = await loop.run_in_executor(self._pool, call)
             except Exception as exc:  # answer with errors, never drop
                 results = [_BatchError(exc)] * len(lane)
+            t1 = self.clock()
+            if slo is not None:
+                slo.observe_execute(t1 - t0, len(lane))
             for request, result in zip(lane, results):
                 if not request.future.done():
                     request.future.set_result(result)
+            if slo is not None:
+                slo.observe_stage("collect", self.clock() - t1)
         elapsed = self.clock() - started
         share = elapsed / len(batch)
         self._ewma_item_s = (
@@ -558,6 +691,19 @@ class NetServer:
             the landmark triangulation estimate (method ``"estimate"``,
             ``"degraded": true``) instead of an overload error; falls
             back to overload errors when the index has no tables.
+        slo: a :class:`~repro.service.slo.SloConfig` — the default
+            request deadline, the degrade ladder walked when a deadline
+            cannot be met (``exact`` → ``estimate`` → shed with
+            ``retry_after_ms``), the p99 target, and the adaptive
+            (AIMD) concurrency limiter.  ``None`` builds a passive
+            controller: per-request ``deadline_ms`` still works, but
+            requests without one take exactly the pre-SLO paths.
+        retry_jitter: fractional jitter (default ±25%) applied to every
+            ``retry_after_ms`` the server suggests, so rejected clients
+            do not re-arrive in lockstep.
+        idle_timeout_s: close connections that send nothing for this
+            long (a clean error frame first on the JSONL transport, a
+            408 on HTTP); ``None`` disables the timeout.
         app_factory: ``factory(path, **overrides) -> ServiceApp`` used
             by ``{"cmd": "reload"}``; defaults to
             ``ServiceApp.from_saved(path, mmap=True)``.
@@ -575,17 +721,31 @@ class NetServer:
         max_pending: int = DEFAULT_MAX_PENDING,
         hard_pending: int = 0,
         degrade: bool = False,
+        slo: Optional[SloConfig] = None,
+        retry_jitter: float = 0.25,
+        idle_timeout_s: Optional[float] = None,
         app_factory: Optional[Callable] = None,
     ) -> None:
         if transport not in ("tcp", "http"):
             raise QueryError(f"unknown transport {transport!r}; use 'tcp' or 'http'")
+        if not 0 <= retry_jitter < 1:
+            raise QueryError("retry_jitter must be in [0, 1)")
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise QueryError("idle_timeout_s must be positive")
         self.app = app
         self.host = host
         self.port = port
         self.transport = transport
         self.degrade = degrade
+        self.retry_jitter = float(retry_jitter)
+        self.idle_timeout_s = idle_timeout_s
         self.app_factory = app_factory
         self.stats = NetStats()
+        self.slo = SloController(
+            slo or SloConfig(),
+            soft_limit=max_pending,
+            hard_limit=hard_pending or 4 * max_pending,
+        )
         self.coalescer = Coalescer(
             self._run_batch,
             window_us=coalesce_us,
@@ -593,8 +753,13 @@ class NetServer:
             soft_limit=max_pending,
             hard_limit=hard_pending,
             stats=self.stats,
+            slo=self.slo,
         )
         self._estimator = landmark_estimator(app) if degrade else None
+        self._ladder_estimator = (
+            landmark_estimator(app) if "estimate" in self.slo.config.ladder else None
+        )
+        self._rng = random.Random()
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._draining = False
@@ -602,10 +767,10 @@ class NetServer:
         self._stop = asyncio.Event()
 
     # -- lifecycle ---------------------------------------------------------
-    def _run_batch(self, pairs, with_path):
+    def _run_batch(self, pairs, with_path, *, budget_s=None):
         # Reads self.app at call time: after a reload swap, queued
         # requests are answered by the new app.
-        return self.app.executor.run(pairs, with_path=with_path)
+        return self.app.executor.run(pairs, with_path=with_path, budget_s=budget_s)
 
     async def start(self) -> tuple[str, int]:
         """Bind and start accepting; returns the actual ``(host, port)``."""
@@ -648,11 +813,14 @@ class NetServer:
             "depth": self.coalescer.depth,
             "in_flight": self.coalescer._in_flight,
             "soft_limit": self.coalescer.soft_limit,
+            "soft_limit_now": self.coalescer.soft_limit_now(),
             "hard_limit": self.coalescer.hard_limit,
             "coalesce_us": self.coalescer.window_us,
             "max_batch": self.coalescer.max_batch,
         }
-        return self.app.snapshot(net=self.stats.snapshot(queue=queue))
+        net = self.stats.snapshot(queue=queue)
+        net["slo"] = self.slo.snapshot()
+        return self.app.snapshot(net=net)
 
     async def reload(self, path, *, mmap: Optional[bool] = None) -> dict:
         """Swap in a freshly loaded store without dropping a request.
@@ -677,6 +845,8 @@ class NetServer:
             old, self.app = self.app, new_app
         if self.degrade:
             self._estimator = landmark_estimator(new_app)
+        if "estimate" in self.slo.config.ladder:
+            self._ladder_estimator = landmark_estimator(new_app)
         self.stats.reloads += 1
         if old is not None:
             await loop.run_in_executor(None, old.close)
@@ -744,34 +914,82 @@ class NetServer:
         try:
             s, t = int(request["s"]), int(request["t"])
             with_path = bool(request.get("path", False))
+            deadline_ms = validate_deadline_ms(request.get("deadline_ms"))
             self._validate(s, t)
-        except (ReproError, ValueError, TypeError) as exc:
+        except (ReproError, ValueError, TypeError, OverflowError) as exc:
             conn.errors += 1
             self.stats.errors += 1
             return {"error": str(exc)}
-        future = self.coalescer.offer(s, t, with_path=with_path, conn=conn)
+        deadline = self.slo.deadline_for(deadline_ms)
+        if deadline is not None:
+            rung = self.slo.admit(deadline, self.coalescer.depth)
+            if rung != "exact":
+                return self._degrade_or_shed(conn, rung, [(s, t)], with_path)
+        future = self.coalescer.offer(
+            s, t, with_path=with_path, conn=conn, deadline=deadline
+        )
         if future is None:
+            if deadline is not None:
+                # A full queue means the deadline cannot be met: walk
+                # the ladder instead of the legacy overload rejection.
+                self.slo.note_stage_miss("queue")
+                return self._degrade_or_shed(
+                    conn, self.slo.rung_after("exact"), [(s, t)], with_path
+                )
             return self._overloaded(conn, [(s, t)], with_path)
         conn.pairs += 1
         self.stats.accepted += 1
-        return self._await_single(future, with_path)
+        return self._await_single(
+            future, with_path, conn=conn, pair=(s, t), deadline=deadline
+        )
 
     def _admit_pairs(self, conn: ConnStats, request) -> _Payload:
         try:
             pairs = [(int(s), int(t)) for s, t in request["pairs"]]
             with_path = bool(request.get("path", False))
+            deadline_ms = validate_deadline_ms(request.get("deadline_ms"))
             for s, t in pairs:
                 self._validate(s, t)
-        except (ReproError, ValueError, TypeError) as exc:
+        except (ReproError, ValueError, TypeError, OverflowError) as exc:
             conn.errors += 1
             self.stats.errors += 1
             return {"error": str(exc)}
-        futures = self.coalescer.offer_many(pairs, with_path=with_path, conn=conn)
+        deadline = self.slo.deadline_for(deadline_ms)
+        if deadline is not None:
+            rung = self.slo.admit(deadline, self.coalescer.depth)
+            if rung != "exact":
+                return self._degrade_or_shed(
+                    conn, rung, pairs, with_path, batch=True
+                )
+        futures = self.coalescer.offer_many(
+            pairs, with_path=with_path, conn=conn, deadline=deadline
+        )
         if futures is None:
+            if deadline is not None:
+                self.slo.note_stage_miss("queue")
+                return self._degrade_or_shed(
+                    conn, self.slo.rung_after("exact"), pairs, with_path,
+                    batch=True,
+                )
             return self._overloaded(conn, pairs, with_path)
         conn.pairs += len(pairs)
         self.stats.accepted += len(pairs)
-        return self._await_pairs(futures, with_path)
+        return self._await_pairs(
+            futures, with_path, conn=conn, pairs=pairs, deadline=deadline
+        )
+
+    def _retry_after_ms(self) -> int:
+        """The coalescer's backoff suggestion, jittered ±``retry_jitter``.
+
+        Un-jittered backoff is a metronome: every client rejected in the
+        same congestion window returns in the same later window and the
+        stampede repeats.  The multiplicative spread decorrelates them.
+        """
+        base = self.coalescer.retry_after_ms()
+        if self.retry_jitter <= 0:
+            return base
+        spread = 1.0 + self.retry_jitter * (2.0 * self._rng.random() - 1.0)
+        return max(1, int(base * spread))
 
     def _overloaded(self, conn: ConnStats, pairs, with_path: bool) -> dict:
         conn.overloads += 1
@@ -790,23 +1008,100 @@ class NetServer:
             }
         return {
             "error": "overloaded",
-            "retry_after_ms": self.coalescer.retry_after_ms(),
+            "retry_after_ms": self._retry_after_ms(),
         }
 
-    async def _await_single(self, future, with_path: bool) -> dict:
+    def _degrade_or_shed(
+        self, conn: ConnStats, rung: str, pairs, with_path: bool, *, batch=False
+    ) -> dict:
+        """Answer a deadline-missing request from the degrade ladder.
+
+        ``estimate`` answers from the landmark triangulation tables
+        (every pair of the request degrades — a mix of exact and
+        estimated answers would be indistinguishable from a correct
+        response); path queries and table-less indexes fall through to
+        the next rung.  ``shed`` (the terminal rung) answers a typed
+        error with a jittered ``retry_after_ms``.
+        """
+        if rung == "estimate" and (self._ladder_estimator is None or with_path):
+            rung = self.slo.rung_after("estimate")
+        if rung == "estimate":
+            estimates = []
+            for s, t in pairs:
+                distance, probes = self._ladder_estimator(s, t)
+                estimates.append({
+                    "s": s, "t": t, "distance": distance,
+                    "method": "estimate", "probes": probes, "degraded": True,
+                })
+                self.slo.note_rung("estimate")
+            conn.degraded += len(pairs)
+            self.stats.degraded += len(pairs)
+            return {"results": estimates} if batch else estimates[0]
+        for _ in pairs:
+            self.slo.note_rung("shed")
+        conn.overloads += 1
+        self.stats.overloaded += 1
+        return {
+            "error": "deadline",
+            "retry_after_ms": self._retry_after_ms(),
+        }
+
+    async def _await_single(
+        self, future, with_path: bool, *, conn=None, pair=None, deadline=None
+    ) -> dict:
         result = await future
         if isinstance(result, _BatchError):
             self.stats.errors += 1
             return {"error": str(result.exc)}
+        if deadline is None:
+            return encode_result(result, with_path)
+        if isinstance(result, _DeadlineMiss):
+            self.slo.note_completion(deadline)
+            return self._degrade_or_shed(
+                conn, self.slo.rung_after("exact"), [pair], with_path
+            )
+        met = self.slo.note_completion(deadline)
+        if not met:
+            # The exact answer exists but arrived late: a late answer
+            # is a wrong answer under an SLO, so the ladder still runs.
+            self.slo.note_stage_miss("execute")
+            return self._degrade_or_shed(
+                conn, self.slo.rung_after("exact"), [pair], with_path
+            )
+        self.slo.note_rung(
+            "estimate" if result.method == "estimate" else "exact"
+        )
         return encode_result(result, with_path)
 
-    async def _await_pairs(self, futures, with_path: bool) -> dict:
+    async def _await_pairs(
+        self, futures, with_path: bool, *, conn=None, pairs=None, deadline=None
+    ) -> dict:
         results = await asyncio.gather(*futures)
         bad = next((r for r in results if isinstance(r, _BatchError)), None)
         if bad is not None:
             self.stats.errors += 1
             return {"error": str(bad.exc)}
+        if deadline is None:
+            return {"results": [encode_result(r, with_path) for r in results]}
+        met = self.slo.note_completion(deadline)
+        missed = any(isinstance(r, _DeadlineMiss) for r in results)
+        if missed or not met:
+            if not missed:
+                self.slo.note_stage_miss("execute")
+            return self._degrade_or_shed(
+                conn, self.slo.rung_after("exact"), pairs, with_path, batch=True
+            )
+        for result in results:
+            self.slo.note_rung(
+                "estimate" if result.method == "estimate" else "exact"
+            )
         return {"results": [encode_result(r, with_path) for r in results]}
+
+    async def _read_with_idle(self, read_coro):
+        """Await a transport read, bounded by the idle timeout (if any)."""
+        if self.idle_timeout_s is None:
+            return await read_coro
+        return await asyncio.wait_for(read_coro, self.idle_timeout_s)
 
     @staticmethod
     async def _resolve(payload: _Payload) -> dict:
@@ -827,7 +1122,20 @@ class NetServer:
             while not self._draining:
                 await self.coalescer.wait_admittable()
                 try:
-                    line = await reader.readline()
+                    line = await self._read_with_idle(reader.readline())
+                except (asyncio.TimeoutError, TimeoutError):
+                    # A slow or silent client is holding a socket (and,
+                    # under the hard limit, a reader slot): say why,
+                    # then hang up cleanly.
+                    self.stats.idle_closed += 1
+                    out_q.put_nowait((
+                        {
+                            "error": "idle timeout",
+                            "idle_timeout_s": self.idle_timeout_s,
+                        },
+                        True,
+                    ))
+                    break
                 except ValueError:  # line beyond the stream limit
                     out_q.put_nowait(({"error": "request line too long"}, True))
                     break
@@ -896,7 +1204,22 @@ class NetServer:
             while not self._draining:
                 await self.coalescer.wait_admittable()
                 try:
-                    head = await reader.readuntil(b"\r\n\r\n")
+                    head = await self._read_with_idle(reader.readuntil(b"\r\n\r\n"))
+                except (asyncio.TimeoutError, TimeoutError):
+                    self.stats.idle_closed += 1
+                    frame = http_response(
+                        {
+                            "error": "idle timeout",
+                            "idle_timeout_s": self.idle_timeout_s,
+                        },
+                        status=408, keep_alive=False,
+                    )
+                    try:
+                        writer.write(frame)
+                        await writer.drain()
+                    except (ConnectionResetError, OSError):
+                        pass
+                    break
                 except asyncio.IncompleteReadError:
                     break  # EOF between requests
                 except asyncio.LimitOverrunError:
@@ -959,10 +1282,14 @@ class NetServer:
         if request.method == "POST" and request.target == "/query":
             conn.requests += 1
             decoded = decode_json_line(body) if body else None
+            header_deadline = request.deadline_ms
+            if header_deadline is not None and isinstance(decoded, dict):
+                # X-Deadline-Ms applies unless the body already set one.
+                decoded.setdefault("deadline_ms", header_deadline)
             payload, _keep = self._route_request(conn, decoded)
             response = await self._resolve(payload)
-            if response.get("error") == "overloaded":
-                return 503, response
+            if "error" in response and "retry_after_ms" in response:
+                return 503, response  # overloaded / deadline shed
             if "error" in response:
                 return 400, response
             return 200, response
@@ -996,6 +1323,19 @@ def _peer_name(writer) -> str:
     if isinstance(peer, tuple) and len(peer) >= 2:
         return f"{peer[0]}:{peer[1]}"
     return str(peer)
+
+
+def _accepts_budget(func) -> bool:
+    """Does a runner callable take the ``budget_s`` keyword?"""
+    try:
+        parameters = inspect.signature(func).parameters
+    except (TypeError, ValueError):
+        return False
+    if "budget_s" in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
 
 
 async def serve_app(

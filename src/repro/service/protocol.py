@@ -20,6 +20,7 @@ production codec without sockets.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 
 from repro.exceptions import ReproError
@@ -28,12 +29,16 @@ from repro.exceptions import ReproError
 MAX_HEAD_BYTES = 65536
 #: Upper bound on a request body / JSONL request line.
 MAX_BODY_BYTES = 16 * 1024 * 1024
+#: Upper bound on a request's ``deadline_ms`` budget (one hour): any
+#: larger value is a client bug, not a latency objective.
+MAX_DEADLINE_MS = 3_600_000
 
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     503: "Service Unavailable",
 }
@@ -52,13 +57,57 @@ def json_line(obj) -> bytes:
     return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
 
 
+def _reject_nonfinite(token: str):
+    """``parse_constant`` hook: NaN/Infinity are not valid request values."""
+    raise ProtocolError(f"non-finite number {token!r} is not allowed")
+
+
 def decode_json_line(line: bytes) -> dict:
-    """Parse one request line; raises :class:`ProtocolError` on bad JSON."""
+    """Parse one request line; raises :class:`ProtocolError` on bad JSON.
+
+    Every decode failure is typed: invalid JSON and undecodable bytes
+    (``UnicodeDecodeError``), the ``NaN``/``Infinity`` extensions
+    (rejected via ``parse_constant``), and oversized integer literals
+    (``int()`` raises a plain ``ValueError`` past the interpreter's
+    digit limit — which must not escape as a traceback).
+    """
     try:
-        request = json.loads(line)
-    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        request = json.loads(line, parse_constant=_reject_nonfinite)
+    except ProtocolError:
+        raise
+    except (ValueError, TypeError, RecursionError) as exc:
+        # ValueError covers JSONDecodeError, UnicodeDecodeError and the
+        # int-conversion digit limit alike.
         raise ProtocolError(f"bad JSON: {exc}") from None
     return request
+
+
+def validate_deadline_ms(value):
+    """Validate a request's ``deadline_ms``: ``None`` or a sane budget.
+
+    Returns the budget as a float (milliseconds).  Everything else —
+    wrong type, booleans, non-finite floats, zero/negative budgets,
+    absurdly large budgets — is a typed :class:`ProtocolError`.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            f"deadline_ms must be a number, not {type(value).__name__}"
+        )
+    try:
+        ms = float(value)
+    except OverflowError:
+        raise ProtocolError(f"deadline_ms {value!r} is out of range") from None
+    if not math.isfinite(ms):
+        raise ProtocolError("deadline_ms must be finite")
+    if ms <= 0:
+        raise ProtocolError("deadline_ms must be positive")
+    if ms > MAX_DEADLINE_MS:
+        raise ProtocolError(
+            f"deadline_ms {value!r} exceeds the {MAX_DEADLINE_MS} ms limit"
+        )
+    return ms
 
 
 @dataclass
@@ -88,6 +137,18 @@ class HttpRequest:
                 status=413,
             )
         return length
+
+    @property
+    def deadline_ms(self):
+        """The ``X-Deadline-Ms`` header's budget, validated; ``None`` absent."""
+        raw = self.headers.get("x-deadline-ms")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ProtocolError(f"bad X-Deadline-Ms {raw!r}") from None
+        return validate_deadline_ms(value)
 
     @property
     def keep_alive(self) -> bool:

@@ -48,6 +48,7 @@ from repro.exceptions import (
     QueryError,
     WorkerDied,
     WorkerFault,
+    WorkerTimeout,
 )
 from repro.service.routing import ReplicaRouter
 from repro.service.supervisor import (
@@ -146,6 +147,16 @@ class FrameStreamTransport:
         self._pending[worker].clear()
         self._expected[worker].clear()
 
+    def abandon(self, worker: int, seq: int) -> None:
+        """Stop expecting one exchange (its budget ran out mid-wait).
+
+        The worker is healthy and will still push the answer; removing
+        the seq from the expected set makes that late frame a stale one
+        — discarded on arrival instead of parked forever.
+        """
+        self._expected[worker].discard(seq)
+        self._pending[worker].pop(seq, None)
+
     def stats(self) -> dict:
         return {}
 
@@ -238,6 +249,17 @@ class FlatShardedBase:
         # record the epoch they were sent under, so the collect loop can
         # tell that a still-awaited response died with the old worker.
         self._worker_epoch = [0] * (num_shards * self.replicas)
+        # Deadline-budget accounting (transport_stats()["slo"]).  The
+        # clock is an instance attribute so deadline tests can inject a
+        # fake one.
+        self._clock = time.monotonic
+        self._slo_counters = {
+            "budget_batches": 0,
+            "clamped_waits": 0,
+            "expired_pairs": 0,
+            "degraded_pairs": 0,
+            "skipped_retries": 0,
+        }
 
     @classmethod
     def from_saved(cls, path, num_shards: int, *, mmap: bool = False, **kwargs):
@@ -295,7 +317,7 @@ class FlatShardedBase:
     # ------------------------------------------------------------------
     # the coordinator loop (shared by every backend)
     # ------------------------------------------------------------------
-    def query_batch(self, pairs, *, with_path: bool = False):
+    def query_batch(self, pairs, *, with_path: bool = False, budget_s=None):
         """Answer a batch through the transport plane.
 
         The batch is partitioned by ``shard_of(source)``, each shard's
@@ -305,6 +327,15 @@ class FlatShardedBase:
         the thread backend and the simulation record it — the modelled
         §5 round trips ride inside the response frames, so the totals
         are independent of which transport moved them.
+
+        ``budget_s`` is the batch's remaining end-to-end deadline
+        budget (from the network edge's tightest member deadline).
+        Every send/recv wait is clamped to the residual budget, a
+        failover retry that cannot fit it is skipped, and pairs whose
+        budget expires mid-batch are answered from the landmark
+        estimate (``method="estimate"``) when the index carries tables
+        — a deadline miss is the request's state, not a worker fault,
+        so no breaker or restart machinery is tripped by it.
         """
         pair_list, homes, flat_pairs = self._validate_batch(pairs, with_path)
         if not pair_list:
@@ -318,12 +349,28 @@ class FlatShardedBase:
         exec_ns = 0
         sup = self.supervisor
         deadline = self._deadline_s()
+        budget_end = None
+        if budget_s is not None:
+            budget_end = self._clock() + max(float(budget_s), 0.0)
+            self._slo_counters["budget_batches"] += 1
         degraded: list = []  # position arrays answered by the estimate lane
         guard = self._batch_lock if transport.serial else nullcontext()
         with guard:
             t0 = time.perf_counter()
             sent = []  # (worker, seq, positions, shard, replica, epoch, exc)
             for shard_id, positions in by_shard.items():
+                if self._budget_spent(budget_end):
+                    # Out of budget before this shard was even reached:
+                    # estimate (or error) without paying any dispatch.
+                    self._slo_counters["expired_pairs"] += len(positions)
+                    if self._budget_degrade():
+                        degraded.append(positions)
+                    else:
+                        errors.append(
+                            f"deadline budget exhausted before dispatch "
+                            f"to shard {shard_id}"
+                        )
+                    continue
                 if sup is not None and not sup.admit(shard_id):
                     # Breaker open: answer from the estimate without
                     # paying dispatch, deadline or retry for a shard
@@ -346,7 +393,11 @@ class FlatShardedBase:
                     epoch = self._worker_epoch[worker]
                     send_exc = None
                     try:
-                        transport.send(worker, frame, timeout=deadline)
+                        transport.send(
+                            worker,
+                            frame,
+                            timeout=self._clamped_deadline(deadline, budget_end),
+                        )
                     except WorkerFault as exc:
                         if sup is None:
                             raise
@@ -381,11 +432,36 @@ class FlatShardedBase:
                         failure = WorkerDied(worker, "was restarted mid-batch")
                     else:
                         try:
-                            resp = transport.recv(worker, seq, timeout=deadline)
+                            resp = transport.recv(
+                                worker,
+                                seq,
+                                timeout=self._clamped_deadline(deadline, budget_end),
+                            )
                         except WorkerFault as fault:
                             self._router.completed(
                                 shard_id, replica, len(positions), 0
                             )
+                            if isinstance(fault, WorkerTimeout) and (
+                                self._budget_spent(budget_end)
+                            ):
+                                # The wait ran out of *request* budget,
+                                # not worker patience: the worker is
+                                # presumed healthy, its late answer is
+                                # abandoned (stale on arrival), and the
+                                # pairs degrade to the estimate lane.
+                                if hasattr(transport, "abandon"):
+                                    transport.abandon(worker, seq)
+                                self._slo_counters["expired_pairs"] += len(
+                                    positions
+                                )
+                                if self._budget_degrade():
+                                    degraded.append(positions)
+                                else:
+                                    errors.append(
+                                        f"deadline budget exhausted awaiting "
+                                        f"shard {shard_id}"
+                                    )
+                                continue
                             if sup is None:
                                 errors.append(str(fault))
                                 continue
@@ -406,9 +482,21 @@ class FlatShardedBase:
                 if resp is None and sup is not None:
                     resp = self._failover(
                         shard_id, replica, positions, flat_pairs,
-                        with_path, deadline,
+                        with_path, deadline, budget_end=budget_end,
                     )
                 if resp is None:
+                    if (
+                        budget_end is not None
+                        and self._budget_spent(budget_end)
+                        and self._budget_degrade()
+                    ):
+                        # The failover budget ran out with the clock:
+                        # honour the deadline contract with an estimate
+                        # (no breaker — the failure may simply be that
+                        # there was no time left to retry).
+                        self._slo_counters["expired_pairs"] += len(positions)
+                        degraded.append(positions)
+                        continue
                     if sup is not None:
                         sup.breaker_failure(shard_id)
                         if self._can_degrade():
@@ -441,7 +529,9 @@ class FlatShardedBase:
                 estimates = shard_estimates(self.flat, flat_pairs[positions])
                 for position, result in zip(positions.tolist(), estimates):
                     results[position] = result
-                sup.note_degraded(len(positions))
+                self._slo_counters["degraded_pairs"] += len(positions)
+                if sup is not None:
+                    sup.note_degraded(len(positions))
             t2 = time.perf_counter()
             if sup is not None:
                 self._revive_dead_workers()
@@ -461,6 +551,39 @@ class FlatShardedBase:
             return self.supervisor.config.deadline_s
         return self.recv_deadline_s
 
+    # ------------------------------------------------------------------
+    # deadline budgets (the per-request deadline threaded down from the
+    # network edge — see repro.service.slo)
+    # ------------------------------------------------------------------
+    def _budget_residual(self, budget_end) -> Optional[float]:
+        """Seconds of batch budget left (``None`` = unbounded)."""
+        if budget_end is None:
+            return None
+        return budget_end - self._clock()
+
+    def _budget_spent(self, budget_end) -> bool:
+        return budget_end is not None and budget_end - self._clock() <= 0.0
+
+    def _clamped_deadline(self, deadline, budget_end) -> Optional[float]:
+        """A send/recv timeout clamped to the remaining batch budget."""
+        if budget_end is None:
+            return deadline
+        residual = max(budget_end - self._clock(), 1e-3)
+        if deadline is None or residual < deadline:
+            self._slo_counters["clamped_waits"] += 1
+            return residual
+        return deadline
+
+    def _budget_degrade(self) -> bool:
+        """May budget-expired pairs be answered from the estimate lane?
+
+        Unlike :meth:`_can_degrade` this needs no supervisor: a blown
+        budget is the *request's* state, not a worker fault, and a
+        degraded estimate honours the deadline contract where a typed
+        error would not.
+        """
+        return self.flat.has_tables
+
     def _can_degrade(self) -> bool:
         sup = self.supervisor
         return (
@@ -478,7 +601,7 @@ class FlatShardedBase:
 
     def _failover(
         self, shard_id, failed_replica, positions, flat_pairs, with_path,
-        deadline,
+        deadline, *, budget_end=None,
     ) -> Optional[ResponseFrame]:
         """Re-dispatch one failed sub-batch until it answers or the
         retry budget runs out.
@@ -487,13 +610,20 @@ class FlatShardedBase:
         sequence number — the abandoned exchange's late answer, if any,
         is discarded by the stale-frame rule), restarts dead workers
         when the budget allows, and backs off exponentially between
-        attempts.  Returns the response frame, or ``None`` when the
-        shard stayed dark.
+        attempts.  An attempt whose backoff cannot fit the remaining
+        *deadline* budget is skipped outright (the caller degrades to
+        the estimate lane instead of burning the clock).  Returns the
+        response frame, or ``None`` when the shard stayed dark.
         """
         sup = self.supervisor
         transport = self._transport
         last_replica = failed_replica
         for attempt in range(sup.config.retries):
+            if not sup.config.retry_fits(
+                attempt, self._budget_residual(budget_end)
+            ):
+                self._slo_counters["skipped_retries"] += 1
+                return None
             backoff = sup.config.backoff_s(attempt)
             if backoff > 0:
                 time.sleep(backoff)
@@ -509,7 +639,11 @@ class FlatShardedBase:
             frame = RequestFrame(seq, flat_pairs[positions], with_path)
             sup.note_retry()
             try:
-                transport.send(worker, frame, timeout=deadline)
+                transport.send(
+                    worker,
+                    frame,
+                    timeout=self._clamped_deadline(deadline, budget_end),
+                )
             except WorkerFault as exc:
                 self._fault_worker(worker, exc)
                 continue
@@ -517,9 +651,22 @@ class FlatShardedBase:
                 shard_id, replica, len(positions), frame.nbytes
             )
             try:
-                resp = transport.recv(worker, seq, timeout=deadline)
+                resp = transport.recv(
+                    worker,
+                    seq,
+                    timeout=self._clamped_deadline(deadline, budget_end),
+                )
             except WorkerFault as exc:
                 self._router.completed(shard_id, replica, len(positions), 0)
+                if isinstance(exc, WorkerTimeout) and self._budget_spent(
+                    budget_end
+                ):
+                    # Budget ran out mid-retry: the replica is presumed
+                    # healthy — abandon the exchange and let the caller
+                    # degrade instead of killing a worker for our clock.
+                    if hasattr(transport, "abandon"):
+                        transport.abandon(worker, seq)
+                    return None
                 self._fault_worker(worker, exc)
                 continue
             self._router.completed(
@@ -646,6 +793,10 @@ class FlatShardedBase:
             stats.update(self._transport.stats())
         if self.supervisor is not None:
             stats["supervisor"] = self.supervisor.snapshot()
+        # Deadline-budget accounting: batches that carried a budget,
+        # waits clamped to it, pairs it expired on, estimate-lane
+        # answers, and failover retries skipped for lack of budget.
+        stats["slo"] = dict(self._slo_counters)
         return stats
 
     # ------------------------------------------------------------------

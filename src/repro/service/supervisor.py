@@ -118,6 +118,19 @@ class SupervisorConfig:
             return 0.0
         return min(self.backoff_max_s, self.backoff_base_s * (2 ** (attempt - 1)))
 
+    def retry_fits(self, attempt: int, residual_s: Optional[float]) -> bool:
+        """Can failover attempt ``attempt`` fit in a remaining time budget?
+
+        ``residual_s`` is the request's residual deadline budget
+        (``None`` = unbounded).  An attempt needs its backoff sleep
+        *plus* at least the backoff floor's worth of execute time; a
+        retry that cannot fit converts straight to the degrade/estimate
+        lane instead of burning the clock.
+        """
+        if residual_s is None:
+            return True
+        return residual_s > self.backoff_s(attempt) + self.backoff_base_s
+
 
 @dataclass
 class _Breaker:

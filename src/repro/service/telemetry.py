@@ -360,6 +360,24 @@ def render_snapshot(snapshot: dict) -> str:
             f"net wait/service : p50 {wait['p50_ms']:.3f}/{service['p50_ms']:.3f} ms | "
             f"p99 {wait['p99_ms']:.3f}/{service['p99_ms']:.3f} ms"
         )
+        slo = net.get("slo")
+        if slo is not None and slo.get("deadline", {}).get("requests"):
+            deadline, ladder = slo["deadline"], slo["ladder"]
+            taken = ladder.get("taken", {})
+            lines.append(
+                f"net deadlines    : {deadline['requests']:,} deadlined | "
+                f"{deadline['hits']:,} met / {deadline['misses']:,} missed | "
+                f"ladder exact {taken.get('exact', 0):,} / "
+                f"estimate {taken.get('estimate', 0):,} / "
+                f"shed {taken.get('shed', 0):,}"
+            )
+            limiter = slo.get("limiter")
+            if limiter is not None:
+                lines.append(
+                    f"net limiter      : {limiter['limit']:,} admission window "
+                    f"(floor {limiter['floor']:,}, ceiling {limiter['ceiling']:,.0f}, "
+                    f"{limiter['decreases']:,} cuts)"
+                )
         lines.append(
             f"net clients      : {conns['active']:,} active / {conns['total']:,} total"
             + (f", {net['reloads']} reloads" if net.get("reloads") else "")

@@ -650,7 +650,7 @@ class TestSnapshotShape:
         net = snap["net"]
         assert set(net) == {
             "queue", "requests", "flushes", "queue_wait", "service_time",
-            "connections", "reloads",
+            "connections", "reloads", "slo",
         }
         assert net["queue"]["soft_limit"] > 0
         assert net["requests"]["accepted"] == 1

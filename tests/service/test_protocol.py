@@ -6,12 +6,14 @@ import pytest
 
 from repro.service.protocol import (
     MAX_BODY_BYTES,
+    MAX_DEADLINE_MS,
     MAX_HEAD_BYTES,
     ProtocolError,
     decode_json_line,
     http_response,
     json_line,
     parse_http_head,
+    validate_deadline_ms,
 )
 
 
@@ -143,3 +145,88 @@ class TestHttpResponse:
             line.split(": ", 1) for line in head.decode().split("\r\n")[1:]
         )
         assert int(headers["Content-Length"]) == len(payload)
+
+
+# ----------------------------------------------------------------------
+# adversarial inputs: every hostile frame is a typed ProtocolError
+# ----------------------------------------------------------------------
+#: Hostile JSONL request lines.  None of these may escape as a raw
+#: traceback (json's ValueError, int's digit-limit ValueError,
+#: UnicodeDecodeError, RecursionError) — the server turns a typed
+#: ProtocolError into an error response and keeps the connection.
+_HOSTILE_LINES = [
+    pytest.param(b"{nope\n", id="invalid-json"),
+    pytest.param(b"\xff\xfe\xfd\n", id="non-utf8-bytes"),
+    pytest.param(b'{"s": NaN, "t": 1}\n', id="nan-literal"),
+    pytest.param(b'{"s": Infinity, "t": 1}\n', id="infinity-literal"),
+    pytest.param(b'{"s": -Infinity, "t": 1}\n', id="neg-infinity-literal"),
+    pytest.param(
+        b'{"s": ' + b"9" * 5000 + b', "t": 1}\n', id="oversized-int-literal"
+    ),
+    pytest.param(b"[" * 10000 + b"]" * 10000 + b"\n", id="deep-nesting"),
+    pytest.param(b'"just a string"extra\n', id="trailing-garbage"),
+]
+
+#: Hostile HTTP request heads (as read up to the blank line).
+_HOSTILE_HEADS = [
+    pytest.param(b"\r\n\r\n", id="empty-head"),
+    pytest.param(b"POST /query\r\n\r\n", id="truncated-request-line"),
+    pytest.param(b"POST\r\n\r\n", id="method-only"),
+    pytest.param(b"POST /query SMTP/1.0\r\n\r\n", id="wrong-protocol"),
+    pytest.param(b"POST /query HTTP/2.0\r\n\r\n", id="unsupported-version"),
+    pytest.param(
+        b"POST /query HTTP/1.1\r\nno-colon-here\r\n\r\n", id="malformed-header"
+    ),
+    pytest.param(
+        b"POST /query HTTP/1.1\r\n: empty-name\r\n\r\n", id="empty-header-name"
+    ),
+    pytest.param(b"A" * (MAX_HEAD_BYTES + 1), id="oversized-head"),
+]
+
+#: Hostile deadline_ms values (decoded JSON values, not wire bytes).
+_HOSTILE_DEADLINES = [
+    pytest.param("100", id="string-number"),
+    pytest.param(True, id="boolean"),
+    pytest.param([100], id="list"),
+    pytest.param(0, id="zero"),
+    pytest.param(-5, id="negative"),
+    pytest.param(MAX_DEADLINE_MS + 1, id="past-the-cap"),
+    pytest.param(10**400, id="overflows-float"),
+    pytest.param(float("nan"), id="nan-value"),
+    pytest.param(float("inf"), id="infinite-value"),
+]
+
+
+class TestAdversarialInputs:
+    @pytest.mark.parametrize("line", _HOSTILE_LINES)
+    def test_hostile_jsonl_is_a_typed_protocol_error(self, line):
+        with pytest.raises(ProtocolError) as err:
+            decode_json_line(line)
+        assert err.value.status == 400
+        str(err.value)  # the message renders without raising
+
+    @pytest.mark.parametrize("head", _HOSTILE_HEADS)
+    def test_hostile_http_head_is_a_typed_protocol_error(self, head):
+        with pytest.raises(ProtocolError) as err:
+            parse_http_head(head)
+        assert err.value.status in (400, 413)
+
+    @pytest.mark.parametrize("value", _HOSTILE_DEADLINES)
+    def test_hostile_deadline_ms_is_a_typed_protocol_error(self, value):
+        with pytest.raises(ProtocolError):
+            validate_deadline_ms(value)
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(None, None), (250, 250.0), (0.5, 0.5), (MAX_DEADLINE_MS, float(MAX_DEADLINE_MS))],
+    )
+    def test_sane_deadline_ms_passes(self, value, expected):
+        assert validate_deadline_ms(value) == expected
+
+    def test_deadline_header_is_validated(self):
+        head = b"POST /query HTTP/1.1\r\nX-Deadline-Ms: bogus\r\n\r\n"
+        with pytest.raises(ProtocolError):
+            parse_http_head(head).deadline_ms
+        head = b"POST /query HTTP/1.1\r\nX-Deadline-Ms: 250\r\n\r\n"
+        assert parse_http_head(head).deadline_ms == 250.0
+        assert parse_http_head(b"GET /stats HTTP/1.1\r\n\r\n").deadline_ms is None
